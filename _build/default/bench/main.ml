@@ -1,0 +1,360 @@
+(* Benchmark harness.
+
+   Two jobs in one executable:
+
+   1. Figure regeneration — one entry per figure of the paper (Figures
+      2-12) plus the robustness extensions: re-runs the simulation
+      campaign (at a reduced default scale; use --full for the paper's
+      1000-trace scale) and prints the series, summary tables and the
+      qualitative shape checks recorded in EXPERIMENTS.md.
+
+   2. Bechamel micro-benchmarks — one Test.make per computational
+      kernel (DP table build, threshold computation, simulation engine,
+      quantised policy evaluation, trace generation), so performance
+      regressions in the algorithms are visible.
+
+   Usage: dune exec bench/main.exe -- [--full] [--traces N] [--t-step X]
+            [--figures id1,id2] [--skip-figures] [--skip-micro] *)
+
+let default_traces = 250
+let default_t_step = 100.0
+
+type options = {
+  traces : int;
+  t_step : float option;
+  figures : string list option;
+  skip_figures : bool;
+  skip_micro : bool;
+}
+
+let parse_args () =
+  let traces = ref default_traces in
+  let t_step = ref (Some default_t_step) in
+  let figures = ref None in
+  let skip_figures = ref false in
+  let skip_micro = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        traces := 1000;
+        t_step := None;
+        go rest
+    | "--traces" :: n :: rest ->
+        traces := int_of_string n;
+        go rest
+    | "--t-step" :: x :: rest ->
+        t_step := Some (float_of_string x);
+        go rest
+    | "--figures" :: ids :: rest ->
+        figures := Some (String.split_on_char ',' ids);
+        go rest
+    | "--skip-figures" :: rest ->
+        skip_figures := true;
+        go rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: bench [--full] [--traces N] [--t-step X] [--figures ids] \
+           [--skip-figures] [--skip-micro]\n"
+          arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  {
+    traces = !traces;
+    t_step = !t_step;
+    figures = !figures;
+    skip_figures = !skip_figures;
+    skip_micro = !skip_micro;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration                                                  *)
+
+let print_series (result : Experiments.Runner.result) =
+  (* The rows the paper plots: T -> proportion of work per strategy. *)
+  List.iter
+    (fun c ->
+      let curves =
+        List.filter
+          (fun (cv : Experiments.Runner.curve) -> cv.Experiments.Runner.c = c)
+          result.Experiments.Runner.curves
+      in
+      match curves with
+      | [] -> ()
+      | first :: _ ->
+          let table =
+            Output.Table.create
+              ~columns:
+                (("T", Output.Table.Right)
+                :: List.map
+                     (fun (cv : Experiments.Runner.curve) ->
+                       (cv.Experiments.Runner.name, Output.Table.Right))
+                     curves)
+          in
+          Array.iteri
+            (fun i (p : Experiments.Runner.point) ->
+              Output.Table.add_row table
+                (Printf.sprintf "%g" p.Experiments.Runner.t
+                :: List.map
+                     (fun (cv : Experiments.Runner.curve) ->
+                       Printf.sprintf "%.3f"
+                         cv.Experiments.Runner.points.(i).Experiments.Runner.mean)
+                     curves))
+            first.Experiments.Runner.points;
+          Printf.printf "\n-- %s, C = %g: proportion of work done --\n"
+            result.Experiments.Runner.spec.Experiments.Spec.id c;
+          Output.Table.print table)
+    result.Experiments.Runner.spec.Experiments.Spec.cs
+
+let run_figures options pool =
+  let selected =
+    match options.figures with
+    | None -> Experiments.Figures.all
+    | Some ids ->
+        List.filter_map
+          (fun id ->
+            match Experiments.Figures.find id with
+            | Some spec -> Some spec
+            | None ->
+                Printf.eprintf "unknown figure %s (known: %s)\n" id
+                  (String.concat ", " Experiments.Figures.ids);
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun spec ->
+      let spec =
+        Experiments.Figures.scale ~n_traces:options.traces ?t_step:options.t_step
+          spec
+      in
+      (* Short-horizon figures (fig5) need a grid finer than the global
+         step override. *)
+      let spec =
+        if spec.Experiments.Spec.t_step > spec.Experiments.Spec.t_max /. 10.0
+        then
+          Experiments.Figures.scale
+            ~t_step:(spec.Experiments.Spec.t_max /. 20.0)
+            spec
+        else spec
+      in
+      Printf.printf "\n================ %s ================\n"
+        spec.Experiments.Spec.id;
+      Printf.printf "%s\n" spec.Experiments.Spec.description;
+      let result =
+        Experiments.Runner.run ~pool
+          ~progress:(fun msg -> Printf.eprintf "%s\n%!" msg)
+          spec
+      in
+      print_series result;
+      print_newline ();
+      Output.Table.print (Experiments.Report.summary_table result);
+      print_endline "qualitative checks (paper-shape assertions):";
+      print_endline
+        (Experiments.Report.render_checks
+           (Experiments.Report.qualitative_checks result)))
+    selected
+
+(* ------------------------------------------------------------------ *)
+(* Exact (noise-free) cross-check: the same curves, computed as exact
+   expectations on the quantised model — zero Monte-Carlo variance.     *)
+
+let run_exact options =
+  print_endline "\n================ exact cross-check (no Monte-Carlo) ================";
+  List.iter
+    (fun id ->
+      match Experiments.Figures.find id with
+      | None -> ()
+      | Some spec ->
+          let spec =
+            Experiments.Figures.scale
+              ?t_step:options.t_step
+              spec
+          in
+          let curves = Experiments.Exact.figure spec in
+          List.iter
+            (fun c ->
+              let table =
+                Output.Table.create
+                  ~columns:
+                    [
+                      ("strategy", Output.Table.Left);
+                      ("mean exact prop.", Output.Table.Right);
+                      ("worst exact prop.", Output.Table.Right);
+                    ]
+              in
+              List.iter
+                (fun (curve : Experiments.Exact.curve) ->
+                  if curve.Experiments.Exact.c = c then begin
+                    let values =
+                      Array.map snd curve.Experiments.Exact.points
+                    in
+                    let mean =
+                      Array.fold_left ( +. ) 0.0 values
+                      /. float_of_int (Array.length values)
+                    in
+                    let worst = Array.fold_left Float.min infinity values in
+                    Output.Table.add_row table
+                      [
+                        curve.Experiments.Exact.name;
+                        Printf.sprintf "%.4f" mean;
+                        Printf.sprintf "%.4f" worst;
+                      ]
+                  end)
+                curves;
+              Printf.printf "\n-- %s (exact), C = %g --\n" id c;
+              Output.Table.print table)
+            spec.Experiments.Spec.cs)
+    [ "fig3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernels                             *)
+
+let micro_tests () =
+  let open Bechamel in
+  let params = Fault.Params.paper ~lambda:0.001 ~c:20.0 ~d:0.0 in
+  let dp_small =
+    Test.make ~name:"dp_build_T500_u1"
+      (Staged.stage (fun () ->
+           ignore (Core.Dp.build ~params ~quantum:1.0 ~horizon:500.0 ())))
+  in
+  let dp_capped =
+    Test.make ~name:"dp_build_T1000_u1_capped"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Dp.build
+                ~kmax:(Core.Dp.suggested_kmax ~params ~horizon:1000.0)
+                ~params ~quantum:1.0 ~horizon:1000.0 ())))
+  in
+  let thresholds =
+    Test.make ~name:"threshold_table_numerical"
+      (Staged.stage (fun () ->
+           ignore (Core.Threshold.table_numerical ~params ~up_to:2000.0)))
+  in
+  let gain =
+    Test.make ~name:"threshold_gain_n8"
+      (Staged.stage (fun () ->
+           ignore (Core.Threshold.gain ~params ~t:1800.0 ~n:8)))
+  in
+  let trace =
+    Fault.Trace.create ~dist:(Fault.Trace.Exponential { rate = 0.001 }) ~seed:5L
+  in
+  Fault.Trace.prefetch trace ~until:2000.0;
+  let yd = Core.Policies.young_daly ~params in
+  let engine =
+    Test.make ~name:"engine_run_T2000_young_daly"
+      (Staged.stage (fun () ->
+           ignore (Sim.Engine.run ~params ~horizon:2000.0 ~policy:yd trace)))
+  in
+  let policy_value =
+    Test.make ~name:"policy_value_T500_u1"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Expected.policy_value ~params ~quantum:1.0 ~horizon:500.0
+                ~policy:yd)))
+  in
+  let rng = Numerics.Rng.create ~seed:7L in
+  let rng_test =
+    Test.make ~name:"rng_exponential_x1000"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             ignore (Numerics.Rng.exponential rng ~rate:0.001)
+           done))
+  in
+  let integral =
+    Test.make ~name:"single_final_integral_T500_u1"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Expected.single_final_value ~params ~quantum:1.0
+                ~horizon:500.0)))
+  in
+  let optimal_build =
+    Test.make ~name:"optimal_build_T1000_u1"
+      (Staged.stage (fun () ->
+           ignore (Core.Optimal.build ~params ~quantum:1.0 ~horizon:1000.0 ())))
+  in
+  let dp_uncapped =
+    (* ablation for the kmax cap: same tables without the cap *)
+    Test.make ~name:"dp_build_T1000_u1_full_kmax"
+      (Staged.stage (fun () ->
+           ignore (Core.Dp.build ~params ~quantum:1.0 ~horizon:1000.0 ())))
+  in
+  let plan_opt =
+    Test.make ~name:"plan_opt_k3_T500"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Plan_opt.optimize ~params ~tleft:500.0 ~recovering:false
+                ~k:3
+                ~continuation:(fun _ -> 0.0)
+                ())))
+  in
+  let renewal_build =
+    Test.make ~name:"renewal_dp_build_T300_weibull"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Dp_renewal.build ~params
+                ~dist:(Fault.Trace.weibull_with_mtbf ~shape:0.7 ~mtbf:1000.0)
+                ~quantum:1.0 ~horizon:300.0 ())))
+  in
+  Test.make_grouped ~name:"kernels"
+    [
+      dp_small; dp_capped; dp_uncapped; thresholds; gain; engine; policy_value;
+      rng_test; integral; optimal_build; plan_opt; renewal_build;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "\n================ kernel micro-benchmarks ================";
+  let table =
+    Output.Table.create
+      ~columns:
+        [ ("kernel", Output.Table.Left); ("time per run", Output.Table.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> nan
+      in
+      rows := (name, time_ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Output.Table.add_row table [ name; human ])
+    (List.sort compare !rows);
+  Output.Table.print table
+
+let () =
+  let options = parse_args () in
+  Printf.printf
+    "fixedlen benchmark harness — %d traces per configuration%s\n"
+    options.traces
+    (match options.t_step with
+    | Some s -> Printf.sprintf ", grid step %g" s
+    | None -> " (paper-scale grid)");
+  if not options.skip_figures then begin
+    Parallel.Pool.with_pool (fun pool -> run_figures options pool);
+    run_exact options
+  end;
+  if not options.skip_micro then run_micro ()

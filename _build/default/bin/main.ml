@@ -1,0 +1,687 @@
+(* fixedlen — command-line interface to the fixed-length-reservation
+   checkpointing library: figure regeneration, threshold tables, DP
+   inspection, one-off simulations and the Section 4 case studies. *)
+
+open Cmdliner
+
+(* Shared parameter options *)
+
+let lambda_t =
+  let doc = "Failure rate λ (exponential IATs; MTBF = 1/λ)." in
+  Arg.(value & opt float 0.001 & info [ "lambda" ] ~docv:"RATE" ~doc)
+
+let c_t =
+  let doc = "Checkpoint duration C." in
+  Arg.(value & opt float 20.0 & info [ "c"; "checkpoint" ] ~docv:"C" ~doc)
+
+let r_t =
+  let doc = "Recovery duration R (defaults to C, the paper's convention)." in
+  Arg.(value & opt (some float) None & info [ "r"; "recovery" ] ~docv:"R" ~doc)
+
+let d_t =
+  let doc = "Downtime D after a failure." in
+  Arg.(value & opt float 0.0 & info [ "d"; "downtime" ] ~docv:"D" ~doc)
+
+let params_t =
+  let make lambda c r d =
+    Fault.Params.make ~lambda ~c ~r:(Option.value r ~default:c) ~d
+  in
+  Term.(const make $ lambda_t $ c_t $ r_t $ d_t)
+
+let quantum_t =
+  let doc = "Time quantum u of the dynamic program." in
+  Arg.(value & opt float 1.0 & info [ "quantum"; "u" ] ~docv:"U" ~doc)
+
+let seed_t =
+  let doc = "Random seed for trace generation." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let traces_t default =
+  let doc = "Number of random failure traces per configuration." in
+  Arg.(value & opt int default & info [ "traces" ] ~docv:"N" ~doc)
+
+let domains_t =
+  let doc = "Worker domains for parallel sweeps (default: cores, max 8)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* figure / campaign *)
+
+let t_step_t =
+  let doc = "Reservation-length grid step override." in
+  Arg.(value & opt (some float) None & info [ "t-step" ] ~docv:"STEP" ~doc)
+
+let t_max_t =
+  let doc = "Largest reservation length override." in
+  Arg.(value & opt (some float) None & info [ "t-max" ] ~docv:"TMAX" ~doc)
+
+let csv_t =
+  let doc = "Write the sweep data to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let no_plot_t =
+  let doc = "Skip the ASCII plots." in
+  Arg.(value & flag & info [ "no-plot" ] ~doc)
+
+let quiet_t =
+  let doc = "Suppress progress messages." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
+let run_spec ?n_traces ?t_step ?t_max ~domains ~quiet spec =
+  let spec = Experiments.Figures.scale ?n_traces ?t_step ?t_max spec in
+  let progress = if quiet then fun _ -> () else prerr_endline in
+  Parallel.Pool.with_pool ?domains (fun pool ->
+      Experiments.Runner.run ~pool ~progress spec)
+
+let report_result ~csv ~no_plot result =
+  (match csv with
+  | Some path ->
+      Experiments.Report.to_csv result ~path;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if not no_plot then print_string (Experiments.Report.plots result);
+  Output.Table.print (Experiments.Report.summary_table result);
+  print_endline "qualitative checks:";
+  print_endline
+    (Experiments.Report.render_checks
+       (Experiments.Report.qualitative_checks result))
+
+let figure_cmd =
+  let id_t =
+    let doc = "Figure identifier (see $(b,fixedlen list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let run id n_traces t_step t_max csv no_plot domains quiet =
+    match Experiments.Figures.find id with
+    | None ->
+        Printf.eprintf "unknown figure %s; known: %s\n" id
+          (String.concat ", " Experiments.Figures.ids);
+        exit 2
+    | Some spec ->
+        let result =
+          run_spec ?n_traces ?t_step ?t_max ~domains ~quiet spec
+        in
+        report_result ~csv ~no_plot result
+  in
+  let n_traces_t =
+    Arg.(value & opt (some int) None
+         & info [ "traces" ] ~docv:"N" ~doc:"Traces per configuration.")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one figure of the paper.")
+    Term.(
+      const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t
+      $ domains_t $ quiet_t)
+
+let campaign_cmd =
+  let out_t =
+    let doc = "Directory for the CSV outputs." in
+    Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let n_traces_t =
+    Arg.(value & opt (some int) None
+         & info [ "traces" ] ~docv:"N" ~doc:"Traces per configuration.")
+  in
+  let report_t =
+    let doc = "Also write a Markdown experiment report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let figures_only_t =
+    let doc = "Comma-separated figure subset (default: all)." in
+    Arg.(value & opt (some string) None & info [ "figures" ] ~docv:"IDS" ~doc)
+  in
+  let run out n_traces t_step t_max report figures domains quiet =
+    let config =
+      {
+        Experiments.Campaign.out_dir = out;
+        n_traces;
+        t_step;
+        t_max;
+        figure_ids = Option.map (String.split_on_char ',') figures;
+      }
+    in
+    let progress = if quiet then fun _ -> () else prerr_endline in
+    let results =
+      Parallel.Pool.with_pool ?domains (fun pool ->
+          Experiments.Campaign.run ~pool ~progress config)
+    in
+    List.iter
+      (fun (spec, result) ->
+        Printf.printf "== %s ==\n" spec.Experiments.Spec.id;
+        Output.Table.print (Experiments.Report.summary_table result);
+        print_endline
+          (Experiments.Report.render_checks
+             (Experiments.Report.qualitative_checks result)))
+      results;
+    match report with
+    | None -> ()
+    | Some path ->
+        Experiments.Campaign.write_report results ~path;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the simulation campaign (every figure, or a subset).")
+    Term.(
+      const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
+      $ figures_only_t $ domains_t $ quiet_t)
+
+(* exact *)
+
+let exact_cmd =
+  let id_t =
+    let doc = "Figure identifier (see $(b,fixedlen list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let run id quantum t_step t_max csv no_plot =
+    match Experiments.Figures.find id with
+    | None ->
+        Printf.eprintf "unknown figure %s; known: %s\n" id
+          (String.concat ", " Experiments.Figures.ids);
+        exit 2
+    | Some spec ->
+        let spec = Experiments.Figures.scale ?t_step ?t_max spec in
+        let curves = Experiments.Exact.figure ~quantum spec in
+        (match csv with
+        | Some path ->
+            Experiments.Exact.to_csv ~curves ~id ~path;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if not no_plot then
+          print_string (Experiments.Exact.plots spec curves)
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+        "Regenerate a figure without Monte-Carlo noise (exact expectation \
+         on the quantised model; exponential failures only).")
+    Term.(const run $ id_t $ quantum_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t)
+
+(* series *)
+
+let series_cmd =
+  let reservation_t =
+    Arg.(value & opt float 300.0
+         & info [ "reservation" ] ~docv:"T" ~doc:"Length of each reservation.")
+  in
+  let target_t =
+    Arg.(value & opt float 3000.0
+         & info [ "work" ] ~docv:"W" ~doc:"Total work of the campaign.")
+  in
+  let reps_t =
+    Arg.(value & opt int 200
+         & info [ "repetitions" ] ~docv:"N" ~doc:"Monte-Carlo repetitions.")
+  in
+  let run params quantum reservation target reps seed =
+    Printf.printf
+      "campaign of %g work units in reservations of %g on %s (%d repetitions)\n"
+      target reservation (Fault.Params.to_string params) reps;
+    let policies =
+      Core.Policies.all_paper ~params ~quantum ~horizon:reservation
+      @ [ Core.Policies.single_final ~params ]
+    in
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("strategy", Output.Table.Left);
+            ("reservations", Output.Table.Right);
+            ("±95%", Output.Table.Right);
+            ("billed time", Output.Table.Right);
+            ("incomplete", Output.Table.Right);
+          ]
+    in
+    List.iter
+      (fun policy ->
+        let s =
+          Sim.Series.evaluate ~repetitions:reps ~params ~policy ~reservation
+            ~target_work:target ~seed ()
+        in
+        Output.Table.add_row table
+          [
+            s.Sim.Series.policy;
+            Printf.sprintf "%.2f" s.Sim.Series.reservations.Numerics.Stats.mean;
+            Printf.sprintf "%.2f"
+              s.Sim.Series.reservations.Numerics.Stats.ci95_half_width;
+            Printf.sprintf "%.0f" s.Sim.Series.billed_time_mean;
+            string_of_int s.Sim.Series.incomplete;
+          ])
+      policies;
+    Output.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "series"
+       ~doc:
+        "Simulate a long job split into a series of fixed-length \
+         reservations and compare the reservations each strategy needs.")
+    Term.(
+      const run $ params_t $ quantum_t $ reservation_t $ target_t $ reps_t
+      $ seed_t)
+
+(* breakdown *)
+
+let breakdown_cmd =
+  let t_t =
+    Arg.(value & opt float 500.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let run params quantum t seed traces =
+    let trace_set =
+      Fault.Trace.batch
+        ~dist:(Fault.Trace.Exponential { rate = params.Fault.Params.lambda })
+        ~seed ~n:traces
+    in
+    Printf.printf "where does the reservation go? %s, T=%g, %d traces\n"
+      (Fault.Params.to_string params) t traces;
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("strategy", Output.Table.Left);
+            ("work %", Output.Table.Right);
+            ("ckpt %", Output.Table.Right);
+            ("recovery %", Output.Table.Right);
+            ("down %", Output.Table.Right);
+            ("lost %", Output.Table.Right);
+            ("unused %", Output.Table.Right);
+          ]
+    in
+    let policies = Core.Policies.all_paper ~params ~quantum ~horizon:t in
+    List.iter
+      (fun policy ->
+        let acc = Array.make 6 0.0 in
+        Array.iter
+          (fun trace ->
+            let o = Sim.Engine.run ~params ~horizon:t ~policy trace in
+            let b = o.Sim.Engine.breakdown in
+            acc.(0) <- acc.(0) +. b.Sim.Engine.working;
+            acc.(1) <- acc.(1) +. b.Sim.Engine.checkpointing;
+            acc.(2) <- acc.(2) +. b.Sim.Engine.recovering;
+            acc.(3) <- acc.(3) +. b.Sim.Engine.down;
+            acc.(4) <- acc.(4) +. b.Sim.Engine.lost;
+            acc.(5) <- acc.(5) +. b.Sim.Engine.unused)
+          trace_set;
+        let total = t *. float_of_int traces in
+        Output.Table.add_row table
+          (policy.Sim.Policy.name
+          :: List.map
+               (fun i -> Printf.sprintf "%.1f" ((100.0 *. acc.(i) /. total) +. 0.0))
+               [ 0; 1; 2; 3; 4; 5 ])
+      )
+      policies;
+    Output.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Wall-clock breakdown of the reservation per strategy.")
+    Term.(const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000)
+
+(* renewal *)
+
+let parse_dist ~lambda spec =
+  let mtbf = 1.0 /. lambda in
+  match String.split_on_char ':' spec with
+  | [ "exp" ] -> Fault.Trace.Exponential { rate = lambda }
+  | [ "weibull"; shape ] ->
+      Fault.Trace.weibull_with_mtbf ~shape:(float_of_string shape) ~mtbf
+  | [ "lognormal"; sigma ] ->
+      Fault.Trace.lognormal_with_mtbf ~sigma:(float_of_string sigma) ~mtbf
+  | _ ->
+      Printf.eprintf "unknown distribution %s\n" spec;
+      exit 2
+
+let renewal_cmd =
+  let t_t =
+    Arg.(value & opt float 400.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let dist_t =
+    let doc =
+      "IAT distribution: exp, weibull:SHAPE or lognormal:SIGMA (MTBF = 1/λ)."
+    in
+    Arg.(value & opt string "weibull:0.7" & info [ "dist" ] ~docv:"DIST" ~doc)
+  in
+  let run params quantum t dist_spec seed traces =
+    let dist = parse_dist ~lambda:params.Fault.Params.lambda dist_spec in
+    Printf.printf
+      "renewal-aware optimum for %s failures on %s, T=%g (u=%g)\n" dist_spec
+      (Fault.Params.to_string params) t quantum;
+    let renewal =
+      Core.Dp_renewal.build ~params ~dist ~quantum ~horizon:t ()
+    in
+    Printf.printf "expected work: %.4f (proportion %.4f)\n"
+      (Core.Dp_renewal.value renewal ~tleft:t)
+      (Core.Dp_renewal.value renewal ~tleft:t /. (t -. params.Fault.Params.c));
+    let n = Core.Dp_renewal.horizon_quanta renewal in
+    Printf.printf "failure-free checkpoint completions: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun q -> Printf.sprintf "%g" (float_of_int q *. quantum))
+            (Core.Dp_renewal.plan_q renewal ~n ~age:0 ~delta:false)));
+    (* Compare by simulation on the same traces. *)
+    let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
+    let policies =
+      (Core.Dp_renewal.policy renewal
+      :: Core.Policies.all_paper ~params ~quantum ~horizon:t)
+    in
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("strategy", Output.Table.Left);
+            ("proportion", Output.Table.Right);
+            ("±95%", Output.Table.Right);
+          ]
+    in
+    List.iter
+      (fun policy ->
+        let r = Sim.Runner.evaluate ~params ~horizon:t ~policy trace_set in
+        Output.Table.add_row table
+          [
+            r.Sim.Runner.policy;
+            Printf.sprintf "%.4f" r.Sim.Runner.proportion.Numerics.Stats.mean;
+            Printf.sprintf "%.4f"
+              r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+          ])
+      policies;
+    Output.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "renewal"
+       ~doc:
+        "Build the renewal-aware optimum for non-memoryless failures and \
+         compare it with the exponential-derived strategies.")
+    Term.(
+      const run $ params_t $ quantum_t $ t_t $ dist_t $ seed_t $ traces_t 2000)
+
+(* traces *)
+
+let traces_cmd =
+  let out_t =
+    Arg.(value & opt string "traces.txt"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let n_t =
+    Arg.(value & opt int 1000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of traces.")
+  in
+  let horizon_t =
+    Arg.(value & opt float 2000.0
+         & info [ "horizon" ] ~docv:"T"
+             ~doc:"Cover reservations up to this length.")
+  in
+  let dist_t =
+    let doc =
+      "IAT distribution: exp, weibull:SHAPE or lognormal:SIGMA (MTBF = 1/λ)."
+    in
+    Arg.(value & opt string "exp" & info [ "dist" ] ~docv:"DIST" ~doc)
+  in
+  let check_t =
+    Arg.(value & opt (some string) None
+         & info [ "check" ] ~docv:"FILE"
+             ~doc:"Instead of generating, load $(docv) and summarise it.")
+  in
+  let run lambda out n horizon dist seed check =
+    match check with
+    | Some path ->
+        let traces = Fault.Trace_io.load ~path in
+        let acc = Numerics.Stats.acc_create () in
+        Array.iter
+          (fun tr ->
+            Array.iter (Numerics.Stats.acc_add acc)
+              (Fault.Trace.iats_until tr ~until:infinity))
+          traces;
+        let s = Numerics.Stats.summarize acc in
+        Printf.printf
+          "%s: %d traces, %d IATs, empirical MTBF %.2f (min %.3g, max %.3g)\n"
+          path (Array.length traces) s.Numerics.Stats.count
+          s.Numerics.Stats.mean s.Numerics.Stats.min s.Numerics.Stats.max
+    | None ->
+        let dist = parse_dist ~lambda dist in
+        let traces = Fault.Trace.batch ~dist ~seed ~n in
+        Fault.Trace_io.save ~path:out ~horizon traces;
+        Printf.printf "wrote %d traces covering horizon %g to %s\n" n horizon
+          out
+  in
+  Cmd.v
+    (Cmd.info "traces"
+       ~doc:"Generate (or inspect) a reusable failure-trace file.")
+    Term.(
+      const run $ lambda_t $ out_t $ n_t $ horizon_t $ dist_t $ seed_t
+      $ check_t)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun spec ->
+        Printf.printf "%-20s %s\n" spec.Experiments.Spec.id
+          spec.Experiments.Spec.description)
+      Experiments.Figures.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the known figures.") Term.(const run $ const ())
+
+(* thresholds *)
+
+let thresholds_cmd =
+  let up_to_t =
+    Arg.(value & opt float 2000.0
+         & info [ "up-to" ] ~docv:"T" ~doc:"Largest threshold to compute.")
+  in
+  let run params up_to =
+    let numerical = Core.Threshold.table_numerical ~params ~up_to in
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("n", Output.Table.Right);
+            ("T_n numerical", Output.Table.Right);
+            ("T_n first-order", Output.Table.Right);
+            ("geometric-mean approx", Output.Table.Right);
+          ]
+    in
+    Array.iteri
+      (fun i t ->
+        let n = i + 1 in
+        Output.Table.add_row table
+          [
+            string_of_int n;
+            Printf.sprintf "%.2f" t;
+            (if n = 1 then "0"
+             else
+               Printf.sprintf "%.2f"
+                 (Core.Threshold.threshold_first_order ~params ~n:(n - 1)));
+            (if n = 1 then "-"
+             else
+               Printf.sprintf "%.2f"
+                 (Core.Threshold.geometric_mean_approx ~params ~n:(n - 1)));
+          ])
+      numerical.Core.Threshold.thresholds;
+    Printf.printf "thresholds for %s (plan n checkpoints when T_n <= time left < T_n+1)\n"
+      (Fault.Params.to_string params);
+    Printf.printf "Young/Daly period: %.2f\n" (Core.Model.young_daly_period params);
+    Output.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "thresholds"
+       ~doc:"Print the threshold table of the Section 5 heuristic.")
+    Term.(const run $ params_t $ up_to_t)
+
+(* dp *)
+
+let dp_cmd =
+  let t_t =
+    Arg.(value & opt float 500.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let kmax_t =
+    Arg.(value & opt (some int) None
+         & info [ "kmax" ] ~docv:"K" ~doc:"Cap on the number of checkpoints.")
+  in
+  let run params quantum t kmax =
+    let dp = Core.Dp.build ?kmax ~params ~quantum ~horizon:t () in
+    let n = Core.Dp.horizon_quanta dp in
+    let k = Core.Dp.best_k dp ~n ~delta:false in
+    Printf.printf "DP for %s, T=%g, u=%g (kmax=%d)\n"
+      (Fault.Params.to_string params) t quantum (Core.Dp.kmax dp);
+    Printf.printf "expected work: %.4f (upper bound %.4f, proportion %.4f)\n"
+      (Core.Dp.expected_work dp ~tleft:t)
+      (t -. params.Fault.Params.c)
+      (Core.Dp.expected_work dp ~tleft:t /. (t -. params.Fault.Params.c));
+    if k = 0 then print_endline "no checkpoint fits: nothing can be saved"
+    else begin
+      Printf.printf "optimal number of checkpoints: %d\n" k;
+      let plan = Core.Dp.plan_q dp ~n ~k ~delta:false in
+      Printf.printf "failure-free checkpoint completions: %s\n"
+        (String.concat ", "
+           (List.map (fun q -> Printf.sprintf "%g" (float_of_int q *. quantum)) plan));
+      (* Compare against the heuristics. *)
+      let table =
+        Output.Table.create
+          ~columns:
+            [ ("strategy", Output.Table.Left); ("expected work", Output.Table.Right) ]
+      in
+      List.iter
+        (fun (name, policy) ->
+          let v =
+            Core.Expected.policy_value ~params ~quantum ~horizon:t ~policy
+          in
+          Output.Table.add_row table [ name; Printf.sprintf "%.4f" v ])
+        [
+          ("DynamicProgramming", Core.Dp.policy dp);
+          ("NumericalOptimum", Core.Policies.numerical_optimum ~params ~horizon:t);
+          ("FirstOrder", Core.Policies.first_order ~params ~horizon:t);
+          ("YoungDaly", Core.Policies.young_daly ~params);
+          ("SingleFinal", Core.Policies.single_final ~params);
+        ];
+      Output.Table.print table
+    end
+  in
+  Cmd.v
+    (Cmd.info "dp"
+       ~doc:"Build the dynamic program and inspect the optimal strategy.")
+    Term.(const run $ params_t $ quantum_t $ t_t $ kmax_t)
+
+(* simulate *)
+
+let simulate_cmd =
+  let t_t =
+    Arg.(value & opt float 500.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let run params quantum t seed traces =
+    let dist =
+      Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
+    in
+    let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
+    let policies = Core.Policies.all_paper ~params ~quantum ~horizon:t in
+    let policies =
+      policies
+      @ [
+          Core.Policies.single_final ~params;
+          Core.Policies.daly_second_order ~params;
+          Core.Policies.lambert_optimal_period ~params;
+        ]
+    in
+    Printf.printf "simulating %s, T=%g, %d traces\n"
+      (Fault.Params.to_string params) t traces;
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("strategy", Output.Table.Left);
+            ("proportion", Output.Table.Right);
+            ("±95%", Output.Table.Right);
+            ("failures", Output.Table.Right);
+            ("checkpoints", Output.Table.Right);
+          ]
+    in
+    List.iter
+      (fun policy ->
+        let r = Sim.Runner.evaluate ~params ~horizon:t ~policy trace_set in
+        Output.Table.add_row table
+          [
+            r.Sim.Runner.policy;
+            Printf.sprintf "%.4f" r.Sim.Runner.proportion.Numerics.Stats.mean;
+            Printf.sprintf "%.4f"
+              r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+            Printf.sprintf "%.2f" r.Sim.Runner.mean_failures;
+            Printf.sprintf "%.2f" r.Sim.Runner.mean_checkpoints;
+          ])
+      policies;
+    Output.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Evaluate every strategy on one reservation length.")
+    Term.(const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000)
+
+(* analysis (Section 4 case studies) *)
+
+let analysis_cmd =
+  let run () =
+    print_endline "== Section 4.2: single checkpoint in a short reservation ==";
+    print_endline "setting: T=6, C=R=4, D=0; gain of checkpointing at the end";
+    Printf.printf "crossover rate: ln 2 = %.6f\n" Core.Analysis.short_reservation_crossover;
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("λ", Output.Table.Right);
+            ("gain(end vs early)", Output.Table.Right);
+            ("better", Output.Table.Left);
+          ]
+    in
+    List.iter
+      (fun lambda ->
+        let g = Core.Analysis.short_reservation_gain ~lambda in
+        Output.Table.add_row table
+          [
+            Printf.sprintf "%.3f" lambda;
+            Printf.sprintf "%+.5f" g;
+            (if g >= 0.0 then "checkpoint at the end" else "checkpoint early");
+          ])
+      [ 0.1; 0.3; 0.5; log 2.0; 0.8; 1.0; 1.5 ];
+    Output.Table.print table;
+    print_newline ();
+    print_endline "== Section 4.3: optimal two-checkpoint split α_opt(T) ==";
+    let params = Fault.Params.paper ~lambda:0.001 ~c:20.0 ~d:0.0 in
+    let table =
+      Output.Table.create
+        ~columns:
+          [
+            ("T", Output.Table.Right);
+            ("α_opt", Output.Table.Right);
+            ("first ckpt at", Output.Table.Right);
+            ("equal split would be", Output.Table.Right);
+          ]
+    in
+    List.iter
+      (fun t ->
+        let alpha = Core.Analysis.alpha_opt ~params ~t in
+        Output.Table.add_row table
+          [
+            Printf.sprintf "%g" t;
+            Printf.sprintf "%.4f" alpha;
+            Printf.sprintf "%.1f" (alpha *. t);
+            Printf.sprintf "%.1f" (t /. 2.0);
+          ])
+      [ 100.0; 200.0; 400.0; 800.0; 1600.0; 3200.0 ];
+    Output.Table.print table;
+    print_endline "(α_opt → 1/2 as λ → 0: equal splitting is only asymptotically optimal)"
+  in
+  Cmd.v
+    (Cmd.info "analysis" ~doc:"Print the Section 4 analytical case studies.")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc =
+    "checkpointing strategies for a fixed-length execution (Benoit, \
+     Perotin, Robert, Vivien — RR-9552 / SC 2024)"
+  in
+  Cmd.group
+    (Cmd.info "fixedlen" ~version:"1.0.0" ~doc)
+    [
+      figure_cmd; campaign_cmd; list_cmd; thresholds_cmd; dp_cmd; simulate_cmd;
+      analysis_cmd; series_cmd; breakdown_cmd; traces_cmd; renewal_cmd;
+      exact_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

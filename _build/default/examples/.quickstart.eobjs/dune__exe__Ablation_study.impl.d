@@ -1,0 +1,1 @@
+examples/ablation_study.ml: Core Fault Float List Output Printf

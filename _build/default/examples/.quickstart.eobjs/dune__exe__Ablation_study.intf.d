@@ -1,0 +1,1 @@
+examples/ablation_study.mli:

@@ -1,0 +1,1 @@
+examples/dp_policy_inspect.ml: Core Fault Float List Output Printf Sim String

@@ -1,0 +1,1 @@
+examples/dp_policy_inspect.mli:

@@ -1,0 +1,1 @@
+examples/platform_sizing.ml: Core Fault List Output Printf

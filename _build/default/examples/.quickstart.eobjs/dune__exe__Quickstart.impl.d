@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Fault List Numerics Output Printf Sim

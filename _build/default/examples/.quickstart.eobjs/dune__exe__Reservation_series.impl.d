@@ -1,0 +1,1 @@
+examples/reservation_series.ml: Core Fault Int64 List Numerics Output Printf Sim

@@ -1,0 +1,1 @@
+examples/robustness.ml: Core Fault List Numerics Output Printf Sim

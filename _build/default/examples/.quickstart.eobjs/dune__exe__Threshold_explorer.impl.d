@@ -1,0 +1,1 @@
+examples/threshold_explorer.ml: Array Core Fault List Output Printf

@@ -1,0 +1,113 @@
+(* Robustness: what happens when the model's assumptions are violated?
+
+   The strategies are computed under the paper's assumptions —
+   exponential failures and deterministic checkpoint durations. This
+   example stresses both assumptions:
+   1. non-memoryless failures (Weibull with decreasing hazard, heavy-
+      tailed log-normal), calibrated to the same MTBF;
+   2. stochastic checkpoint durations (Erlang with mean C).
+
+   Run with:  dune exec examples/robustness.exe *)
+
+let params = Fault.Params.paper ~lambda:0.002 ~c:25.0 ~d:0.0
+let horizon = 700.0
+let n_traces = 3000
+
+let evaluate ?ckpt_sampler traces policy =
+  let r = Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy traces in
+  r.Sim.Runner.proportion.Numerics.Stats.mean
+
+let () =
+  let mtbf = Fault.Params.mtbf params in
+  Printf.printf "platform %s, T = %g, %d traces per scenario\n\n"
+    (Fault.Params.to_string params) horizon n_traces;
+  let strategies = Core.Policies.all_paper ~params ~quantum:1.0 ~horizon in
+  (* The renewal-aware optimum is rebuilt per failure distribution; for
+     the scenarios whose IATs it models, it is the exact optimum. *)
+  let renewal_for dist =
+    Core.Dp_renewal.policy
+      (Core.Dp_renewal.build ~params ~dist ~quantum:1.0 ~horizon ())
+  in
+  let scenarios =
+    [
+      ("exponential (model)", Fault.Trace.Exponential { rate = params.Fault.Params.lambda }, None);
+      ("Weibull k=0.7", Fault.Trace.weibull_with_mtbf ~shape:0.7 ~mtbf, None);
+      ("Weibull k=2.0", Fault.Trace.weibull_with_mtbf ~shape:2.0 ~mtbf, None);
+      ("LogNormal σ=1.2", Fault.Trace.lognormal_with_mtbf ~sigma:1.2 ~mtbf, None);
+      ("Erlang(4) checkpoints", Fault.Trace.Exponential { rate = params.Fault.Params.lambda },
+       Some 4);
+    ]
+  in
+  let table =
+    Output.Table.create
+      ~columns:
+        (("scenario", Output.Table.Left)
+        :: (List.map
+              (fun p -> (p.Sim.Policy.name, Output.Table.Right))
+              strategies
+           @ [ ("RenewalDP", Output.Table.Right) ]))
+  in
+  List.iter
+    (fun (name, dist, erlang) ->
+      let traces = Fault.Trace.batch ~dist ~seed:91L ~n:n_traces in
+      let ckpt_sampler_for () =
+        match erlang with
+        | None -> None
+        | Some shape ->
+            let rng = Numerics.Rng.create ~seed:17L in
+            Some
+              (fun () ->
+                Numerics.Rng.gamma_int rng ~shape
+                  ~scale:(params.Fault.Params.c /. float_of_int shape))
+      in
+      let cells =
+        List.map
+          (fun policy ->
+            Printf.sprintf "%.4f"
+              (evaluate ?ckpt_sampler:(ckpt_sampler_for ()) traces policy))
+          strategies
+      in
+      let renewal_cell =
+        if erlang = None then
+          Printf.sprintf "%.4f"
+            (evaluate ?ckpt_sampler:None traces (renewal_for dist))
+        else "-"
+      in
+      Output.Table.add_row table (name :: (cells @ [ renewal_cell ])))
+    scenarios;
+  print_endline "mean proportion of work done:";
+  Output.Table.print table;
+  print_newline ();
+  (* The stochastic-checkpoint cure: finish the last checkpoint early. *)
+  let erlang_traces =
+    Fault.Trace.batch
+      ~dist:(Fault.Trace.Exponential { rate = params.Fault.Params.lambda })
+      ~seed:91L ~n:n_traces
+  in
+  let sampler () =
+    let rng = Numerics.Rng.create ~seed:17L in
+    fun () ->
+      Numerics.Rng.gamma_int rng ~shape:4 ~scale:(params.Fault.Params.c /. 4.0)
+  in
+  let dp = List.nth strategies 3 in
+  let slack = Core.Slack.first_order_slack ~params ~shape:4 ~tleft:horizon in
+  let plain = evaluate ~ckpt_sampler:(sampler ()) erlang_traces dp in
+  let slacked =
+    evaluate ~ckpt_sampler:(sampler ()) erlang_traces
+      (Core.Slack.with_slack ~params ~slack dp)
+  in
+  Printf.printf
+    "the cure for checkpoint jitter: finishing the last checkpoint %.0f\n\
+     early lifts the DP from %.4f to %.4f under Erlang(4) durations\n\
+     (Core.Slack.first_order_slack).\n\n"
+    slack plain slacked;
+  print_endline
+    "observations:\n\
+     - decreasing-hazard Weibull (k = 0.7) clusters failures: everyone\n\
+    \  loses absolute performance, the orderings survive;\n\
+     - increasing-hazard Weibull (k = 2) makes failures predictable and\n\
+    \  everyone gains; the exponential-derived plans stay near-optimal;\n\
+     - stochastic checkpoints hurt the strategies that plan their last\n\
+    \  checkpoint flush against the reservation end (the DP and the\n\
+    \  threshold heuristics) more than the periodic Young/Daly strategy —\n\
+    \  the paper's future-work direction, quantified."

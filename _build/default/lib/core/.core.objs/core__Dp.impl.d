@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Fault Float List Model Sim

@@ -1,0 +1,1 @@
+lib/core/dp.mli: Fault Sim

@@ -1,0 +1,1 @@
+lib/core/dp_renewal.ml: Array Fault Float List Sim

@@ -1,0 +1,1 @@
+lib/core/dp_renewal.mli: Fault Sim

@@ -1,0 +1,1 @@
+lib/core/expected.ml: Array Fault Float Format List Sim

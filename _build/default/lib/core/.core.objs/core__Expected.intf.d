@@ -1,0 +1,1 @@
+lib/core/expected.mli: Fault Sim

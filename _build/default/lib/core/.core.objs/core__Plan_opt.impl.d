@@ -1,0 +1,1 @@
+lib/core/plan_opt.ml: Array Dp Fault Float Hashtbl List Numerics Sim Threshold

@@ -1,0 +1,1 @@
+lib/core/plan_opt.mli: Dp Fault Sim

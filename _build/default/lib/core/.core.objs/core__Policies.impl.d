@@ -1,0 +1,1 @@
+lib/core/policies.ml: Dp Fault Model Sim Threshold

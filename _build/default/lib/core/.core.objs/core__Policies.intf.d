@@ -1,0 +1,1 @@
+lib/core/policies.mli: Fault Sim Threshold

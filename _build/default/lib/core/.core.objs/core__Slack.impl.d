@@ -1,0 +1,1 @@
+lib/core/slack.ml: Fault Float Model Numerics Printf Sim

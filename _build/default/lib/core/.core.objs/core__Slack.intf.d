@@ -1,0 +1,1 @@
+lib/core/slack.mli: Fault Sim

@@ -1,0 +1,1 @@
+lib/core/threshold.ml: Array Expected Fault Float List Numerics

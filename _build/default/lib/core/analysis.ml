@@ -1,0 +1,64 @@
+let short_reservation_gain ~lambda =
+  (2.0 *. exp (-6.0 *. lambda)) -. exp (-5.0 *. lambda)
+
+let short_reservation_crossover = log 2.0
+
+let single_shift_gain ~params ~t ~shift =
+  let open Fault.Params in
+  if shift < 0.0 || shift > t -. params.c then
+    invalid_arg "Analysis.single_shift_gain: shift outside [0, t - c]";
+  (psucc params t *. shift)
+  -. (psucc params (t -. shift) *. pfail params shift *. (t -. shift -. params.c))
+
+let best_single_shift ~params ~t =
+  let open Fault.Params in
+  if t <= params.c then invalid_arg "Analysis.best_single_shift: t <= c";
+  (* Expected work of the shifted strategy (no work after failure):
+     the checkpoint completes at t - s, saving t - s - c with probability
+     P_succ(t - s). Maximise over s by golden-section search (the
+     function is unimodal: product of a decreasing exponential and an
+     affine term). *)
+  let value s = psucc params (t -. s) *. (t -. s -. params.c) in
+  let lo = ref 0.0 and hi = ref (t -. params.c) in
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let x1 = ref (!hi -. (phi *. (!hi -. !lo))) in
+  let x2 = ref (!lo +. (phi *. (!hi -. !lo))) in
+  let f1 = ref (value !x1) and f2 = ref (value !x2) in
+  while !hi -. !lo > 1e-10 *. (1.0 +. t) do
+    if !f1 < !f2 then begin
+      lo := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !lo +. (phi *. (!hi -. !lo));
+      f2 := value !x2
+    end
+    else begin
+      hi := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !hi -. (phi *. (!hi -. !lo));
+      f1 := value !x1
+    end
+  done;
+  0.5 *. (!lo +. !hi)
+
+let two_ckpt_gain ~params ~t ~alpha =
+  let open Fault.Params in
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Analysis.two_ckpt_gain: alpha outside (0, 1)";
+  (psucc params (alpha *. t) *. ((alpha *. t) -. params.c))
+  -. (psucc params t *. alpha *. t)
+
+let alpha_opt ~params ~t =
+  let open Fault.Params in
+  if t < 2.0 *. params.c then invalid_arg "Analysis.alpha_opt: t < 2c";
+  let lambda = params.lambda and c = params.c in
+  let g alpha =
+    1.0 -. (lambda *. ((alpha *. t) -. c)) -. exp (-.lambda *. (1.0 -. alpha) *. t)
+  in
+  let lo = c /. t and hi = 1.0 -. (c /. t) in
+  (* g is strictly decreasing (Section 4.3), so the sign at the interval
+     ends decides between an interior zero and a boundary optimum. *)
+  if g lo <= 0.0 then lo
+  else if g hi >= 0.0 then hi
+  else Numerics.Rootfind.brent ~f:g lo hi

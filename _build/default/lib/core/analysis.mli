@@ -1,0 +1,41 @@
+(** Analytical case studies of the paper's Section 4, demonstrating why
+    fixed-time checkpointing is hard: the optimal strategy is neither
+    always periodic nor always checkpointing at the very end. *)
+
+(** {2 Section 4.2 — a single checkpoint in a short reservation} *)
+
+val short_reservation_gain : lambda:float -> float
+(** Expected gain of checkpointing at the very end over checkpointing one
+    unit earlier, in the paper's concrete setting [T = 6], [C = R = 4],
+    [D = 0]: [2 e^{-6λ} - e^{-5λ}]. Negative iff [λ > ln 2]. *)
+
+val short_reservation_crossover : float
+(** [ln 2], the failure rate above which it pays to checkpoint early. *)
+
+val single_shift_gain : params:Fault.Params.t -> t:float -> shift:float -> float
+(** Generalisation: expected gain (until the first failure) of completing
+    the unique checkpoint at time [t] rather than at [t - shift], under
+    the example's assumption that no work can be saved after a failure
+    (valid when [r + c > t]):
+    [P_succ(t)·shift − P_succ(t - shift)·P_fail(shift)·(t - shift - c)].
+    Requires [0 <= shift <= t - c]. *)
+
+val best_single_shift : params:Fault.Params.t -> t:float -> float
+(** The shift maximising the expected work of a single-checkpoint
+    strategy (still under the no-work-after-failure assumption), found by
+    golden-section search on [\[0, t - c\]]. 0 means "checkpoint at the
+    very end is optimal". *)
+
+(** {2 Section 4.3 — two checkpoints} *)
+
+val two_ckpt_gain : params:Fault.Params.t -> t:float -> alpha:float -> float
+(** Expected gain (until the first failure) of [Strat2(α)] — checkpoints
+    completing at [αT] and [T] — over [Strat1] (single checkpoint at
+    [T]): [e^{-λαT}(αT - C) - e^{-λT}·αT]. *)
+
+val alpha_opt : params:Fault.Params.t -> t:float -> float
+(** The optimal split [α_opt(t)]: unique zero of
+    [g(α) = 1 - λ(αT - C) - e^{-λ(1-α)T}] in [\[c/t, 1 - c/t\]], clamped
+    to that interval when [g] has constant sign over it (then the optimum
+    sits on the boundary). Requires [t >= 2c]. As [λ → 0] with
+    [t = Θ(λ^{-1/2})], [α_opt → 1/2]. *)

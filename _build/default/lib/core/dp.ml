@@ -1,0 +1,206 @@
+type t = {
+  params : Fault.Params.t;
+  u : float;
+  tstar : int;
+  kmax : int;
+  cq : int;
+  rq : int;
+  dq : int;
+  e0 : float array array;  (* e0.(k).(n) = E(n, k, 0), in quanta *)
+  e1 : float array array;
+  ib0 : int array array;  (* optimal first-checkpoint quantum; 0 = none *)
+  ib1 : int array array;
+  argm1 : int array array;  (* argm1.(k).(n) = argmax_{m<=k} e1.(m).(n) *)
+  bestk0 : int array;  (* argmax_k e0.(k).(n) *)
+}
+
+let quanta_round x ~u = int_of_float (Float.round (x /. u))
+
+let suggested_kmax ~params ~horizon =
+  let open Fault.Params in
+  let u_yd = Model.young_daly_period params in
+  let exact = max 1 (int_of_float (floor (horizon /. params.c))) in
+  let guess = int_of_float (ceil (4.0 *. horizon /. (u_yd +. params.c))) + 8 in
+  min exact (max 1 guess)
+
+let build ?kmax ~params ~quantum ~horizon () =
+  if quantum <= 0.0 then invalid_arg "Dp.build: quantum must be positive";
+  if horizon < quantum then invalid_arg "Dp.build: horizon below one quantum";
+  let open Fault.Params in
+  let u = quantum in
+  let tstar = int_of_float (floor ((horizon /. u) +. 1e-9)) in
+  let cq = max 1 (quanta_round params.c ~u) in
+  let rq = max 0 (quanta_round params.r ~u) in
+  let dq = max 0 (quanta_round params.d ~u) in
+  let kmax_exact = max 1 (tstar / cq) in
+  let kmax =
+    match kmax with
+    | None -> kmax_exact
+    | Some k ->
+        if k < 1 then invalid_arg "Dp.build: kmax < 1";
+        min k kmax_exact
+  in
+  let lam = params.lambda in
+  let psucc = Array.init (tstar + 1) (fun i -> exp (-.lam *. float_of_int i *. u)) in
+  let p = Array.make (tstar + 1) 0.0 in
+  for f = 1 to tstar do
+    p.(f) <- psucc.(f - 1) -. psucc.(f)
+  done;
+  let mk_f () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0.0) in
+  let mk_i () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0) in
+  let e0 = mk_f () and e1 = mk_f () in
+  let ib0 = mk_i () and ib1 = mk_i () in
+  let argm1 = mk_i () in
+  (* bestv.(n) = max_{m<=k} E(n, m, 1) for the sweep's current k;
+     updated in place as soon as E(n, k, 1) is known, which is safe
+     because states only reference strictly smaller n. *)
+  let bestv = Array.make (tstar + 1) 0.0 in
+  let argv = Array.make (tstar + 1) 0 in
+  for k = 1 to kmax do
+    let e0k = e0.(k)
+    and e1k = e1.(k)
+    and ib0k = ib0.(k)
+    and ib1k = ib1.(k) in
+    let cont = if k >= 2 then e0.(k - 1) else [||] in
+    for n = 1 to tstar do
+      (* One state (n, k, delta): maximise over the completion quantum i
+         of the first checkpoint, carrying the failure-term prefix sum
+         S(i) = sum_{f=1..i} p_f * bestv(n - f - dq). *)
+      let solve ~delta =
+        let base = if delta then rq else 0 in
+        let ilo = base + cq + 1 in
+        let ihi = if k >= 2 then n - ((k - 1) * cq) else n in
+        if ihi < ilo then (0.0, 0)
+        else begin
+          let running = ref 0.0 in
+          for f = 1 to ilo - 1 do
+            let n' = n - f - dq in
+            if n' >= 1 then running := !running +. (p.(f) *. bestv.(n'))
+          done;
+          let best = ref 0.0 and besti = ref 0 in
+          for i = ilo to ihi do
+            let n' = n - i - dq in
+            if n' >= 1 then running := !running +. (p.(i) *. bestv.(n'));
+            let continuation = if k >= 2 then cont.(n - i) else 0.0 in
+            let work = float_of_int (i - cq - base) in
+            let cand = (psucc.(i) *. (work +. continuation)) +. !running in
+            if cand > !best then begin
+              best := cand;
+              besti := i
+            end
+          done;
+          (!best, !besti)
+        end
+      in
+      let v1, i1 = solve ~delta:true in
+      e1k.(n) <- v1;
+      ib1k.(n) <- i1;
+      let v0, i0 = solve ~delta:false in
+      e0k.(n) <- v0;
+      ib0k.(n) <- i0;
+      if v1 > bestv.(n) then begin
+        bestv.(n) <- v1;
+        argv.(n) <- k
+      end
+    done;
+    Array.blit argv 0 argm1.(k) 0 (tstar + 1)
+  done;
+  let bestk0 = Array.make (tstar + 1) 0 in
+  let beste0 = Array.make (tstar + 1) 0.0 in
+  for k = 1 to kmax do
+    for n = 1 to tstar do
+      if e0.(k).(n) > beste0.(n) then begin
+        beste0.(n) <- e0.(k).(n);
+        bestk0.(n) <- k
+      end
+    done
+  done;
+  { params; u; tstar; kmax; cq; rq; dq; e0; e1; ib0; ib1; argm1; bestk0 }
+
+let quantum t = t.u
+let horizon_quanta t = t.tstar
+let kmax t = t.kmax
+
+let check_state t ~n ~k =
+  if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
+  if k < 1 || k > t.kmax then invalid_arg "Dp: k outside [1, kmax]"
+
+let expected_work_q t ~n ~k ~delta =
+  check_state t ~n ~k;
+  (if delta then t.e1 else t.e0).(k).(n) *. t.u
+
+let best_expected_work_q t ~n ~delta =
+  if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
+  let table = if delta then t.e1 else t.e0 in
+  let best = ref 0.0 in
+  for k = 1 to t.kmax do
+    if table.(k).(n) > !best then best := table.(k).(n)
+  done;
+  !best *. t.u
+
+let clamp_n t tleft =
+  let n = int_of_float (floor ((tleft /. t.u) +. 1e-9)) in
+  if n < 0 then 0 else min n t.tstar
+
+let expected_work t ~tleft =
+  let n = clamp_n t tleft in
+  let k = t.bestk0.(n) in
+  if k = 0 then 0.0 else t.e0.(k).(n) *. t.u
+
+let best_k t ~n ~delta =
+  if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
+  if delta then t.argm1.(t.kmax).(n) else t.bestk0.(n)
+
+let plan_q t ~n ~k ~delta =
+  check_state t ~n ~k;
+  let rec go n k delta acc base =
+    if k = 0 then List.rev acc
+    else begin
+      let ib = (if delta then t.ib1 else t.ib0).(k).(n) in
+      if ib = 0 then List.rev acc
+      else go (n - ib) (k - 1) false ((base + ib) :: acc) (base + ib)
+    end
+  in
+  go n k delta [] 0
+
+let policy t =
+  (* Per-reservation state to recover k_remaining after a failure: the
+     recursion of Equation (8) re-plans with at most as many checkpoints
+     as were still outstanding when the failure struck. *)
+  let last : (float * float list * int) option ref = ref None in
+  let to_offsets quanta = List.map (fun q -> float_of_int q *. t.u) quanta in
+  let plan ~tleft ~recovering =
+    let n = clamp_n t tleft in
+    if n = 0 then []
+    else if not recovering then begin
+      let k = t.bestk0.(n) in
+      if k = 0 then []
+      else begin
+        let offsets = to_offsets (plan_q t ~n ~k ~delta:false) in
+        last := Some (tleft, offsets, k);
+        offsets
+      end
+    end
+    else begin
+      let k_cap =
+        match !last with
+        | None -> t.kmax
+        | Some (prev_tleft, offsets, k_prev) ->
+            let elapsed =
+              prev_tleft -. tleft -. t.params.Fault.Params.d
+            in
+            let completed =
+              List.length (List.filter (fun o -> o <= elapsed +. 1e-9) offsets)
+            in
+            max 1 (k_prev - completed)
+      in
+      let m = t.argm1.(min k_cap t.kmax).(n) in
+      if m = 0 then []
+      else begin
+        let offsets = to_offsets (plan_q t ~n ~k:m ~delta:true) in
+        last := Some (tleft, offsets, m);
+        offsets
+      end
+    end
+  in
+  Sim.Policy.make ~name:"DynamicProgramming" plan

@@ -1,0 +1,134 @@
+type t = {
+  u : float;
+  tstar : int;
+  cq : int;
+  rq : int;
+  dq : int;
+  v : float array array;  (* v.(n).(a), a <= tstar - n; fresh execution *)
+  iv : int array array;  (* argmax completion quantum; 0 = stop *)
+  vr : float array;  (* post-failure: age 0, recovery pending *)
+  ir : int array;
+}
+
+let quanta_round x ~u = int_of_float (Float.round (x /. u))
+
+let build ~params ~dist ~quantum ~horizon () =
+  if quantum <= 0.0 then invalid_arg "Dp_renewal.build: quantum must be positive";
+  if horizon < quantum then
+    invalid_arg "Dp_renewal.build: horizon below one quantum";
+  let open Fault.Params in
+  let u = quantum in
+  let tstar = int_of_float (floor ((horizon /. u) +. 1e-9)) in
+  let cq = max 1 (quanta_round params.c ~u) in
+  let rq = max 0 (quanta_round params.r ~u) in
+  let dq = max 0 (quanta_round params.d ~u) in
+  (* Survival of the IAT distribution on the quantum grid. *)
+  let sq =
+    Array.init (tstar + 1) (fun x ->
+        Fault.Trace.dist_survival dist (float_of_int x *. u))
+  in
+  let v = Array.init (tstar + 1) (fun n -> Array.make (tstar - n + 1) 0.0) in
+  let iv = Array.init (tstar + 1) (fun n -> Array.make (tstar - n + 1) 0) in
+  let vr = Array.make (tstar + 1) 0.0 in
+  let ir = Array.make (tstar + 1) 0 in
+  for n = 1 to tstar do
+    (* Fresh execution at every reachable age. *)
+    for a = 0 to tstar - n do
+      let s_a = sq.(a) in
+      if s_a > 1e-300 then begin
+        let running = ref 0.0 in
+        for f = 1 to cq do
+          let n' = n - f - dq in
+          if n' >= 1 then
+            running := !running +. ((sq.(a + f - 1) -. sq.(a + f)) /. s_a *. vr.(n'))
+        done;
+        let best = ref 0.0 and besti = ref 0 in
+        for i = cq + 1 to n do
+          let n' = n - i - dq in
+          if n' >= 1 then
+            running := !running +. ((sq.(a + i - 1) -. sq.(a + i)) /. s_a *. vr.(n'));
+          let cont = v.(n - i).(a + i) in
+          let cand =
+            (sq.(a + i) /. s_a *. (float_of_int (i - cq) +. cont)) +. !running
+          in
+          if cand > !best then begin
+            best := cand;
+            besti := i
+          end
+        done;
+        v.(n).(a) <- !best;
+        iv.(n).(a) <- !besti
+      end
+    done;
+    (* Post-failure state: age 0, recovery charged to the first segment. *)
+    let ilo = rq + cq + 1 in
+    if ilo <= n then begin
+      let running = ref 0.0 in
+      for f = 1 to ilo - 1 do
+        let n' = n - f - dq in
+        if n' >= 1 then
+          running := !running +. ((sq.(f - 1) -. sq.(f)) *. vr.(n'))
+      done;
+      let best = ref 0.0 and besti = ref 0 in
+      for i = ilo to n do
+        let n' = n - i - dq in
+        if n' >= 1 then
+          running := !running +. ((sq.(i - 1) -. sq.(i)) *. vr.(n'));
+        let cont = v.(n - i).(i) in
+        let cand =
+          (sq.(i) *. (float_of_int (i - cq - rq) +. cont)) +. !running
+        in
+        if cand > !best then begin
+          best := cand;
+          besti := i
+        end
+      done;
+      vr.(n) <- !best;
+      ir.(n) <- !besti
+    end
+  done;
+  { u; tstar; cq; rq; dq; v; iv; vr; ir }
+
+let quantum t = t.u
+let horizon_quanta t = t.tstar
+
+let check t ~n ~age =
+  if n < 0 || n > t.tstar then invalid_arg "Dp_renewal: n outside range";
+  if age < 0 || age + n > t.tstar then
+    invalid_arg "Dp_renewal: age outside the reachable triangle"
+
+let value_q t ~n ~age =
+  check t ~n ~age;
+  t.v.(n).(age) *. t.u
+
+let clamp_n t tleft =
+  let n = int_of_float (floor ((tleft /. t.u) +. 1e-9)) in
+  if n < 0 then 0 else min n t.tstar
+
+let value t ~tleft = value_q t ~n:(clamp_n t tleft) ~age:0
+
+let plan_q t ~n ~age ~delta =
+  check t ~n ~age;
+  if delta && age <> 0 then
+    invalid_arg "Dp_renewal.plan_q: recovery only happens at age 0";
+  let rec fresh n a acc base =
+    let i = t.iv.(n).(a) in
+    if i = 0 then List.rev acc
+    else fresh (n - i) (a + i) ((base + i) :: acc) (base + i)
+  in
+  if delta then begin
+    let i = t.ir.(n) in
+    if i = 0 then [] else fresh (n - i) i [ i ] i
+  end
+  else fresh n age [] 0
+
+let policy t =
+  let plan ~tleft ~recovering =
+    let n = clamp_n t tleft in
+    if n = 0 then []
+    else
+      List.map
+        (fun q -> float_of_int q *. t.u)
+        (plan_q t ~n ~age:0 ~delta:recovering)
+  in
+  Sim.Policy.make ~name:"RenewalDP" plan

@@ -1,0 +1,57 @@
+(** Numerical evaluation of expected saved work.
+
+    Three independent evaluators used to cross-validate the heuristics,
+    the dynamic program and the Monte-Carlo simulator:
+
+    - {!single_final_value}: solves the recursive integral equations of
+      Section 4.1 for the strategy that always takes a unique checkpoint
+      at the very end of the (remaining) reservation;
+    - {!first_failure_value}: exact expected work saved {e until the first
+      failure} for an arbitrary fixed plan — the comparison metric used by
+      the paper to rank strategies (Sections 4.3 and 5);
+    - {!policy_value}: expected saved work of an arbitrary policy on the
+      quantised model, by memoisation over (time left, recovery flag). *)
+
+type grid = { quantum : float; values : float array }
+(** [values.(i)] is the expectation for a reservation of [i] quanta. *)
+
+val single_final_value :
+  params:Fault.Params.t -> quantum:float -> horizon:float -> grid * grid
+(** [(e, e_r)] where [e.values.(i)] solves
+    [E_end(T,1) = e^{-λT}(T - C) + ∫₀^{T-D-R-C} λe^{-λt} E_end_R(T-t-D,1) dt]
+    and [e_r] the variant starting with a recovery (Section 4.1; we use
+    the unconditional failure density [λe^{-λt}] — see DESIGN.md).
+    Requires [c], [r], [d] to be integer multiples of [quantum]
+    (within rounding). *)
+
+val first_failure_value :
+  params:Fault.Params.t -> recovering:bool -> offsets:float list -> float
+(** Expected work saved until the first failure (or until the plan
+    completes) for a fixed plan of checkpoint completion [offsets];
+    [recovering] charges an initial recovery to the first segment.
+    Offsets must be a valid plan (see {!Sim.Policy.validate_plan}). *)
+
+val gain_vs :
+  params:Fault.Params.t -> offsets1:float list -> offsets2:float list -> float
+(** [first_failure_value offsets1 - first_failure_value offsets2], both
+    without initial recovery: the paper's strategy-comparison metric. *)
+
+val policy_value :
+  params:Fault.Params.t ->
+  quantum:float ->
+  horizon:float ->
+  policy:Sim.Policy.t ->
+  float
+(** Expected saved work of [policy] over the whole reservation, computed
+    exactly on the quantised model (failures at quantum boundaries, plan
+    offsets rounded to quanta). Converges to the continuous expectation
+    as [quantum → 0]. *)
+
+val policy_value_grids :
+  params:Fault.Params.t ->
+  quantum:float ->
+  horizon:float ->
+  policy:Sim.Policy.t ->
+  grid * grid
+(** Full value tables [(v, v_r)] of {!policy_value} for every number of
+    remaining quanta, without ([v]) and with ([v_r]) initial recovery. *)

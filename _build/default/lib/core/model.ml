@@ -1,0 +1,51 @@
+let young_daly_period p =
+  let open Fault.Params in
+  sqrt (2.0 *. mtbf p *. p.c)
+
+let daly_second_order_period p =
+  let open Fault.Params in
+  let mu = mtbf p in
+  if p.c >= 2.0 *. mu then mu
+  else begin
+    let ratio = p.c /. (2.0 *. mu) in
+    let w = sqrt (2.0 *. mu *. p.c) in
+    (w *. (1.0 +. (sqrt ratio /. 3.0) +. (ratio /. 9.0))) -. p.c
+  end
+
+let optimal_period p =
+  let open Fault.Params in
+  (* Minimise h(W) = E(W)/W. Setting h'(W) = 0 yields
+     e^{λ(W+C)} (λW − 1) + 1 = 0, i.e. (λW − 1) e^{λW − 1} = −e^{−λC − 1};
+     the branch giving W > 0 is W₀ since −e^{−λC−1} ∈ (−1/e, 0) and
+     λW − 1 ∈ (−1, 0). *)
+  let x = -.exp ((-.p.lambda *. p.c) -. 1.0) in
+  (1.0 +. Numerics.Lambert.w0 x) /. p.lambda
+
+let expected_time_fixed_work p ~w =
+  let open Fault.Params in
+  if w < 0.0 then invalid_arg "Model.expected_time_fixed_work: negative work";
+  (mtbf p +. p.d) *. exp (p.lambda *. p.r) *. expm1 (p.lambda *. (w +. p.c))
+
+let expected_time_per_work p ~w =
+  if w <= 0.0 then invalid_arg "Model.expected_time_per_work: w <= 0";
+  expected_time_fixed_work p ~w /. w
+
+let expected_lost_time p ~x =
+  let open Fault.Params in
+  if x <= 0.0 then 0.0
+  else (1.0 /. p.lambda) -. (x /. expm1 (p.lambda *. x))
+
+let checkpoint_count_young_daly p ~horizon =
+  let open Fault.Params in
+  if horizon < p.c then 0
+  else begin
+    (* Mirror Policy.periodic: full strides of W_YD + C while at least
+       period + 2C remain, then one final checkpoint at the end. *)
+    let stride = young_daly_period p +. p.c in
+    let rec count last acc =
+      let rem = horizon -. last in
+      if rem <= stride +. p.c then if rem < p.c then acc else acc + 1
+      else count (last +. stride) (acc + 1)
+    in
+    count 0.0 0
+  end

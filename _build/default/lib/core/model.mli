@@ -1,0 +1,39 @@
+(** Closed-form results for the classical {e fixed-work} checkpointing
+    problem, used as references and baselines for the fixed-time problem.
+
+    Notation: parameters [p] carry [λ, C, R, D]; [µ = 1/λ] is the MTBF. *)
+
+val young_daly_period : Fault.Params.t -> float
+(** First-order optimal work between checkpoints:
+    [W_YD = sqrt (2 µ C)] (Young 1974, Daly 2006). *)
+
+val daly_second_order_period : Fault.Params.t -> float
+(** Daly's higher-order estimate:
+    [W = sqrt(2µC) · (1 + (1/3)·sqrt(C/(2µ)) + (1/9)·(C/(2µ))) − C] for
+    [C < 2µ], and [W = µ] otherwise (Daly 2006, eq. (20)). *)
+
+val optimal_period : Fault.Params.t -> float
+(** Exact optimal work per segment for memoryless failures, via the
+    Lambert function: the minimiser of {!expected_time_per_work}; equals
+    [(1 + W₀(−e^{−λC−1})) / λ] (Bougeret et al. 2011). *)
+
+val expected_time_fixed_work : Fault.Params.t -> w:float -> float
+(** Expected time to execute [w] units of work followed by one checkpoint,
+    restarting from scratch after each failure:
+    [E(W) = (µ + D) e^{λR} (e^{λ(W+C)} − 1)].
+    (The research report prints a spurious [1/λ] factor; this is the
+    standard closed form, which our simulation tests confirm.) *)
+
+val expected_time_per_work : Fault.Params.t -> w:float -> float
+(** Normalised cost [expected_time_fixed_work / w]; minimised at
+    {!optimal_period}. Requires [w > 0]. *)
+
+val expected_lost_time : Fault.Params.t -> x:float -> float
+(** [E(T_lost(x))]: expected time elapsed before the failure, knowing one
+    strikes within an attempt of length [x]:
+    [1/λ − x / (e^{λx} − 1)]. *)
+
+val checkpoint_count_young_daly : Fault.Params.t -> horizon:float -> int
+(** Number of checkpoints the Young/Daly strategy provisions in a
+    failure-free reservation of length [horizon] (at least one as soon as
+    [horizon >= c]). *)

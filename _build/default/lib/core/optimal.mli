@@ -1,0 +1,41 @@
+(** Unrestricted quantised optimum.
+
+    A simpler dynamic program than {!Dp}: the state is only (quanta
+    left, starts-with-recovery), and the value function is
+
+    [V(n, δ) = max (0, max_i P(i)·(w_i + V(n - i, 0)) + Σ_f p_f · V(n - f - D, 1))]
+
+    where [i] ranges over feasible completion quanta of the next
+    checkpoint and [w_i] is the work it commits. Taking no further
+    checkpoint is the [0] branch.
+
+    The paper's Section 6 formulation tracks, in addition, the number
+    [k] of checkpoints the strategy committed to — and restricts
+    re-planning after a failure to at most that many. Since fewer quanta
+    never call for more checkpoints, the restriction should not bind:
+    this module provides the unrestricted optimum, and the test suite
+    verifies that {!Dp} matches it (a nontrivial validation of both
+    implementations, and of the paper's formulation). *)
+
+type t
+
+val build : params:Fault.Params.t -> quantum:float -> horizon:float -> unit -> t
+(** Same rounding conventions as {!Dp.build}; cost is quadratic in the
+    number of quanta (no [kmax] factor). *)
+
+val value_q : t -> n:int -> delta:bool -> float
+(** [V(n, δ)] in time units. *)
+
+val value : t -> tleft:float -> float
+(** [V] at [tleft] time units (rounded down to quanta), fresh start. *)
+
+val plan_q : t -> n:int -> delta:bool -> int list
+(** Failure-free plan (checkpoint completion quanta) from the argmax
+    tables; empty when nothing can be saved. *)
+
+val policy : t -> Sim.Policy.t
+(** Executable policy; unlike {!Dp.policy} it needs no cross-call state
+    (re-planning is by time left only). *)
+
+val quantum : t -> float
+val horizon_quanta : t -> int

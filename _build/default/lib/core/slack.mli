@@ -1,0 +1,49 @@
+(** Slack against stochastic checkpoint durations.
+
+    The fixed-time-optimal strategies schedule their last checkpoint to
+    complete exactly at the end of the reservation. When checkpoint
+    durations are random with mean [C], any overrun of that final
+    checkpoint forfeits the whole final segment — the one regime where
+    Young/Daly's periodic slack beats the optimum (see EXPERIMENTS.md).
+    The cure is cheap: finish the last checkpoint [slack] early, trading
+    [slack] units of planned work for the probability of completing.
+
+    This module provides the policy transformer and two ways to choose
+    the slack: a closed-form first-order rule for Erlang-distributed
+    durations, and simulation-based autotuning for anything else. *)
+
+val with_slack : params:Fault.Params.t -> slack:float -> Sim.Policy.t -> Sim.Policy.t
+(** [with_slack ~params ~slack policy] shifts the {e final} checkpoint
+    of every plan earlier by [slack] (clamped so the plan stays valid:
+    the final completion never moves below the previous checkpoint plus
+    [C], or below the feasibility base). [slack = 0] is the identity.
+    Requires [slack >= 0]. *)
+
+val erlang_cdf : shape:int -> mean:float -> float -> float
+(** Distribution function of the Erlang([shape]) distribution with the
+    given [mean] ([P(X <= x)]), via the truncated Poisson sum. Requires
+    [shape >= 1] and [mean > 0]. *)
+
+val first_order_slack :
+  params:Fault.Params.t -> shape:int -> tleft:float -> float
+(** The slack maximising the final-segment trade-off in isolation:
+    [argmax_s F(C + s) · (w_last - s)] where [F] is the Erlang
+    distribution of the checkpoint duration and [w_last] the final
+    segment's work (approximated by the Young/Daly period capped by
+    [tleft - c]). Solved by golden-section search; [0] when jitter never
+    pays. *)
+
+val tune :
+  ?grid:int ->
+  params:Fault.Params.t ->
+  fresh_sampler:(unit -> unit -> float) ->
+  policy_of_slack:(float -> Sim.Policy.t) ->
+  horizon:float ->
+  Fault.Trace.t array ->
+  float * float
+(** [tune ~params ~fresh_sampler ~policy_of_slack ~horizon traces]
+    evaluates [policy_of_slack s] for [grid + 1] (default 16) slack
+    values in [0, 2C], each on the {e same} traces and with a {e fresh}
+    checkpoint-duration sampler from [fresh_sampler ()] (so identically
+    seeded samplers give common random numbers across slack values), and
+    returns [(best_slack, best_mean_proportion)]. *)

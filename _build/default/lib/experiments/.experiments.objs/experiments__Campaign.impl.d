@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Figures Filename Fun List Output Parallel Printf Report Runner Spec String Sys

@@ -1,0 +1,1 @@
+lib/experiments/exact.ml: Array Buffer Core Fault List Output Printf Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Buffer Core Fault Float List Output Printf Runner Spec String

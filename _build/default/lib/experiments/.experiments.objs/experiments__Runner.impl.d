@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Core Fault Fun Int64 Lazy List Numerics Parallel Printf Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/spec.ml: Array Fault Float Format List Printf String

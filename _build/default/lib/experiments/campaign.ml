@@ -1,0 +1,100 @@
+type config = {
+  out_dir : string;
+  n_traces : int option;
+  t_step : float option;
+  t_max : float option;
+  figure_ids : string list option;
+}
+
+let default_config =
+  {
+    out_dir = "results";
+    n_traces = None;
+    t_step = None;
+    t_max = None;
+    figure_ids = None;
+  }
+
+let selected_specs config =
+  match config.figure_ids with
+  | None -> Figures.all
+  | Some ids ->
+      List.map
+        (fun id ->
+          match Figures.find id with
+          | Some spec -> spec
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Campaign: unknown figure %s (known: %s)" id
+                   (String.concat ", " Figures.ids)))
+        ids
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Campaign: %s exists and is not a directory" dir)
+
+let run ?pool ?(progress = fun _ -> ()) config =
+  let own_pool = pool = None in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
+  Fun.protect
+    ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
+    (fun () ->
+      ensure_dir config.out_dir;
+      List.map
+        (fun spec ->
+          let scaled =
+            Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
+              ?t_max:config.t_max spec
+          in
+          progress (Printf.sprintf "== %s ==" scaled.Spec.id);
+          let result = Runner.run ~pool ~progress scaled in
+          let path = Filename.concat config.out_dir (scaled.Spec.id ^ ".csv") in
+          Report.to_csv result ~path;
+          progress (Printf.sprintf "wrote %s" path);
+          (scaled, result))
+        (selected_specs config))
+
+let markdown_report results =
+  let md = Output.Markdown.create () in
+  Output.Markdown.heading md ~level:1 "Experiment report";
+  let all_checks =
+    List.concat_map (fun (_, result) -> Report.qualitative_checks result) results
+  in
+  let failed =
+    List.filter (fun c -> not c.Report.passed) all_checks |> List.length
+  in
+  Output.Markdown.paragraph md
+    (Printf.sprintf
+       "%d figures regenerated; %d of %d qualitative paper-shape checks hold."
+       (List.length results)
+       (List.length all_checks - failed)
+       (List.length all_checks));
+  List.iter
+    (fun ((spec : Spec.t), result) ->
+      Output.Markdown.heading md ~level:2 spec.Spec.id;
+      Output.Markdown.paragraph md spec.Spec.description;
+      Output.Markdown.paragraph md
+        (Printf.sprintf
+           "Parameters: λ=%g, D=%g, R=C, C ∈ {%s}, T ≤ %g (step %g), %d \
+            traces per point."
+           spec.Spec.lambda spec.Spec.d
+           (String.concat ", " (List.map (Printf.sprintf "%g") spec.Spec.cs))
+           spec.Spec.t_max spec.Spec.t_step spec.Spec.n_traces);
+      Output.Markdown.table md ~header:Report.summary_header
+        (Report.summary_rows result);
+      match Report.qualitative_checks result with
+      | [] -> ()
+      | checks ->
+          Output.Markdown.bullet md
+            (List.map
+               (fun c ->
+                 Printf.sprintf "%s %s — %s"
+                   (if c.Report.passed then "[ok]" else "[??]")
+                   c.Report.label c.Report.detail)
+               checks))
+    results;
+  md
+
+let write_report results ~path =
+  Output.Markdown.to_file (markdown_report results) ~path

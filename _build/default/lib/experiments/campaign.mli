@@ -1,0 +1,29 @@
+(** Whole-campaign orchestration: run every figure (or a subset), export
+    the data, and build the Markdown experiment report used as the basis
+    of EXPERIMENTS.md. *)
+
+type config = {
+  out_dir : string;  (** CSVs land here, one per figure *)
+  n_traces : int option;
+  t_step : float option;
+  t_max : float option;
+  figure_ids : string list option;  (** [None] = all *)
+}
+
+val default_config : config
+(** out_dir "results", paper-scale everything, all figures. *)
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?progress:(string -> unit) ->
+  config ->
+  (Spec.t * Runner.result) list
+(** Runs the selected figures sequentially (each internally parallel over
+    the pool), writing [<out_dir>/<figure>.csv] as results complete.
+    Raises [Invalid_argument] on an unknown figure id. *)
+
+val markdown_report : (Spec.t * Runner.result) list -> Output.Markdown.t
+(** Per figure: parameters, the summary table, and the qualitative
+    paper-shape checks; prefixed by a campaign-wide verdict. *)
+
+val write_report : (Spec.t * Runner.result) list -> path:string -> unit

@@ -1,0 +1,126 @@
+type curve = {
+  c : float;
+  name : string;
+  points : (float * float) array;
+}
+
+let supported_strategy = function
+  | Spec.Variable_segments | Spec.Renewal_dp _ -> false
+  | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
+  | Spec.Dynamic_programming _ | Spec.Single_final | Spec.Daly_second_order
+  | Spec.Lambert_period | Spec.No_checkpoint | Spec.Optimal_unrestricted _ ->
+      true
+
+let policy_for ~params ~horizon = function
+  | Spec.Young_daly -> Core.Policies.young_daly ~params
+  | Spec.First_order -> Core.Policies.first_order ~params ~horizon
+  | Spec.Numerical_optimum -> Core.Policies.numerical_optimum ~params ~horizon
+  | Spec.Single_final -> Core.Policies.single_final ~params
+  | Spec.Daly_second_order -> Core.Policies.daly_second_order ~params
+  | Spec.Lambert_period -> Core.Policies.lambert_optimal_period ~params
+  | Spec.No_checkpoint -> Sim.Policy.no_checkpoint
+  | Spec.Dynamic_programming { quantum } | Spec.Optimal_unrestricted { quantum }
+    ->
+      Core.Optimal.policy
+        (Core.Optimal.build ~params ~quantum ~horizon ())
+  | Spec.Variable_segments | Spec.Renewal_dp _ ->
+      invalid_arg "Exact: unsupported strategy"
+
+let figure ?(quantum = 1.0) (spec : Spec.t) =
+  (match spec.Spec.failure_dist with
+  | Spec.Exp -> ()
+  | Spec.Weibull_shape _ | Spec.Lognormal_sigma _ ->
+      invalid_arg "Exact.figure: exponential failures required");
+  (match spec.Spec.ckpt_noise with
+  | Spec.Deterministic -> ()
+  | Spec.Erlang _ ->
+      invalid_arg "Exact.figure: deterministic checkpoints required");
+  List.concat_map
+    (fun c ->
+      let params = Fault.Params.paper ~lambda:spec.Spec.lambda ~c ~d:spec.Spec.d in
+      let grid = Spec.t_grid spec ~c in
+      if Array.length grid = 0 then []
+      else begin
+        let horizon = grid.(Array.length grid - 1) in
+        List.filter_map
+          (fun strategy ->
+            if not (supported_strategy strategy) then None
+            else begin
+              let policy = policy_for ~params ~horizon strategy in
+              let v0, _ =
+                Core.Expected.policy_value_grids ~params ~quantum ~horizon
+                  ~policy
+              in
+              let points =
+                Array.map
+                  (fun t ->
+                    let n =
+                      min
+                        (Array.length v0.Core.Expected.values - 1)
+                        (int_of_float (floor ((t /. quantum) +. 1e-9)))
+                    in
+                    (t, v0.Core.Expected.values.(n) /. (t -. c)))
+                  grid
+              in
+              Some { c; name = Spec.strategy_name strategy; points }
+            end)
+          spec.Spec.strategies
+      end)
+    spec.Spec.cs
+
+let to_csv ~curves ~id ~path =
+  let rows =
+    List.concat_map
+      (fun curve ->
+        Array.to_list
+          (Array.map
+             (fun (t, v) ->
+               [
+                 id;
+                 Printf.sprintf "%g" curve.c;
+                 curve.name;
+                 Printf.sprintf "%g" t;
+                 Printf.sprintf "%.8f" v;
+               ])
+             curve.points))
+      curves
+  in
+  Output.Csv.write ~path
+    ~header:[ "figure"; "c"; "strategy"; "t"; "exact_proportion" ]
+    rows
+
+let plots ?(width = 72) ?(height = 20) (spec : Spec.t) curves =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      let series =
+        List.filter_map
+          (fun curve ->
+            if curve.c = c then
+              Some
+                {
+                  Output.Ascii_plot.label = curve.name;
+                  points = Array.to_list curve.points;
+                }
+            else None)
+          curves
+      in
+      let config =
+        {
+          Output.Ascii_plot.width;
+          height;
+          x_label = "reservation length T";
+          y_label = "exact expected proportion";
+          y_min = Some 0.0;
+          y_max = Some 1.0;
+        }
+      in
+      Buffer.add_string buf
+        (Output.Ascii_plot.render ~config
+           ~title:
+             (Printf.sprintf "%s (exact): λ=%g D=%g C=%g" spec.Spec.id
+                spec.Spec.lambda spec.Spec.d c)
+           series);
+      Buffer.add_char buf '\n')
+    spec.Spec.cs;
+  Buffer.contents buf

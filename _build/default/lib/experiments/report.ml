@@ -1,0 +1,227 @@
+let to_csv (result : Runner.result) ~path =
+  let rows =
+    List.concat_map
+      (fun (curve : Runner.curve) ->
+        Array.to_list
+          (Array.map
+             (fun (p : Runner.point) ->
+               [
+                 result.Runner.spec.Spec.id;
+                 Printf.sprintf "%g" curve.Runner.c;
+                 curve.Runner.name;
+                 Printf.sprintf "%g" p.Runner.t;
+                 Printf.sprintf "%.6f" p.Runner.mean;
+                 Printf.sprintf "%.6f" p.Runner.ci95;
+                 Printf.sprintf "%.4f" p.Runner.mean_failures;
+                 Printf.sprintf "%.4f" p.Runner.mean_checkpoints;
+               ])
+             curve.Runner.points))
+      result.Runner.curves
+  in
+  Output.Csv.write ~path
+    ~header:
+      [
+        "figure"; "c"; "strategy"; "t"; "mean_proportion"; "ci95";
+        "mean_failures"; "mean_checkpoints";
+      ]
+    rows
+
+let curve_series (curve : Runner.curve) =
+  {
+    Output.Ascii_plot.label = curve.Runner.name;
+    points =
+      Array.to_list
+        (Array.map (fun (p : Runner.point) -> (p.Runner.t, p.Runner.mean))
+           curve.Runner.points);
+  }
+
+let plots ?(width = 72) ?(height = 20) (result : Runner.result) =
+  let spec = result.Runner.spec in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      let curves =
+        List.filter (fun (cv : Runner.curve) -> cv.Runner.c = c)
+          result.Runner.curves
+      in
+      let config =
+        {
+          Output.Ascii_plot.width;
+          height;
+          x_label = "reservation length T";
+          y_label = "proportion of work done";
+          y_min = Some 0.0;
+          y_max = Some 1.0;
+        }
+      in
+      Buffer.add_string buf
+        (Output.Ascii_plot.render ~config
+           ~title:
+             (Printf.sprintf "%s: λ=%g D=%g C=%g" spec.Spec.id spec.Spec.lambda
+                spec.Spec.d c)
+           (List.map curve_series curves));
+      Buffer.add_char buf '\n')
+    spec.Spec.cs;
+  Buffer.contents buf
+
+let mean_of (curve : Runner.curve) =
+  let pts = curve.Runner.points in
+  if Array.length pts = 0 then nan
+  else
+    Array.fold_left (fun acc (p : Runner.point) -> acc +. p.Runner.mean) 0.0 pts
+    /. float_of_int (Array.length pts)
+
+let worst_of (curve : Runner.curve) =
+  Array.fold_left
+    (fun acc (p : Runner.point) -> Float.min acc p.Runner.mean)
+    infinity curve.Runner.points
+
+let dp_reference (result : Runner.result) ~c =
+  List.find_opt
+    (fun (cv : Runner.curve) ->
+      cv.Runner.c = c
+      &&
+      match cv.Runner.strategy with
+      | Spec.Dynamic_programming { quantum } -> Float.equal quantum 1.0
+      | _ -> false)
+    result.Runner.curves
+
+let gap_to (reference : Runner.curve) (curve : Runner.curve) =
+  let n = min (Array.length reference.points) (Array.length curve.points) in
+  if n = 0 then nan
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (reference.points.(i).Runner.mean -. curve.points.(i).Runner.mean)
+    done;
+    !acc /. float_of_int n
+  end
+
+let summary_rows (result : Runner.result) =
+  List.concat_map
+    (fun c ->
+      let reference = dp_reference result ~c in
+      List.filter_map
+        (fun (curve : Runner.curve) ->
+          if curve.Runner.c = c then
+            Some
+              [
+                Printf.sprintf "%g" c;
+                curve.Runner.name;
+                Printf.sprintf "%.4f" (mean_of curve);
+                Printf.sprintf "%.4f" (worst_of curve);
+                (match reference with
+                | None -> "-"
+                | Some r ->
+                    if r == curve then "0"
+                    else Printf.sprintf "%+.4f" (-.gap_to r curve));
+              ]
+          else None)
+        result.Runner.curves)
+    result.Runner.spec.Spec.cs
+
+let summary_header = [ "C"; "strategy"; "mean prop."; "worst prop."; "avg gap to DP" ]
+
+let summary_table (result : Runner.result) =
+  let table =
+    Output.Table.create
+      ~columns:(List.map (fun h -> (h, Output.Table.Right)) summary_header)
+  in
+  let last_c = ref "" in
+  List.iter
+    (fun row ->
+      (match row with
+      | c :: _ when !last_c <> "" && c <> !last_c -> Output.Table.add_separator table
+      | _ -> ());
+      (match row with c :: _ -> last_c := c | [] -> ());
+      Output.Table.add_row table row)
+    (summary_rows result);
+  table
+
+type check = { label : string; passed : bool; detail : string }
+
+let find_curve result ~c ~strategy =
+  Runner.curve_for result ~c ~strategy
+
+let qualitative_checks (result : Runner.result) =
+  let spec = result.Runner.spec in
+  let noise = 0.02 in
+  let checks = ref [] in
+  let add label passed detail = checks := { label; passed; detail } :: !checks in
+  List.iter
+    (fun c ->
+      let get strategy = find_curve result ~c ~strategy in
+      let pair label (a : Runner.curve option) (b : Runner.curve option)
+          ~expect_geq =
+        match (a, b) with
+        | Some ca, Some cb ->
+            let ga = mean_of ca and gb = mean_of cb in
+            let ok = ga +. noise >= gb in
+            add
+              (Printf.sprintf "C=%g: %s" c label)
+              (if expect_geq then ok else true)
+              (Printf.sprintf "%s=%.4f vs %s=%.4f" ca.Runner.name ga
+                 cb.Runner.name gb)
+        | _ -> ()
+      in
+      pair "NumericalOptimum >= FirstOrder" (get Spec.Numerical_optimum)
+        (get Spec.First_order) ~expect_geq:true;
+      pair "DynamicProgramming >= NumericalOptimum"
+        (get (Spec.Dynamic_programming { quantum = 1.0 }))
+        (get Spec.Numerical_optimum) ~expect_geq:true;
+      pair "DynamicProgramming >= YoungDaly"
+        (get (Spec.Dynamic_programming { quantum = 1.0 }))
+        (get Spec.Young_daly) ~expect_geq:true;
+      (* Convergence at the longest reservation of the grid. *)
+      (match
+         ( get (Spec.Dynamic_programming { quantum = 1.0 }),
+           get Spec.Young_daly )
+       with
+      | Some dp, Some yd
+        when Array.length dp.points > 0 && Array.length yd.points > 0 ->
+          let last (cv : Runner.curve) =
+            cv.points.(Array.length cv.points - 1).Runner.mean
+          in
+          let diff = last dp -. last yd in
+          let params = Fault.Params.paper ~lambda:spec.Spec.lambda ~c ~d:spec.Spec.d in
+          let wyd = Core.Model.young_daly_period params in
+          let periods = spec.Spec.t_max /. wyd in
+          if periods >= 10.0 then
+            add
+              (Printf.sprintf "C=%g: convergence to YoungDaly at T=%g" c
+                 spec.Spec.t_max)
+              (abs_float diff <= 0.05)
+              (Printf.sprintf "final gap %.4f over %.1f Young/Daly periods"
+                 diff periods)
+      | _ -> ());
+      (* Short-reservation advantage where it is observable: the worst
+         YoungDaly point against the matching DP point. *)
+      (match
+         ( get (Spec.Dynamic_programming { quantum = 1.0 }),
+           get Spec.Young_daly )
+       with
+      | Some dp, Some yd when Array.length dp.points = Array.length yd.points ->
+          let worst = ref 0.0 and at = ref nan in
+          Array.iteri
+            (fun i (p : Runner.point) ->
+              let gap = dp.points.(i).Runner.mean -. p.Runner.mean in
+              if gap > !worst then begin
+                worst := gap;
+                at := p.Runner.t
+              end)
+            yd.points;
+          add
+            (Printf.sprintf "C=%g: max DP advantage over YoungDaly" c)
+            true
+            (Printf.sprintf "%.4f at T=%g" !worst !at)
+      | _ -> ()))
+    spec.Spec.cs;
+  List.rev !checks
+
+let render_checks checks =
+  String.concat "\n"
+    (List.map
+       (fun { label; passed; detail } ->
+         Printf.sprintf "  [%s] %s — %s" (if passed then "ok" else "??") label
+           detail)
+       checks)

@@ -1,0 +1,32 @@
+(** Rendering and sanity-checking of experiment results. *)
+
+val to_csv : Runner.result -> path:string -> unit
+(** Columns: figure, c, strategy, t, mean_proportion, ci95,
+    mean_failures, mean_checkpoints. *)
+
+val plots : ?width:int -> ?height:int -> Runner.result -> string
+(** One ASCII plot per checkpoint cost: proportion of work vs reservation
+    length, one glyph per strategy — the terminal rendition of the
+    paper's figure. *)
+
+val summary_header : string list
+
+val summary_rows : Runner.result -> string list list
+(** Per (C, strategy): mean proportion over the grid, worst point, and
+    average gap to the DP strategy (when present); cells match
+    {!summary_header}. *)
+
+val summary_table : Runner.result -> Output.Table.t
+(** {!summary_rows} as an aligned text table. *)
+
+type check = { label : string; passed : bool; detail : string }
+
+val qualitative_checks : Runner.result -> check list
+(** The paper's qualitative claims evaluated on this run:
+    NumericalOptimum >= FirstOrder, DynamicProgramming >=
+    NumericalOptimum, every strategy converges to YoungDaly for long
+    reservations, and YoungDaly loses significantly on short
+    reservations (the latter is only asserted where the failure rate
+    makes it observable). Tolerances account for Monte-Carlo noise. *)
+
+val render_checks : check list -> string

@@ -1,0 +1,251 @@
+type point = {
+  t : float;
+  mean : float;
+  ci95 : float;
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+type curve = {
+  c : float;
+  strategy : Spec.strategy;
+  name : string;
+  points : point array;
+}
+
+type result = { spec : Spec.t; curves : curve list }
+
+let distinct_quanta strategies =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Spec.Dynamic_programming { quantum } -> Some quantum
+         | Spec.Variable_segments ->
+             (* VariableSegments uses the u = 1 DP value tables as its
+                continuation function. *)
+             Some 1.0
+         | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
+         | Spec.Single_final | Spec.Daly_second_order | Spec.Lambert_period
+         | Spec.No_checkpoint | Spec.Optimal_unrestricted _
+         | Spec.Renewal_dp _ ->
+             None)
+       strategies)
+
+let distinct_optimal_quanta strategies =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Spec.Optimal_unrestricted { quantum } -> Some quantum
+         | Spec.Dynamic_programming _ | Spec.Variable_segments
+         | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
+         | Spec.Single_final | Spec.Daly_second_order | Spec.Lambert_period
+         | Spec.No_checkpoint | Spec.Renewal_dp _ ->
+             None)
+       strategies)
+
+let distinct_renewal_quanta strategies =
+  List.sort_uniq compare
+    (List.filter_map
+       (function Spec.Renewal_dp { quantum } -> Some quantum | _ -> None)
+       strategies)
+
+(* Everything a grid-point task needs; policies are created inside the
+   task because the DP policy is stateful across one reservation. *)
+type ctx = {
+  params : Fault.Params.t;
+  traces : Fault.Trace.t array;
+  thresholds_num : Core.Threshold.table Lazy.t;
+  thresholds_fo : Core.Threshold.table Lazy.t;
+  dps : (float * Core.Dp.t) list;
+  opts : (float * Core.Optimal.t) list;
+  renewals : (float * Core.Dp_renewal.t) list;
+  horizon_max : float;
+}
+
+let policy_of ctx strategy =
+  match strategy with
+  | Spec.Young_daly -> Core.Policies.young_daly ~params:ctx.params
+  | Spec.First_order ->
+      Core.Policies.of_threshold_table ~name:"FirstOrder" ~params:ctx.params
+        (Lazy.force ctx.thresholds_fo)
+  | Spec.Numerical_optimum ->
+      Core.Policies.of_threshold_table ~name:"NumericalOptimum"
+        ~params:ctx.params
+        (Lazy.force ctx.thresholds_num)
+  | Spec.Dynamic_programming { quantum } ->
+      let dp =
+        try List.assoc quantum ctx.dps
+        with Not_found -> failwith "Runner: missing DP tables"
+      in
+      Core.Dp.policy dp
+  | Spec.Single_final -> Core.Policies.single_final ~params:ctx.params
+  | Spec.Daly_second_order -> Core.Policies.daly_second_order ~params:ctx.params
+  | Spec.Lambert_period -> Core.Policies.lambert_optimal_period ~params:ctx.params
+  | Spec.No_checkpoint -> Sim.Policy.no_checkpoint
+  | Spec.Variable_segments ->
+      let dp =
+        try List.assoc 1.0 ctx.dps
+        with Not_found -> failwith "Runner: missing DP tables for VariableSegments"
+      in
+      Core.Plan_opt.variable_segments_policy ~params:ctx.params
+        ~horizon:ctx.horizon_max ~dp
+  | Spec.Optimal_unrestricted { quantum } ->
+      let opt =
+        try List.assoc quantum ctx.opts
+        with Not_found -> failwith "Runner: missing Optimal tables"
+      in
+      Core.Optimal.policy opt
+  | Spec.Renewal_dp { quantum } ->
+      let renewal =
+        try List.assoc quantum ctx.renewals
+        with Not_found -> failwith "Runner: missing renewal tables"
+      in
+      Core.Dp_renewal.policy renewal
+
+let seed_for base ~c ~salt =
+  Int64.add base (Int64.of_int ((int_of_float (c *. 97.0) * 1009) + salt))
+
+let run ?pool ?(progress = fun _ -> ()) spec =
+  let own_pool = pool = None in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
+  Fun.protect
+    ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
+    (fun () ->
+      let dist = Spec.trace_dist spec in
+      let curves =
+        List.concat_map
+          (fun c ->
+            progress (Printf.sprintf "[%s] C = %g: preparing" spec.Spec.id c);
+            let params =
+              Fault.Params.paper ~lambda:spec.Spec.lambda ~c ~d:spec.Spec.d
+            in
+            let grid = Spec.t_grid spec ~c in
+            if Array.length grid = 0 then []
+            else begin
+              let horizon_max = grid.(Array.length grid - 1) in
+              let traces =
+                Fault.Trace.batch ~dist
+                  ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
+                  ~n:spec.Spec.n_traces
+              in
+              (* Materialise every IAT any grid point can consume, so the
+                 parallel phase only reads the traces. *)
+              Parallel.Pool.map pool traces ~f:(fun tr ->
+                  Fault.Trace.prefetch tr ~until:horizon_max)
+              |> ignore;
+              let thresholds_num =
+                lazy
+                  (Core.Threshold.table_numerical ~params ~up_to:horizon_max)
+              in
+              let thresholds_fo =
+                lazy
+                  (Core.Threshold.table_first_order ~params ~up_to:horizon_max)
+              in
+              (* Force the lazies now: Lazy.force is not thread-safe. *)
+              List.iter
+                (fun s ->
+                  match s with
+                  | Spec.First_order -> ignore (Lazy.force thresholds_fo)
+                  | Spec.Numerical_optimum -> ignore (Lazy.force thresholds_num)
+                  | _ -> ())
+                spec.Spec.strategies;
+              let quanta = distinct_quanta spec.Spec.strategies in
+              let dps =
+                List.combine quanta
+                  (Array.to_list
+                     (Parallel.Pool.map pool (Array.of_list quanta)
+                        ~f:(fun quantum ->
+                          Core.Dp.build
+                            ~kmax:
+                              (Core.Dp.suggested_kmax ~params
+                                 ~horizon:horizon_max)
+                            ~params ~quantum ~horizon:horizon_max ())))
+              in
+              let opt_quanta = distinct_optimal_quanta spec.Spec.strategies in
+              let opts =
+                List.combine opt_quanta
+                  (Array.to_list
+                     (Parallel.Pool.map pool (Array.of_list opt_quanta)
+                        ~f:(fun quantum ->
+                          Core.Optimal.build ~params ~quantum
+                            ~horizon:horizon_max ())))
+              in
+              let renewal_quanta =
+                distinct_renewal_quanta spec.Spec.strategies
+              in
+              let renewals =
+                List.combine renewal_quanta
+                  (Array.to_list
+                     (Parallel.Pool.map pool (Array.of_list renewal_quanta)
+                        ~f:(fun quantum ->
+                          Core.Dp_renewal.build ~params ~dist ~quantum
+                            ~horizon:horizon_max ())))
+              in
+              let ctx =
+                { params; traces; thresholds_num; thresholds_fo; dps; opts;
+                  renewals; horizon_max }
+              in
+              progress
+                (Printf.sprintf "[%s] C = %g: sweeping %d lengths x %d strategies"
+                   spec.Spec.id c (Array.length grid)
+                   (List.length spec.Spec.strategies));
+              let tasks =
+                Array.of_list
+                  (List.concat_map
+                     (fun strategy ->
+                       Array.to_list (Array.map (fun t -> (strategy, t)) grid))
+                     spec.Spec.strategies)
+              in
+              let eval i (strategy, horizon) =
+                let policy = policy_of ctx strategy in
+                let ckpt_sampler =
+                  match spec.Spec.ckpt_noise with
+                  | Spec.Deterministic -> None
+                  | Spec.Erlang shape ->
+                      let rng =
+                        Numerics.Rng.create
+                          ~seed:(seed_for spec.Spec.seed ~c ~salt:(i + 1))
+                      in
+                      Some
+                        (fun () ->
+                          Numerics.Rng.gamma_int rng ~shape
+                            ~scale:(c /. float_of_int shape))
+                in
+                let r =
+                  Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy
+                    ctx.traces
+                in
+                {
+                  t = horizon;
+                  mean = r.Sim.Runner.proportion.Numerics.Stats.mean;
+                  ci95 = r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+                  mean_failures = r.Sim.Runner.mean_failures;
+                  mean_checkpoints = r.Sim.Runner.mean_checkpoints;
+                }
+              in
+              let points = Parallel.Pool.mapi pool ~f:eval tasks in
+              List.map
+                (fun strategy ->
+                  let pts =
+                    Array.of_list
+                      (List.filter_map
+                         (fun (i, (s, _)) ->
+                           if s = strategy then Some points.(i) else None)
+                         (Array.to_list (Array.mapi (fun i t -> (i, t)) tasks)))
+                  in
+                  {
+                    c;
+                    strategy;
+                    name = Spec.strategy_name strategy;
+                    points = pts;
+                  })
+                spec.Spec.strategies
+            end)
+          spec.Spec.cs
+      in
+      { spec; curves })
+
+let curve_for result ~c ~strategy =
+  List.find_opt
+    (fun curve -> curve.c = c && curve.strategy = strategy)
+    result.curves

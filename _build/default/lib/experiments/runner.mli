@@ -1,0 +1,28 @@
+(** Executes a figure spec: sweeps the reservation-length grid for every
+    (checkpoint cost, strategy) pair, in parallel over a domain pool. *)
+
+type point = {
+  t : float;  (** reservation length *)
+  mean : float;  (** mean proportion of work done *)
+  ci95 : float;  (** 95% confidence half-width of the mean *)
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+type curve = {
+  c : float;
+  strategy : Spec.strategy;
+  name : string;
+  points : point array;  (** ordered by [t] *)
+}
+
+type result = { spec : Spec.t; curves : curve list }
+
+val run : ?pool:Parallel.Pool.t -> ?progress:(string -> unit) -> Spec.t -> result
+(** Precomputations (threshold tables, DP tables — one per distinct
+    quantum, covering the whole grid) are shared across the sweep; each
+    grid point replays the same prefetched traces, so strategies are
+    compared on identical failure scenarios. [progress] receives
+    human-readable stage messages. *)
+
+val curve_for : result -> c:float -> strategy:Spec.strategy -> curve option

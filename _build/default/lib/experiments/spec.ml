@@ -1,0 +1,70 @@
+type strategy =
+  | Young_daly
+  | First_order
+  | Numerical_optimum
+  | Dynamic_programming of { quantum : float }
+  | Single_final
+  | Daly_second_order
+  | Lambert_period
+  | No_checkpoint
+  | Variable_segments
+  | Optimal_unrestricted of { quantum : float }
+  | Renewal_dp of { quantum : float }
+
+let strategy_name = function
+  | Young_daly -> "YoungDaly"
+  | First_order -> "FirstOrder"
+  | Numerical_optimum -> "NumericalOptimum"
+  | Dynamic_programming { quantum } ->
+      if Float.equal quantum 1.0 then "DynamicProgramming"
+      else Printf.sprintf "DP(u=%g)" quantum
+  | Single_final -> "SingleFinal"
+  | Daly_second_order -> "DalySecondOrder"
+  | Lambert_period -> "LambertPeriod"
+  | No_checkpoint -> "NoCheckpoint"
+  | Variable_segments -> "VariableSegments"
+  | Optimal_unrestricted { quantum } ->
+      if Float.equal quantum 1.0 then "OptimalUnrestricted"
+      else Printf.sprintf "Optimal(u=%g)" quantum
+  | Renewal_dp { quantum } ->
+      if Float.equal quantum 1.0 then "RenewalDP"
+      else Printf.sprintf "RenewalDP(u=%g)" quantum
+
+type failure_dist = Exp | Weibull_shape of float | Lognormal_sigma of float
+type ckpt_noise = Deterministic | Erlang of int
+
+type t = {
+  id : string;
+  description : string;
+  lambda : float;
+  d : float;
+  cs : float list;
+  t_max : float;
+  t_step : float;
+  strategies : strategy list;
+  n_traces : int;
+  seed : int64;
+  failure_dist : failure_dist;
+  ckpt_noise : ckpt_noise;
+}
+
+let trace_dist spec =
+  let mtbf = 1.0 /. spec.lambda in
+  match spec.failure_dist with
+  | Exp -> Fault.Trace.Exponential { rate = spec.lambda }
+  | Weibull_shape shape -> Fault.Trace.weibull_with_mtbf ~shape ~mtbf
+  | Lognormal_sigma sigma -> Fault.Trace.lognormal_with_mtbf ~sigma ~mtbf
+
+let t_grid spec ~c =
+  let rec go acc t =
+    if t > spec.t_max +. 1e-9 then List.rev acc else go (t :: acc) (t +. spec.t_step)
+  in
+  Array.of_list (go [] (c +. spec.t_step))
+
+let pp ppf spec =
+  Format.fprintf ppf
+    "%s: λ=%g D=%g C={%s} T<=%g step %g, %d traces, strategies: %s" spec.id
+    spec.lambda spec.d
+    (String.concat ", " (List.map (Printf.sprintf "%g") spec.cs))
+    spec.t_max spec.t_step spec.n_traces
+    (String.concat ", " (List.map strategy_name spec.strategies))

@@ -1,0 +1,58 @@
+(** Declarative description of one experiment of the paper's evaluation
+    (one figure = one spec). *)
+
+type strategy =
+  | Young_daly
+  | First_order
+  | Numerical_optimum
+  | Dynamic_programming of { quantum : float }
+  | Single_final
+  | Daly_second_order
+  | Lambert_period
+  | No_checkpoint
+  | Variable_segments
+      (** threshold count, continuously optimised offsets (ablation) *)
+  | Optimal_unrestricted of { quantum : float }
+      (** the k-free dynamic program of {!Core.Optimal} (ablation) *)
+  | Renewal_dp of { quantum : float }
+      (** {!Core.Dp_renewal} built for the spec's IAT distribution —
+          the non-memoryless-aware optimum (extension); cubic build
+          cost, use moderate horizons *)
+
+val strategy_name : strategy -> string
+(** Display name; DP variants carry their quantum ("DP(u=0.5)") except
+    the canonical [quantum = 1] one, named "DynamicProgramming" as in the
+    paper. *)
+
+type failure_dist =
+  | Exp  (** the paper's model: Exponential of rate λ *)
+  | Weibull_shape of float  (** same MTBF (1/λ), Weibull IATs *)
+  | Lognormal_sigma of float  (** same MTBF, log-normal IATs *)
+
+type ckpt_noise =
+  | Deterministic  (** checkpoints last exactly C *)
+  | Erlang of int  (** Erlang(shape) with mean C *)
+
+type t = {
+  id : string;  (** e.g. "fig2" *)
+  description : string;
+  lambda : float;
+  d : float;
+  cs : float list;  (** one sub-plot per checkpoint cost *)
+  t_max : float;
+  t_step : float;  (** reservation-length grid step *)
+  strategies : strategy list;
+  n_traces : int;
+  seed : int64;
+  failure_dist : failure_dist;
+  ckpt_noise : ckpt_noise;
+}
+
+val trace_dist : t -> Fault.Trace.dist
+(** The IAT distribution of the spec, calibrated to MTBF [1 / lambda]. *)
+
+val t_grid : t -> c:float -> float array
+(** Reservation lengths [c + t_step, c + 2·t_step, …, <= t_max] — the
+    proportion-of-work metric needs [t > c]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fault/params.ml: Float Format

@@ -1,0 +1,1 @@
+lib/fault/trace.ml: Array Float Numerics Printf

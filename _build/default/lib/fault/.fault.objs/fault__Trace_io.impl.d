@@ -1,0 +1,1 @@
+lib/fault/trace_io.ml: Array Float List Printf String Sys Trace

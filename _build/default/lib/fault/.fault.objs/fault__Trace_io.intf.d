@@ -1,0 +1,1 @@
+lib/fault/trace_io.mli: Trace

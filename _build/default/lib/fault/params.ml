@@ -1,0 +1,31 @@
+type t = { lambda : float; c : float; r : float; d : float }
+
+let make ~lambda ~c ~r ~d =
+  if not (Float.is_finite lambda && lambda > 0.0) then
+    invalid_arg "Params.make: lambda must be positive and finite";
+  if not (Float.is_finite c && c > 0.0) then
+    invalid_arg "Params.make: c must be positive and finite";
+  if not (Float.is_finite r && r >= 0.0) then
+    invalid_arg "Params.make: r must be nonnegative and finite";
+  if not (Float.is_finite d && d >= 0.0) then
+    invalid_arg "Params.make: d must be nonnegative and finite";
+  { lambda; c; r; d }
+
+let paper ~lambda ~c ~d = make ~lambda ~c ~r:c ~d
+let mtbf t = 1.0 /. t.lambda
+
+let scale_platform t ~processors =
+  if processors < 1 then invalid_arg "Params.scale_platform: processors < 1";
+  { t with lambda = t.lambda *. float_of_int processors }
+
+let psucc t x = if x <= 0.0 then 1.0 else exp (-.t.lambda *. x)
+let pfail t x = if x <= 0.0 then 0.0 else -.expm1 (-.t.lambda *. x)
+
+let pp ppf t =
+  Format.fprintf ppf "{λ=%g; C=%g; R=%g; D=%g}" t.lambda t.c t.r t.d
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  Float.equal a.lambda b.lambda && Float.equal a.c b.c && Float.equal a.r b.r
+  && Float.equal a.d b.d

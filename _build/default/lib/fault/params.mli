@@ -1,0 +1,38 @@
+(** Platform and application parameters of the checkpointing model.
+
+    All quantities are in the same arbitrary time unit (the paper uses an
+    unnamed unit so scenarios can be read as seconds, minutes or hours). *)
+
+type t = private {
+  lambda : float;  (** failure rate [λ] of the Exponential IAT distribution *)
+  c : float;  (** checkpoint duration [C] *)
+  r : float;  (** recovery duration [R] *)
+  d : float;  (** downtime [D] (failures cannot strike during downtime) *)
+}
+
+val make : lambda:float -> c:float -> r:float -> d:float -> t
+(** Validates: [lambda > 0], [c > 0], [r >= 0], [d >= 0].
+    Raises [Invalid_argument] otherwise. *)
+
+val paper : lambda:float -> c:float -> d:float -> t
+(** Paper convention: [R = C]. *)
+
+val mtbf : t -> float
+(** Mean time between failures [µ = 1/λ]. *)
+
+val scale_platform : t -> processors:int -> t
+(** [scale_platform t ~processors] divides the MTBF by [processors]:
+    the application-level rate when [t.lambda] is the individual
+    per-processor rate. Requires [processors >= 1]. *)
+
+val psucc : t -> float -> float
+(** [psucc t x] is [exp (-λ x)]: probability that an execution span of
+    length [x] sees no failure. [x < 0] is treated as [0]. *)
+
+val pfail : t -> float -> float
+(** [pfail t x = 1 - psucc t x], computed with [expm1] for accuracy at
+    small [λ x]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,137 @@
+type dist =
+  | Exponential of { rate : float }
+  | Weibull of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+
+let gamma_fn = Numerics.Specfun.gamma
+
+let dist_mean = function
+  | Exponential { rate } -> 1.0 /. rate
+  | Weibull { shape; scale } -> scale *. gamma_fn (1.0 +. (1.0 /. shape))
+  | Lognormal { mu; sigma } -> exp (mu +. (0.5 *. sigma *. sigma))
+
+let dist_survival dist x =
+  if x <= 0.0 then 1.0
+  else
+    match dist with
+    | Exponential { rate } -> exp (-.rate *. x)
+    | Weibull { shape; scale } -> exp (-.((x /. scale) ** shape))
+    | Lognormal { mu; sigma } ->
+        Numerics.Specfun.normal_sf ~mu ~sigma (log x)
+
+let weibull_with_mtbf ~shape ~mtbf =
+  if shape <= 0.0 || mtbf <= 0.0 then
+    invalid_arg "Trace.weibull_with_mtbf: arguments must be positive";
+  let scale = mtbf /. gamma_fn (1.0 +. (1.0 /. shape)) in
+  Weibull { shape; scale }
+
+let lognormal_with_mtbf ~sigma ~mtbf =
+  if sigma < 0.0 || mtbf <= 0.0 then
+    invalid_arg "Trace.lognormal_with_mtbf: sigma >= 0 and mtbf > 0 required";
+  let mu = log mtbf -. (0.5 *. sigma *. sigma) in
+  Lognormal { mu; sigma }
+
+type source = Generator of Numerics.Rng.t * dist | Fixed
+
+type t = {
+  mutable iats : float array;  (* memoised prefix *)
+  mutable len : int;  (* number of valid entries in [iats] *)
+  source : source;
+}
+
+let create ~dist ~seed =
+  {
+    iats = Array.make 16 0.0;
+    len = 0;
+    source = Generator (Numerics.Rng.create ~seed, dist);
+  }
+
+let of_iats iats =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x && x > 0.0) then
+        invalid_arg "Trace.of_iats: IATs must be positive and finite")
+    iats;
+  { iats = Array.copy iats; len = Array.length iats; source = Fixed }
+
+let draw rng = function
+  | Exponential { rate } -> Numerics.Rng.exponential rng ~rate
+  | Weibull { shape; scale } -> Numerics.Rng.weibull rng ~shape ~scale
+  | Lognormal { mu; sigma } -> Numerics.Rng.lognormal rng ~mu ~sigma
+
+let ensure t j =
+  if j >= t.len then begin
+    match t.source with
+    | Fixed ->
+        invalid_arg
+          (Printf.sprintf "Trace.iat: index %d beyond fixed trace of length %d"
+             j t.len)
+    | Generator (rng, dist) ->
+        if j >= Array.length t.iats then begin
+          let cap = max (j + 1) (2 * Array.length t.iats) in
+          let bigger = Array.make cap 0.0 in
+          Array.blit t.iats 0 bigger 0 t.len;
+          t.iats <- bigger
+        end;
+        for i = t.len to j do
+          t.iats.(i) <- draw rng dist
+        done;
+        t.len <- j + 1
+  end
+
+let iat t j =
+  if j < 0 then invalid_arg "Trace.iat: negative index";
+  ensure t j;
+  t.iats.(j)
+
+let batch ~dist ~seed ~n =
+  if n < 0 then invalid_arg "Trace.batch: n < 0";
+  let master = Numerics.Rng.create ~seed in
+  Array.init n (fun _ ->
+      let sub = Numerics.Rng.split master in
+      {
+        iats = Array.make 16 0.0;
+        len = 0;
+        source = Generator (sub, dist);
+      })
+
+let rec prefetch_from t ~until ~index ~clock =
+  if clock <= until then
+    prefetch_from t ~until ~index:(index + 1) ~clock:(clock +. iat t (index + 1))
+
+let iats_until t ~until =
+  let rec count i acc =
+    let stop =
+      match t.source with
+      | Fixed -> i >= t.len
+      | Generator _ -> false
+    in
+    if stop then i
+    else begin
+      let acc = acc +. iat t i in
+      if acc > until then i + 1 else count (i + 1) acc
+    end
+  in
+  let n = count 0 0.0 in
+  Array.init n (iat t)
+
+let prefetch t ~until =
+  match t.source with
+  | Fixed -> ()  (* fully materialised by construction *)
+  | Generator _ -> prefetch_from t ~until ~index:0 ~clock:(iat t 0)
+
+type cursor = {
+  trace : t;
+  mutable index : int;  (* next failure not yet consumed *)
+  mutable clock : float;  (* exposed time of failure [index] *)
+}
+
+let cursor trace = { trace; index = 0; clock = iat trace 0 }
+
+let next_failure_exposed cur = cur.clock
+
+let consume cur =
+  cur.index <- cur.index + 1;
+  cur.clock <- cur.clock +. iat cur.trace cur.index
+
+let failures_seen cur = cur.index

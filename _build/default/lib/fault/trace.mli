@@ -1,0 +1,83 @@
+(** Failure traces.
+
+    A trace is a sequence of failure inter-arrival times (IATs): IAT [j] is
+    the exposed time (time during which failures may strike, i.e. excluding
+    downtime) between the restart after failure [j-1] and failure [j]
+    (or from the start of the reservation for [j = 0]).
+
+    Traces are generated lazily and memoised, so the same trace object can
+    be replayed by every checkpointing strategy — common random numbers,
+    which is how the paper compares strategies on identical instances. *)
+
+type dist =
+  | Exponential of { rate : float }
+      (** the paper's model; memoryless, MTBF [1/rate] *)
+  | Weibull of { shape : float; scale : float }
+      (** robustness extension: non-memoryless IATs *)
+  | Lognormal of { mu : float; sigma : float }
+      (** robustness extension: heavy-tailed IATs *)
+
+val dist_mean : dist -> float
+(** Expected IAT of the distribution. *)
+
+val dist_survival : dist -> float -> float
+(** [dist_survival dist x] is [P(IAT > x)]; 1 for [x <= 0]. Used by the
+    renewal-aware dynamic program. *)
+
+val weibull_with_mtbf : shape:float -> mtbf:float -> dist
+(** Weibull distribution with the given shape, scale calibrated so the
+    mean IAT equals [mtbf]. *)
+
+val lognormal_with_mtbf : sigma:float -> mtbf:float -> dist
+(** Log-normal distribution with the given [sigma], [mu] calibrated so
+    the mean IAT equals [mtbf]. *)
+
+type t
+(** A single memoised trace. *)
+
+val create : dist:dist -> seed:int64 -> t
+(** Fresh trace; IATs are drawn on demand from a generator seeded with
+    [seed] and remembered, so [iat] is deterministic and replayable. *)
+
+val of_iats : float array -> t
+(** Fixed trace for tests; reading past the end raises
+    [Invalid_argument]. All IATs must be positive. *)
+
+val iat : t -> int -> float
+(** [iat t j] is the [j]-th inter-arrival time, [j >= 0]. *)
+
+val prefetch : t -> until:float -> unit
+(** Force memoisation of every IAT up to cumulative exposed time [until]
+    (plus one). After prefetching, concurrent read-only replay of the
+    trace from several domains is safe as long as no simulation runs past
+    [until]. *)
+
+val iats_until : t -> until:float -> float array
+(** The prefix of IATs whose cumulative sum first exceeds [until]
+    (forcing generation as needed): enough to replay any reservation of
+    length [<= until]. On a fixed trace, returns at most the stored
+    IATs. *)
+
+val batch : dist:dist -> seed:int64 -> n:int -> t array
+(** [batch ~dist ~seed ~n] builds [n] independent traces whose streams are
+    derived from [seed]; trace [i] is identical across calls with the
+    same arguments. *)
+
+(** {2 Cursors}
+
+    A cursor walks one trace during one simulated reservation, converting
+    IATs into absolute failure dates on the exposed-time clock. *)
+
+type cursor
+
+val cursor : t -> cursor
+(** Fresh cursor positioned before the first failure. *)
+
+val next_failure_exposed : cursor -> float
+(** Absolute exposed time of the next failure (without consuming it). *)
+
+val consume : cursor -> unit
+(** Mark the next failure as having struck; subsequent
+    [next_failure_exposed] returns the following failure date. *)
+
+val failures_seen : cursor -> int

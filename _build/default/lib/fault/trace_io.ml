@@ -1,0 +1,61 @@
+let save ~path ~horizon traces =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Array.iter
+       (fun trace ->
+         let iats = Trace.iats_until trace ~until:horizon in
+         Array.iteri
+           (fun i x ->
+             if i > 0 then output_char oc ' ';
+             output_string oc (Printf.sprintf "%.17g" x))
+           iats;
+         output_char oc '\n')
+       traces
+   with e ->
+     close_out oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let parse_line ~lineno line =
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  if fields = [] then
+    failwith (Printf.sprintf "Trace_io.load: empty trace on line %d" lineno);
+  let iats =
+    List.map
+      (fun field ->
+        match float_of_string_opt field with
+        | Some x when Float.is_finite x && x > 0.0 -> x
+        | Some _ ->
+            failwith
+              (Printf.sprintf "Trace_io.load: non-positive IAT on line %d"
+                 lineno)
+        | None ->
+            failwith
+              (Printf.sprintf "Trace_io.load: malformed number %S on line %d"
+                 field lineno))
+      fields
+  in
+  Trace.of_iats (Array.of_list iats)
+
+let load ~path =
+  let ic = open_in path in
+  let traces = ref [] in
+  let lineno = ref 0 in
+  (try
+     (try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          traces := parse_line ~lineno:!lineno line :: !traces
+        done
+      with End_of_file -> ())
+   with e ->
+     close_in ic;
+     raise e);
+  close_in ic;
+  Array.of_list (List.rev !traces)

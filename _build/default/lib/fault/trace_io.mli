@@ -1,0 +1,16 @@
+(** Persistence of failure traces.
+
+    A saved trace set makes a whole campaign replayable without the
+    generator: traces are stored as text, one trace per line, IATs
+    space-separated with full round-trip precision. Loading yields fixed
+    traces that replay identically on any platform. *)
+
+val save : path:string -> horizon:float -> Trace.t array -> unit
+(** [save ~path ~horizon traces] materialises each trace far enough to
+    cover any reservation of length [<= horizon] and writes them. The
+    write is atomic (temporary file + rename). *)
+
+val load : path:string -> Trace.t array
+(** Re-read a trace set as fixed traces. Raises [Failure] with a
+    message naming the line on malformed input (non-numeric field,
+    non-positive IAT, empty line). *)

@@ -1,0 +1,1 @@
+lib/numerics/neldermead.ml: Array Float

@@ -1,0 +1,56 @@
+let trapezoid ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Integrate.trapezoid: n < 1";
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (0.5 *. (f lo +. f hi)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (lo +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+let simpson ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Integrate.simpson: n < 1";
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let x = lo +. (float_of_int i *. h) in
+    let w = if i mod 2 = 1 then 4.0 else 2.0 in
+    acc := !acc +. (w *. f x)
+  done;
+  !acc *. h /. 3.0
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) ~f lo hi =
+  let simpson_3 a fa b fb =
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+  in
+  (* Classic recursion with the 1/15 Richardson correction. *)
+  let rec go a fa b fb whole m fm eps depth =
+    let lm, flm, left = simpson_3 a fa m fm in
+    let rm, frm, right = simpson_3 m fm b fb in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || abs_float delta <= 15.0 *. eps then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm left lm flm (eps /. 2.0) (depth + 1)
+      +. go m fm b fb right rm frm (eps /. 2.0) (depth + 1)
+  in
+  if lo = hi then 0.0
+  else begin
+    let fa = f lo and fb = f hi in
+    let m, fm, whole = simpson_3 lo fa hi fb in
+    go lo fa hi fb whole m fm tol 0
+  end
+
+let trapezoid_samples ~h ys =
+  let n = Array.length ys in
+  if n = 0 then invalid_arg "Integrate.trapezoid_samples: empty array";
+  if n = 1 then 0.0
+  else begin
+    let acc = ref (0.5 *. (ys.(0) +. ys.(n - 1))) in
+    for i = 1 to n - 2 do
+      acc := !acc +. ys.(i)
+    done;
+    !acc *. h
+  end

@@ -1,0 +1,20 @@
+(** One-dimensional numerical quadrature. *)
+
+val trapezoid : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite trapezoid rule with [n] equal subintervals ([n >= 1]).
+    Exact for affine integrands; error [O(h²)] otherwise. *)
+
+val simpson : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson rule with [n] subintervals (rounded up to even).
+    Error [O(h⁴)] for smooth integrands. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> float -> float -> float
+(** [adaptive_simpson ~f lo hi]: adaptive Simpson quadrature with interval halving until the local
+    Richardson error estimate is below [tol] (default [1e-10], scaled by
+    the interval contribution). *)
+
+val trapezoid_samples : h:float -> float array -> float
+(** [trapezoid_samples ~h ys] integrates pre-sampled values [ys] on a
+    uniform grid of step [h] (at least one sample; a single sample yields
+    0). Used by grid-based integral-equation solvers. *)

@@ -1,0 +1,70 @@
+let inv_e = exp (-1.0)
+
+(* Halley iteration on f(w) = w e^w - x; cubic convergence from any
+   reasonable starting point on the correct branch. *)
+let halley ~x w0 =
+  let w = ref w0 in
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < 100 do
+    incr iter;
+    let w_ = !w in
+    let ew = exp w_ in
+    let f = (w_ *. ew) -. x in
+    let denom = (ew *. (w_ +. 1.0)) -. ((w_ +. 2.0) *. f /. (2.0 *. (w_ +. 1.0))) in
+    if denom = 0.0 then continue := false
+    else begin
+      let w' = w_ -. (f /. denom) in
+      if abs_float (w' -. w_) <= 1e-15 *. (1.0 +. abs_float w') then begin
+        w := w';
+        continue := false
+      end
+      else w := w'
+    end
+  done;
+  !w
+
+let at_branch_point x = abs_float (x +. inv_e) < 1e-15
+
+let w0 x =
+  if x < -.inv_e -. 1e-15 then invalid_arg "Lambert.w0: x < -1/e"
+  else if x = 0.0 then 0.0
+  else if at_branch_point x then -1.0
+  else begin
+    let x = Float.max x (-.inv_e) in
+    let start =
+      if x < 0.0 then begin
+        (* Near the branch point use the square-root expansion
+           w ≈ -1 + p - p²/3 with p = sqrt(2(ex + 1)). *)
+        let p = sqrt (2.0 *. ((Float.exp 1.0 *. x) +. 1.0)) in
+        -1.0 +. p -. (p *. p /. 3.0)
+      end
+      else if x < Float.exp 1.0 then x /. (1.0 +. x)
+      else begin
+        (* Asymptotic start: log x - log log x. *)
+        let l1 = log x in
+        l1 -. log l1
+      end
+    in
+    halley ~x start
+  end
+
+let wm1 x =
+  if x < -.inv_e -. 1e-15 || x >= 0.0 then
+    invalid_arg "Lambert.wm1: domain is [-1/e, 0)"
+  else if at_branch_point x then -1.0
+  else begin
+    let x = Float.max x (-.inv_e) in
+    let start =
+      if x > -0.25 then begin
+        (* w = log(-x) - log(-log(-x)) asymptotic near 0⁻. *)
+        let l1 = log (-.x) in
+        l1 -. log (-.l1)
+      end
+      else begin
+        let p = sqrt (2.0 *. ((Float.exp 1.0 *. x) +. 1.0)) in
+        -1.0 -. p -. (p *. p /. 3.0)
+      end
+    in
+    halley ~x start
+  end

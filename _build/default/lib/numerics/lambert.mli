@@ -1,0 +1,13 @@
+(** Lambert W function: solutions of [w * exp w = x].
+
+    Used for the closed-form optimal fixed-work checkpointing period (Daly
+    2006, Bougeret et al. 2011), against which the Young/Daly first-order
+    approximation is assessed. *)
+
+val w0 : float -> float
+(** Principal branch [W₀], defined for [x >= -1/e]; [W₀ x >= -1].
+    Raises [Invalid_argument] below the branch point. Accuracy ~1e-14. *)
+
+val wm1 : float -> float
+(** Secondary real branch [W₋₁], defined for [-1/e <= x < 0];
+    [W₋₁ x <= -1]. Raises [Invalid_argument] outside the domain. *)

@@ -1,0 +1,130 @@
+type result = {
+  x : float array;
+  value : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* Internally we minimise -f with the textbook Nelder-Mead moves. *)
+let maximize ?(tol = 1e-10) ?(max_iter = 2000) ?step ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Neldermead.maximize: empty start point";
+  let neg_f x = -.f x in
+  let default_step i = 0.05 *. (1.0 +. abs_float x0.(i)) in
+  let step i = match step with Some s -> s | None -> default_step i in
+  (* simplex: n+1 vertices with their values *)
+  let vertices =
+    Array.init (n + 1) (fun v ->
+        let x = Array.copy x0 in
+        if v > 0 then x.(v - 1) <- x.(v - 1) +. step (v - 1);
+        x)
+  in
+  let values = Array.map neg_f vertices in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid_except worst =
+    let c = Array.make n 0.0 in
+    Array.iteri
+      (fun v x ->
+        if v <> worst then
+          Array.iteri (fun i xi -> c.(i) <- c.(i) +. (xi /. float_of_int n)) x)
+      vertices;
+    c
+  in
+  let blend a b alpha =
+    Array.init n (fun i -> a.(i) +. (alpha *. (b.(i) -. a.(i))))
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(n) in
+    let second_worst = idx.(n - 1) in
+    (* convergence: simplex value spread and diameter *)
+    let spread = values.(worst) -. values.(best) in
+    let diameter =
+      Array.fold_left
+        (fun acc x ->
+          let d = ref 0.0 in
+          Array.iteri
+            (fun i xi -> d := Float.max !d (abs_float (xi -. vertices.(best).(i))))
+            x;
+          Float.max acc !d)
+        0.0 vertices
+    in
+    if spread <= tol *. (1.0 +. abs_float values.(best)) && diameter <= sqrt tol
+    then converged := true
+    else begin
+      let c = centroid_except worst in
+      let reflected = blend c vertices.(worst) (-1.0) in
+      let fr = neg_f reflected in
+      if fr < values.(best) then begin
+        (* try to expand *)
+        let expanded = blend c vertices.(worst) (-2.0) in
+        let fe = neg_f expanded in
+        if fe < fr then begin
+          vertices.(worst) <- expanded;
+          values.(worst) <- fe
+        end
+        else begin
+          vertices.(worst) <- reflected;
+          values.(worst) <- fr
+        end
+      end
+      else if fr < values.(second_worst) then begin
+        vertices.(worst) <- reflected;
+        values.(worst) <- fr
+      end
+      else begin
+        (* contraction (outside if the reflection improved on the worst) *)
+        let towards = if fr < values.(worst) then -0.5 else 0.5 in
+        let contracted = blend c vertices.(worst) towards in
+        let fc = neg_f contracted in
+        let reference = Float.min fr values.(worst) in
+        if fc < reference then begin
+          vertices.(worst) <- contracted;
+          values.(worst) <- fc
+        end
+        else begin
+          (* shrink everything towards the best vertex *)
+          let best_x = Array.copy vertices.(best) in
+          Array.iteri
+            (fun v x ->
+              if v <> best then begin
+                let shrunk =
+                  Array.init n (fun i -> best_x.(i) +. (0.5 *. (x.(i) -. best_x.(i))))
+                in
+                vertices.(v) <- shrunk;
+                values.(v) <- neg_f shrunk
+              end)
+            vertices
+        end
+      end
+    end
+  done;
+  let idx = order () in
+  let best = idx.(0) in
+  {
+    x = Array.copy vertices.(best);
+    value = -.values.(best);
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let maximize_bounded ?tol ?max_iter ~f ~lo ~hi x0 =
+  let n = Array.length x0 in
+  if Array.length lo <> n || Array.length hi <> n then
+    invalid_arg "Neldermead.maximize_bounded: dimension mismatch";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Neldermead: lo > hi")
+    lo;
+  let clamp x =
+    Array.mapi (fun i xi -> Float.max lo.(i) (Float.min hi.(i) xi)) x
+  in
+  let f_clamped x = f (clamp x) in
+  let r = maximize ?tol ?max_iter ~f:f_clamped (clamp x0) in
+  { r with x = clamp r.x; value = f (clamp r.x) }

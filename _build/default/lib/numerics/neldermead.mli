@@ -1,0 +1,37 @@
+(** Derivative-free maximisation by the Nelder–Mead simplex method.
+
+    Used to optimise checkpoint positions when the objective (expected
+    saved work) is smooth but has no tractable gradient. *)
+
+type result = {
+  x : float array;  (** best point found *)
+  value : float;  (** objective at [x] *)
+  iterations : int;
+  converged : bool;  (** simplex diameter fell below [tol] *)
+}
+
+val maximize :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?step:float ->
+  f:(float array -> float) ->
+  float array ->
+  result
+(** [maximize ~f x0] runs Nelder–Mead from an initial simplex built
+    around [x0] (each vertex offsets one coordinate by [step], default
+    [0.05 * (1 + |x0_i|)]). Standard coefficients (reflection 1,
+    expansion 2, contraction 1/2, shrink 1/2). [f] may return
+    [neg_infinity] to reject infeasible points. The input array is not
+    modified. Raises [Invalid_argument] on an empty [x0]. *)
+
+val maximize_bounded :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float array -> float) ->
+  lo:float array ->
+  hi:float array ->
+  float array ->
+  result
+(** Box-constrained variant: candidate points are clamped into
+    [\[lo, hi\]] componentwise before evaluation, so the returned [x]
+    always satisfies the bounds. *)

@@ -1,0 +1,97 @@
+(* xoshiro256++ with splitmix64 seeding. Reference: Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators", 2019. All arithmetic
+   is on boxed int64 for portability; the generator is only used to seed
+   simulations, so the allocation cost is irrelevant next to the
+   simulation work it drives. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  (* A xoshiro state of all zeros is absorbing; splitmix64 cannot produce
+     four zero outputs in a row, so no further check is needed. *)
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+
+let float t =
+  (* Top 53 bits give a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.sub raw v > Int64.sub Int64.max_int (Int64.sub bound64 1L) then
+      draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.log1p (-.float t) /. rate
+
+let weibull t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Rng.weibull: shape and scale must be positive";
+  scale *. ((-.log1p (-.float t)) ** (1.0 /. shape))
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let gamma_int t ~shape ~scale =
+  if shape < 1 then invalid_arg "Rng.gamma_int: shape must be >= 1";
+  let acc = ref 0.0 in
+  for _ = 1 to shape do
+    acc := !acc +. exponential t ~rate:1.0
+  done;
+  scale *. !acc

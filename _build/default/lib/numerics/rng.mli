@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256++, seeded through splitmix64, so that a
+    64-bit seed yields a reproducible stream on every platform. All
+    simulation randomness in this project flows through this module: the
+    standard-library generator is never used, which makes every experiment
+    replayable from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator whose stream is a pure function of
+    [seed]. Two generators with the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t]. Used to give each trace / worker its own stream without
+    correlation. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    produce identical streams, without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of the generator. *)
+
+val float : t -> float
+(** [float t] draws uniformly in [\[0, 1)], using the top 53 bits. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform draw in [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] draws uniformly in [\[0, bound)]. Requires [bound > 0]. *)
+
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] draws from the Exponential distribution of rate
+    [rate] (mean [1 /. rate]) by inversion. Requires [rate > 0]. *)
+
+val weibull : t -> shape:float -> scale:float -> float
+(** Weibull draw by inversion; [shape] is the usual [k], [scale] is [λ].
+    [shape = 1] degenerates to [exponential ~rate:(1 /. scale)]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal draw: [exp (mu + sigma * z)] with [z] standard normal. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian draw by the Box–Muller transform (no state caching, each call
+    performs a fresh transform). *)
+
+val gamma_int : t -> shape:int -> scale:float -> float
+(** Erlang (integer-shape Gamma) draw as a sum of exponentials. Requires
+    [shape >= 1]. Used for stochastic checkpoint durations. *)

@@ -1,0 +1,174 @@
+exception No_bracket of string
+
+let same_sign a b = (a >= 0.0 && b >= 0.0) || (a <= 0.0 && b <= 0.0)
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if same_sign fa fb then
+    raise (No_bracket (Printf.sprintf "bisect: no sign change on [%g, %g]" a b))
+  else begin
+    let lo = ref a and hi = ref b and flo = ref fa in
+    let iter = ref 0 in
+    while !hi -. !lo > tol *. (1.0 +. abs_float !lo) && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if same_sign !flo fmid then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ?(tol = 1e-13) ?(max_iter = 200) ~f a b =
+  (* Standard Brent: see Brent, "Algorithms for Minimization without
+     Derivatives", ch. 4. Variables follow the usual naming: b is the
+     current best iterate, a the previous one, c the contrapoint. *)
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if same_sign fa fb then
+    raise (No_bracket (Printf.sprintf "brent: no sign change on [%g, %g]" a b))
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    let iter = ref 0 in
+    (try
+       while !iter < max_iter do
+         incr iter;
+         if !fb = 0.0 then begin
+           result := !b;
+           raise Exit
+         end;
+         if same_sign !fb !fc then begin
+           c := !a;
+           fc := !fa;
+           d := !b -. !a;
+           e := !d
+         end;
+         if abs_float !fc < abs_float !fb then begin
+           a := !b;
+           b := !c;
+           c := !a;
+           fa := !fb;
+           fb := !fc;
+           fc := !fa
+         end;
+         let tol1 = (2.0 *. epsilon_float *. abs_float !b) +. (0.5 *. tol) in
+         let xm = 0.5 *. (!c -. !b) in
+         if abs_float xm <= tol1 then begin
+           result := !b;
+           raise Exit
+         end;
+         if abs_float !e >= tol1 && abs_float !fa > abs_float !fb then begin
+           (* Attempt inverse quadratic / secant interpolation. *)
+           let s = !fb /. !fa in
+           let p, q =
+             if !a = !c then
+               let p = 2.0 *. xm *. s in
+               let q = 1.0 -. s in
+               (p, q)
+             else begin
+               let q = !fa /. !fc and r = !fb /. !fc in
+               let p =
+                 s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0)))
+               in
+               let q = (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) in
+               (p, q)
+             end
+           in
+           let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+           if
+             2.0 *. p < 3.0 *. xm *. q -. abs_float (tol1 *. q)
+             && p < abs_float (0.5 *. !e *. q)
+           then begin
+             e := !d;
+             d := p /. q
+           end
+           else begin
+             d := xm;
+             e := !d
+           end
+         end
+         else begin
+           d := xm;
+           e := !d
+         end;
+         a := !b;
+         fa := !fb;
+         if abs_float !d > tol1 then b := !b +. !d
+         else b := !b +. (if xm > 0.0 then tol1 else -.tol1);
+         fb := f !b
+       done;
+       result := !b
+     with Exit -> ());
+    !result
+  end
+
+let expand_bracket ?(grow = 1.6) ?(max_iter = 100) ~f lo hi =
+  if hi <= lo then invalid_arg "Rootfind.expand_bracket: hi <= lo";
+  let flo = f lo in
+  let hi = ref hi in
+  let iter = ref 0 in
+  let rec loop () =
+    let fhi = f !hi in
+    if not (same_sign flo fhi) then (lo, !hi)
+    else if !iter >= max_iter then
+      raise
+        (No_bracket
+           (Printf.sprintf "expand_bracket: no sign change up to %g" !hi))
+    else begin
+      incr iter;
+      hi := lo +. ((!hi -. lo) *. grow);
+      loop ()
+    end
+  in
+  loop ()
+
+let first_crossing ~f ~lo ~hi ~steps =
+  if steps <= 0 then invalid_arg "Rootfind.first_crossing: steps <= 0";
+  let h = (hi -. lo) /. float_of_int steps in
+  let rec scan i x fx =
+    if i > steps then None
+    else begin
+      let x' = lo +. (float_of_int i *. h) in
+      let fx' = f x' in
+      if not (same_sign fx fx') || fx' = 0.0 then Some (x, x')
+      else scan (i + 1) x' fx'
+    end
+  in
+  scan 1 lo (f lo)
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x i =
+    if i >= max_iter then raise (No_bracket "newton: failed to converge")
+    else begin
+      let fx = f x in
+      let dfx = df x in
+      if dfx = 0.0 then raise (No_bracket "newton: zero derivative")
+      else begin
+        let x' = x -. (fx /. dfx) in
+        if abs_float (x' -. x) <= tol *. (1.0 +. abs_float x) then x'
+        else loop x' (i + 1)
+      end
+    end
+  in
+  loop x0 0

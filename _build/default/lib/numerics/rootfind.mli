@@ -1,0 +1,45 @@
+(** Scalar root finding on [float -> float] functions. *)
+
+exception No_bracket of string
+(** Raised when a bracketing interval with a sign change cannot be found. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f a b] returns a zero of [f] in [\[a, b\]]. Requires
+    [f a] and [f b] to have opposite (or zero) signs; raises [No_bracket]
+    otherwise. [tol] is the absolute width of the final interval
+    (default [1e-12] scaled by interval magnitude). *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** Brent's method: inverse quadratic interpolation with bisection
+    fallback. Same contract as {!bisect}, converges much faster on smooth
+    functions. *)
+
+val expand_bracket :
+  ?grow:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  float ->
+  float ->
+  float * float
+(** [expand_bracket ~f lo hi] grows the upper bound geometrically
+    (factor [grow], default 1.6) until [f lo] and [f hi] differ in sign,
+    keeping [lo] fixed. Raises [No_bracket] on failure. *)
+
+val first_crossing :
+  f:(float -> float) -> lo:float -> hi:float -> steps:int -> (float * float) option
+(** [first_crossing ~f ~lo ~hi ~steps] scans [steps] equal subintervals of
+    [\[lo, hi\]] left to right and returns the first one on which [f]
+    changes sign, or [None]. Useful when [f] has several zeros and the
+    smallest one is wanted. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** Newton iteration with step damping; falls back to raising
+    [No_bracket] if it fails to converge in [max_iter] steps. *)

@@ -1,0 +1,23 @@
+(** Special functions needed by the non-exponential failure models. *)
+
+val erf : float -> float
+(** Error function; odd, [erf 0 = 0], [erf ∞ = 1].
+    Absolute accuracy better than 1e-12. *)
+
+val erfc : float -> float
+(** Complementary error function [1 - erf x], computed directly so the
+    tail does not lose precision. *)
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Gaussian cumulative distribution function (default standard normal).
+    Requires [sigma > 0]. *)
+
+val normal_sf : ?mu:float -> ?sigma:float -> float -> float
+(** Gaussian survival function [1 - cdf], accurate in the upper tail. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function (Lanczos, g = 7), for positive
+    arguments; uses the reflection formula below 0.5. *)
+
+val gamma : float -> float
+(** [exp (log_gamma x)]. *)

@@ -1,0 +1,1 @@
+lib/output/csv.ml: Buffer List Printf Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/output/markdown.ml: Buffer List Printf String Sys

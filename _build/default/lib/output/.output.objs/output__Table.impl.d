@@ -1,0 +1,1 @@
+lib/output/table.ml: Char List Printf String

@@ -1,0 +1,97 @@
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;
+  height : int;
+  x_label : string;
+  y_label : string;
+  y_min : float option;
+  y_max : float option;
+}
+
+let default_config =
+  {
+    width = 72;
+    height = 20;
+    x_label = "x";
+    y_label = "y";
+    y_min = None;
+    y_max = None;
+  }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let render ?(config = default_config) ~title series =
+  let { width; height; x_label; y_label; y_min; y_max } = config in
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot: plot area too small";
+  let all_points = List.concat_map (fun s -> List.filter finite s.points) series in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match all_points with
+  | [] -> Buffer.add_string buf "  (no data)\n"
+  | _ ->
+      let xs = List.map fst all_points and ys = List.map snd all_points in
+      let fold f = List.fold_left f in
+      let x_lo = fold Float.min infinity xs and x_hi = fold Float.max neg_infinity xs in
+      let y_lo =
+        match y_min with Some v -> v | None -> fold Float.min infinity ys
+      in
+      let y_hi =
+        match y_max with Some v -> v | None -> fold Float.max neg_infinity ys
+      in
+      let x_span = if x_hi > x_lo then x_hi -. x_lo else 1.0 in
+      let y_span = if y_hi > y_lo then y_hi -. y_lo else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (x, y) ->
+              if finite (x, y) then begin
+                let cx =
+                  int_of_float
+                    (Float.round ((x -. x_lo) /. x_span *. float_of_int (width - 1)))
+                in
+                let cy =
+                  int_of_float
+                    (Float.round ((y -. y_lo) /. y_span *. float_of_int (height - 1)))
+                in
+                let cx = max 0 (min (width - 1) cx) in
+                let cy = max 0 (min (height - 1) cy) in
+                let row = height - 1 - cy in
+                (* Later series overwrite earlier ones only on blanks, so
+                   overlapping curves stay distinguishable. *)
+                if grid.(row).(cx) = ' ' then grid.(row).(cx) <- glyph
+              end)
+            s.points)
+        series;
+      let y_tick row =
+        let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+        y_lo +. (frac *. y_span)
+      in
+      for row = 0 to height - 1 do
+        let tick =
+          if row = 0 || row = height - 1 || row = (height - 1) / 2 then
+            Printf.sprintf "%8.3g |" (y_tick row)
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf tick;
+        Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "%8s  %-8.4g%*s%8.4g\n" "" x_lo (width - 16) "" x_hi);
+      Buffer.add_string buf
+        (Printf.sprintf "%8s  x: %s   y: %s\n" "" x_label y_label));
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n" glyphs.(si mod Array.length glyphs) s.label))
+    series;
+  Buffer.contents buf
+
+let print ?config ~title series = print_string (render ?config ~title series)

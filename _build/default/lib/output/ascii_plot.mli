@@ -1,0 +1,23 @@
+(** Multi-series line plots rendered as text — the terminal rendition of
+    the paper's figures. *)
+
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;  (** plot area width in characters (default 72) *)
+  height : int;  (** plot area height in rows (default 20) *)
+  x_label : string;
+  y_label : string;
+  y_min : float option;  (** fixed lower bound; [None] = data-driven *)
+  y_max : float option;
+}
+
+val default_config : config
+
+val render : ?config:config -> title:string -> series list -> string
+(** Scatter the points of each series onto a character grid (each series
+    uses its own glyph), with axes, tick labels, and a legend. Series
+    with no finite point are listed in the legend but not drawn.
+    Points outside the configured y-range are clamped to the border. *)
+
+val print : ?config:config -> title:string -> series list -> unit

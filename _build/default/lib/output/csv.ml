@@ -1,0 +1,48 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+type writer = { oc : out_channel; arity : int }
+
+let open_out ~path ~header =
+  if header = [] then invalid_arg "Csv.open_out: empty header";
+  let oc = Stdlib.open_out path in
+  output_string oc (row_to_string header);
+  output_char oc '\n';
+  { oc; arity = List.length header }
+
+let write_row w cells =
+  if List.length cells <> w.arity then
+    invalid_arg "Csv.write_row: cell count differs from header";
+  output_string w.oc (row_to_string cells);
+  output_char w.oc '\n'
+
+let write_floats w ~label xs =
+  write_row w (label @ List.map (Printf.sprintf "%.17g") xs)
+
+let close w = close_out w.oc
+
+let write ~path ~header rows =
+  let tmp = path ^ ".tmp" in
+  let w = open_out ~path:tmp ~header in
+  (try List.iter (write_row w) rows
+   with e ->
+     close w;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close w;
+  Sys.rename tmp path

@@ -1,0 +1,19 @@
+(** Minimal CSV writing (RFC 4180 quoting) for experiment outputs. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val row_to_string : string list -> string
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a whole file atomically (via a temporary file + rename). *)
+
+type writer
+
+val open_out : path:string -> header:string list -> writer
+val write_row : writer -> string list -> unit
+val write_floats : writer -> label:string list -> float list -> unit
+(** [label] cells first, then floats formatted with [%.17g]
+    (round-trippable). *)
+
+val close : writer -> unit

@@ -1,0 +1,48 @@
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 4096 }
+
+let newline_separated t body =
+  Buffer.add_string t.buf body;
+  Buffer.add_string t.buf "\n\n"
+
+let heading t ~level text =
+  if level < 1 || level > 6 then invalid_arg "Markdown.heading: level outside 1..6";
+  newline_separated t (String.make level '#' ^ " " ^ text)
+
+let paragraph t text = newline_separated t text
+
+let bullet t items =
+  newline_separated t
+    (String.concat "\n" (List.map (fun item -> "- " ^ item) items))
+
+let code_block ?(lang = "") t body =
+  newline_separated t (Printf.sprintf "```%s\n%s\n```" lang body)
+
+let escape_cell cell =
+  String.concat "\\|" (String.split_on_char '|' cell)
+
+let table t ~header rows =
+  if header = [] then invalid_arg "Markdown.table: empty header";
+  let arity = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Markdown.table: row %d has wrong arity" i))
+    rows;
+  let render_row cells =
+    "| " ^ String.concat " | " (List.map escape_cell cells) ^ " |"
+  in
+  let rule = "|" ^ String.concat "|" (List.map (fun _ -> "---") header) ^ "|" in
+  newline_separated t
+    (String.concat "\n" (render_row header :: rule :: List.map render_row rows))
+
+let contents t = Buffer.contents t.buf
+
+let to_file t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (contents t);
+  close_out oc;
+  Sys.rename tmp path

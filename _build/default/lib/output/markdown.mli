@@ -1,0 +1,19 @@
+(** Minimal Markdown generation for experiment reports (EXPERIMENTS.md
+    is produced with this). *)
+
+type t
+(** A document under construction. *)
+
+val create : unit -> t
+val heading : t -> level:int -> string -> unit
+val paragraph : t -> string -> unit
+val bullet : t -> string list -> unit
+val code_block : ?lang:string -> t -> string -> unit
+
+val table : t -> header:string list -> string list list -> unit
+(** GitHub-flavoured pipe table; cells containing [|] are escaped.
+    Raises [Invalid_argument] on an empty header or a row of the wrong
+    arity. *)
+
+val contents : t -> string
+val to_file : t -> path:string -> unit

@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let arity t = List.length t.columns
+
+let add_row t cells =
+  let n = List.length cells and width = arity t in
+  if n > width then invalid_arg "Table.add_row: more cells than columns";
+  let padded =
+    if n = width then cells else cells @ List.init (width - n) (fun _ -> "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let default_fmt x = Printf.sprintf "%.4g" x
+
+let add_float_row ?(fmt = default_fmt) t label xs =
+  add_row t (label :: List.map fmt xs);
+  t
+
+(* UTF-8-aware display width: counts scalar values, which is enough for
+   the Latin/Greek/box characters these tables use. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun ch -> if Char.code ch land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let cell_rows =
+    headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun acc cells -> max acc (display_width (List.nth cells i)))
+          0 cell_rows)
+      t.columns
+  in
+  let pad align width s =
+    let gap = width - display_width s in
+    if gap <= 0 then s
+    else begin
+      let fill = String.make gap ' ' in
+      match align with Left -> s ^ fill | Right -> fill ^ s
+    end
+  in
+  let render_cells cells =
+    String.concat "  "
+      (List.map2
+         (fun (s, (_, align)) width -> pad align width s)
+         (List.combine cells t.columns)
+         widths)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let body =
+    List.map
+      (function Cells cells -> render_cells cells | Separator -> rule)
+      rows
+  in
+  String.concat "\n" (render_cells headers :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

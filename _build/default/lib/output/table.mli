@@ -1,0 +1,26 @@
+(** Aligned plain-text tables for terminal reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Header row; raises [Invalid_argument] on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** Row cells, one per column (padded with empty cells if shorter;
+    raises [Invalid_argument] if longer). *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> string -> float list -> t
+(** Convenience: first cell is a label, remaining cells are formatted
+    floats (default [%.4g]). Returns [t] for chaining. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with columns padded to their widest cell, two-space gutters,
+    and a rule under the header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

@@ -1,0 +1,38 @@
+(** A small fixed-size pool of OCaml 5 domains for embarrassingly
+    parallel sweeps (the experiment campaign grid).
+
+    Tasks are pulled from a shared atomic counter (self-scheduling), so
+    uneven task durations — e.g. DP table builds next to cheap
+    simulations — balance automatically. Results preserve input order,
+    making parallel runs bit-identical to sequential ones as long as each
+    task is deterministic (which they are: every task derives its
+    randomness from its own seed). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the caller
+    participates as the last worker during {!map}). Default:
+    [Domain.recommended_domain_count ()], capped to 8. [domains = 1]
+    degrades to sequential execution. *)
+
+val domains : t -> int
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map pool ~f xs] applies [f] to every element, in parallel, returning
+    results in input order. Exceptions raised by [f] are re-raised in the
+    caller (the first one encountered); remaining tasks are abandoned.
+    Not reentrant: do not call [map] from within [f] on the same pool. *)
+
+val mapi : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+
+val parallel_for : t -> lo:int -> hi:int -> f:(int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi ~f] runs [f i] for [lo <= i < hi]. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** Scoped creation: shuts the pool down on exit, including on
+    exceptions. *)

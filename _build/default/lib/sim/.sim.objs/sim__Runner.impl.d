@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Engine Format Numerics Policy

@@ -1,0 +1,148 @@
+type event =
+  | Segment_saved of { start : float; finish : float; work : float }
+  | Failure of { at : float; lost : float }
+  | Gave_up of { at : float }
+
+type breakdown = {
+  working : float;
+  checkpointing : float;
+  recovering : float;
+  down : float;
+  lost : float;
+  unused : float;
+}
+
+type outcome = {
+  work_saved : float;
+  checkpoints : int;
+  failures : int;
+  replans : int;
+  breakdown : breakdown;
+  events : event list;
+}
+
+(* The engine keeps two clocks:
+   - [wall]: elapsed reservation time;
+   - [exposed]: elapsed failure-exposed time (wall minus downtimes).
+   Failure dates from the trace cursor live on the exposed clock, so a
+   failure never strikes during a downtime, as the model requires. *)
+let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
+  if horizon < 0.0 then invalid_arg "Engine.run: negative horizon";
+  let c = params.Fault.Params.c
+  and r = params.Fault.Params.r
+  and d = params.Fault.Params.d in
+  let cur = Fault.Trace.cursor trace in
+  let wall = ref 0.0 and exposed = ref 0.0 in
+  let saved = ref 0.0 and ckpts = ref 0 and fails = ref 0 and replans = ref 0 in
+  let recovering = ref false in
+  let b_ckpt = ref 0.0 and b_recov = ref 0.0 and b_down = ref 0.0 in
+  let b_lost = ref 0.0 in
+  let events = ref [] in
+  let push e = if record then events := e :: !events in
+  let draw_ckpt () = match ckpt_sampler with None -> c | Some f -> f () in
+  let finished = ref false in
+  while not !finished do
+    let tleft = horizon -. !wall in
+    let plan = policy.Policy.plan ~tleft ~recovering:!recovering in
+    incr replans;
+    Policy.validate_plan ~params ~tleft ~recovering:!recovering plan;
+    (match plan with
+    | [] ->
+        push (Gave_up { at = !wall });
+        finished := true
+    | offsets ->
+        let plan_start_wall = !wall in
+        let committed_wall = ref !wall in
+        let first_overhead = if !recovering then r else 0.0 in
+        (* [shift] accumulates the deviation of actual checkpoint
+           durations from the nominal C (stochastic-checkpoint mode;
+           zero otherwise). *)
+        let rec walk prev_off shift segs ~first =
+          match segs with
+          | [] -> finished := true
+          | off :: rest -> (
+              let nominal_len = off -. prev_off in
+              let actual_c = draw_ckpt () in
+              let shift' = shift +. (actual_c -. c) in
+              let seg_len = nominal_len +. (shift' -. shift) in
+              let completion_wall = plan_start_wall +. off +. shift' in
+              let fail_e = Fault.Trace.next_failure_exposed cur in
+              let seg_end_e = !exposed +. seg_len in
+              if fail_e < seg_end_e then begin
+                (* Failure strikes before this checkpoint completes. *)
+                let delta = fail_e -. !exposed in
+                wall := !wall +. delta;
+                exposed := fail_e;
+                Fault.Trace.consume cur;
+                incr fails;
+                let lost = !wall -. !committed_wall in
+                b_lost := !b_lost +. lost;
+                push (Failure { at = !wall; lost });
+                b_down := !b_down +. Float.min d (horizon -. !wall);
+                wall := !wall +. d;
+                recovering := true;
+                if horizon -. !wall < r +. c then finished := true
+              end
+              else if completion_wall > horizon then begin
+                (* Stochastic checkpoint overran the reservation: this
+                   checkpoint (and a fortiori the following ones) can no
+                   longer complete. *)
+                push (Gave_up { at = horizon });
+                finished := true
+              end
+              else begin
+                let overhead = actual_c +. (if first then first_overhead else 0.0) in
+                let work = Float.max 0.0 (seg_len -. overhead) in
+                saved := !saved +. work;
+                b_ckpt := !b_ckpt +. actual_c;
+                if first then b_recov := !b_recov +. first_overhead;
+                incr ckpts;
+                wall := !wall +. seg_len;
+                committed_wall := !wall;
+                exposed := seg_end_e;
+                push
+                  (Segment_saved
+                     { start = !wall -. seg_len; finish = !wall; work });
+                walk off shift' rest ~first:false
+              end)
+        in
+        walk 0.0 0.0 offsets ~first:true)
+  done;
+  let breakdown =
+    let accounted = !saved +. !b_ckpt +. !b_recov +. !b_down +. !b_lost in
+    let unused = horizon -. accounted in
+    (* A downtime can overrun the horizon; clip it rather than report a
+       negative unused share. *)
+    if unused < 0.0 then
+      {
+        working = !saved;
+        checkpointing = !b_ckpt;
+        recovering = !b_recov;
+        down = Float.max 0.0 (!b_down +. unused);
+        lost = !b_lost;
+        unused = 0.0;
+      }
+    else
+      {
+        working = !saved;
+        checkpointing = !b_ckpt;
+        recovering = !b_recov;
+        down = !b_down;
+        lost = !b_lost;
+        unused;
+      }
+  in
+  {
+    work_saved = !saved;
+    checkpoints = !ckpts;
+    failures = !fails;
+    replans = !replans;
+    breakdown;
+    events = List.rev !events;
+  }
+
+let proportion_of_work ~params ~horizon outcome =
+  let c = params.Fault.Params.c in
+  if horizon <= c then
+    invalid_arg "Engine.proportion_of_work: horizon must exceed C";
+  outcome.work_saved /. (horizon -. c)

@@ -1,0 +1,64 @@
+(** Execution engine: replays one failure trace against one policy.
+
+    Time accounting follows the paper's model:
+    - work, checkpoints and recoveries are exposed to failures;
+    - downtime [D] is not (the failed node is being replaced);
+    - after a failure at time [t], the time left is [T - t - D] and the
+      next execution attempt starts with a recovery [R];
+    - only work committed by a {e completed} checkpoint counts;
+    - the engine re-queries the policy after every failure, which is
+      exactly the recursive definition of a strategy in the paper. *)
+
+type event =
+  | Segment_saved of { start : float; finish : float; work : float }
+      (** checkpoint completed at [finish]; [work] units committed *)
+  | Failure of { at : float; lost : float }
+      (** failure at wall-clock [at]; [lost] uncommitted units *)
+  | Gave_up of { at : float }
+      (** policy returned an empty plan: nothing more can be saved *)
+
+type breakdown = {
+  working : float;  (** committed useful work *)
+  checkpointing : float;  (** completed checkpoints (actual durations) *)
+  recovering : float;  (** completed recoveries *)
+  down : float;  (** downtime after failures (clipped at the horizon) *)
+  lost : float;  (** time destroyed by failures (work, checkpoint or
+                     recovery in progress since the last commit) *)
+  unused : float;  (** everything else: the tail after the final
+                       checkpoint, leftovers too short to exploit,
+                       abandoned partial work after a checkpoint overrun *)
+}
+(** Wall-clock accounting of the reservation; the six components sum to
+    the horizon (within floating tolerance). *)
+
+type outcome = {
+  work_saved : float;  (** total committed work *)
+  checkpoints : int;  (** checkpoints completed *)
+  failures : int;  (** failures that struck the execution *)
+  replans : int;  (** times the policy was queried *)
+  breakdown : breakdown;
+  events : event list;  (** chronological; empty unless [record] *)
+}
+
+val run :
+  ?record:bool ->
+  ?ckpt_sampler:(unit -> float) ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  policy:Policy.t ->
+  Fault.Trace.t ->
+  outcome
+(** [run ~params ~horizon ~policy trace] simulates the full reservation
+    of length [horizon].
+
+    [ckpt_sampler], when given, draws the {e actual} duration of each
+    checkpoint as it starts (stochastic-checkpoint extension); the policy
+    still plans with the nominal [params.c], completions shift
+    accordingly, and a checkpoint whose shifted completion exceeds the
+    horizon never completes. Plans are validated against the policy
+    contract; a malformed plan raises [Invalid_argument]. *)
+
+val proportion_of_work :
+  params:Fault.Params.t -> horizon:float -> outcome -> float
+(** The paper's reported metric: [work_saved / (horizon - c)].
+    Requires [horizon > c]. *)

@@ -1,0 +1,122 @@
+type t = {
+  name : string;
+  plan : tleft:float -> recovering:bool -> float list;
+}
+
+let make ~name plan = { name; plan }
+
+(* Numerical slack for plan validation: offsets are produced by floating
+   arithmetic, so exact comparisons would reject valid plans. *)
+let eps = 1e-9
+
+let validate_plan ~params ~tleft ~recovering plan =
+  let c = params.Fault.Params.c and r = params.Fault.Params.r in
+  let base = if recovering then r else 0.0 in
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  let rec check prev = function
+    | [] -> ()
+    | off :: rest ->
+        if off > tleft +. eps then
+          fail "plan: checkpoint completion %g exceeds tleft %g" off tleft;
+        if prev = 0.0 && off < base +. c -. eps then
+          fail "plan: first checkpoint %g before base %g + C %g" off base c;
+        if prev > 0.0 && off -. prev < c -. eps then
+          fail "plan: segment [%g, %g] shorter than C = %g" prev off c;
+        if off <= prev then fail "plan: offsets not increasing at %g" off;
+        check off rest
+  in
+  check 0.0 plan
+
+let no_checkpoint = { name = "NoCheckpoint"; plan = (fun ~tleft:_ ~recovering:_ -> []) }
+
+let usable ~params ~tleft ~recovering =
+  if recovering then tleft -. params.Fault.Params.r else tleft
+
+let single_final ~params =
+  let c = params.Fault.Params.c in
+  let plan ~tleft ~recovering =
+    if usable ~params ~tleft ~recovering < c then [] else [ tleft ]
+  in
+  { name = "SingleFinal"; plan }
+
+let single_at ~params ~offset_from_end =
+  if offset_from_end < 0.0 then
+    invalid_arg "Policy.single_at: offset_from_end must be nonnegative";
+  let c = params.Fault.Params.c and r = params.Fault.Params.r in
+  let plan ~tleft ~recovering =
+    let base = if recovering then r else 0.0 in
+    if tleft -. base < c then []
+    else begin
+      (* Clamp so the checkpoint still fits after [base + c]. *)
+      let off = Float.max (base +. c) (tleft -. offset_from_end) in
+      [ Float.min off tleft ]
+    end
+  in
+  { name = Printf.sprintf "SingleAt(-%g)" offset_from_end; plan }
+
+(* [count] equal segments filling [tleft], last checkpoint at the end.
+   Shared by [equal_segments] and the threshold policies of lib/core. *)
+let equal_plan ~params ~tleft ~recovering ~count =
+  let c = params.Fault.Params.c and r = params.Fault.Params.r in
+  let base = if recovering then r else 0.0 in
+  let span = tleft -. base in
+  if span < c || count < 1 then []
+  else begin
+    (* Each segment must be able to hold its checkpoint. *)
+    let n = min count (int_of_float (floor (span /. c))) in
+    let n = max n 1 in
+    let seg = span /. float_of_int n in
+    List.init n (fun i -> base +. (float_of_int (i + 1) *. seg))
+  end
+
+let equal_segments ~params ~count =
+  if count < 1 then invalid_arg "Policy.equal_segments: count < 1";
+  let plan ~tleft ~recovering = equal_plan ~params ~tleft ~recovering ~count in
+  { name = Printf.sprintf "Equal(%d)" count; plan }
+
+let two_checkpoints ~params ~alpha =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Policy.two_checkpoints: alpha must lie in (0, 1)";
+  let c = params.Fault.Params.c and r = params.Fault.Params.r in
+  let plan ~tleft ~recovering =
+    let base = if recovering then r else 0.0 in
+    let span = tleft -. base in
+    if span < 2.0 *. c then
+      (* No room for two checkpoints: degrade to a single final one. *)
+      if span < c then [] else [ tleft ]
+    else begin
+      let first = base +. (alpha *. span) in
+      let first = Float.max (base +. c) (Float.min first (tleft -. c)) in
+      [ first; tleft ]
+    end
+  in
+  { name = Printf.sprintf "Two(%.3f)" alpha; plan }
+
+let periodic ~params ~period =
+  if period <= 0.0 then invalid_arg "Policy.periodic: period must be positive";
+  let c = params.Fault.Params.c and r = params.Fault.Params.r in
+  let plan ~tleft ~recovering =
+    let base = if recovering then r else 0.0 in
+    if tleft -. base < c then []
+    else begin
+      (* Checkpoints complete every [period + c]; when the remaining
+         stretch cannot hold a further full period, the final checkpoint
+         completes exactly at the end of the reservation. *)
+      let stride = period +. c in
+      let rec build acc last =
+        let rem = tleft -. last in
+        if rem <= stride +. c then
+          (* Final (possibly short) segment, checkpoint at the end; if
+             even a bare checkpoint does not fit, stop here. *)
+          if rem < c then List.rev acc else List.rev (tleft :: acc)
+        else build ((last +. stride) :: acc) (last +. stride)
+      in
+      build [] base
+    end
+  in
+  { name = Printf.sprintf "Periodic(%g)" period; plan }
+
+let max_work ~params ~tleft ~recovering =
+  let c = params.Fault.Params.c in
+  let span = usable ~params ~tleft ~recovering in
+  Float.max 0.0 (span -. c)

@@ -1,0 +1,48 @@
+type result = {
+  policy : string;
+  horizon : float;
+  traces : int;
+  proportion : Numerics.Stats.summary;
+  quantiles : float * float * float;
+  mean_work : float;
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+let evaluate ?ckpt_sampler ~params ~horizon ~policy traces =
+  let n = Array.length traces in
+  if n = 0 then invalid_arg "Runner.evaluate: no traces";
+  let prop = Numerics.Stats.acc_create () in
+  let samples = Array.make n 0.0 in
+  let work = ref 0.0 and fails = ref 0 and ckpts = ref 0 in
+  Array.iteri
+    (fun i trace ->
+      let outcome = Engine.run ?ckpt_sampler ~params ~horizon ~policy trace in
+      let p = Engine.proportion_of_work ~params ~horizon outcome in
+      Numerics.Stats.acc_add prop p;
+      samples.(i) <- p;
+      work := !work +. outcome.Engine.work_saved;
+      fails := !fails + outcome.Engine.failures;
+      ckpts := !ckpts + outcome.Engine.checkpoints)
+    traces;
+  let fn = float_of_int n in
+  {
+    policy = policy.Policy.name;
+    horizon;
+    traces = n;
+    proportion = Numerics.Stats.summarize prop;
+    quantiles =
+      ( Numerics.Stats.quantile samples ~q:0.05,
+        Numerics.Stats.median samples,
+        Numerics.Stats.quantile samples ~q:0.95 );
+    mean_work = !work /. fn;
+    mean_failures = float_of_int !fails /. fn;
+    mean_checkpoints = float_of_int !ckpts /. fn;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-22s T=%-8g traces=%-5d work=%.4f (±%.4f) failures=%.2f ckpts=%.2f"
+    r.policy r.horizon r.traces r.proportion.Numerics.Stats.mean
+    r.proportion.Numerics.Stats.ci95_half_width r.mean_failures
+    r.mean_checkpoints

@@ -1,0 +1,27 @@
+(** Multi-trace evaluation of a policy at one parameter point. *)
+
+type result = {
+  policy : string;
+  horizon : float;
+  traces : int;
+  proportion : Numerics.Stats.summary;
+      (** distribution of [work_saved / (horizon - c)] across traces *)
+  quantiles : float * float * float;
+      (** (p5, median, p95) of the proportion across traces *)
+  mean_work : float;
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+val evaluate :
+  ?ckpt_sampler:(unit -> float) ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  policy:Policy.t ->
+  Fault.Trace.t array ->
+  result
+(** Runs the policy on every trace and aggregates. Each trace is replayed
+    from its beginning, so passing the same array to several policies
+    compares them on identical failure scenarios. *)
+
+val pp_result : Format.formatter -> result -> unit

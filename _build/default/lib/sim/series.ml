@@ -1,0 +1,66 @@
+type outcome = {
+  reservations : int;
+  total_work : float;
+  failures : int;
+  completed : bool;
+}
+
+let run ?(max_reservations = 10_000) ~params ~policy ~reservation ~target_work
+    ~trace_for () =
+  if target_work <= 0.0 then invalid_arg "Series.run: target_work <= 0";
+  if reservation <= 0.0 then invalid_arg "Series.run: reservation <= 0";
+  let rec go ~i ~work ~failures =
+    if work >= target_work then
+      { reservations = i; total_work = work; failures; completed = true }
+    else if i >= max_reservations then
+      { reservations = i; total_work = work; failures; completed = false }
+    else begin
+      let outcome =
+        Engine.run ~params ~horizon:reservation ~policy (trace_for i)
+      in
+      go ~i:(i + 1)
+        ~work:(work +. outcome.Engine.work_saved)
+        ~failures:(failures + outcome.Engine.failures)
+    end
+  in
+  go ~i:0 ~work:0.0 ~failures:0
+
+type summary = {
+  policy : string;
+  repetitions : int;
+  reservations : Numerics.Stats.summary;
+  billed_time_mean : float;
+  incomplete : int;
+}
+
+let evaluate ?max_reservations ?(repetitions = 100) ~params ~policy
+    ~reservation ~target_work ~seed () =
+  if repetitions < 1 then invalid_arg "Series.evaluate: repetitions < 1";
+  let master = Numerics.Rng.create ~seed in
+  let dist =
+    Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
+  in
+  let acc = Numerics.Stats.acc_create () in
+  let incomplete = ref 0 in
+  for _ = 1 to repetitions do
+    (* One derived generator per repetition; each reservation inside
+       draws a fresh trace from it. *)
+    let rep_rng = Numerics.Rng.split master in
+    let trace_for _i =
+      Fault.Trace.create ~dist ~seed:(Numerics.Rng.bits64 rep_rng)
+    in
+    let outcome =
+      run ?max_reservations ~params ~policy ~reservation ~target_work
+        ~trace_for ()
+    in
+    Numerics.Stats.acc_add acc (float_of_int outcome.reservations);
+    if not outcome.completed then incr incomplete
+  done;
+  let reservations = Numerics.Stats.summarize acc in
+  {
+    policy = policy.Policy.name;
+    repetitions;
+    reservations;
+    billed_time_mean = reservations.Numerics.Stats.mean *. reservation;
+    incomplete = !incomplete;
+  }

@@ -1,0 +1,52 @@
+(** Reservation series: the paper's motivating scenario.
+
+    A job with a fixed total amount of work executes as a sequence of
+    fixed-length reservations; the work committed by checkpoints inside
+    each reservation carries over to the next (the final checkpoint of a
+    reservation is the restart point of the following one). The number
+    of reservations a strategy needs — i.e. the billed machine time — is
+    the end-to-end figure of merit for fixed-time checkpointing. *)
+
+type outcome = {
+  reservations : int;  (** reservations consumed *)
+  total_work : float;  (** work committed when the series stopped *)
+  failures : int;  (** failures across the whole series *)
+  completed : bool;  (** reached [total_work >= target] *)
+}
+
+val run :
+  ?max_reservations:int ->
+  params:Fault.Params.t ->
+  policy:Policy.t ->
+  reservation:float ->
+  target_work:float ->
+  trace_for:(int -> Fault.Trace.t) ->
+  unit ->
+  outcome
+(** [run ~params ~policy ~reservation ~target_work ~trace_for] simulates
+    reservations [0, 1, 2, …] (failure trace of reservation [i] given by
+    [trace_for i]) until the accumulated committed work reaches
+    [target_work] or [max_reservations] (default 10 000) is hit — the
+    cap guards against policies that never commit anything. Requires a
+    positive target and reservation length. *)
+
+type summary = {
+  policy : string;
+  repetitions : int;
+  reservations : Numerics.Stats.summary;
+  billed_time_mean : float;  (** mean reservations × reservation length *)
+  incomplete : int;  (** repetitions that hit the reservation cap *)
+}
+
+val evaluate :
+  ?max_reservations:int ->
+  ?repetitions:int ->
+  params:Fault.Params.t ->
+  policy:Policy.t ->
+  reservation:float ->
+  target_work:float ->
+  seed:int64 ->
+  unit ->
+  summary
+(** Repeats {!run} (default 100 times) with independent trace streams
+    derived from [seed] and aggregates. *)

@@ -1,0 +1,11 @@
+  $ ../../bin/main.exe list
+  $ ../../bin/main.exe analysis
+  $ ../../bin/main.exe thresholds --lambda 0.001 --c 20 --up-to 700
+  $ ../../bin/main.exe dp --lambda 0.01 --c 10 --length 150 --quantum 1
+  $ ../../bin/main.exe traces --count 5 --horizon 100 --out t.txt --seed 7
+  $ ../../bin/main.exe traces --check t.txt
+  $ ../../bin/main.exe figure fig99 --quiet 2>/dev/null
+  $ ../../bin/main.exe series --lambda 0.01 --c 10 --reservation 150 --work 500 --repetitions 20 --seed 3
+  $ ../../bin/main.exe breakdown --lambda 0.01 --c 10 --length 200 --traces 50 --seed 3
+  $ ../../bin/main.exe exact fig3 --t-step 400 --no-plot --csv exact.csv
+  $ cat exact.csv

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Core Fault List Printf QCheck QCheck_alcotest Sim

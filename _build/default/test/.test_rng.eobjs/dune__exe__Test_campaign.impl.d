@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Array Experiments Filename Fun List Output String Sys

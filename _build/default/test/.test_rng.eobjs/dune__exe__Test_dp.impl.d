@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Core Fault Float List Numerics Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_dp_renewal.ml: Alcotest Core Fault List Numerics Printf Sim

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fault Int64 List Printf QCheck QCheck_alcotest Sim

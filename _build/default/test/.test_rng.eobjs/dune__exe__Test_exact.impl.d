@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Experiments Filename Lazy List Option String Sys

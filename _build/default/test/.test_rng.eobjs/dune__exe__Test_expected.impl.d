@@ -1,0 +1,1 @@
+test/test_expected.ml: Alcotest Array Core Fault Float Int64 List Numerics Printf QCheck QCheck_alcotest Sim String

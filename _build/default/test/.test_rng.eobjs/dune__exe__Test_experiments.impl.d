@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Fault Filename Lazy List Option Output Parallel Printf String Sys

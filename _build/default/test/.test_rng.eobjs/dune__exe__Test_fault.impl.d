@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Fault Float Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lambert.ml: Alcotest List Numerics Printf QCheck QCheck_alcotest

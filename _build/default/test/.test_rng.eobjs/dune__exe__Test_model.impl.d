@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Core Fault List Numerics Printf QCheck QCheck_alcotest Sim

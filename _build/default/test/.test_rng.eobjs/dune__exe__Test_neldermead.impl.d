@@ -1,0 +1,1 @@
+test/test_neldermead.ml: Alcotest Array Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_optimal.ml: Alcotest Core Fault List Numerics Printf Sim

@@ -1,0 +1,1 @@
+test/test_output.ml: Alcotest Filename List Output String Sys

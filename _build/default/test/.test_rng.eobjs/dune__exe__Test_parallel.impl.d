@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Core Fault Parallel Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Core Fault Float List Printf QCheck QCheck_alcotest Sim

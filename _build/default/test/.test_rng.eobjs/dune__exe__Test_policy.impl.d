@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Fault Printf QCheck QCheck_alcotest Sim

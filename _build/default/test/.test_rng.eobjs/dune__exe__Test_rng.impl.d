@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Int64 Numerics Printf QCheck QCheck_alcotest

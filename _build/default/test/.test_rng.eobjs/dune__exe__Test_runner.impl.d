@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Fault Format Numerics Printf Sim String

@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Array Fault List Numerics Printf Sim

@@ -1,0 +1,1 @@
+test/test_slack.ml: Alcotest Core Fault List Numerics Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_threshold.ml: Alcotest Array Core Fault List Printf QCheck QCheck_alcotest

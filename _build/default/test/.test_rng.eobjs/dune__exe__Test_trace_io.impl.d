@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Fault Filename Float Fun Printf Sim String Sys

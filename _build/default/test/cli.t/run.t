@@ -1,0 +1,148 @@
+Golden tests for the fixedlen CLI. Everything below is deterministic:
+fixed seeds, analytic computations, no wall-clock dependence.
+
+The figure registry:
+
+  $ ../../bin/main.exe list
+  fig2                 proportion of work, λ=0.001, D=0, all C
+  fig3                 extreme case: λ=0.01, D=0, C ∈ {80, 160}
+  fig4                 impact of the DP quantum, λ=0.001, D=0, C=20
+  fig5                 quantum impact, short reservations (fig4, T <= 100)
+  fig6                 proportion of work, λ=0.01, D=0, all C
+  fig7                 proportion of work, λ=0.001, D=0, all C (= fig2)
+  fig8                 proportion of work, λ=0.0001, D=0, all C
+  fig9                 proportion of work, λ=0.01, D=5, all C
+  fig10                proportion of work, λ=0.001, D=5, all C
+  fig11                proportion of work, λ=0.0001, D=5, all C
+  fig12                quantum impact across C, λ=0.0001, D=0
+  ext-weibull          robustness: Weibull(k=0.7) failures with the exponential-model policies, λ-equivalent MTBF 1000, D=0
+  ext-lognormal        robustness: LogNormal(σ=1.2) failures, MTBF 1000, D=0
+  ext-renewal          extension: renewal-aware DP vs exponential-derived strategies on Weibull(k=0.7) failures, MTBF 1000, C=20, D=0
+  ext-ablation         ablation: fixed-work-optimal periods, single-final checkpoint, continuous-offset and k-free optima against the paper strategies (λ=0.001, D=0, C=20)
+  ext-stochastic-ckpt  robustness: checkpoint duration Erlang(4) with mean C, λ=0.001, D=0
+
+Section 4 case studies:
+
+  $ ../../bin/main.exe analysis
+  == Section 4.2: single checkpoint in a short reservation ==
+  setting: T=6, C=R=4, D=0; gain of checkpointing at the end
+  crossover rate: ln 2 = 0.693147
+      λ  gain(end vs early)  better               
+  ------------------------------------------------
+  0.100            +0.49109  checkpoint at the end
+  0.300            +0.10747  checkpoint at the end
+  0.500            +0.01749  checkpoint at the end
+  0.693            +0.00000  checkpoint at the end
+  0.800            -0.00186  checkpoint early     
+  1.000            -0.00178  checkpoint early     
+  1.500            -0.00031  checkpoint early     
+  
+  == Section 4.3: optimal two-checkpoint split α_opt(T) ==
+     T   α_opt  first ckpt at  equal split would be
+  -------------------------------------------------
+   100  0.5960           59.6                  50.0
+   200  0.5397          107.9                 100.0
+   400  0.5017          200.7                 200.0
+   800  0.4621          369.7                 400.0
+  1600  0.3987          637.9                 800.0
+  3200  0.2869          917.9                1600.0
+  (α_opt → 1/2 as λ → 0: equal splitting is only asymptotically optimal)
+
+Threshold tables (Section 5):
+
+  $ ../../bin/main.exe thresholds --lambda 0.001 --c 20 --up-to 700
+  thresholds for {λ=0.001; C=20; R=20; D=0} (plan n checkpoints when T_n <= time left < T_n+1)
+  Young/Daly period: 200.00
+  n  T_n numerical  T_n first-order  geometric-mean approx
+  --------------------------------------------------------
+  1           0.00                0                      -
+  2         293.27           282.84                 282.84
+  3         507.19           489.90                 489.90
+
+The dynamic program on a small instance:
+
+  $ ../../bin/main.exe dp --lambda 0.01 --c 10 --length 150 --quantum 1
+  DP for {λ=0.01; C=10; R=10; D=0}, T=150, u=1 (kmax=15)
+  expected work: 82.4723 (upper bound 140.0000, proportion 0.5891)
+  optimal number of checkpoints: 3
+  failure-free checkpoint completions: 49, 99, 150
+  strategy            expected work
+  ---------------------------------
+  DynamicProgramming        82.4723
+  NumericalOptimum          82.4112
+  FirstOrder                82.3488
+  YoungDaly                 81.5239
+  SingleFinal               61.4941
+
+Trace files round-trip:
+
+  $ ../../bin/main.exe traces --count 5 --horizon 100 --out t.txt --seed 7
+  wrote 5 traces covering horizon 100 to t.txt
+  $ ../../bin/main.exe traces --check t.txt
+  t.txt: 5 traces, 6 IATs, empirical MTBF 1702.12 (min 0.653, max 4.66e+03)
+
+Unknown figures are rejected:
+
+  $ ../../bin/main.exe figure fig99 --quiet 2>/dev/null
+  [2]
+
+The reservation-series and breakdown subcommands are deterministic for a
+fixed seed:
+
+  $ ../../bin/main.exe series --lambda 0.01 --c 10 --reservation 150 --work 500 --repetitions 20 --seed 3
+  campaign of 500 work units in reservations of 150 on {λ=0.01; C=10; R=10; D=0} (20 repetitions)
+  strategy            reservations  ±95%  billed time  incomplete
+  ---------------------------------------------------------------
+  YoungDaly                   6.45  0.46          968           0
+  FirstOrder                  6.40  0.36          960           0
+  NumericalOptimum            6.45  0.48          968           0
+  DynamicProgramming          6.45  0.48          968           0
+  SingleFinal                 8.30  1.16         1245           0
+
+  $ ../../bin/main.exe breakdown --lambda 0.01 --c 10 --length 200 --traces 50 --seed 3
+  where does the reservation go? {λ=0.01; C=10; R=10; D=0}, T=200, 50 traces
+  strategy            work %  ckpt %  recovery %  down %  lost %  unused %
+  ------------------------------------------------------------------------
+  YoungDaly             53.6    13.7         6.0     0.0    25.8       0.9
+  FirstOrder            55.7    17.9         6.1     0.0    19.4       0.9
+  NumericalOptimum      55.2    14.9         6.1     0.0    22.9       0.9
+  DynamicProgramming    55.3    14.9         6.0     0.0    22.5       1.3
+
+Exact (noise-free) figure regeneration is fully deterministic:
+
+  $ ../../bin/main.exe exact fig3 --t-step 400 --no-plot --csv exact.csv
+  wrote exact.csv
+  $ cat exact.csv
+  figure,c,strategy,t,exact_proportion
+  fig3,80,YoungDaly,480,0.09673243
+  fig3,80,YoungDaly,880,0.08979773
+  fig3,80,YoungDaly,1280,0.08712689
+  fig3,80,YoungDaly,1680,0.08578825
+  fig3,80,FirstOrder,480,0.09356085
+  fig3,80,FirstOrder,880,0.08812476
+  fig3,80,FirstOrder,1280,0.08611744
+  fig3,80,FirstOrder,1680,0.08485464
+  fig3,80,NumericalOptimum,480,0.10726654
+  fig3,80,NumericalOptimum,880,0.09783897
+  fig3,80,NumericalOptimum,1280,0.09542387
+  fig3,80,NumericalOptimum,1680,0.09396618
+  fig3,80,DynamicProgramming,480,0.10835413
+  fig3,80,DynamicProgramming,880,0.09933777
+  fig3,80,DynamicProgramming,1280,0.09638679
+  fig3,80,DynamicProgramming,1680,0.09491017
+  fig3,160,YoungDaly,560,0.02264108
+  fig3,160,YoungDaly,960,0.01681356
+  fig3,160,YoungDaly,1360,0.01537834
+  fig3,160,YoungDaly,1760,0.01466781
+  fig3,160,FirstOrder,560,0.01833104
+  fig3,160,FirstOrder,960,0.01467334
+  fig3,160,FirstOrder,1360,0.00927346
+  fig3,160,FirstOrder,1760,0.00944961
+  fig3,160,NumericalOptimum,560,0.02645183
+  fig3,160,NumericalOptimum,960,0.02117615
+  fig3,160,NumericalOptimum,1360,0.01929574
+  fig3,160,NumericalOptimum,1760,0.01853704
+  fig3,160,DynamicProgramming,560,0.02788277
+  fig3,160,DynamicProgramming,960,0.02199357
+  fig3,160,DynamicProgramming,1360,0.02005277
+  fig3,160,DynamicProgramming,1760,0.01908249

@@ -1,0 +1,179 @@
+(* Tests for Core.Analysis: the Section 4 case studies, cross-validated
+   against Monte-Carlo simulation and the generic expected-gain
+   evaluator. *)
+
+module A = Core.Analysis
+module P = Fault.Params
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+(* 4.2: single checkpoint in a short reservation *)
+
+let test_gain_formula_values () =
+  close "gain at crossover is zero" 0.0
+    (A.short_reservation_gain ~lambda:A.short_reservation_crossover);
+  Alcotest.(check bool) "end wins for small lambda" true
+    (A.short_reservation_gain ~lambda:0.3 > 0.0);
+  Alcotest.(check bool) "early wins for large lambda" true
+    (A.short_reservation_gain ~lambda:1.0 < 0.0)
+
+let test_gain_matches_general_formula () =
+  (* The concrete example is the shift = 1 instance of single_shift_gain
+     with T = 6, C = R = 4. *)
+  let params = P.make ~lambda:0.9 ~c:4.0 ~r:4.0 ~d:0.0 in
+  close ~eps:1e-12 "general formula agrees"
+    (A.short_reservation_gain ~lambda:0.9)
+    (A.single_shift_gain ~params ~t:6.0 ~shift:1.0)
+
+let simulate_single_shift ~lambda ~shift ~reps =
+  (* T=6, C=R=4, D=0: work saved is (6 - shift) - 4 iff no failure before
+     the checkpoint completes at 6 - shift; no recursion is possible. *)
+  let params = P.make ~lambda ~c:4.0 ~r:4.0 ~d:0.0 in
+  let policy = Sim.Policy.single_at ~params ~offset_from_end:shift in
+  let traces =
+    Fault.Trace.batch ~dist:(Fault.Trace.Exponential { rate = lambda })
+      ~seed:31L ~n:reps
+  in
+  let r = Sim.Runner.evaluate ~params ~horizon:6.0 ~policy traces in
+  r.Sim.Runner.mean_work
+
+let test_gain_matches_simulation () =
+  (* At λ = 1.2 > ln 2 the early strategy must beat the final one, and
+     the measured difference must match the closed form. *)
+  let lambda = 1.2 in
+  let reps = 300_000 in
+  let at_end = simulate_single_shift ~lambda ~shift:0.0 ~reps in
+  let early = simulate_single_shift ~lambda ~shift:1.0 ~reps in
+  let measured_gain = at_end -. early in
+  let analytic = A.short_reservation_gain ~lambda in
+  Alcotest.(check bool) "early strategy wins" true (early > at_end);
+  close ~eps:5e-3 "measured gain matches formula" analytic measured_gain
+
+let test_best_single_shift () =
+  let params = P.make ~lambda:2.0 ~c:4.0 ~r:4.0 ~d:0.0 in
+  let s = A.best_single_shift ~params ~t:6.0 in
+  (* value function: e^{-2(6-s)} (2 - s); optimum at s = 2 - 1/2 = 1.5
+     (stationary point of (2-s) e^{2s}). *)
+  close ~eps:1e-6 "interior optimum" 1.5 s;
+  (* tiny lambda: checkpoint at the very end *)
+  let params0 = P.make ~lambda:1e-6 ~c:4.0 ~r:4.0 ~d:0.0 in
+  close ~eps:1e-6 "no shift for reliable platforms" 0.0
+    (A.best_single_shift ~params:params0 ~t:6.0)
+
+(* 4.3: two checkpoints *)
+
+let test_two_ckpt_gain_consistency () =
+  (* The closed form must agree with the generic until-first-failure
+     evaluator on the explicit plans. *)
+  let params = P.paper ~lambda:0.004 ~c:15.0 ~d:0.0 in
+  let t = 300.0 in
+  List.iter
+    (fun alpha ->
+      let expected =
+        Core.Expected.gain_vs ~params
+          ~offsets1:[ alpha *. t; t ]
+          ~offsets2:[ t ]
+      in
+      close ~eps:1e-10
+        (Printf.sprintf "alpha = %g" alpha)
+        expected
+        (A.two_ckpt_gain ~params ~t ~alpha))
+    [ 0.2; 0.35; 0.5; 0.65; 0.8 ]
+
+let test_alpha_opt_is_stationary () =
+  let params = P.paper ~lambda:0.003 ~c:10.0 ~d:0.0 in
+  let t = 500.0 in
+  let alpha = A.alpha_opt ~params ~t in
+  let g a = A.two_ckpt_gain ~params ~t ~alpha:a in
+  let eps = 1e-5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha_opt = %.4f maximises the gain" alpha)
+    true
+    (g alpha >= g (alpha +. eps) && g alpha >= g (alpha -. eps))
+
+let test_alpha_opt_not_half () =
+  (* The headline of Section 4.3: equal splitting is not optimal. *)
+  let params = P.paper ~lambda:0.01 ~c:10.0 ~d:0.0 in
+  let alpha = A.alpha_opt ~params ~t:400.0 in
+  Alcotest.(check bool) "alpha differs from 1/2" true
+    (abs_float (alpha -. 0.5) > 0.01)
+
+let test_alpha_opt_limit_half () =
+  (* λ -> 0 with T at the Young/Daly scale: α -> 1/2 (first-order
+     result at the end of Section 4.3). *)
+  let deviation lambda =
+    let c = 10.0 in
+    let params = P.paper ~lambda ~c ~d:0.0 in
+    let t = sqrt (2.0 *. c /. lambda) *. 1.5 in
+    abs_float (A.alpha_opt ~params ~t -. 0.5)
+  in
+  Alcotest.(check bool) "deviation shrinks" true
+    (deviation 1e-6 < deviation 1e-4 && deviation 1e-4 < deviation 1e-2);
+  Alcotest.(check bool) "close to half at 1e-7" true (deviation 1e-7 < 0.02)
+
+let test_alpha_opt_bounds () =
+  let params = P.paper ~lambda:0.5 ~c:10.0 ~d:0.0 in
+  (* Very failure-heavy: the zero of g may fall outside [c/t, 1 - c/t];
+     the result must be clamped inside. *)
+  let t = 25.0 in
+  let alpha = A.alpha_opt ~params ~t in
+  Alcotest.(check bool) "within feasible band" true
+    (alpha >= 10.0 /. t -. 1e-12 && alpha <= 1.0 -. (10.0 /. t) +. 1e-12)
+
+let test_validation () =
+  let params = P.paper ~lambda:0.01 ~c:10.0 ~d:0.0 in
+  Alcotest.check_raises "t < 2c" (Invalid_argument "Analysis.alpha_opt: t < 2c")
+    (fun () -> ignore (A.alpha_opt ~params ~t:15.0));
+  Alcotest.check_raises "shift out of range"
+    (Invalid_argument "Analysis.single_shift_gain: shift outside [0, t - c]")
+    (fun () -> ignore (A.single_shift_gain ~params ~t:20.0 ~shift:15.0))
+
+let qcheck_tests =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* lambda = float_range 1e-4 0.05 in
+        let* c = float_range 1.0 30.0 in
+        let* factor = float_range 2.5 20.0 in
+        return (P.paper ~lambda ~c ~d:0.0, factor *. c))
+      ~print:(fun (p, t) -> Printf.sprintf "%s t=%g" (P.to_string p) t)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"alpha_opt stays feasible" ~count:1000 arb
+         (fun (params, t) ->
+           let alpha = A.alpha_opt ~params ~t in
+           let c = params.P.c in
+           alpha >= (c /. t) -. 1e-9 && alpha <= 1.0 -. (c /. t) +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"alpha_opt no worse than equal split"
+         ~count:1000 arb (fun (params, t) ->
+           let alpha = A.alpha_opt ~params ~t in
+           A.two_ckpt_gain ~params ~t ~alpha
+           >= A.two_ckpt_gain ~params ~t ~alpha:0.5 -. 1e-9));
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "short reservation (4.2)",
+        [
+          Alcotest.test_case "closed form and crossover" `Quick
+            test_gain_formula_values;
+          Alcotest.test_case "matches general formula" `Quick
+            test_gain_matches_general_formula;
+          Alcotest.test_case "matches simulation" `Slow test_gain_matches_simulation;
+          Alcotest.test_case "best shift" `Quick test_best_single_shift;
+        ] );
+      ( "two checkpoints (4.3)",
+        [
+          Alcotest.test_case "gain closed form" `Quick test_two_ckpt_gain_consistency;
+          Alcotest.test_case "alpha_opt stationarity" `Quick
+            test_alpha_opt_is_stationary;
+          Alcotest.test_case "not 1/2 in general" `Quick test_alpha_opt_not_half;
+          Alcotest.test_case "limit 1/2" `Quick test_alpha_opt_limit_half;
+          Alcotest.test_case "clamped to feasible band" `Quick test_alpha_opt_bounds;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", qcheck_tests);
+    ]

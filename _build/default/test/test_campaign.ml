@@ -1,0 +1,144 @@
+(* Tests for Output.Markdown and Experiments.Campaign. *)
+
+module Md = Output.Markdown
+module C = Experiments.Campaign
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Markdown *)
+
+let test_markdown_heading () =
+  let md = Md.create () in
+  Md.heading md ~level:2 "Results";
+  Alcotest.(check string) "rendered" "## Results\n\n" (Md.contents md)
+
+let test_markdown_heading_validation () =
+  let md = Md.create () in
+  (match Md.heading md ~level:0 "x" with
+  | () -> Alcotest.fail "level 0 accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_markdown_table () =
+  let md = Md.create () in
+  Md.table md ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "x|y"; "z" ] ];
+  let s = Md.contents md in
+  Alcotest.(check bool) "header row" true (contains s "| a | b |");
+  Alcotest.(check bool) "rule" true (contains s "|---|---|");
+  Alcotest.(check bool) "pipe escaped" true (contains s "x\\|y")
+
+let test_markdown_table_validation () =
+  let md = Md.create () in
+  (match Md.table md ~header:[ "a" ] [ [ "1"; "2" ] ] with
+  | () -> Alcotest.fail "arity mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  (match Md.table md ~header:[] [] with
+  | () -> Alcotest.fail "empty header accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_markdown_document () =
+  let md = Md.create () in
+  Md.heading md ~level:1 "T";
+  Md.paragraph md "p";
+  Md.bullet md [ "one"; "two" ];
+  Md.code_block ~lang:"ocaml" md "let x = 1";
+  let s = Md.contents md in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (contains s fragment))
+    [ "# T"; "p\n"; "- one\n- two"; "```ocaml\nlet x = 1\n```" ]
+
+let test_markdown_to_file () =
+  let path = Filename.temp_file "fixedlen_md" ".md" in
+  let md = Md.create () in
+  Md.heading md ~level:1 "File";
+  Md.to_file md ~path;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "first line" "# File" line
+
+(* Campaign *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "fixedlen_campaign" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_campaign_runs_selection () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          C.out_dir = dir;
+          n_traces = Some 30;
+          t_step = Some 300.0;
+          t_max = Some 900.0;
+          figure_ids = Some [ "fig3" ];
+        }
+      in
+      let results = C.run config in
+      Alcotest.(check int) "one figure" 1 (List.length results);
+      Alcotest.(check bool) "csv written" true
+        (Sys.file_exists (Filename.concat dir "fig3.csv"));
+      let md = Md.contents (C.markdown_report results) in
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool) fragment true (contains md fragment))
+        [ "# Experiment report"; "## fig3"; "YoungDaly"; "qualitative" ]
+      |> ignore)
+
+let test_campaign_unknown_figure () =
+  (match
+     C.run { C.default_config with C.figure_ids = Some [ "nope" ] }
+   with
+  | _ -> Alcotest.fail "unknown figure accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_campaign_write_report () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          C.out_dir = dir;
+          n_traces = Some 20;
+          t_step = Some 500.0;
+          t_max = Some 1000.0;
+          figure_ids = Some [ "fig3" ];
+        }
+      in
+      let results = C.run config in
+      let path = Filename.concat dir "report.md" in
+      C.write_report results ~path;
+      Alcotest.(check bool) "report exists" true (Sys.file_exists path))
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "markdown",
+        [
+          Alcotest.test_case "heading" `Quick test_markdown_heading;
+          Alcotest.test_case "heading validation" `Quick
+            test_markdown_heading_validation;
+          Alcotest.test_case "table" `Quick test_markdown_table;
+          Alcotest.test_case "table validation" `Quick
+            test_markdown_table_validation;
+          Alcotest.test_case "document" `Quick test_markdown_document;
+          Alcotest.test_case "to_file" `Quick test_markdown_to_file;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "selected figure end-to-end" `Slow
+            test_campaign_runs_selection;
+          Alcotest.test_case "unknown figure" `Quick test_campaign_unknown_figure;
+          Alcotest.test_case "write report" `Slow test_campaign_write_report;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+(* Tests for Sim.Engine: exact outcomes on hand-crafted failure traces,
+   downtime/exposure accounting, the stochastic-checkpoint mode, event
+   recording and invariants under random traces. *)
+
+module P = Sim.Policy
+module E = Sim.Engine
+module T = Fault.Trace
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let params = Fault.Params.make ~lambda:0.001 ~c:10.0 ~r:8.0 ~d:5.0
+let quiet_trace () = T.of_iats [| 1.0e9 |]
+
+let run ?record ?ckpt_sampler ~policy ~horizon trace =
+  E.run ?record ?ckpt_sampler ~params ~horizon ~policy trace
+
+let test_no_failure_single () =
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:100.0 (quiet_trace ()) in
+  close "saved all but C" 90.0 outcome.E.work_saved;
+  Alcotest.(check int) "one checkpoint" 1 outcome.E.checkpoints;
+  Alcotest.(check int) "no failure" 0 outcome.E.failures;
+  Alcotest.(check int) "one plan" 1 outcome.E.replans
+
+let test_no_failure_periodic () =
+  let policy = P.equal_segments ~params ~count:4 in
+  let outcome = run ~policy ~horizon:100.0 (quiet_trace ()) in
+  close "saved all but 4C" 60.0 outcome.E.work_saved;
+  Alcotest.(check int) "four checkpoints" 4 outcome.E.checkpoints
+
+let test_failure_before_first_ckpt_then_recover () =
+  (* Horizon 100, single final checkpoint at 100. Failure at exposed 50:
+     everything lost; downtime 5, replan at tleft = 45, new checkpoint
+     completes at 45 (including recovery 8): saved 45 - 8 - 10 = 27. *)
+  let trace = T.of_iats [| 50.0; 1.0e9 |] in
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:100.0 trace in
+  close "saved after recovery" 27.0 outcome.E.work_saved;
+  Alcotest.(check int) "one failure" 1 outcome.E.failures;
+  Alcotest.(check int) "two plans" 2 outcome.E.replans
+
+let test_failure_too_late_to_recover () =
+  (* Failure at 95: tleft after downtime = 0 < R + C: nothing saved. *)
+  let trace = T.of_iats [| 95.0; 1.0e9 |] in
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:100.0 trace in
+  close "nothing saved" 0.0 outcome.E.work_saved;
+  Alcotest.(check int) "one failure" 1 outcome.E.failures
+
+let test_committed_work_survives_failure () =
+  (* Two equal segments over 100: checkpoints at 50 and 100. Failure at
+     exposed 70 loses only the second segment; replanning at
+     tleft = 100 - 70 - 5 = 25 allows one more checkpoint at 25:
+     25 - 8 - 10 = 7 more work. Total = (50-10) + 7 = 47. *)
+  let trace = T.of_iats [| 70.0; 1.0e9 |] in
+  let policy = P.equal_segments ~params ~count:2 in
+  let outcome = run ~policy ~horizon:100.0 trace in
+  close "first segment plus recovered tail" 47.0 outcome.E.work_saved;
+  Alcotest.(check int) "two checkpoints" 2 outcome.E.checkpoints;
+  Alcotest.(check int) "one failure" 1 outcome.E.failures
+
+let test_downtime_not_exposed () =
+  (* Failures at exposed times 50 and 60. After the first failure the
+     clock of the second keeps running only during exposed time, so the
+     second failure strikes 10 exposed units into the recovery attempt,
+     i.e. at wall 50 + 5 (downtime) + 10 = 65. With single_final, replan
+     after second failure: tleft = 100 - 65 - 5 = 30 -> save 30-8-10=12. *)
+  let trace = T.of_iats [| 50.0; 10.0; 1.0e9 |] in
+  let outcome =
+    run ~record:true ~policy:(P.single_final ~params) ~horizon:100.0 trace
+  in
+  Alcotest.(check int) "two failures" 2 outcome.E.failures;
+  close "final work" 12.0 outcome.E.work_saved;
+  (* check the wall time of the second failure from the event log *)
+  let failure_times =
+    List.filter_map
+      (function E.Failure { at; _ } -> Some at | _ -> None)
+      outcome.E.events
+  in
+  Alcotest.(check (list (float 1e-9))) "failure wall times" [ 50.0; 65.0 ]
+    failure_times
+
+let test_multiple_failures_give_up () =
+  (* Failures hammer the execution every 3 exposed units: R + C = 18
+     never fits between failures... but the engine must terminate and
+     save nothing. *)
+  let trace = T.of_iats (Array.make 200 3.0) in
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:100.0 trace in
+  close "nothing saved" 0.0 outcome.E.work_saved;
+  Alcotest.(check bool) "several failures" true (outcome.E.failures > 3)
+
+let test_events_chronological () =
+  let trace = T.of_iats [| 70.0; 1.0e9 |] in
+  let policy = P.equal_segments ~params ~count:2 in
+  let outcome = run ~record:true ~policy ~horizon:100.0 trace in
+  let times =
+    List.map
+      (function
+        | E.Segment_saved { finish; _ } -> finish
+        | E.Failure { at; _ } -> at
+        | E.Gave_up { at } -> at)
+      outcome.E.events
+  in
+  let sorted = List.sort compare times in
+  Alcotest.(check (list (float 1e-9))) "events in order" sorted times;
+  (* and the lost time at the failure is relative to the last commit *)
+  (match
+     List.find_opt (function E.Failure _ -> true | _ -> false) outcome.E.events
+   with
+  | Some (E.Failure { lost; _ }) -> close "lost since last commit" 20.0 lost
+  | _ -> Alcotest.fail "no failure event")
+
+let test_no_events_without_record () =
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:100.0 (quiet_trace ()) in
+  Alcotest.(check int) "no events" 0 (List.length outcome.E.events)
+
+let test_stochastic_checkpoint_shifts () =
+  (* Deterministic sampler making every checkpoint 5 units longer: the
+     work saved per segment is unchanged, but the completion shifts.
+     Equal(2) on 100: planned completions 50 and 100; actual durations 15
+     mean the second completion would be 110 > 100: the second segment is
+     lost. Saved = first segment work = 50 - 10 = 40. *)
+  let sampler () = 15.0 in
+  let policy = P.equal_segments ~params ~count:2 in
+  let outcome =
+    run ~ckpt_sampler:sampler ~policy ~horizon:100.0 (quiet_trace ())
+  in
+  close "only first segment saved" 40.0 outcome.E.work_saved;
+  Alcotest.(check int) "one checkpoint" 1 outcome.E.checkpoints
+
+let test_stochastic_checkpoint_shorter () =
+  (* Faster checkpoints do not change committed work (the plan is already
+     fixed), but everything still completes. *)
+  let sampler () = 5.0 in
+  let policy = P.equal_segments ~params ~count:2 in
+  let outcome =
+    run ~ckpt_sampler:sampler ~policy ~horizon:100.0 (quiet_trace ())
+  in
+  close "both segments saved" 80.0 outcome.E.work_saved;
+  Alcotest.(check int) "two checkpoints" 2 outcome.E.checkpoints
+
+let test_proportion_metric () =
+  let outcome = run ~policy:(P.single_final ~params) ~horizon:110.0 (quiet_trace ()) in
+  close "proportion 1" 1.0 (E.proportion_of_work ~params ~horizon:110.0 outcome);
+  Alcotest.check_raises "horizon <= c"
+    (Invalid_argument "Engine.proportion_of_work: horizon must exceed C")
+    (fun () -> ignore (E.proportion_of_work ~params ~horizon:5.0 outcome))
+
+let test_malformed_policy_rejected () =
+  let bad = P.make ~name:"bad" (fun ~tleft ~recovering:_ -> [ tleft +. 50.0 ]) in
+  match run ~policy:bad ~horizon:100.0 (quiet_trace ()) with
+  | _ -> Alcotest.fail "malformed plan accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Invariants under random traces and policies. *)
+
+let qcheck_tests =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* horizon = float_range 20.0 2000.0 in
+      let* count = int_range 1 8 in
+      return (seed, horizon, count))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (s, h, k) ->
+        Printf.sprintf "seed=%d horizon=%g count=%d" s h k)
+  in
+  let outcome_of (seed, horizon, count) policy =
+    let trace =
+      T.create
+        ~dist:(T.Exponential { rate = 0.002 })
+        ~seed:(Int64.of_int seed)
+    in
+    E.run ~params ~horizon ~policy:(policy count) trace
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"work saved within bounds" ~count:1000 arb
+         (fun ((_, horizon, _) as case) ->
+           let outcome =
+             outcome_of case (fun count -> P.equal_segments ~params ~count)
+           in
+           outcome.E.work_saved >= 0.0
+           && outcome.E.work_saved
+              <= P.max_work ~params ~tleft:horizon ~recovering:false +. 1e-6));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"periodic policy also within bounds" ~count:500
+         arb
+         (fun ((_, horizon, _) as case) ->
+           let outcome =
+             outcome_of case (fun count ->
+                 P.periodic ~params ~period:(10.0 *. float_of_int count))
+           in
+           outcome.E.work_saved >= 0.0
+           && outcome.E.work_saved
+              <= P.max_work ~params ~tleft:horizon ~recovering:false +. 1e-6));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"same trace, same outcome (replay)" ~count:300
+         arb
+         (fun ((seed, horizon, count) as _case) ->
+           let trace () =
+             T.create
+               ~dist:(T.Exponential { rate = 0.002 })
+               ~seed:(Int64.of_int seed)
+           in
+           let policy = P.equal_segments ~params ~count in
+           let o1 = E.run ~params ~horizon ~policy (trace ()) in
+           let o2 = E.run ~params ~horizon ~policy (trace ()) in
+           o1.E.work_saved = o2.E.work_saved
+           && o1.E.failures = o2.E.failures));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "failure-free",
+        [
+          Alcotest.test_case "single checkpoint" `Quick test_no_failure_single;
+          Alcotest.test_case "equal segments" `Quick test_no_failure_periodic;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "recover after losing everything" `Quick
+            test_failure_before_first_ckpt_then_recover;
+          Alcotest.test_case "failure too late to recover" `Quick
+            test_failure_too_late_to_recover;
+          Alcotest.test_case "committed work survives" `Quick
+            test_committed_work_survives_failure;
+          Alcotest.test_case "downtime is not exposed" `Quick
+            test_downtime_not_exposed;
+          Alcotest.test_case "give up under hammering" `Quick
+            test_multiple_failures_give_up;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "chronological" `Quick test_events_chronological;
+          Alcotest.test_case "off by default" `Quick test_no_events_without_record;
+        ] );
+      ( "stochastic checkpoints",
+        [
+          Alcotest.test_case "overrun loses the tail" `Quick
+            test_stochastic_checkpoint_shifts;
+          Alcotest.test_case "shorter checkpoints keep the plan" `Quick
+            test_stochastic_checkpoint_shorter;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "proportion of work" `Quick test_proportion_metric;
+          Alcotest.test_case "malformed policies rejected" `Quick
+            test_malformed_policy_rejected;
+        ] );
+      ("properties", qcheck_tests);
+    ]

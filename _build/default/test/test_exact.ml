@@ -1,0 +1,131 @@
+(* Tests for Experiments.Exact: noise-free curves against the simulated
+   ones, the dominance structure, and input validation. *)
+
+module Ex = Experiments.Exact
+module Spec = Experiments.Spec
+module Figures = Experiments.Figures
+
+let spec () =
+  {
+    (Figures.scale ~t_step:150.0 ~t_max:900.0
+       (Option.get (Figures.find "fig3")))
+    with
+    Spec.cs = [ 80.0 ];
+  }
+
+let curves = lazy (Ex.figure (spec ()))
+
+let find name =
+  List.find (fun (c : Ex.curve) -> c.Ex.name = name) (Lazy.force curves)
+
+let test_all_strategies_present () =
+  let names = List.map (fun (c : Ex.curve) -> c.Ex.name) (Lazy.force curves) in
+  Alcotest.(check (list string)) "paper strategies"
+    [ "YoungDaly"; "FirstOrder"; "NumericalOptimum"; "DynamicProgramming" ]
+    names
+
+let test_values_in_unit_interval () =
+  List.iter
+    (fun (curve : Ex.curve) ->
+      Array.iter
+        (fun (t, v) ->
+          if v < 0.0 || v > 1.0 then
+            Alcotest.failf "%s at T=%g: %g outside [0,1]" curve.Ex.name t v)
+        curve.Ex.points)
+    (Lazy.force curves)
+
+let test_dp_dominates_pointwise () =
+  (* Exact values: the optimum must dominate at EVERY grid point, not
+     just on average (no sampling noise to hide behind). *)
+  let dp = find "DynamicProgramming" in
+  List.iter
+    (fun name ->
+      let other = find name in
+      Array.iteri
+        (fun i (t, v) ->
+          let _, dv = dp.Ex.points.(i) in
+          if v > dv +. 1e-9 then
+            Alcotest.failf "%s beats DP at T=%g: %g > %g" name t v dv)
+        other.Ex.points)
+    [ "YoungDaly"; "FirstOrder"; "NumericalOptimum" ]
+
+let test_matches_simulation () =
+  (* The simulated means must sit near the exact values (CI + small
+     quantisation bias). *)
+  let spec = Figures.scale ~n_traces:400 (spec ()) in
+  let sim = Experiments.Runner.run spec in
+  let exact_dp = find "DynamicProgramming" in
+  match
+    Experiments.Runner.curve_for sim ~c:80.0
+      ~strategy:(Spec.Dynamic_programming { quantum = 1.0 })
+  with
+  | None -> Alcotest.fail "missing simulated DP curve"
+  | Some sim_dp ->
+      Array.iteri
+        (fun i (p : Experiments.Runner.point) ->
+          let t, v = exact_dp.Ex.points.(i) in
+          let tolerance = p.Experiments.Runner.ci95 +. 0.02 in
+          if abs_float (v -. p.Experiments.Runner.mean) > tolerance then
+            Alcotest.failf "T=%g: exact %.4f vs simulated %.4f ± %.4f" t v
+              p.Experiments.Runner.mean p.Experiments.Runner.ci95)
+        sim_dp.Experiments.Runner.points
+
+let test_rejects_non_exponential () =
+  let weibull = Option.get (Figures.find "ext-weibull") in
+  (match Ex.figure weibull with
+  | _ -> Alcotest.fail "weibull spec accepted"
+  | exception Invalid_argument _ -> ());
+  let noisy = Option.get (Figures.find "ext-stochastic-ckpt") in
+  (match Ex.figure noisy with
+  | _ -> Alcotest.fail "stochastic-checkpoint spec accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_unsupported_strategies_skipped () =
+  Alcotest.(check bool) "VariableSegments unsupported" false
+    (Ex.supported_strategy Spec.Variable_segments);
+  Alcotest.(check bool) "RenewalDP unsupported" false
+    (Ex.supported_strategy (Spec.Renewal_dp { quantum = 1.0 }));
+  let ablation =
+    Figures.scale ~t_step:300.0 ~t_max:900.0
+      (Option.get (Figures.find "ext-ablation"))
+  in
+  let curves = Ex.figure ablation in
+  Alcotest.(check bool) "skips unsupported, keeps the rest" true
+    (List.length curves = List.length ablation.Spec.strategies - 1
+    && not (List.exists (fun (c : Ex.curve) -> c.Ex.name = "VariableSegments") curves))
+
+let test_csv_export () =
+  let path = Filename.temp_file "fixedlen_exact" ".csv" in
+  Ex.to_csv ~curves:(Lazy.force curves) ~id:"fig3" ~path;
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "figure,c,strategy,t,exact_proportion" header
+
+let test_plots_render () =
+  let s = Ex.plots (spec ()) (Lazy.force curves) in
+  Alcotest.(check bool) "non-empty plot" true
+    (String.length s > 200 && String.contains s '*')
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "curves",
+        [
+          Alcotest.test_case "strategies present" `Quick test_all_strategies_present;
+          Alcotest.test_case "values in [0,1]" `Quick test_values_in_unit_interval;
+          Alcotest.test_case "DP dominates pointwise" `Quick
+            test_dp_dominates_pointwise;
+          Alcotest.test_case "matches simulation" `Slow test_matches_simulation;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "rejects non-exponential" `Quick
+            test_rejects_non_exponential;
+          Alcotest.test_case "skips unsupported strategies" `Slow
+            test_unsupported_strategies_skipped;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "plots render" `Quick test_plots_render;
+        ] );
+    ]

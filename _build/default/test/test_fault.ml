@@ -1,0 +1,207 @@
+(* Tests for the fault library: parameters and failure traces. *)
+
+module P = Fault.Params
+module T = Fault.Trace
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+(* Params *)
+
+let test_make_valid () =
+  let p = P.make ~lambda:0.01 ~c:5.0 ~r:4.0 ~d:1.0 in
+  close "lambda" 0.01 p.P.lambda;
+  close "mtbf" 100.0 (P.mtbf p)
+
+let test_paper_convention () =
+  let p = P.paper ~lambda:0.01 ~c:7.0 ~d:0.0 in
+  close "r = c" 7.0 p.P.r
+
+let test_validation () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "lambda 0" (fun () -> P.make ~lambda:0.0 ~c:1.0 ~r:1.0 ~d:0.0);
+  expect_invalid "negative c" (fun () -> P.make ~lambda:1.0 ~c:(-1.0) ~r:1.0 ~d:0.0);
+  expect_invalid "negative r" (fun () -> P.make ~lambda:1.0 ~c:1.0 ~r:(-0.1) ~d:0.0);
+  expect_invalid "nan d" (fun () -> P.make ~lambda:1.0 ~c:1.0 ~r:1.0 ~d:nan)
+
+let test_psucc_pfail () =
+  let p = P.paper ~lambda:0.5 ~c:1.0 ~d:0.0 in
+  close "psucc" (exp (-1.0)) (P.psucc p 2.0);
+  close "complement" 1.0 (P.psucc p 3.0 +. P.pfail p 3.0);
+  close "psucc of negative span" 1.0 (P.psucc p (-5.0));
+  close "pfail of negative span" 0.0 (P.pfail p (-5.0))
+
+let test_scale_platform () =
+  let ind = P.make ~lambda:1e-6 ~c:60.0 ~r:60.0 ~d:0.0 in
+  let app = P.scale_platform ind ~processors:1000 in
+  close "rate scales" 1e-3 app.P.lambda;
+  Alcotest.check_raises "zero processors"
+    (Invalid_argument "Params.scale_platform: processors < 1") (fun () ->
+      ignore (P.scale_platform ind ~processors:0))
+
+(* Traces *)
+
+let test_trace_deterministic () =
+  let dist = T.Exponential { rate = 0.01 } in
+  let a = T.create ~dist ~seed:5L and b = T.create ~dist ~seed:5L in
+  for j = 0 to 100 do
+    close ~eps:0.0 (Printf.sprintf "iat %d" j) (T.iat a j) (T.iat b j)
+  done
+
+let test_trace_memoized () =
+  let tr = T.create ~dist:(T.Exponential { rate = 1.0 }) ~seed:9L in
+  let x = T.iat tr 10 in
+  (* reading out of order must not change already-drawn values *)
+  ignore (T.iat tr 500);
+  close ~eps:0.0 "memoized" x (T.iat tr 10)
+
+let test_batch_reproducible () =
+  let dist = T.Exponential { rate = 0.1 } in
+  let b1 = T.batch ~dist ~seed:7L ~n:5 in
+  let b2 = T.batch ~dist ~seed:7L ~n:5 in
+  Array.iteri
+    (fun i tr -> close ~eps:0.0 (Printf.sprintf "trace %d" i) (T.iat tr 3) (T.iat b2.(i) 3))
+    b1;
+  (* distinct traces within a batch *)
+  Alcotest.(check bool) "traces differ" false
+    (T.iat b1.(0) 0 = T.iat b1.(1) 0 && T.iat b1.(0) 1 = T.iat b1.(1) 1)
+
+let test_of_iats () =
+  let tr = T.of_iats [| 1.0; 2.0; 3.0 |] in
+  close "first" 1.0 (T.iat tr 0);
+  close "third" 3.0 (T.iat tr 2);
+  (match T.iat tr 3 with
+  | _ -> Alcotest.fail "read past fixed trace"
+  | exception Invalid_argument _ -> ());
+  (match T.of_iats [| 1.0; -2.0 |] with
+  | _ -> Alcotest.fail "negative IAT accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_cursor () =
+  let tr = T.of_iats [| 5.0; 3.0; 2.0; 100.0 |] in
+  let cur = T.cursor tr in
+  close "first failure" 5.0 (T.next_failure_exposed cur);
+  T.consume cur;
+  close "second failure" 8.0 (T.next_failure_exposed cur);
+  T.consume cur;
+  close "third failure" 10.0 (T.next_failure_exposed cur);
+  Alcotest.(check int) "failures seen" 2 (T.failures_seen cur)
+
+let test_prefetch_covers () =
+  let tr = T.create ~dist:(T.Exponential { rate = 0.1 }) ~seed:3L in
+  T.prefetch tr ~until:100.0;
+  (* After prefetch, a cursor can walk to 100 exposed time without
+     drawing (we cannot observe drawing directly, but the walk must
+     produce the same values as a fresh identical trace). *)
+  let reference = T.create ~dist:(T.Exponential { rate = 0.1 }) ~seed:3L in
+  let c1 = T.cursor tr and c2 = T.cursor reference in
+  while T.next_failure_exposed c1 <= 100.0 do
+    close ~eps:0.0 "same failure date" (T.next_failure_exposed c2)
+      (T.next_failure_exposed c1);
+    T.consume c1;
+    T.consume c2
+  done
+
+let test_exponential_trace_mtbf () =
+  let rate = 0.02 in
+  let tr = T.create ~dist:(T.Exponential { rate }) ~seed:11L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for j = 0 to n - 1 do
+    sum := !sum +. T.iat tr j
+  done;
+  close ~eps:1.0 "empirical MTBF" (1.0 /. rate) (!sum /. float_of_int n)
+
+let test_dist_means () =
+  close "exponential mean" 50.0 (T.dist_mean (T.Exponential { rate = 0.02 }));
+  (* Weibull k=1 mean = scale *)
+  close ~eps:1e-9 "weibull k=1 mean" 10.0
+    (T.dist_mean (T.Weibull { shape = 1.0; scale = 10.0 }));
+  (* Weibull k=2 mean = scale * sqrt(pi)/2 *)
+  close ~eps:1e-9 "weibull k=2 mean" (7.0 *. sqrt Float.pi /. 2.0)
+    (T.dist_mean (T.Weibull { shape = 2.0; scale = 7.0 }))
+
+let test_calibrated_dists () =
+  let mtbf = 123.0 in
+  close ~eps:1e-9 "weibull calibrated" mtbf
+    (T.dist_mean (T.weibull_with_mtbf ~shape:0.7 ~mtbf));
+  close ~eps:1e-9 "lognormal calibrated" mtbf
+    (T.dist_mean (T.lognormal_with_mtbf ~sigma:1.2 ~mtbf))
+
+let test_calibrated_empirical () =
+  let mtbf = 200.0 in
+  let dist = T.weibull_with_mtbf ~shape:0.7 ~mtbf in
+  let tr = T.create ~dist ~seed:13L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for j = 0 to n - 1 do
+    sum := !sum +. T.iat tr j
+  done;
+  close ~eps:4.0 "weibull empirical MTBF" mtbf (!sum /. float_of_int n)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"IATs are positive" ~count:200
+         QCheck.(pair small_nat (float_range 1e-4 1.0))
+         (fun (seed, rate) ->
+           let tr =
+             T.create ~dist:(T.Exponential { rate }) ~seed:(Int64.of_int seed)
+           in
+           let ok = ref true in
+           for j = 0 to 50 do
+             if T.iat tr j <= 0.0 then ok := false
+           done;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cursor clock is increasing" ~count:200
+         QCheck.small_nat (fun seed ->
+           let tr =
+             T.create
+               ~dist:(T.Exponential { rate = 0.5 })
+               ~seed:(Int64.of_int seed)
+           in
+           let cur = T.cursor tr in
+           let ok = ref true in
+           let prev = ref 0.0 in
+           for _ = 1 to 50 do
+             let next = T.next_failure_exposed cur in
+             if next <= !prev then ok := false;
+             prev := next;
+             T.consume cur
+           done;
+           !ok));
+  ]
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "make" `Quick test_make_valid;
+          Alcotest.test_case "paper convention" `Quick test_paper_convention;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "psucc/pfail" `Quick test_psucc_pfail;
+          Alcotest.test_case "platform scaling" `Quick test_scale_platform;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "memoized" `Quick test_trace_memoized;
+          Alcotest.test_case "batch reproducible" `Quick test_batch_reproducible;
+          Alcotest.test_case "fixed traces" `Quick test_of_iats;
+          Alcotest.test_case "cursor" `Quick test_cursor;
+          Alcotest.test_case "prefetch" `Quick test_prefetch_covers;
+          Alcotest.test_case "empirical MTBF" `Slow test_exponential_trace_mtbf;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "analytic means" `Quick test_dist_means;
+          Alcotest.test_case "MTBF calibration" `Quick test_calibrated_dists;
+          Alcotest.test_case "calibrated empirical" `Slow test_calibrated_empirical;
+        ] );
+      ("properties", qcheck_tests);
+    ]

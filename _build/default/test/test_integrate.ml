@@ -1,0 +1,101 @@
+(* Tests for Numerics.Integrate. *)
+
+module I = Numerics.Integrate
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let test_trapezoid_affine_exact () =
+  close "affine is exact" 12.0
+    (I.trapezoid ~f:(fun x -> (2.0 *. x) +. 1.0) ~lo:0.0 ~hi:3.0 ~n:1);
+  close "affine exact, many panels" 12.0
+    (I.trapezoid ~f:(fun x -> (2.0 *. x) +. 1.0) ~lo:0.0 ~hi:3.0 ~n:17)
+
+let test_trapezoid_quadratic_converges () =
+  let exact = 1.0 /. 3.0 in
+  let err n =
+    abs_float (I.trapezoid ~f:(fun x -> x *. x) ~lo:0.0 ~hi:1.0 ~n -. exact)
+  in
+  Alcotest.(check bool) "error shrinks ~4x when n doubles" true
+    (err 64 /. err 128 > 3.5 && err 64 /. err 128 < 4.5)
+
+let test_simpson_cubic_exact () =
+  (* Simpson is exact for cubics. *)
+  close ~eps:1e-12 "cubic exact" 4.0
+    (I.simpson ~f:(fun x -> x *. x *. x) ~lo:0.0 ~hi:2.0 ~n:2)
+
+let test_simpson_odd_n_rounded () =
+  close ~eps:1e-12 "odd n handled" 4.0
+    (I.simpson ~f:(fun x -> x *. x *. x) ~lo:0.0 ~hi:2.0 ~n:3)
+
+let test_simpson_exp () =
+  close ~eps:1e-8 "exp over [0,1]" (exp 1.0 -. 1.0)
+    (I.simpson ~f:exp ~lo:0.0 ~hi:1.0 ~n:64)
+
+let test_adaptive_smooth () =
+  close ~eps:1e-9 "sin over [0, pi]" 2.0 (I.adaptive_simpson ~f:sin 0.0 Float.pi)
+
+let test_adaptive_peaked () =
+  (* Narrow Gaussian-like peak: adaptive refinement must find it. *)
+  let f x = exp (-200.0 *. (x -. 0.5) *. (x -. 0.5)) in
+  let exact = sqrt (Float.pi /. 200.0) in
+  close ~eps:1e-7 "narrow peak" exact (I.adaptive_simpson ~tol:1e-12 ~f 0.0 1.0)
+
+let test_adaptive_empty_interval () =
+  close "zero-width" 0.0 (I.adaptive_simpson ~f:exp 1.0 1.0)
+
+let test_samples () =
+  let h = 0.25 in
+  let ys = Array.init 5 (fun i -> float_of_int i *. h) in
+  (* integrating y = x over [0, 1] *)
+  close ~eps:1e-12 "sampled identity" 0.5 (I.trapezoid_samples ~h ys)
+
+let test_samples_single () =
+  close "single sample integrates to 0" 0.0 (I.trapezoid_samples ~h:1.0 [| 3.0 |])
+
+let test_invalid () =
+  Alcotest.check_raises "trapezoid n=0" (Invalid_argument "Integrate.trapezoid: n < 1")
+    (fun () -> ignore (I.trapezoid ~f:exp ~lo:0.0 ~hi:1.0 ~n:0));
+  Alcotest.check_raises "empty samples"
+    (Invalid_argument "Integrate.trapezoid_samples: empty array") (fun () ->
+      ignore (I.trapezoid_samples ~h:1.0 [||]))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"adaptive matches simpson on random quadratics"
+         ~count:300
+         QCheck.(triple (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)
+                   (float_range (-3.0) 3.0))
+         (fun (a, b, c) ->
+           let f x = (a *. x *. x) +. (b *. x) +. c in
+           let adaptive = I.adaptive_simpson ~f 0.0 2.0 in
+           let reference = I.simpson ~f ~lo:0.0 ~hi:2.0 ~n:2 in
+           abs_float (adaptive -. reference) < 1e-7));
+  ]
+
+let () =
+  Alcotest.run "integrate"
+    [
+      ( "trapezoid",
+        [
+          Alcotest.test_case "affine exact" `Quick test_trapezoid_affine_exact;
+          Alcotest.test_case "quadratic convergence order" `Quick
+            test_trapezoid_quadratic_converges;
+          Alcotest.test_case "sampled grid" `Quick test_samples;
+          Alcotest.test_case "single sample" `Quick test_samples_single;
+        ] );
+      ( "simpson",
+        [
+          Alcotest.test_case "cubic exact" `Quick test_simpson_cubic_exact;
+          Alcotest.test_case "odd n" `Quick test_simpson_odd_n_rounded;
+          Alcotest.test_case "exponential" `Quick test_simpson_exp;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "smooth" `Quick test_adaptive_smooth;
+          Alcotest.test_case "narrow peak" `Quick test_adaptive_peaked;
+          Alcotest.test_case "empty interval" `Quick test_adaptive_empty_interval;
+        ] );
+      ("validation", [ Alcotest.test_case "invalid args" `Quick test_invalid ]);
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,85 @@
+(* Tests for Numerics.Lambert: the defining identity w e^w = x on both
+   real branches, known values, and the connection to the optimal
+   checkpointing period. *)
+
+module L = Numerics.Lambert
+
+let close ?(eps = 1e-12) = Alcotest.(check (float eps))
+
+let identity_holds branch x =
+  let w = branch x in
+  close ~eps:(1e-12 *. (1.0 +. abs_float x)) (Printf.sprintf "identity at %g" x)
+    x (w *. exp w)
+
+let test_w0_identity () =
+  List.iter (identity_holds L.w0)
+    [ -0.36; -0.2; -1e-6; 1e-6; 0.1; 0.5; 1.0; 2.718281828; 10.0; 1e3; 1e8 ]
+
+let test_w0_known_values () =
+  close "W0(0) = 0" 0.0 (L.w0 0.0);
+  close "W0(e) = 1" 1.0 (L.w0 (exp 1.0));
+  close "W0(-1/e) = -1" (-1.0) (L.w0 (-.exp (-1.0)));
+  close ~eps:1e-12 "W0(1) = omega" 0.5671432904097838 (L.w0 1.0)
+
+let test_wm1_identity () =
+  List.iter (identity_holds L.wm1) [ -0.367; -0.3; -0.2; -0.1; -0.01; -1e-4 ]
+
+let test_wm1_known_values () =
+  close "Wm1(-1/e) = -1" (-1.0) (L.wm1 (-.exp (-1.0)));
+  (* W_{-1}(-ln 2 / 2) = -2 ln 2 since (-2 ln 2) e^{-2 ln 2} = -ln2/2. *)
+  close ~eps:1e-12 "Wm1(-ln2/2)" (-2.0 *. log 2.0) (L.wm1 (-.log 2.0 /. 2.0))
+
+let test_branch_ordering () =
+  (* On the common domain, W-1 <= -1 <= W0. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "w0 >= -1" true (L.w0 x >= -1.0 -. 1e-12);
+      Alcotest.(check bool) "wm1 <= -1" true (L.wm1 x <= -1.0 +. 1e-12))
+    [ -0.36; -0.2; -0.05 ]
+
+let test_domain_errors () =
+  Alcotest.check_raises "w0 below branch point"
+    (Invalid_argument "Lambert.w0: x < -1/e") (fun () -> ignore (L.w0 (-1.0)));
+  Alcotest.check_raises "wm1 above 0"
+    (Invalid_argument "Lambert.wm1: domain is [-1/e, 0)") (fun () ->
+      ignore (L.wm1 0.5))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"w0 identity on random positive inputs"
+         ~count:1000
+         QCheck.(float_range 1e-9 1e6)
+         (fun x ->
+           let w = L.w0 x in
+           abs_float ((w *. exp w) -. x) <= 1e-9 *. (1.0 +. x)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"wm1 identity on its domain" ~count:1000
+         QCheck.(float_range 1e-6 0.999)
+         (fun t ->
+           (* map t into (-1/e, 0) *)
+           let x = -.exp (-1.0) *. t in
+           let w = L.wm1 x in
+           abs_float ((w *. exp w) -. x) <= 1e-9));
+  ]
+
+let () =
+  Alcotest.run "lambert"
+    [
+      ( "w0",
+        [
+          Alcotest.test_case "identity" `Quick test_w0_identity;
+          Alcotest.test_case "known values" `Quick test_w0_known_values;
+        ] );
+      ( "wm1",
+        [
+          Alcotest.test_case "identity" `Quick test_wm1_identity;
+          Alcotest.test_case "known values" `Quick test_wm1_known_values;
+        ] );
+      ( "branches",
+        [
+          Alcotest.test_case "ordering" `Quick test_branch_ordering;
+          Alcotest.test_case "domain errors" `Quick test_domain_errors;
+        ] );
+      ("properties", qcheck_tests);
+    ]

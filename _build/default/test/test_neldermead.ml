@@ -1,0 +1,112 @@
+(* Tests for Numerics.Neldermead. *)
+
+module NM = Numerics.Neldermead
+
+let close ?(eps = 1e-5) = Alcotest.(check (float eps))
+
+let test_quadratic_1d () =
+  let f x = -.((x.(0) -. 3.0) ** 2.0) in
+  let r = NM.maximize ~f [| 0.0 |] in
+  close "argmax" 3.0 r.NM.x.(0);
+  close ~eps:1e-8 "value" 0.0 r.NM.value;
+  Alcotest.(check bool) "converged" true r.NM.converged
+
+let test_quadratic_3d () =
+  let target = [| 1.0; -2.0; 0.5 |] in
+  let f x =
+    let acc = ref 0.0 in
+    Array.iteri (fun i xi -> acc := !acc +. ((xi -. target.(i)) ** 2.0)) x;
+    -. !acc
+  in
+  let r = NM.maximize ~max_iter:5000 ~f [| 0.0; 0.0; 0.0 |] in
+  Array.iteri
+    (fun i t -> close ~eps:1e-4 (Printf.sprintf "coordinate %d" i) t r.NM.x.(i))
+    target
+
+let test_rosenbrock_valley () =
+  (* Maximise the negated Rosenbrock function: optimum at (1, 1). *)
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    -.((a *. a) +. (100.0 *. b *. b))
+  in
+  let r = NM.maximize ~max_iter:10_000 ~tol:1e-14 ~f [| -1.2; 1.0 |] in
+  close ~eps:1e-3 "x" 1.0 r.NM.x.(0);
+  close ~eps:1e-3 "y" 1.0 r.NM.x.(1)
+
+let test_rejection_regions () =
+  (* neg_infinity outside the unit disc: the optimum of x + y on the
+     disc is at (1/sqrt 2, 1/sqrt 2). *)
+  let f x =
+    if (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) > 1.0 then neg_infinity
+    else x.(0) +. x.(1)
+  in
+  let r = NM.maximize ~max_iter:5000 ~f [| 0.1; 0.2 |] in
+  close ~eps:1e-3 "value sqrt 2" (sqrt 2.0) r.NM.value
+
+let test_input_unmodified () =
+  let x0 = [| 5.0; 5.0 |] in
+  let f x = -.(x.(0) *. x.(0)) -. (x.(1) *. x.(1)) in
+  ignore (NM.maximize ~f x0);
+  Alcotest.(check (array (float 0.0))) "input intact" [| 5.0; 5.0 |] x0
+
+let test_empty_rejected () =
+  (match NM.maximize ~f:(fun _ -> 0.0) [||] with
+  | _ -> Alcotest.fail "empty start accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_bounded () =
+  (* unconstrained argmax at 10, box caps it at 4 *)
+  let f x = -.((x.(0) -. 10.0) ** 2.0) in
+  let r = NM.maximize_bounded ~f ~lo:[| 0.0 |] ~hi:[| 4.0 |] [| 1.0 |] in
+  close ~eps:1e-6 "clamped argmax" 4.0 r.NM.x.(0)
+
+let test_bounded_interior () =
+  let f x = -.((x.(0) -. 2.0) ** 2.0) in
+  let r = NM.maximize_bounded ~f ~lo:[| 0.0 |] ~hi:[| 4.0 |] [| 3.9 |] in
+  close ~eps:1e-4 "interior optimum found" 2.0 r.NM.x.(0)
+
+let test_bounded_validation () =
+  (match
+     NM.maximize_bounded ~f:(fun _ -> 0.0) ~lo:[| 1.0 |] ~hi:[| 0.0 |] [| 0.5 |]
+   with
+  | _ -> Alcotest.fail "lo > hi accepted"
+  | exception Invalid_argument _ -> ())
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"finds the vertex of random parabolas" ~count:200
+         QCheck.(pair (float_range (-20.0) 20.0) (float_range 0.1 10.0))
+         (fun (center, curvature) ->
+           let f x = -.curvature *. ((x.(0) -. center) ** 2.0) in
+           let r = NM.maximize ~f [| 0.0 |] in
+           abs_float (r.NM.x.(0) -. center) < 1e-3));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"result never below the start value" ~count:200
+         QCheck.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+         (fun (a, b) ->
+           let f x = sin x.(0) +. cos x.(1) in
+           let r = NM.maximize ~f [| a; b |] in
+           r.NM.value >= f [| a; b |] -. 1e-12));
+  ]
+
+let () =
+  Alcotest.run "neldermead"
+    [
+      ( "unconstrained",
+        [
+          Alcotest.test_case "1d quadratic" `Quick test_quadratic_1d;
+          Alcotest.test_case "3d quadratic" `Quick test_quadratic_3d;
+          Alcotest.test_case "rosenbrock valley" `Quick test_rosenbrock_valley;
+          Alcotest.test_case "rejection regions" `Quick test_rejection_regions;
+          Alcotest.test_case "input unmodified" `Quick test_input_unmodified;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "clamped optimum" `Quick test_bounded;
+          Alcotest.test_case "interior optimum" `Quick test_bounded_interior;
+          Alcotest.test_case "validation" `Quick test_bounded_validation;
+        ] );
+      ("properties", qcheck_tests);
+    ]

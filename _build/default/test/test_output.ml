@@ -1,0 +1,191 @@
+(* Tests for the output substrate: tables, CSV, ASCII plots. *)
+
+module Table = Output.Table
+module Csv = Output.Csv
+module Plot = Output.Ascii_plot
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Tables *)
+
+let test_table_golden () =
+  let t =
+    Table.create
+      ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23.5" ];
+  let expected =
+    "name   value\n------------\nalpha      1\nb       23.5"
+  in
+  Alcotest.(check string) "render" expected (Table.render t)
+
+let test_table_padding_short_rows () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row t [ "only" ];
+  Alcotest.(check bool) "renders without error" true
+    (String.length (Table.render t) > 0)
+
+let test_table_too_many_cells () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: more cells than columns")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_empty_columns () =
+  Alcotest.check_raises "no columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (Table.create ~columns:[]))
+
+let test_table_separator_and_floats () =
+  let t = Table.create ~columns:[ ("k", Table.Left); ("v", Table.Right) ] in
+  let t = Table.add_float_row t "pi" [ 3.14159 ] in
+  Table.add_separator t;
+  let t = Table.add_float_row t "e" [ 2.71828 ] in
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has rule rows" true
+    (List.length (String.split_on_char '\n' rendered) = 5);
+  Alcotest.(check bool) "floats formatted" true (contains rendered "3.142")
+
+let test_table_utf8_width () =
+  (* Multi-byte glyphs must count as one column. *)
+  let t = Table.create ~columns:[ ("λ", Table.Right); ("x", Table.Right) ] in
+  Table.add_row t [ "±1"; "2" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header not over-padded" true
+        (String.length header < 20)
+  | [] -> Alcotest.fail "no output"
+
+(* CSV *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_row () =
+  Alcotest.(check string) "row" "a,\"b,c\",d" (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write_read_back () =
+  let path = Filename.temp_file "fixedlen_test" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "file content"
+    [ "x,y"; "1,2"; "3,\"4,5\"" ]
+    (List.rev !lines)
+
+let test_csv_writer_arity () =
+  let path = Filename.temp_file "fixedlen_test" ".csv" in
+  let w = Csv.open_out ~path ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Csv.write_row: cell count differs from header")
+    (fun () -> Csv.write_row w [ "only" ]);
+  Csv.close w;
+  Sys.remove path
+
+let test_csv_floats_roundtrip () =
+  let path = Filename.temp_file "fixedlen_test" ".csv" in
+  let w = Csv.open_out ~path ~header:[ "label"; "v" ] in
+  let x = 0.1 +. 0.2 in
+  Csv.write_floats w ~label:[ "row" ] [ x ];
+  Csv.close w;
+  let ic = open_in path in
+  ignore (input_line ic);
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  match String.split_on_char ',' line with
+  | [ _; v ] ->
+      Alcotest.(check (float 0.0)) "exact round-trip" x (float_of_string v)
+  | _ -> Alcotest.fail "unexpected row shape"
+
+(* ASCII plots *)
+
+let test_plot_contains_glyphs_and_labels () =
+  let s =
+    Plot.render ~title:"demo"
+      [
+        { Plot.label = "rising"; points = [ (0.0, 0.0); (1.0, 1.0); (2.0, 2.0) ] };
+        { Plot.label = "falling"; points = [ (0.0, 2.0); (2.0, 0.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "title" true (String.length s > 0);
+  let has c = String.contains s c in
+  Alcotest.(check bool) "first glyph" true (has '*');
+  Alcotest.(check bool) "second glyph" true (has '+');
+  Alcotest.(check bool) "legend entries" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> l = "  * rising"))
+
+let test_plot_no_data () =
+  let s = Plot.render ~title:"empty" [ { Plot.label = "nothing"; points = [] } ] in
+  Alcotest.(check bool) "no-data marker" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "  (no data)"))
+
+let test_plot_clamps_outliers () =
+  let config = { Plot.default_config with y_min = Some 0.0; y_max = Some 1.0 } in
+  let s =
+    Plot.render ~config ~title:"clamped"
+      [ { Plot.label = "wild"; points = [ (0.0, -5.0); (1.0, 10.0) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_plot_rejects_tiny_area () =
+  let config = { Plot.default_config with width = 2; height = 2 } in
+  (match
+     Plot.render ~config ~title:"tiny"
+       [ { Plot.label = "x"; points = [ (0.0, 0.0) ] } ]
+   with
+  | _ -> Alcotest.fail "tiny area accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_plot_nan_points_skipped () =
+  let s =
+    Plot.render ~title:"nan"
+      [ { Plot.label = "mixed"; points = [ (0.0, nan); (1.0, 1.0); (2.0, 1.5) ] } ]
+  in
+  Alcotest.(check bool) "renders with finite subset" true (String.contains s '*')
+
+let () =
+  Alcotest.run "output"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "golden render" `Quick test_table_golden;
+          Alcotest.test_case "short rows padded" `Quick test_table_padding_short_rows;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "no columns" `Quick test_table_empty_columns;
+          Alcotest.test_case "separator and floats" `Quick
+            test_table_separator_and_floats;
+          Alcotest.test_case "utf8 width" `Quick test_table_utf8_width;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escape;
+          Alcotest.test_case "row building" `Quick test_csv_row;
+          Alcotest.test_case "write and read back" `Quick test_csv_write_read_back;
+          Alcotest.test_case "writer arity" `Quick test_csv_writer_arity;
+          Alcotest.test_case "float round-trip" `Quick test_csv_floats_roundtrip;
+        ] );
+      ( "ascii plot",
+        [
+          Alcotest.test_case "glyphs and legend" `Quick
+            test_plot_contains_glyphs_and_labels;
+          Alcotest.test_case "no data" `Quick test_plot_no_data;
+          Alcotest.test_case "outliers clamped" `Quick test_plot_clamps_outliers;
+          Alcotest.test_case "tiny area rejected" `Quick test_plot_rejects_tiny_area;
+          Alcotest.test_case "nan skipped" `Quick test_plot_nan_points_skipped;
+        ] );
+    ]

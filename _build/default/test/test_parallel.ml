@@ -1,0 +1,163 @@
+(* Tests for Parallel.Pool. *)
+
+module Pool = Parallel.Pool
+
+let test_map_matches_sequential () =
+  Pool.with_pool (fun pool ->
+      let xs = Array.init 1000 (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        "parallel = sequential" (Array.map f xs)
+        (Pool.map pool ~f xs))
+
+let test_map_preserves_order_under_skew () =
+  (* Uneven task durations must not reorder results. *)
+  Pool.with_pool (fun pool ->
+      let xs = Array.init 64 (fun i -> i) in
+      let f x =
+        if x mod 7 = 0 then begin
+          (* burn some time *)
+          let acc = ref 0.0 in
+          for i = 1 to 200_000 do
+            acc := !acc +. sqrt (float_of_int i)
+          done;
+          ignore !acc
+        end;
+        x * 2
+      in
+      Alcotest.(check (array int))
+        "ordered" (Array.map f xs) (Pool.map pool ~f xs))
+
+let test_mapi () =
+  Pool.with_pool (fun pool ->
+      let xs = [| "a"; "b"; "c" |] in
+      Alcotest.(check (array string))
+        "mapi indexes" [| "0a"; "1b"; "2c" |]
+        (Pool.mapi pool ~f:(fun i s -> string_of_int i ^ s) xs))
+
+let test_empty_map () =
+  Pool.with_pool (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool ~f:(fun x -> x) [||]))
+
+let test_single_domain_pool () =
+  let pool = Pool.create ~domains:1 () in
+  let xs = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int))
+    "sequential degradation" (Array.map succ xs)
+    (Pool.map pool ~f:succ xs);
+  Pool.shutdown pool
+
+let test_parallel_for_covers_range () =
+  Pool.with_pool (fun pool ->
+      let hits = Array.make 200 0 in
+      Pool.parallel_for pool ~lo:50 ~hi:150 ~f:(fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i h ->
+          let expected = if i >= 50 && i < 150 then 1 else 0 in
+          if h <> expected then Alcotest.failf "index %d hit %d times" i h)
+        hits)
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool (fun pool ->
+      let hit = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 ~f:(fun _ -> hit := true);
+      Alcotest.(check bool) "no calls" false !hit)
+
+let exception_payload = Failure "task 13 exploded"
+
+let test_exception_propagates () =
+  Pool.with_pool (fun pool ->
+      match
+        Pool.map pool
+          ~f:(fun x -> if x = 13 then raise exception_payload else x)
+          (Array.init 64 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg ->
+          Alcotest.(check string) "original exception" "task 13 exploded" msg)
+
+let test_pool_usable_after_exception () =
+  Pool.with_pool (fun pool ->
+      (try
+         ignore
+           (Pool.map pool ~f:(fun _ -> failwith "boom") (Array.init 8 (fun i -> i)))
+       with Failure _ -> ());
+      Alcotest.(check (array int)) "works again" [| 2; 4 |]
+        (Pool.map pool ~f:(fun x -> x * 2) [| 1; 2 |]))
+
+let test_shutdown_blocks_use () =
+  let pool = Pool.create () in
+  Pool.shutdown pool;
+  (match Pool.map pool ~f:succ [| 1 |] with
+  | _ -> Alcotest.fail "used after shutdown"
+  | exception Invalid_argument _ -> ());
+  (* idempotent shutdown *)
+  Pool.shutdown pool
+
+let test_create_validation () =
+  (match Pool.create ~domains:0 () with
+  | _ -> Alcotest.fail "domains 0 accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_heavy_numeric_speed_consistency () =
+  (* Not a benchmark: only checks that a realistic workload (many DP
+     mini-builds) computes identical results through the pool. *)
+  let params = Fault.Params.paper ~lambda:0.01 ~c:5.0 ~d:0.0 in
+  let horizons = Array.init 12 (fun i -> 40.0 +. (10.0 *. float_of_int i)) in
+  let compute h =
+    let dp = Core.Dp.build ~params ~quantum:1.0 ~horizon:h () in
+    Core.Dp.expected_work dp ~tleft:h
+  in
+  let sequential = Array.map compute horizons in
+  Pool.with_pool (fun pool ->
+      let parallel = Pool.map pool ~f:compute horizons in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "horizon %g" horizons.(i))
+            sequential.(i) v)
+        parallel)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"map = Array.map for random arrays" ~count:50
+         QCheck.(array_of_size (QCheck.Gen.int_range 0 500) small_int)
+         (fun xs ->
+           Pool.with_pool (fun pool ->
+               Pool.map pool ~f:(fun x -> (3 * x) - 7) xs
+               = Array.map (fun x -> (3 * x) - 7) xs)));
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "order under skew" `Quick
+            test_map_preserves_order_under_skew;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "empty input" `Quick test_empty_map;
+          Alcotest.test_case "single domain" `Quick test_single_domain_pool;
+        ] );
+      ( "parallel_for",
+        [
+          Alcotest.test_case "covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+        ] );
+      ( "failure handling",
+        [
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick
+            test_pool_usable_after_exception;
+          Alcotest.test_case "shutdown semantics" `Quick test_shutdown_blocks_use;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "DP builds in parallel" `Quick
+            test_heavy_numeric_speed_consistency;
+        ] );
+      ("properties", qcheck_tests);
+    ]

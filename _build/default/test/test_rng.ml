@@ -1,0 +1,195 @@
+(* Tests for Numerics.Rng: determinism, independence, and the first two
+   moments of every distribution. *)
+
+module Rng = Numerics.Rng
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let draws rng n f = Array.init n (fun _ -> f rng)
+
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+  /. float_of_int (Array.length xs - 1)
+
+let test_determinism () =
+  let a = Rng.create ~seed:123L and b = Rng.create ~seed:123L in
+  for i = 1 to 1000 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 2)
+
+let test_copy () =
+  let a = Rng.create ~seed:77L in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:9L in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let x1 = draws child1 256 Rng.float and x2 = draws child2 256 Rng.float in
+  let identical = ref true in
+  Array.iteri (fun i x -> if x <> x2.(i) then identical := false) x1;
+  Alcotest.(check bool) "children differ" false !identical
+
+let test_float_range_unit () =
+  let rng = Rng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "float outside [0, 1)"
+  done
+
+let test_uniform_moments () =
+  let rng = Rng.create ~seed:11L in
+  let xs = draws rng 200_000 Rng.float in
+  check_close ~eps:5e-3 "mean 1/2" 0.5 (mean xs);
+  check_close ~eps:5e-3 "variance 1/12" (1.0 /. 12.0) (variance xs)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:17L in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let v = Rng.int rng ~bound:7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int outside bound";
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 9_000 || c > 11_000 then
+        Alcotest.failf "bucket %d count %d far from uniform" i c)
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_exponential_moments () =
+  let rng = Rng.create ~seed:23L in
+  let rate = 0.01 in
+  let xs = draws rng 200_000 (fun r -> Rng.exponential r ~rate) in
+  check_close ~eps:2.0 "mean 1/rate" (1.0 /. rate) (mean xs);
+  check_close ~eps:(0.05 /. (rate *. rate)) "variance 1/rate^2"
+    (1.0 /. (rate *. rate))
+    (variance xs)
+
+let test_exponential_memoryless_tail () =
+  (* P(X > a + b | X > a) = P(X > b): compare tail frequencies. *)
+  let rng = Rng.create ~seed:29L in
+  let xs = draws rng 200_000 (fun r -> Rng.exponential r ~rate:1.0) in
+  let tail t = Array.fold_left (fun acc x -> if x > t then acc + 1 else acc) 0 xs in
+  let p1 = float_of_int (tail 2.0) /. float_of_int (tail 1.0) in
+  let p0 = float_of_int (tail 1.0) /. float_of_int (Array.length xs) in
+  check_close ~eps:0.02 "memorylessness" p0 p1
+
+let test_weibull_shape_one_is_exponential () =
+  let a = Rng.create ~seed:31L and b = Rng.create ~seed:31L in
+  for _ = 1 to 1000 do
+    let w = Rng.weibull a ~shape:1.0 ~scale:10.0 in
+    let e = Rng.exponential b ~rate:0.1 in
+    check_close ~eps:1e-9 "weibull(1) = exp" e w
+  done
+
+let test_weibull_mean () =
+  let rng = Rng.create ~seed:37L in
+  let shape = 2.0 and scale = 5.0 in
+  let xs = draws rng 200_000 (fun r -> Rng.weibull r ~shape ~scale) in
+  (* mean = scale * Γ(1 + 1/2) = scale * sqrt(pi)/2 *)
+  check_close ~eps:0.05 "weibull mean" (scale *. sqrt Float.pi /. 2.0) (mean xs)
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:41L in
+  let xs = draws rng 200_000 (fun r -> Rng.normal r ~mu:3.0 ~sigma:2.0) in
+  check_close ~eps:0.03 "normal mean" 3.0 (mean xs);
+  check_close ~eps:0.1 "normal variance" 4.0 (variance xs)
+
+let test_lognormal_mean () =
+  let rng = Rng.create ~seed:43L in
+  let mu = 0.5 and sigma = 0.75 in
+  let xs = draws rng 300_000 (fun r -> Rng.lognormal r ~mu ~sigma) in
+  check_close ~eps:0.05 "lognormal mean"
+    (exp (mu +. (0.5 *. sigma *. sigma)))
+    (mean xs)
+
+let test_gamma_int_moments () =
+  let rng = Rng.create ~seed:47L in
+  let shape = 4 and scale = 2.5 in
+  let xs = draws rng 100_000 (fun r -> Rng.gamma_int r ~shape ~scale) in
+  check_close ~eps:0.1 "erlang mean" (float_of_int shape *. scale) (mean xs);
+  check_close ~eps:0.8 "erlang variance"
+    (float_of_int shape *. scale *. scale)
+    (variance xs)
+
+let test_invalid_args () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.check_raises "exponential rate 0"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.0));
+  Alcotest.check_raises "weibull shape 0"
+    (Invalid_argument "Rng.weibull: shape and scale must be positive")
+    (fun () -> ignore (Rng.weibull rng ~shape:0.0 ~scale:1.0));
+  Alcotest.check_raises "gamma shape 0"
+    (Invalid_argument "Rng.gamma_int: shape must be >= 1") (fun () ->
+      ignore (Rng.gamma_int rng ~shape:0 ~scale:1.0))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"exponential draws are positive" ~count:1000
+         QCheck.(pair (int_bound 1_000_000) (float_range 1e-6 10.0))
+         (fun (seed, rate) ->
+           let rng = Rng.create ~seed:(Int64.of_int seed) in
+           Rng.exponential rng ~rate > 0.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float_range stays in range" ~count:1000
+         QCheck.(pair (int_bound 1_000_000) (pair (float_range (-5.0) 5.0) (float_range 0.0 10.0)))
+         (fun (seed, (lo, span)) ->
+           let rng = Rng.create ~seed:(Int64.of_int seed) in
+           let hi = lo +. span in
+           let x = Rng.float_range rng ~lo ~hi in
+           x >= lo && (x < hi || hi = lo)));
+  ]
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same stream" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy replays" `Quick test_copy;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "float in [0,1)" `Quick test_float_range_unit;
+          Alcotest.test_case "uniform moments" `Slow test_uniform_moments;
+          Alcotest.test_case "int bounds and uniformity" `Slow test_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+          Alcotest.test_case "exponential moments" `Slow test_exponential_moments;
+          Alcotest.test_case "exponential memorylessness" `Slow
+            test_exponential_memoryless_tail;
+          Alcotest.test_case "weibull(1) = exponential" `Quick
+            test_weibull_shape_one_is_exponential;
+          Alcotest.test_case "weibull mean" `Slow test_weibull_mean;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "lognormal mean" `Slow test_lognormal_mean;
+          Alcotest.test_case "erlang moments" `Slow test_gamma_int_moments;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        ] );
+      ("properties", qcheck_tests);
+    ]

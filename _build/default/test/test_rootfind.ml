@@ -1,0 +1,119 @@
+(* Tests for Numerics.Rootfind. *)
+
+module R = Numerics.Rootfind
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let test_bisect_linear () =
+  close "root of 2x - 3" 1.5 (R.bisect ~f:(fun x -> (2.0 *. x) -. 3.0) 0.0 10.0)
+
+let test_bisect_cos () =
+  close "root of cos" (Float.pi /. 2.0) (R.bisect ~f:cos 0.0 3.0)
+
+let test_bisect_exact_endpoint () =
+  close "zero at left end" 2.0 (R.bisect ~f:(fun x -> x -. 2.0) 2.0 5.0)
+
+let test_bisect_no_bracket () =
+  Alcotest.check_raises "no sign change"
+    (R.No_bracket "bisect: no sign change on [1, 2]") (fun () ->
+      ignore (R.bisect ~f:(fun x -> x) 1.0 2.0))
+
+let test_brent_polynomial () =
+  (* x^3 - 2x - 5 = 0 has a root near 2.0945514815423265 (classic Brent
+     test function). *)
+  let f x = (x *. x *. x) -. (2.0 *. x) -. 5.0 in
+  close ~eps:1e-10 "brent cubic" 2.0945514815423265 (R.brent ~f 2.0 3.0)
+
+let test_brent_flat_then_steep () =
+  let f x = if x < 1.0 then -1e-12 else exp (x -. 1.0) -. 1.0 in
+  let root = R.brent ~f 0.0 5.0 in
+  Alcotest.(check bool) "in bracket" true (root >= 0.0 && root <= 5.0);
+  close ~eps:1e-6 "residual small" 0.0 (f root)
+
+let test_brent_matches_bisect () =
+  let f x = log x -. 1.0 in
+  close ~eps:1e-9 "brent = bisect = e" (R.bisect ~f 1.0 10.0) (R.brent ~f 1.0 10.0)
+
+let test_expand_bracket () =
+  let f x = x -. 100.0 in
+  let lo, hi = R.expand_bracket ~f 0.0 1.0 in
+  Alcotest.(check bool) "bracket found" true (f lo *. f hi <= 0.0);
+  close ~eps:1e-9 "root via expanded bracket" 100.0 (R.brent ~f lo hi)
+
+let test_expand_bracket_failure () =
+  (match R.expand_bracket ~max_iter:10 ~f:(fun _ -> 1.0) 0.0 1.0 with
+  | _ -> Alcotest.fail "expected No_bracket"
+  | exception R.No_bracket _ -> ())
+
+let test_first_crossing () =
+  (* sin has zeros at pi, 2 pi, ...: the scan must find the FIRST one. *)
+  match R.first_crossing ~f:sin ~lo:1.0 ~hi:10.0 ~steps:500 with
+  | None -> Alcotest.fail "no crossing found"
+  | Some (a, b) ->
+      Alcotest.(check bool) "brackets pi" true (a <= Float.pi && Float.pi <= b);
+      close ~eps:1e-9 "refined" Float.pi (R.brent ~f:sin a b)
+
+let test_first_crossing_none () =
+  Alcotest.(check bool)
+    "no crossing on positive function" true
+    (R.first_crossing ~f:(fun x -> (x *. x) +. 1.0) ~lo:0.0 ~hi:5.0 ~steps:100
+    = None)
+
+let test_newton () =
+  let f x = (x *. x) -. 2.0 and df x = 2.0 *. x in
+  close ~eps:1e-10 "sqrt 2" (sqrt 2.0) (R.newton ~f ~df 1.0)
+
+let test_newton_zero_derivative () =
+  (match R.newton ~f:(fun _ -> 1.0) ~df:(fun _ -> 0.0) 1.0 with
+  | _ -> Alcotest.fail "expected No_bracket"
+  | exception R.No_bracket _ -> ())
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"brent solves random monotone lines" ~count:500
+         QCheck.(pair (float_range 0.1 100.0) (float_range (-50.0) 50.0))
+         (fun (a, b) ->
+           let f x = (a *. x) +. b in
+           let root = R.brent ~f (-1000.0) 1000.0 in
+           abs_float (f root) < 1e-6));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bisect residual small on random cubics"
+         ~count:300
+         QCheck.(float_range (-5.0) 5.0)
+         (fun shift ->
+           let f x = ((x -. shift) ** 3.0) +. (x -. shift) in
+           let root = R.bisect ~f (shift -. 10.0) (shift +. 10.0) in
+           abs_float (root -. shift) < 1e-6));
+  ]
+
+let () =
+  Alcotest.run "rootfind"
+    [
+      ( "bisect",
+        [
+          Alcotest.test_case "linear" `Quick test_bisect_linear;
+          Alcotest.test_case "cos" `Quick test_bisect_cos;
+          Alcotest.test_case "root at endpoint" `Quick test_bisect_exact_endpoint;
+          Alcotest.test_case "no bracket" `Quick test_bisect_no_bracket;
+        ] );
+      ( "brent",
+        [
+          Alcotest.test_case "cubic" `Quick test_brent_polynomial;
+          Alcotest.test_case "flat then steep" `Quick test_brent_flat_then_steep;
+          Alcotest.test_case "agrees with bisect" `Quick test_brent_matches_bisect;
+        ] );
+      ( "bracketing",
+        [
+          Alcotest.test_case "expand" `Quick test_expand_bracket;
+          Alcotest.test_case "expand failure" `Quick test_expand_bracket_failure;
+          Alcotest.test_case "first crossing" `Quick test_first_crossing;
+          Alcotest.test_case "no crossing" `Quick test_first_crossing_none;
+        ] );
+      ( "newton",
+        [
+          Alcotest.test_case "sqrt 2" `Quick test_newton;
+          Alcotest.test_case "zero derivative" `Quick test_newton_zero_derivative;
+        ] );
+      ("properties", qcheck_tests);
+    ]

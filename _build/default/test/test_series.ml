@@ -1,0 +1,200 @@
+(* Tests for Sim.Series (reservation series) and the engine's wall-clock
+   breakdown. *)
+
+module S = Sim.Series
+module E = Sim.Engine
+module P = Sim.Policy
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let params = Fault.Params.make ~lambda:0.001 ~c:10.0 ~r:8.0 ~d:5.0
+
+(* --- series --- *)
+
+let quiet_trace_for _ = Fault.Trace.of_iats [| 1.0e9 |]
+
+let test_series_failure_free_count () =
+  (* Reservation 100 with a single final checkpoint commits 90 per
+     reservation: 500 work needs ceil(500/90) = 6 reservations. *)
+  let outcome =
+    S.run ~params ~policy:(P.single_final ~params) ~reservation:100.0
+      ~target_work:500.0 ~trace_for:quiet_trace_for ()
+  in
+  Alcotest.(check int) "6 reservations" 6 outcome.S.reservations;
+  Alcotest.(check bool) "completed" true outcome.S.completed;
+  close "540 work" 540.0 outcome.S.total_work;
+  Alcotest.(check int) "no failures" 0 outcome.S.failures
+
+let test_series_cap () =
+  let outcome =
+    S.run ~max_reservations:7 ~params ~policy:P.no_checkpoint
+      ~reservation:100.0 ~target_work:10.0 ~trace_for:quiet_trace_for ()
+  in
+  Alcotest.(check bool) "not completed" false outcome.S.completed;
+  Alcotest.(check int) "hit the cap" 7 outcome.S.reservations;
+  close "no work" 0.0 outcome.S.total_work
+
+let test_series_with_failures () =
+  (* Each reservation sees a failure at exposed time 50: with a single
+     final checkpoint, replanning saves 100-50-5-8-10 = 27 per
+     reservation. *)
+  let trace_for _ = Fault.Trace.of_iats [| 50.0; 1.0e9 |] in
+  let outcome =
+    S.run ~params ~policy:(P.single_final ~params) ~reservation:100.0
+      ~target_work:54.0 ~trace_for ()
+  in
+  Alcotest.(check int) "two reservations" 2 outcome.S.reservations;
+  Alcotest.(check int) "two failures" 2 outcome.S.failures;
+  close "54 work" 54.0 outcome.S.total_work
+
+let test_series_validation () =
+  (match
+     S.run ~params ~policy:P.no_checkpoint ~reservation:100.0 ~target_work:0.0
+       ~trace_for:quiet_trace_for ()
+   with
+  | _ -> Alcotest.fail "zero target accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_evaluate_deterministic () =
+  let policy = P.single_final ~params in
+  let s1 =
+    S.evaluate ~repetitions:20 ~params ~policy ~reservation:150.0
+      ~target_work:800.0 ~seed:5L ()
+  in
+  let s2 =
+    S.evaluate ~repetitions:20 ~params ~policy ~reservation:150.0
+      ~target_work:800.0 ~seed:5L ()
+  in
+  close "same mean" s1.S.reservations.Numerics.Stats.mean
+    s2.S.reservations.Numerics.Stats.mean;
+  Alcotest.(check int) "no incompletes" 0 s1.S.incomplete;
+  close "billed time consistent"
+    (s1.S.reservations.Numerics.Stats.mean *. 150.0)
+    s1.S.billed_time_mean
+
+let test_evaluate_better_policy_fewer_reservations () =
+  (* Against real failures, the threshold policy needs no more
+     reservations than never checkpointing until the end... compare
+     single_final vs equal_segments(3) in a failure-heavy setting. *)
+  let params = Fault.Params.paper ~lambda:0.01 ~c:5.0 ~d:0.0 in
+  let run policy =
+    (S.evaluate ~repetitions:60 ~params ~policy ~reservation:200.0
+       ~target_work:1500.0 ~seed:11L ())
+      .S.reservations.Numerics.Stats.mean
+  in
+  let single = run (P.single_final ~params) in
+  let split = run (P.equal_segments ~params ~count:3) in
+  Alcotest.(check bool)
+    (Printf.sprintf "split %.1f <= single %.1f" split single)
+    true (split <= single)
+
+(* --- engine breakdown --- *)
+
+let breakdown_sums ~horizon (b : E.breakdown) =
+  b.E.working +. b.E.checkpointing +. b.E.recovering +. b.E.down +. b.E.lost
+  +. b.E.unused
+  |> close ~eps:1e-6 "components sum to horizon" horizon
+
+let test_breakdown_failure_free () =
+  let outcome =
+    E.run ~params ~horizon:100.0 ~policy:(P.equal_segments ~params ~count:2)
+      (Fault.Trace.of_iats [| 1.0e9 |])
+  in
+  let b = outcome.E.breakdown in
+  close "working" 80.0 b.E.working;
+  close "checkpointing" 20.0 b.E.checkpointing;
+  close "recovering" 0.0 b.E.recovering;
+  close "down" 0.0 b.E.down;
+  close "lost" 0.0 b.E.lost;
+  close "unused" 0.0 b.E.unused;
+  breakdown_sums ~horizon:100.0 b
+
+let test_breakdown_with_failure () =
+  (* Single final checkpoint on 100, failure at 50: lost 50, down 5,
+     recovery 8, then work 27 + checkpoint 10 completes at 100. *)
+  let outcome =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params)
+      (Fault.Trace.of_iats [| 50.0; 1.0e9 |])
+  in
+  let b = outcome.E.breakdown in
+  close "lost" 50.0 b.E.lost;
+  close "down" 5.0 b.E.down;
+  close "recovering" 8.0 b.E.recovering;
+  close "working" 27.0 b.E.working;
+  close "checkpointing" 10.0 b.E.checkpointing;
+  close "unused" 0.0 b.E.unused;
+  breakdown_sums ~horizon:100.0 b
+
+let test_breakdown_unused_tail () =
+  (* Hammering failures: nothing can be saved; everything is lost,
+     downtime, or an unusable tail. *)
+  let outcome =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params)
+      (Fault.Trace.of_iats (Array.make 50 3.0))
+  in
+  let b = outcome.E.breakdown in
+  close "no work" 0.0 b.E.working;
+  Alcotest.(check bool) "substantial loss" true (b.E.lost > 0.0);
+  Alcotest.(check bool) "some tail" true (b.E.unused > 0.0);
+  breakdown_sums ~horizon:100.0 b
+
+let test_breakdown_downtime_clipped () =
+  (* Failure so close to the end that the downtime overruns the horizon:
+     the breakdown must still sum exactly. *)
+  let outcome =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params)
+      (Fault.Trace.of_iats [| 98.0; 1.0e9 |])
+  in
+  breakdown_sums ~horizon:100.0 outcome.E.breakdown
+
+let test_breakdown_random_invariant () =
+  let traces =
+    Fault.Trace.batch
+      ~dist:(Fault.Trace.Exponential { rate = 0.005 })
+      ~seed:77L ~n:500
+  in
+  Array.iter
+    (fun trace ->
+      let outcome =
+        E.run ~params ~horizon:321.0
+          ~policy:(P.equal_segments ~params ~count:3)
+          trace
+      in
+      breakdown_sums ~horizon:321.0 outcome.E.breakdown;
+      let b = outcome.E.breakdown in
+      List.iter
+        (fun (name, v) ->
+          if v < -1e-9 then Alcotest.failf "negative %s: %g" name v)
+        [
+          ("working", b.E.working); ("checkpointing", b.E.checkpointing);
+          ("recovering", b.E.recovering); ("down", b.E.down);
+          ("lost", b.E.lost); ("unused", b.E.unused);
+        ])
+    traces
+
+let () =
+  Alcotest.run "series"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "failure-free count" `Quick
+            test_series_failure_free_count;
+          Alcotest.test_case "reservation cap" `Quick test_series_cap;
+          Alcotest.test_case "with failures" `Quick test_series_with_failures;
+          Alcotest.test_case "validation" `Quick test_series_validation;
+          Alcotest.test_case "evaluate is deterministic" `Quick
+            test_evaluate_deterministic;
+          Alcotest.test_case "splitting helps under failures" `Slow
+            test_evaluate_better_policy_fewer_reservations;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "failure-free" `Quick test_breakdown_failure_free;
+          Alcotest.test_case "with failure" `Quick test_breakdown_with_failure;
+          Alcotest.test_case "unusable tail" `Quick test_breakdown_unused_tail;
+          Alcotest.test_case "downtime clipped" `Quick
+            test_breakdown_downtime_clipped;
+          Alcotest.test_case "random invariant" `Quick
+            test_breakdown_random_invariant;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Tests for Numerics.Specfun. *)
+
+module S = Numerics.Specfun
+
+let close ?(eps = 1e-12) = Alcotest.(check (float eps))
+
+let test_erf_known_values () =
+  close "erf 0" 0.0 (S.erf 0.0);
+  (* reference values from standard tables *)
+  close ~eps:1e-7 "erf 0.5" 0.5204998778130465 (S.erf 0.5);
+  close ~eps:1e-7 "erf 1" 0.8427007929497149 (S.erf 1.0);
+  close ~eps:1e-7 "erf 2" 0.9953222650189527 (S.erf 2.0);
+  close ~eps:1e-9 "erf 5 ~ 1" 1.0 (S.erf 5.0)
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> close ~eps:1e-12 (Printf.sprintf "odd at %g" x) (-.S.erf x) (S.erf (-.x)))
+    [ 0.1; 0.7; 1.3; 2.9 ]
+
+let test_erfc_complement () =
+  List.iter
+    (fun x ->
+      close ~eps:1e-12 (Printf.sprintf "complement at %g" x) 1.0
+        (S.erf x +. S.erfc x))
+    [ -2.0; -0.5; 0.0; 0.3; 1.0; 3.0 ]
+
+let test_erfc_tail_positive () =
+  (* Far tail: must stay positive and decrease. *)
+  let tail x = S.erfc x in
+  Alcotest.(check bool) "positive" true (tail 6.0 > 0.0);
+  Alcotest.(check bool) "decreasing" true (tail 6.0 < tail 5.0);
+  (* erfc(6) ~ 2.15e-17 *)
+  Alcotest.(check bool) "right order of magnitude" true
+    (tail 6.0 < 1e-15 && tail 6.0 > 1e-18)
+
+let test_normal_cdf () =
+  close ~eps:1e-12 "median" 0.5 (S.normal_cdf 0.0);
+  close ~eps:1e-7 "one sigma" 0.8413447460685429 (S.normal_cdf 1.0);
+  close ~eps:1e-7 "shifted" 0.5 (S.normal_cdf ~mu:3.0 ~sigma:2.0 3.0);
+  close ~eps:1e-7 "scaled" (S.normal_cdf 1.0) (S.normal_cdf ~mu:3.0 ~sigma:2.0 5.0)
+
+let test_normal_sf () =
+  List.iter
+    (fun x ->
+      close ~eps:1e-12 (Printf.sprintf "sf at %g" x) 1.0
+        (S.normal_cdf x +. S.normal_sf x))
+    [ -1.5; 0.0; 0.8; 2.5 ];
+  Alcotest.check_raises "sigma 0" (Invalid_argument "Specfun.normal_sf: sigma <= 0")
+    (fun () -> ignore (S.normal_sf ~sigma:0.0 1.0))
+
+let test_gamma () =
+  close ~eps:1e-10 "gamma 1" 1.0 (S.gamma 1.0);
+  close ~eps:1e-10 "gamma 5 = 24" 24.0 (S.gamma 5.0);
+  close ~eps:1e-9 "gamma 1/2 = sqrt pi" (sqrt Float.pi) (S.gamma 0.5);
+  (* recurrence *)
+  close ~eps:1e-9 "recurrence" (3.7 *. S.gamma 3.7) (S.gamma 4.7)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"erf is increasing" ~count:500
+         QCheck.(pair (float_range (-4.0) 4.0) (float_range 1e-6 0.5))
+         (fun (x, dx) -> S.erf (x +. dx) > S.erf x));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"normal_cdf in [0, 1]" ~count:500
+         QCheck.(float_range (-20.0) 20.0)
+         (fun x ->
+           let p = S.normal_cdf x in
+           p >= 0.0 && p <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"log_gamma recurrence" ~count:500
+         QCheck.(float_range 0.6 50.0)
+         (fun x ->
+           abs_float (S.log_gamma (x +. 1.0) -. (S.log_gamma x +. log x))
+           < 1e-9 *. (1.0 +. abs_float (S.log_gamma x))));
+  ]
+
+let () =
+  Alcotest.run "specfun"
+    [
+      ( "erf",
+        [
+          Alcotest.test_case "known values" `Quick test_erf_known_values;
+          Alcotest.test_case "odd symmetry" `Quick test_erf_odd;
+          Alcotest.test_case "erfc complement" `Quick test_erfc_complement;
+          Alcotest.test_case "tail behaviour" `Quick test_erfc_tail_positive;
+        ] );
+      ( "normal",
+        [
+          Alcotest.test_case "cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "survival" `Quick test_normal_sf;
+        ] );
+      ("gamma", [ Alcotest.test_case "values" `Quick test_gamma ]);
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,112 @@
+(* Tests for Fault.Trace_io and Trace.iats_until. *)
+
+module T = Fault.Trace
+module Io = Fault.Trace_io
+
+let close ?(eps = 0.0) = Alcotest.(check (float eps))
+
+let with_temp f =
+  let path = Filename.temp_file "fixedlen_traces" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_iats_until_generator () =
+  let tr = T.of_iats [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (array (float 0.0))) "covers 25" [| 10.0; 20.0 |]
+    (T.iats_until tr ~until:25.0);
+  Alcotest.(check (array (float 0.0))) "exact boundary includes next"
+    [| 10.0; 20.0; 30.0 |]
+    (T.iats_until tr ~until:30.0);
+  Alcotest.(check (array (float 0.0))) "fixed trace exhausts"
+    [| 10.0; 20.0; 30.0; 40.0 |]
+    (T.iats_until tr ~until:1.0e9)
+
+let test_roundtrip_fixed () =
+  with_temp (fun path ->
+      let traces =
+        [| T.of_iats [| 1.5; 2.25 |]; T.of_iats [| 0.125; 7.0; 100.0 |] |]
+      in
+      Io.save ~path ~horizon:1.0e9 traces;
+      let loaded = Io.load ~path in
+      Alcotest.(check int) "count" 2 (Array.length loaded);
+      close "exact value" 2.25 (T.iat loaded.(0) 1);
+      close "exact value 2" 0.125 (T.iat loaded.(1) 0))
+
+let test_roundtrip_generated_replays_identically () =
+  with_temp (fun path ->
+      let horizon = 500.0 in
+      let dist = T.Exponential { rate = 0.01 } in
+      let traces = T.batch ~dist ~seed:99L ~n:20 in
+      Io.save ~path ~horizon traces;
+      let loaded = Io.load ~path in
+      (* Replay both through the engine: outcomes must match exactly. *)
+      let params = Fault.Params.paper ~lambda:0.01 ~c:10.0 ~d:0.0 in
+      let policy = Sim.Policy.equal_segments ~params ~count:3 in
+      Array.iteri
+        (fun i original ->
+          let o1 = Sim.Engine.run ~params ~horizon ~policy original in
+          let o2 = Sim.Engine.run ~params ~horizon ~policy loaded.(i) in
+          close
+            (Printf.sprintf "trace %d same work" i)
+            o1.Sim.Engine.work_saved o2.Sim.Engine.work_saved;
+          Alcotest.(check int)
+            (Printf.sprintf "trace %d same failures" i)
+            o1.Sim.Engine.failures o2.Sim.Engine.failures)
+        traces)
+
+let test_precision_roundtrip () =
+  with_temp (fun path ->
+      let x = 1.0 /. 3.0 and y = Float.pi in
+      Io.save ~path ~horizon:1e9 [| T.of_iats [| x; y |] |];
+      let loaded = Io.load ~path in
+      close "1/3 exact" x (T.iat loaded.(0) 0);
+      close "pi exact" y (T.iat loaded.(0) 1))
+
+let test_load_errors () =
+  with_temp (fun path ->
+      let write content =
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc
+      in
+      write "1.0 2.0\nnot_a_number\n";
+      (match Io.load ~path with
+      | _ -> Alcotest.fail "malformed accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "names the line" true
+            (String.length msg > 0
+            && String.contains msg '2'));
+      write "1.0 -2.0\n";
+      (match Io.load ~path with
+      | _ -> Alcotest.fail "negative IAT accepted"
+      | exception Failure _ -> ());
+      write "\n";
+      (match Io.load ~path with
+      | _ -> Alcotest.fail "empty line accepted"
+      | exception Failure _ -> ()))
+
+let test_empty_file () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      close_out oc;
+      Alcotest.(check int) "no traces" 0 (Array.length (Io.load ~path)))
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "iats_until",
+        [ Alcotest.test_case "prefix extraction" `Quick test_iats_until_generator ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "fixed traces" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "generated traces replay identically" `Quick
+            test_roundtrip_generated_replays_identically;
+          Alcotest.test_case "full float precision" `Quick test_precision_roundtrip;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed input" `Quick test_load_errors;
+          Alcotest.test_case "empty file" `Quick test_empty_file;
+        ] );
+    ]
