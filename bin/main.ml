@@ -66,11 +66,53 @@ let quiet_t =
   let doc = "Suppress progress messages." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
 
-let run_spec ?n_traces ?t_step ?t_max ~domains ~quiet spec =
-  let spec = Experiments.Figures.scale ?n_traces ?t_step ?t_max spec in
-  let progress = if quiet then fun _ -> () else prerr_endline in
-  Parallel.Pool.with_pool ?domains (fun pool ->
-      Experiments.Runner.run ~pool ~progress spec)
+(* Resilience options (see lib/robust): journaled checkpoint/resume of
+   the campaign itself, bounded retries, and chaos drills. *)
+
+(* Expected operational failures (a strict-resume mismatch, a sweep that
+   exhausted its retry budget) are user errors, not crashes: report them
+   on stderr instead of letting cmdliner print a backtrace. *)
+let or_fail f =
+  try f () with
+  | (Failure msg | Invalid_argument msg) ->
+      Printf.eprintf "fixedlen: %s\n" msg;
+      exit 1
+  | Experiments.Runner.Sweep_failure _ as e ->
+      Printf.eprintf "fixedlen: %s\n" (Printexc.to_string e);
+      exit 1
+
+let retry_t =
+  let doc =
+    "Attempts per grid point (including the first). Transient task \
+     failures are retried with deterministic jittered exponential \
+     backoff; 1 disables retries."
+  in
+  Arg.(value & opt int 1 & info [ "retry" ] ~docv:"N" ~doc)
+
+let retry_of attempts =
+  if attempts < 1 then (
+    Printf.eprintf "--retry must be >= 1\n";
+    exit 2);
+  if attempts = 1 then Robust.Retry.no_retry
+  else Robust.Retry.make ~attempts ()
+
+let chaos_rate_t =
+  let doc =
+    "Chaos drill: deterministically inject synthetic failures into this \
+     fraction of grid-point attempts (0 <= $(docv) <= 1). Combine with \
+     $(b,--retry) to verify that the curves survive unchanged."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"RATE" ~doc)
+
+let chaos_seed_t =
+  let doc = "Seed of the chaos injection stream." in
+  Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_of rate seed =
+  or_fail (fun () ->
+      Option.map
+        (fun rate -> Robust.Chaos.create ~failure_rate:rate ~seed ())
+        rate)
 
 let report_result ~csv ~no_plot result =
   (match csv with
@@ -90,15 +132,57 @@ let figure_cmd =
     let doc = "Figure identifier (see $(b,fixedlen list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
-  let run id n_traces t_step t_max csv no_plot domains quiet =
+  let journal_t =
+    let doc =
+      "Journal completed grid points to $(docv) (append-only, \
+       checksummed). An existing journal produced by the same \
+       spec/seed/scale is resumed; anything else is reset with a warning."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_t =
+    let doc =
+      "Resume from journal $(docv) and keep journaling to it. Unlike \
+       $(b,--journal), a file that does not match this figure's \
+       spec/seed/scale is an error instead of being reset."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let run id n_traces t_step t_max csv no_plot domains quiet journal resume
+      retry chaos_rate chaos_seed =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
           (String.concat ", " Experiments.Figures.ids);
         exit 2
     | Some spec ->
+        let spec = Experiments.Figures.scale ?n_traces ?t_step ?t_max spec in
+        let progress = if quiet then fun _ -> () else prerr_endline in
+        let retry = retry_of retry in
+        let chaos = chaos_of chaos_rate chaos_seed in
+        let journal =
+          match (resume, journal) with
+          | Some path, _ -> Some (path, true)
+          | None, Some path -> Some (path, false)
+          | None, None -> None
+        in
         let result =
-          run_spec ?n_traces ?t_step ?t_max ~domains ~quiet spec
+          or_fail (fun () ->
+              Parallel.Pool.with_pool ?domains (fun pool ->
+                  match journal with
+                  | None ->
+                      Experiments.Runner.run ~pool ~progress ~retry ?chaos spec
+                  | Some (path, strict) ->
+                      let j =
+                        Robust.Journal.open_ ~strict ~path
+                          ~key:(Experiments.Spec.fingerprint spec) ()
+                      in
+                      List.iter progress (Robust.Journal.warnings j);
+                      Fun.protect
+                        ~finally:(fun () -> Robust.Journal.close j)
+                        (fun () ->
+                          Experiments.Runner.run ~pool ~progress ~journal:j
+                            ~retry ?chaos spec)))
         in
         report_result ~csv ~no_plot result
   in
@@ -110,7 +194,8 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Regenerate one figure of the paper.")
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t
-      $ domains_t $ quiet_t)
+      $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t $ chaos_rate_t
+      $ chaos_seed_t)
 
 let campaign_cmd =
   let out_t =
@@ -129,7 +214,32 @@ let campaign_cmd =
     let doc = "Comma-separated figure subset (default: all)." in
     Arg.(value & opt (some string) None & info [ "figures" ] ~docv:"IDS" ~doc)
   in
-  let run out n_traces t_step t_max report figures domains quiet =
+  let journal_t =
+    let doc =
+      "Journal completed grid points to $(docv)/<figure>.journal so an \
+       interrupted campaign can pick up where it left off. Existing \
+       journals matching the figure's spec/seed/scale are resumed; \
+       mismatched ones are reset with a warning."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+  in
+  let resume_t =
+    let doc =
+      "Resume an interrupted campaign from $(docv)/<figure>.journal, \
+       skipping every already-journaled grid point, and keep journaling. \
+       Unlike $(b,--journal), a journal that does not match the figure's \
+       spec/seed/scale is an error instead of being reset."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
+  let run out n_traces t_step t_max report figures domains quiet journal
+      resume retry chaos_rate chaos_seed =
+    let journal =
+      match (resume, journal) with
+      | Some dir, _ -> Experiments.Campaign.Resume dir
+      | None, Some dir -> Experiments.Campaign.Journal dir
+      | None, None -> Experiments.Campaign.No_journal
+    in
     let config =
       {
         Experiments.Campaign.out_dir = out;
@@ -137,12 +247,16 @@ let campaign_cmd =
         t_step;
         t_max;
         figure_ids = Option.map (String.split_on_char ',') figures;
+        journal;
+        retry = retry_of retry;
+        chaos = chaos_of chaos_rate chaos_seed;
       }
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
     let results =
-      Parallel.Pool.with_pool ?domains (fun pool ->
-          Experiments.Campaign.run ~pool ~progress config)
+      or_fail (fun () ->
+          Parallel.Pool.with_pool ?domains (fun pool ->
+              Experiments.Campaign.run ~pool ~progress config))
     in
     List.iter
       (fun (spec, result) ->
@@ -163,7 +277,8 @@ let campaign_cmd =
        ~doc:"Run the simulation campaign (every figure, or a subset).")
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
-      $ figures_only_t $ domains_t $ quiet_t)
+      $ figures_only_t $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t
+      $ chaos_rate_t $ chaos_seed_t)
 
 (* exact *)
 

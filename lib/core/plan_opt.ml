@@ -89,14 +89,27 @@ let optimize ?(restarts = 3) ~params ~tleft ~recovering ~k ~continuation () =
             | _ -> best := Some r
           end)
         starts;
+      let warn_fallback detail =
+        Robust.Guard.record
+          ~context:
+            (Printf.sprintf "Plan_opt.optimize: k=%d, tleft=%g, %s" k tleft
+               (Fault.Params.to_string params))
+          ~detail
+          ~fallback:"equal-segment (Young/Daly-style) split"
+      in
       (match !best with
       | None ->
+          warn_fallback "no feasible Nelder-Mead start";
           {
             offsets = Array.to_list start;
             expected_work = objective start;
             converged = false;
           }
       | Some r ->
+          if not r.converged then
+            warn_fallback
+              "Nelder-Mead did not converge; keeping best of (search, \
+               equal split)";
           (* keep the best of (optimised, equal start): Nelder-Mead can
              wander on flat plateaus *)
           let eq_value = objective start in

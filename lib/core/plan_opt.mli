@@ -47,7 +47,10 @@ val optimize :
     — ordering, [C]-gaps, fitting in [tleft] — is enforced by rejection;
     the search starts from the equal-segment plan plus [restarts - 1]
     perturbed starts, default 3, keeping the best). Returns the
-    equal-segment fallback if [k] checkpoints do not fit. *)
+    equal-segment fallback if [k] checkpoints do not fit. Degradations —
+    no feasible start, or a search that hit its iteration cap — fall
+    back to the equal-segment split and are recorded as [Robust.Guard]
+    warnings rather than raised. *)
 
 val variable_segments_policy :
   params:Fault.Params.t -> horizon:float -> dp:Dp.t -> Sim.Policy.t

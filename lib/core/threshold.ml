@@ -56,12 +56,28 @@ let threshold_numerical ?t_prev ~params n =
     (* The gain starts negative (the extra checkpoint dominates), crosses
        zero near the first-order estimate and decays back to 0⁺ at
        infinity: scan left to right for the first sign change, then
-       refine. *)
-    let guess = threshold_first_order ~params ~n in
-    let upper = Float.max (40.0 *. guess) (lower *. 4.0) in
-    match Numerics.Rootfind.first_crossing ~f ~lo:lower ~hi:upper ~steps:4000 with
-    | None -> raise Not_found
-    | Some (a, b) -> Numerics.Rootfind.brent ~f a b
+       refine. If the solver cannot bracket or refine a crossing, degrade
+       to the first-order (Young/Daly-style) closed form instead of
+       aborting a sweep mid-flight; the substitution is recorded as a
+       [Robust.Guard] warning. *)
+    Robust.Guard.protect
+      ~context:
+        (Printf.sprintf "Threshold.threshold_numerical: n=%d, %s" n
+           (Fault.Params.to_string params))
+      ~recover:(function
+        | Not_found | Numerics.Rootfind.No_bracket _ ->
+            Some
+              ( "first-order closed form sqrt(2n(n+1)C/lambda)",
+                Float.max lower (threshold_first_order ~params ~n) )
+        | _ -> None)
+      (fun () ->
+        let guess = threshold_first_order ~params ~n in
+        let upper = Float.max (40.0 *. guess) (lower *. 4.0) in
+        match
+          Numerics.Rootfind.first_crossing ~f ~lo:lower ~hi:upper ~steps:4000
+        with
+        | None -> raise Not_found
+        | Some (a, b) -> Numerics.Rootfind.brent ~f a b)
   end
 
 type table = { thresholds : float array }

@@ -24,9 +24,12 @@ val threshold_numerical :
 (** [threshold_numerical ~params n] is [T_{n+1}]: the smallest
     [t >= max (t_prev, (n+1) c)] with [gain ~t ~n = 0] crossing from
     negative to positive ([t_prev] defaults to [n c]; pass the previous
-    threshold to enforce monotonicity). Raises [Not_found] if no
-    crossing exists below an internal search cap (~40 first-order
-    periods), which does not happen for sensible parameters. *)
+    threshold to enforce monotonicity). If no crossing exists below an
+    internal search cap (~40 first-order periods) or the root refinement
+    fails to bracket — which does not happen for sensible parameters —
+    the function degrades gracefully: it returns the first-order
+    (Young/Daly-style) closed form {!threshold_first_order} and records
+    a [Robust.Guard] warning instead of raising mid-sweep. *)
 
 val threshold_first_order : params:Fault.Params.t -> n:int -> float
 (** Equation (5): [T_{n+1} ≈ sqrt (2 n (n+1) C / λ)]. *)

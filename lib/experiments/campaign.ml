@@ -1,9 +1,14 @@
+type journal_mode = No_journal | Journal of string | Resume of string
+
 type config = {
   out_dir : string;
   n_traces : int option;
   t_step : float option;
   t_max : float option;
   figure_ids : string list option;
+  journal : journal_mode;
+  retry : Robust.Retry.t;
+  chaos : Robust.Chaos.t option;
 }
 
 let default_config =
@@ -13,6 +18,9 @@ let default_config =
     t_step = None;
     t_max = None;
     figure_ids = None;
+    journal = No_journal;
+    retry = Robust.Retry.no_retry;
+    chaos = None;
   }
 
 let selected_specs config =
@@ -34,6 +42,29 @@ let ensure_dir dir =
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Campaign: %s exists and is not a directory" dir)
 
+let journal_path ~dir (spec : Spec.t) =
+  Filename.concat dir (spec.Spec.id ^ ".journal")
+
+let open_journal ~progress config (scaled : Spec.t) =
+  match config.journal with
+  | No_journal -> None
+  | Journal dir | Resume dir ->
+      ensure_dir dir;
+      let strict = match config.journal with Resume _ -> true | _ -> false in
+      let j =
+        Robust.Journal.open_ ?chaos:config.chaos ~strict
+          ~path:(journal_path ~dir scaled)
+          ~key:(Spec.fingerprint scaled) ()
+      in
+      List.iter
+        (fun w -> progress (Printf.sprintf "[%s] %s" scaled.Spec.id w))
+        (Robust.Journal.warnings j);
+      if Robust.Journal.length j > 0 then
+        progress
+          (Printf.sprintf "[%s] journal holds %d completed point(s)"
+             scaled.Spec.id (Robust.Journal.length j));
+      Some j
+
 let run ?pool ?(progress = fun _ -> ()) config =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
@@ -48,7 +79,14 @@ let run ?pool ?(progress = fun _ -> ()) config =
               ?t_max:config.t_max spec
           in
           progress (Printf.sprintf "== %s ==" scaled.Spec.id);
-          let result = Runner.run ~pool ~progress scaled in
+          let journal = open_journal ~progress config scaled in
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Option.iter Robust.Journal.close journal)
+              (fun () ->
+                Runner.run ~pool ~progress ?journal ~retry:config.retry
+                  ?chaos:config.chaos scaled)
+          in
           let path = Filename.concat config.out_dir (scaled.Spec.id ^ ".csv") in
           Report.to_csv result ~path;
           progress (Printf.sprintf "wrote %s" path);
@@ -70,6 +108,16 @@ let markdown_report results =
        (List.length results)
        (List.length all_checks - failed)
        (List.length all_checks));
+  (match Robust.Guard.peek () with
+  | [] -> ()
+  | ws ->
+      Output.Markdown.paragraph md
+        (Printf.sprintf
+           "%d numerical degradation(s) absorbed during the run \
+            (closed-form fallback substituted for a failed solver call):"
+           (List.length ws));
+      Output.Markdown.bullet md
+        (List.map (Format.asprintf "%a" Robust.Guard.pp_warning) ws));
   List.iter
     (fun ((spec : Spec.t), result) ->
       Output.Markdown.heading md ~level:2 spec.Spec.id;

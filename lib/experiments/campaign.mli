@@ -2,16 +2,31 @@
     the data, and build the Markdown experiment report used as the basis
     of EXPERIMENTS.md. *)
 
+type journal_mode =
+  | No_journal
+  | Journal of string
+      (** journal each figure to [<dir>/<figure>.journal]; an existing
+          journal whose key matches the (scaled) spec is resumed, a
+          mismatched or foreign file is reset with a warning *)
+  | Resume of string
+      (** like [Journal], but a mismatched journal is an error — the
+          contract of an explicit [--resume]: never silently discard
+          someone's completed points *)
+
 type config = {
   out_dir : string;  (** CSVs land here, one per figure *)
   n_traces : int option;
   t_step : float option;
   t_max : float option;
   figure_ids : string list option;  (** [None] = all *)
+  journal : journal_mode;
+  retry : Robust.Retry.t;  (** per-grid-point retry budget *)
+  chaos : Robust.Chaos.t option;  (** fault injection, for drills *)
 }
 
 val default_config : config
-(** out_dir "results", paper-scale everything, all figures. *)
+(** out_dir "results", paper-scale everything, all figures, no journal,
+    no retries, no chaos. *)
 
 val run :
   ?pool:Parallel.Pool.t ->
@@ -20,7 +35,15 @@ val run :
   (Spec.t * Runner.result) list
 (** Runs the selected figures sequentially (each internally parallel over
     the pool), writing [<out_dir>/<figure>.csv] as results complete.
-    Raises [Invalid_argument] on an unknown figure id. *)
+    With journaling enabled, every completed grid point is persisted as
+    it lands and already-journaled points are skipped, so a killed
+    campaign relaunched on the same journal directory finishes the
+    remaining work only. Journal keys are [Spec.fingerprint]s of the
+    {e scaled} specs: resuming with different [--traces]/[--t-step]
+    overrides is detected as a mismatch rather than silently mixing
+    incompatible points. Raises [Invalid_argument] on an unknown figure
+    id, [Failure] on a strict-resume mismatch, [Runner.Sweep_failure]
+    when points fail after retries (completed points stay journaled). *)
 
 val markdown_report : (Spec.t * Runner.result) list -> Output.Markdown.t
 (** Per figure: parameters, the summary table, and the qualitative

@@ -105,13 +105,171 @@ let policy_of ctx strategy =
 let seed_for base ~c ~salt =
   Int64.add base (Int64.of_int ((int_of_float (c *. 97.0) * 1009) + salt))
 
-let run ?pool ?(progress = fun _ -> ()) spec =
+exception Sweep_failure of { completed : int; failed : int; first : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Sweep_failure { completed; failed; first } ->
+        Some
+          (Printf.sprintf
+             "Runner.Sweep_failure: %d grid point(s) failed after retries \
+              (%d completed%s); first failure: %s"
+             failed completed
+             " — completed points are preserved in the journal, if any"
+             (Printexc.to_string first))
+    | _ -> None)
+
+let point_of_entry (e : Robust.Journal.entry) =
+  {
+    t = e.Robust.Journal.t;
+    mean = e.Robust.Journal.mean;
+    ci95 = e.Robust.Journal.ci95;
+    mean_failures = e.Robust.Journal.mean_failures;
+    mean_checkpoints = e.Robust.Journal.mean_checkpoints;
+  }
+
+let entry_of_point ~c ~strategy (p : point) =
+  {
+    Robust.Journal.c;
+    strategy;
+    t = p.t;
+    mean = p.mean;
+    ci95 = p.ci95;
+    mean_failures = p.mean_failures;
+    mean_checkpoints = p.mean_checkpoints;
+  }
+
+(* One C block's Monte-Carlo phase: build the shared tables, then sweep
+   every (strategy, t) task through the pool with per-task fault
+   isolation. Each completed point is appended to the journal (if any)
+   from inside the worker, so an interruption loses at most the points
+   still in flight. *)
+let sweep ~pool ~progress ~journal ~retry ~chaos ~spec ~dist ~params ~c ~grid
+    ~horizon_max ~tasks ~cached ~base =
+  let traces =
+    Fault.Trace.batch ~dist
+      ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
+      ~n:spec.Spec.n_traces
+  in
+  (* Materialise every IAT any grid point can consume, so the
+     parallel phase only reads the traces. *)
+  Parallel.Pool.map pool traces ~f:(fun tr ->
+      Fault.Trace.prefetch tr ~until:horizon_max)
+  |> ignore;
+  let thresholds_num =
+    lazy (Core.Threshold.table_numerical ~params ~up_to:horizon_max)
+  in
+  let thresholds_fo =
+    lazy (Core.Threshold.table_first_order ~params ~up_to:horizon_max)
+  in
+  (* Force the lazies now: Lazy.force is not thread-safe. *)
+  List.iter
+    (fun s ->
+      match s with
+      | Spec.First_order -> ignore (Lazy.force thresholds_fo)
+      | Spec.Numerical_optimum -> ignore (Lazy.force thresholds_num)
+      | _ -> ())
+    spec.Spec.strategies;
+  let quanta = distinct_quanta spec.Spec.strategies in
+  let dps =
+    List.combine quanta
+      (Array.to_list
+         (Parallel.Pool.map pool (Array.of_list quanta) ~f:(fun quantum ->
+              Core.Dp.build
+                ~kmax:(Core.Dp.suggested_kmax ~params ~horizon:horizon_max)
+                ~params ~quantum ~horizon:horizon_max ())))
+  in
+  let opt_quanta = distinct_optimal_quanta spec.Spec.strategies in
+  let opts =
+    List.combine opt_quanta
+      (Array.to_list
+         (Parallel.Pool.map pool (Array.of_list opt_quanta) ~f:(fun quantum ->
+              Core.Optimal.build ~params ~quantum ~horizon:horizon_max ())))
+  in
+  let renewal_quanta = distinct_renewal_quanta spec.Spec.strategies in
+  let renewals =
+    List.combine renewal_quanta
+      (Array.to_list
+         (Parallel.Pool.map pool (Array.of_list renewal_quanta)
+            ~f:(fun quantum ->
+              Core.Dp_renewal.build ~params ~dist ~quantum
+                ~horizon:horizon_max ())))
+  in
+  let ctx =
+    { params; traces; thresholds_num; thresholds_fo; dps; opts;
+      renewals; horizon_max }
+  in
+  progress
+    (Printf.sprintf "[%s] C = %g: sweeping %d lengths x %d strategies"
+       spec.Spec.id c (Array.length grid)
+       (List.length spec.Spec.strategies));
+  let eval i (strategy, horizon) =
+    let policy = policy_of ctx strategy in
+    let ckpt_sampler =
+      match spec.Spec.ckpt_noise with
+      | Spec.Deterministic -> None
+      | Spec.Erlang shape ->
+          let rng =
+            Numerics.Rng.create
+              ~seed:(seed_for spec.Spec.seed ~c ~salt:(i + 1))
+          in
+          Some
+            (fun () ->
+              Numerics.Rng.gamma_int rng ~shape
+                ~scale:(c /. float_of_int shape))
+    in
+    let r =
+      Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy ctx.traces
+    in
+    {
+      t = horizon;
+      mean = r.Sim.Runner.proportion.Numerics.Stats.mean;
+      ci95 = r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+      mean_failures = r.Sim.Runner.mean_failures;
+      mean_checkpoints = r.Sim.Runner.mean_checkpoints;
+    }
+  in
+  Parallel.Pool.try_mapi pool tasks ~f:(fun i ((strategy, _) as task) ->
+      match cached.(i) with
+      | Some p -> p
+      | None ->
+          (* The task key feeds chaos injection and retry jitter; the
+             evaluation itself is a pure function of (i, task), so a
+             retried attempt reproduces the fault-free value exactly. *)
+          let key = base + i in
+          let compute ~attempt =
+            (match chaos with
+            | Some ch -> Robust.Chaos.inject ch ~key ~attempt
+            | None -> ());
+            eval i task
+          in
+          (match Robust.Retry.run retry ~key compute with
+          | Ok p ->
+              (match journal with
+              | Some j ->
+                  Robust.Journal.append j
+                    (entry_of_point ~c
+                       ~strategy:(Spec.strategy_name strategy) p)
+              | None -> ());
+              p
+          | Error e -> raise e))
+
+let run ?pool ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry)
+    ?chaos spec =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
   Fun.protect
     ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
     (fun () ->
       let dist = Spec.trace_dist spec in
+      (* Task keys must be unique across the whole spec (not just within
+         one C block) so chaos injection and retry jitter never correlate
+         between sub-plots. *)
+      let task_base = ref 0 in
+      (* Failures are collected across every C block — the whole grid is
+         attempted (and its successes journaled) before the run gives
+         up, so a relaunch has the most progress possible to resume. *)
+      let total_completed = ref 0 and all_failures = ref [] in
       let curves =
         List.concat_map
           (fun c ->
@@ -123,72 +281,6 @@ let run ?pool ?(progress = fun _ -> ()) spec =
             if Array.length grid = 0 then []
             else begin
               let horizon_max = grid.(Array.length grid - 1) in
-              let traces =
-                Fault.Trace.batch ~dist
-                  ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
-                  ~n:spec.Spec.n_traces
-              in
-              (* Materialise every IAT any grid point can consume, so the
-                 parallel phase only reads the traces. *)
-              Parallel.Pool.map pool traces ~f:(fun tr ->
-                  Fault.Trace.prefetch tr ~until:horizon_max)
-              |> ignore;
-              let thresholds_num =
-                lazy
-                  (Core.Threshold.table_numerical ~params ~up_to:horizon_max)
-              in
-              let thresholds_fo =
-                lazy
-                  (Core.Threshold.table_first_order ~params ~up_to:horizon_max)
-              in
-              (* Force the lazies now: Lazy.force is not thread-safe. *)
-              List.iter
-                (fun s ->
-                  match s with
-                  | Spec.First_order -> ignore (Lazy.force thresholds_fo)
-                  | Spec.Numerical_optimum -> ignore (Lazy.force thresholds_num)
-                  | _ -> ())
-                spec.Spec.strategies;
-              let quanta = distinct_quanta spec.Spec.strategies in
-              let dps =
-                List.combine quanta
-                  (Array.to_list
-                     (Parallel.Pool.map pool (Array.of_list quanta)
-                        ~f:(fun quantum ->
-                          Core.Dp.build
-                            ~kmax:
-                              (Core.Dp.suggested_kmax ~params
-                                 ~horizon:horizon_max)
-                            ~params ~quantum ~horizon:horizon_max ())))
-              in
-              let opt_quanta = distinct_optimal_quanta spec.Spec.strategies in
-              let opts =
-                List.combine opt_quanta
-                  (Array.to_list
-                     (Parallel.Pool.map pool (Array.of_list opt_quanta)
-                        ~f:(fun quantum ->
-                          Core.Optimal.build ~params ~quantum
-                            ~horizon:horizon_max ())))
-              in
-              let renewal_quanta =
-                distinct_renewal_quanta spec.Spec.strategies
-              in
-              let renewals =
-                List.combine renewal_quanta
-                  (Array.to_list
-                     (Parallel.Pool.map pool (Array.of_list renewal_quanta)
-                        ~f:(fun quantum ->
-                          Core.Dp_renewal.build ~params ~dist ~quantum
-                            ~horizon:horizon_max ())))
-              in
-              let ctx =
-                { params; traces; thresholds_num; thresholds_fo; dps; opts;
-                  renewals; horizon_max }
-              in
-              progress
-                (Printf.sprintf "[%s] C = %g: sweeping %d lengths x %d strategies"
-                   spec.Spec.id c (Array.length grid)
-                   (List.length spec.Spec.strategies));
               let tasks =
                 Array.of_list
                   (List.concat_map
@@ -196,53 +288,92 @@ let run ?pool ?(progress = fun _ -> ()) spec =
                        Array.to_list (Array.map (fun t -> (strategy, t)) grid))
                      spec.Spec.strategies)
               in
-              let eval i (strategy, horizon) =
-                let policy = policy_of ctx strategy in
-                let ckpt_sampler =
-                  match spec.Spec.ckpt_noise with
-                  | Spec.Deterministic -> None
-                  | Spec.Erlang shape ->
-                      let rng =
-                        Numerics.Rng.create
-                          ~seed:(seed_for spec.Spec.seed ~c ~salt:(i + 1))
-                      in
-                      Some
-                        (fun () ->
-                          Numerics.Rng.gamma_int rng ~shape
-                            ~scale:(c /. float_of_int shape))
-                in
-                let r =
-                  Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy
-                    ctx.traces
-                in
-                {
-                  t = horizon;
-                  mean = r.Sim.Runner.proportion.Numerics.Stats.mean;
-                  ci95 = r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
-                  mean_failures = r.Sim.Runner.mean_failures;
-                  mean_checkpoints = r.Sim.Runner.mean_checkpoints;
-                }
+              let base = !task_base in
+              task_base := base + Array.length tasks;
+              (* Points already committed to the journal are reused
+                 verbatim: journaled floats round-trip exactly, so a
+                 resumed sweep reproduces the interrupted one's curves. *)
+              let cached =
+                Array.map
+                  (fun (strategy, t) ->
+                    match journal with
+                    | None -> None
+                    | Some j ->
+                        Option.map point_of_entry
+                          (Robust.Journal.find j ~c
+                             ~strategy:(Spec.strategy_name strategy) ~t))
+                  tasks
               in
-              let points = Parallel.Pool.mapi pool ~f:eval tasks in
-              List.map
-                (fun strategy ->
-                  let pts =
-                    Array.of_list
-                      (List.filter_map
-                         (fun (i, (s, _)) ->
-                           if s = strategy then Some points.(i) else None)
-                         (Array.to_list (Array.mapi (fun i t -> (i, t)) tasks)))
+              let n_cached =
+                Array.fold_left
+                  (fun acc o -> if o = None then acc else acc + 1)
+                  0 cached
+              in
+              if n_cached > 0 then
+                progress
+                  (Printf.sprintf
+                     "[%s] C = %g: %d/%d points resumed from journal"
+                     spec.Spec.id c n_cached (Array.length tasks));
+              let outcomes =
+                if n_cached = Array.length tasks then
+                  (* Fully journaled: skip trace generation and table
+                     builds entirely. *)
+                  Array.map (fun o -> Ok (Option.get o)) cached
+                else
+                  sweep ~pool ~progress ~journal ~retry ~chaos ~spec ~dist
+                    ~params ~c ~grid ~horizon_max ~tasks ~cached ~base
+              in
+              (match journal with
+              | Some j -> Robust.Journal.sync j
+              | None -> ());
+              let failures = ref [] in
+              Array.iter
+                (function
+                  | Ok _ -> incr total_completed
+                  | Error e -> failures := e :: !failures)
+                outcomes;
+              match List.rev !failures with
+              | _ :: _ as fs ->
+                  (* Keep going: later C blocks still run and journal
+                     their successes; the raise happens once at the end. *)
+                  all_failures := !all_failures @ fs;
+                  []
+              | [] ->
+                  let points =
+                    Array.map
+                      (function Ok p -> p | Error _ -> assert false)
+                      outcomes
                   in
-                  {
-                    c;
-                    strategy;
-                    name = Spec.strategy_name strategy;
-                    points = pts;
-                  })
-                spec.Spec.strategies
+                  List.map
+                    (fun strategy ->
+                      let pts =
+                        Array.of_list
+                          (List.filter_map
+                             (fun (i, (s, _)) ->
+                               if s = strategy then Some points.(i) else None)
+                             (Array.to_list
+                                (Array.mapi (fun i t -> (i, t)) tasks)))
+                      in
+                      {
+                        c;
+                        strategy;
+                        name = Spec.strategy_name strategy;
+                        points = pts;
+                      })
+                    spec.Spec.strategies
             end)
           spec.Spec.cs
       in
+      (match !all_failures with
+      | [] -> ()
+      | first :: _ as fs ->
+          raise
+            (Sweep_failure
+               {
+                 completed = !total_completed;
+                 failed = List.length fs;
+                 first;
+               }));
       { spec; curves })
 
 let curve_for result ~c ~strategy =

@@ -18,11 +18,41 @@ type curve = {
 
 type result = { spec : Spec.t; curves : curve list }
 
-val run : ?pool:Parallel.Pool.t -> ?progress:(string -> unit) -> Spec.t -> result
+exception
+  Sweep_failure of { completed : int; failed : int; first : exn }
+(** Raised when grid points still fail after the retry budget. Completed
+    points were already committed to the journal (when one is in use),
+    so a relaunch with the same journal resumes instead of restarting. *)
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?progress:(string -> unit) ->
+  ?journal:Robust.Journal.t ->
+  ?retry:Robust.Retry.t ->
+  ?chaos:Robust.Chaos.t ->
+  Spec.t ->
+  result
 (** Precomputations (threshold tables, DP tables — one per distinct
     quantum, covering the whole grid) are shared across the sweep; each
     grid point replays the same prefetched traces, so strategies are
     compared on identical failure scenarios. [progress] receives
-    human-readable stage messages. *)
+    human-readable stage messages.
+
+    Resilience knobs:
+    - [journal]: must be keyed by [Spec.fingerprint] of this spec. Grid
+      points already present are {e not} recomputed (a C block that is
+      fully journaled skips trace generation and table builds
+      altogether); each newly computed point is appended as soon as it
+      completes and the journal is fsync'd at every C-block boundary.
+    - [retry]: per-task bounded retries with deterministic jittered
+      backoff for transient failures ([Robust.Retry.no_retry] by
+      default). Because each task is a pure function of the spec, a
+      retried task yields the identical point, so curves under
+      chaos-with-retry equal fault-free curves exactly.
+    - [chaos]: deterministic fault injection at task boundaries, for
+      resilience tests and demos.
+    One task failing (after retries) no longer abandons the others:
+    every remaining task completes (and is journaled) before
+    {!Sweep_failure} is raised. *)
 
 val curve_for : result -> c:float -> strategy:Spec.strategy -> curve option

@@ -61,6 +61,45 @@ let t_grid spec ~c =
   in
   Array.of_list (go [] (c +. spec.t_step))
 
+(* Canonical, version-tagged rendering of everything that determines a
+   spec's results. Floats use %.17g so distinct quanta/grids can never
+   collide through formatting. *)
+let strategy_canonical = function
+  | Young_daly -> "young_daly"
+  | First_order -> "first_order"
+  | Numerical_optimum -> "numerical_optimum"
+  | Dynamic_programming { quantum } -> Printf.sprintf "dp:%.17g" quantum
+  | Single_final -> "single_final"
+  | Daly_second_order -> "daly_second_order"
+  | Lambert_period -> "lambert_period"
+  | No_checkpoint -> "no_checkpoint"
+  | Variable_segments -> "variable_segments"
+  | Optimal_unrestricted { quantum } -> Printf.sprintf "optimal:%.17g" quantum
+  | Renewal_dp { quantum } -> Printf.sprintf "renewal:%.17g" quantum
+
+let fingerprint spec =
+  let dist =
+    match spec.failure_dist with
+    | Exp -> "exp"
+    | Weibull_shape shape -> Printf.sprintf "weibull:%.17g" shape
+    | Lognormal_sigma sigma -> Printf.sprintf "lognormal:%.17g" sigma
+  in
+  let noise =
+    match spec.ckpt_noise with
+    | Deterministic -> "det"
+    | Erlang shape -> Printf.sprintf "erlang:%d" shape
+  in
+  let canonical =
+    Printf.sprintf
+      "fixedlen-spec v1|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s"
+      spec.id spec.lambda spec.d
+      (String.concat "," (List.map (Printf.sprintf "%.17g") spec.cs))
+      spec.t_max spec.t_step
+      (String.concat "," (List.map strategy_canonical spec.strategies))
+      spec.n_traces spec.seed dist noise
+  in
+  Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 canonical)
+
 let pp ppf spec =
   Format.fprintf ppf
     "%s: λ=%g D=%g C={%s} T<=%g step %g, %d traces, strategies: %s" spec.id

@@ -55,4 +55,11 @@ val t_grid : t -> c:float -> float array
 (** Reservation lengths [c + t_step, c + 2·t_step, …, <= t_max] — the
     proportion-of-work metric needs [t > c]. *)
 
+val fingerprint : t -> string
+(** Stable 16-hex-digit content hash of every result-determining field
+    of the spec (parameters, grid, strategies, trace count, seed,
+    distributions). Two specs share a fingerprint iff a campaign over
+    them produces the same grid points, which is exactly the key a
+    resume journal must be matched against — see [Robust.Journal]. *)
+
 val pp : Format.formatter -> t -> unit

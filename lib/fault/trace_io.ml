@@ -1,19 +1,35 @@
+let magic = "# fixedlen-traces"
+let version = "v1"
+
+let header ~count ~horizon ~checksum =
+  Printf.sprintf "%s %s %d %.17g %s" magic version count horizon
+    (Numerics.Checksum.to_hex checksum)
+
 let save ~path ~horizon traces =
+  (* The payload is materialised first so its checksum can go into the
+     header line; trace files are text and comfortably fit in memory
+     (they are read back whole anyway). *)
+  let buf = Buffer.create 65536 in
+  Array.iter
+    (fun trace ->
+      let iats = Trace.iats_until trace ~until:horizon in
+      Array.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Printf.sprintf "%.17g" x))
+        iats;
+      Buffer.add_char buf '\n')
+    traces;
+  let payload = Buffer.contents buf in
+  let checksum = Numerics.Checksum.fnv1a64 payload in
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   (try
-     Array.iter
-       (fun trace ->
-         let iats = Trace.iats_until trace ~until:horizon in
-         Array.iteri
-           (fun i x ->
-             if i > 0 then output_char oc ' ';
-             output_string oc (Printf.sprintf "%.17g" x))
-           iats;
-         output_char oc '\n')
-       traces
+     output_string oc (header ~count:(Array.length traces) ~horizon ~checksum);
+     output_char oc '\n';
+     output_string oc payload
    with e ->
-     close_out oc;
+     close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   close_out oc;
@@ -42,20 +58,83 @@ let parse_line ~lineno line =
   in
   Trace.of_iats (Array.of_list iats)
 
+let split_lines payload =
+  (* Drop only the empty fragment after a terminating final newline:
+     interior empty lines must still reach [parse_line] and fail loudly,
+     as they always have. *)
+  if payload = "" then []
+  else
+    match List.rev (String.split_on_char '\n' payload) with
+    | "" :: rest -> List.rev rest
+    | parts -> List.rev parts
+
+let validate_header ~path ~first ~payload =
+  match
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' first)
+  with
+  | [ "#"; "fixedlen-traces"; v; count; _horizon; checksum ] ->
+      if v <> version then
+        failwith
+          (Printf.sprintf
+             "Trace_io.load: %s has unsupported trace-file version %s \
+              (this build reads %s)"
+             path v version);
+      let count =
+        match int_of_string_opt count with
+        | Some n when n >= 0 -> n
+        | _ ->
+            failwith
+              (Printf.sprintf "Trace_io.load: %s: malformed header count %S"
+                 path count)
+      in
+      let actual = Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 payload) in
+      if actual <> checksum then
+        failwith
+          (Printf.sprintf
+             "Trace_io.load: %s is corrupted or truncated: payload checksum \
+              %s does not match header %s"
+             path actual checksum);
+      let lines = split_lines payload in
+      if List.length lines <> count then
+        failwith
+          (Printf.sprintf
+             "Trace_io.load: %s is truncated: header announces %d traces, \
+              file holds %d"
+             path count (List.length lines));
+      lines
+  | _ ->
+      failwith
+        (Printf.sprintf "Trace_io.load: %s: malformed trace-file header %S"
+           path first)
+
 let load ~path =
-  let ic = open_in path in
-  let traces = ref [] in
-  let lineno = ref 0 in
-  (try
-     (try
-        while true do
-          let line = input_line ic in
-          incr lineno;
-          traces := parse_line ~lineno:!lineno line :: !traces
-        done
-      with End_of_file -> ())
-   with e ->
-     close_in ic;
-     raise e);
-  close_in ic;
-  Array.of_list (List.rev !traces)
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines =
+    match String.index_opt content '\n' with
+    | Some first_end
+      when String.length content >= String.length magic
+           && String.sub content 0 (String.length magic) = magic ->
+        let first = String.sub content 0 first_end in
+        let payload =
+          String.sub content (first_end + 1)
+            (String.length content - first_end - 1)
+        in
+        validate_header ~path ~first ~payload
+    | _ ->
+        (* Headerless legacy file: every line is a trace. *)
+        split_lines content
+  in
+  let first_lineno =
+    (* In headered files the first trace sits on file line 2. *)
+    if String.length content >= String.length magic
+       && String.sub content 0 (String.length magic) = magic
+    then 2
+    else 1
+  in
+  Array.of_list
+    (List.mapi (fun i line -> parse_line ~lineno:(i + first_lineno) line) lines)

@@ -3,14 +3,27 @@
     A saved trace set makes a whole campaign replayable without the
     generator: traces are stored as text, one trace per line, IATs
     space-separated with full round-trip precision. Loading yields fixed
-    traces that replay identically on any platform. *)
+    traces that replay identically on any platform.
+
+    Files written by {!save} start with a self-describing header line
+    {v
+    # fixedlen-traces v1 <count> <horizon> <fnv64>
+    v}
+    where [<fnv64>] is the FNV-1a checksum of everything after the
+    header. {!load} verifies the version, the checksum and the trace
+    count, so a truncated copy or bit-rot fails with a clear message
+    instead of silently feeding a shortened trace set to a campaign.
+    Headerless files from older versions still load. *)
 
 val save : path:string -> horizon:float -> Trace.t array -> unit
 (** [save ~path ~horizon traces] materialises each trace far enough to
-    cover any reservation of length [<= horizon] and writes them. The
-    write is atomic (temporary file + rename). *)
+    cover any reservation of length [<= horizon] and writes them,
+    prefixed by the checksummed header. The write is atomic (temporary
+    file + rename). *)
 
 val load : path:string -> Trace.t array
-(** Re-read a trace set as fixed traces. Raises [Failure] with a
+(** Re-read a trace set as fixed traces. Raises [Failure] with a message
+    naming the file and cause on a corrupted or truncated headered file
+    (checksum or count mismatch, unsupported version), and with a
     message naming the line on malformed input (non-numeric field,
     non-positive IAT, empty line). *)

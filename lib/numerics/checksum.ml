@@ -1,0 +1,41 @@
+(* FNV-1a, 64-bit: digest = (digest lxor byte) * prime, starting from the
+   offset basis. Chosen for being tiny, portable and streamable; collisions
+   on accidental corruption are what matters, not adversarial ones. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+type state = { mutable h : int64 }
+
+let init () = { h = offset_basis }
+
+let fold_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let feed_char st c = st.h <- fold_byte st.h (Char.code c)
+let feed_string st s = String.iter (feed_char st) s
+let value st = st.h
+
+let fnv1a64 s =
+  let st = init () in
+  feed_string st s;
+  value st
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let fold_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h :=
+      fold_byte !h
+        (Int64.to_int (Int64.shift_right_logical x (shift * 8)) land 0xff)
+  done;
+  !h
+
+let fold_float h x = fold_int64 h (Int64.bits_of_float x)
+let fold_int h x = fold_int64 h (Int64.of_int x)
+
+let to_unit_float h =
+  (* Same top-53-bits construction as Rng.float: uniform enough for
+     rate thresholds. *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53

@@ -1,0 +1,39 @@
+(** Small, dependency-free content checksums (FNV-1a, 64 bit).
+
+    Used to fingerprint on-disk artefacts (trace files, campaign
+    journals) and experiment specs so that corruption and mismatched
+    resumes are detected before they silently skew results. Not
+    cryptographic — the adversary here is a truncated write or a stale
+    file, not a forger. *)
+
+type state
+(** Incremental hashing state (mutable). *)
+
+val init : unit -> state
+(** Fresh state, FNV-1a offset basis. *)
+
+val feed_string : state -> string -> unit
+(** Absorb every byte of the string. *)
+
+val feed_char : state -> char -> unit
+
+val value : state -> int64
+(** Current digest. The state stays usable; feeding more bytes continues
+    the same stream. *)
+
+val fnv1a64 : string -> int64
+(** One-shot digest of a string. *)
+
+val to_hex : int64 -> string
+(** Fixed-width (16 chars) lowercase hex rendering of a digest. *)
+
+val fold_float : int64 -> float -> int64
+(** [fold_float h x] mixes the IEEE-754 bit pattern of [x] into digest
+    [h] — exact, no formatting round-trip involved. *)
+
+val fold_int : int64 -> int -> int64
+
+val to_unit_float : int64 -> float
+(** Map a digest to [\[0, 1)] using its top 53 bits. Used for
+    deterministic, order-independent pseudo-random decisions (chaos
+    injection, retry jitter). *)

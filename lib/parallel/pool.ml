@@ -51,21 +51,52 @@ let run_tasks t ~count ~run =
     | None -> ()
   end
 
-let mapi t ~f xs =
+(* Shared accounting for [mapi] and [try_mapi]: completed results are
+   kept in [results] even when a task fails, so a failure never discards
+   finished work — [mapi] merely chooses to re-raise instead of exposing
+   the partial array. *)
+let collect_mapi t ~f xs =
   let count = Array.length xs in
-  if count = 0 then [||]
+  let results = Array.make count None in
+  let failure =
+    try
+      run_tasks t ~count ~run:(fun i -> results.(i) <- Some (f i xs.(i)));
+      None
+    with Worker_failure e -> Some e
+  in
+  (results, failure)
+
+let mapi t ~f xs =
+  if Array.length xs = 0 then [||]
   else begin
-    let results = Array.make count None in
-    (try run_tasks t ~count ~run:(fun i -> results.(i) <- Some (f i xs.(i)))
-     with Worker_failure e -> raise e);
-    Array.map
-      (function
-        | Some y -> y
-        | None -> failwith "Pool.mapi: missing result (worker aborted)")
-      results
+    let results, failure = collect_mapi t ~f xs in
+    match failure with
+    | Some e -> raise e
+    | None ->
+        Array.map
+          (function
+            | Some y -> y
+            | None -> failwith "Pool.mapi: missing result (worker aborted)")
+          results
   end
 
 let map t ~f xs = mapi t ~f:(fun _ x -> f x) xs
+
+let try_mapi t ~f xs =
+  let count = Array.length xs in
+  if count = 0 then [||]
+  else begin
+    let results =
+      Array.make count (Error (Failure "Pool.try_mapi: task not run"))
+    in
+    (* The per-task wrapper never raises, so [run_tasks] never flags a
+       failure and every task is scheduled and recorded. *)
+    run_tasks t ~count ~run:(fun i ->
+        results.(i) <- (try Ok (f i xs.(i)) with e -> Error e));
+    results
+  end
+
+let try_map t ~f xs = try_mapi t ~f:(fun _ x -> f x) xs
 
 let parallel_for t ~lo ~hi ~f =
   if hi > lo then begin

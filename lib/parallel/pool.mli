@@ -22,9 +22,24 @@ val map : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map pool ~f xs] applies [f] to every element, in parallel, returning
     results in input order. Exceptions raised by [f] are re-raised in the
     caller (the first one encountered); remaining tasks are abandoned.
-    Not reentrant: do not call [map] from within [f] on the same pool. *)
+    Scheduling contract on failure: once a task has raised, workers stop
+    pulling {e new} tasks promptly (tasks already running complete, and
+    their results are retained internally — use {!try_mapi} to observe
+    them). Not reentrant: do not call [map] from within [f] on the same
+    pool. *)
 
 val mapi : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+
+val try_mapi :
+  t -> f:(int -> 'a -> 'b) -> 'a array -> ('b, exn) result array
+(** Fault-isolating variant of {!mapi}: every task runs to completion
+    regardless of other tasks' failures, and the outcome of task [i] —
+    [Ok (f i xs.(i))] or [Error e] with the exception it raised — lands
+    at index [i]. One poisoned grid point can no longer abandon the rest
+    of a sweep. Compose with [Robust.Retry.run] inside [f] to absorb
+    transient failures before they reach the result array. *)
+
+val try_map : t -> f:('a -> 'b) -> 'a array -> ('b, exn) result array
 
 val parallel_for : t -> lo:int -> hi:int -> f:(int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi ~f] runs [f i] for [lo <= i < hi]. *)

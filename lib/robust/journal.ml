@@ -1,0 +1,235 @@
+type entry = {
+  c : float;
+  strategy : string;
+  t : float;
+  mean : float;
+  ci95 : float;
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+type t = {
+  path : string;
+  key : string;
+  chaos : Chaos.t option;
+  lock : Mutex.t;
+  index : (float * string * float, entry) Hashtbl.t;
+  mutable order : entry list;  (* newest first *)
+  mutable oc : out_channel;
+  mutable dirty : int;  (* appends since last fsync *)
+  mutable appended : int;  (* total appends: chaos key stream *)
+  mutable notes : string list;  (* newest first *)
+  mutable closed : bool;
+}
+
+let header_of key = Printf.sprintf "# fixedlen-journal v1 %s" key
+
+let no_whitespace what s =
+  String.iter
+    (fun ch ->
+      if ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r' then
+        invalid_arg (Printf.sprintf "Journal: %s contains whitespace: %S" what s))
+    s
+
+let payload e =
+  Printf.sprintf "p %.17g %s %.17g %.17g %.17g %.17g %.17g" e.c e.strategy e.t
+    e.mean e.ci95 e.mean_failures e.mean_checkpoints
+
+let render e =
+  let p = payload e in
+  Printf.sprintf "%s %s" p
+    (Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 p))
+
+(* A record line is [<payload> <16-hex-digest>]. Returns [None] on any
+   mismatch: the caller treats that as the corrupt tail. *)
+let parse_line line =
+  let len = String.length line in
+  if len < 18 || line.[len - 17] <> ' ' then None
+  else begin
+    let p = String.sub line 0 (len - 17) in
+    let digest = String.sub line (len - 16) 16 in
+    if Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 p) <> digest then
+      None
+    else
+      match
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' p)
+      with
+      | [ "p"; c; strategy; t; mean; ci95; mf; mc ] -> (
+          match
+            ( float_of_string_opt c,
+              float_of_string_opt t,
+              float_of_string_opt mean,
+              float_of_string_opt ci95,
+              float_of_string_opt mf,
+              float_of_string_opt mc )
+          with
+          | Some c, Some t, Some mean, Some ci95, Some mf, Some mc ->
+              Some
+                {
+                  c;
+                  strategy;
+                  t;
+                  mean;
+                  ci95;
+                  mean_failures = mf;
+                  mean_checkpoints = mc;
+                }
+          | _ -> None)
+      | _ -> None
+  end
+
+type loaded = {
+  accepted : entry list;  (* oldest first *)
+  truncate_at : int option;  (* byte offset of the corrupt tail, if any *)
+  header_ok : bool;
+  empty : bool;
+}
+
+let load_existing ~path ~key =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  match String.index_opt content '\n' with
+  | None ->
+      (* No complete header line: empty file or torn header write. *)
+      { accepted = []; truncate_at = None; header_ok = false; empty = len = 0 }
+  | Some header_end ->
+      if String.sub content 0 header_end <> header_of key then
+        { accepted = []; truncate_at = None; header_ok = false; empty = false }
+      else begin
+        let accepted = ref [] in
+        let corrupt = ref None in
+        let offset = ref (header_end + 1) in
+        while !corrupt = None && !offset < len do
+          match String.index_from_opt content !offset '\n' with
+          | None ->
+              (* Torn final write: a record without its newline may be a
+                 truncated prefix even if its digest happens to parse. *)
+              corrupt := Some !offset
+          | Some line_end -> (
+              let line = String.sub content !offset (line_end - !offset) in
+              match parse_line line with
+              | Some e ->
+                  accepted := e :: !accepted;
+                  offset := line_end + 1
+              | None -> corrupt := Some !offset)
+        done;
+        {
+          accepted = List.rev !accepted;
+          truncate_at = !corrupt;
+          header_ok = true;
+          empty = false;
+        }
+      end
+
+let open_ ?chaos ?(strict = false) ~path ~key () =
+  no_whitespace "key" key;
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let start_fresh () =
+    let oc = open_out_bin path in
+    output_string oc (header_of key);
+    output_char oc '\n';
+    flush oc;
+    (oc, [])
+  in
+  let oc, accepted =
+    if not (Sys.file_exists path) then begin
+      (* Notable under --resume: a mistyped path quietly recomputes
+         everything, so say that a brand-new journal was started. *)
+      if strict then note "journal %s did not exist: starting fresh" path;
+      start_fresh ()
+    end
+    else begin
+      let loaded = load_existing ~path ~key in
+      if not loaded.header_ok then begin
+        if strict then
+          failwith
+            (Printf.sprintf
+               "Journal.open_: %s %s (expected header %S); refusing to \
+                resume — delete the file or drop --resume to start over"
+               path
+               (if loaded.empty then "is empty"
+                else "was written by a different spec/seed or is not a journal")
+               (header_of key));
+        note "journal %s did not match this spec: starting fresh" path;
+        start_fresh ()
+      end
+      else begin
+        (match loaded.truncate_at with
+        | None -> ()
+        | Some offset ->
+            note
+              "journal %s: corrupted tail at byte %d truncated (%d good \
+               records kept)"
+              path offset
+              (List.length loaded.accepted);
+            Unix.truncate path offset);
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+        in
+        (oc, loaded.accepted)
+      end
+    end
+  in
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun e -> Hashtbl.replace index (e.c, e.strategy, e.t) e)
+    accepted;
+  {
+    path;
+    key;
+    chaos;
+    lock = Mutex.create ();
+    index;
+    order = List.rev accepted;
+    oc;
+    dirty = 0;
+    appended = 0;
+    notes = !notes;
+    closed = false;
+  }
+
+let check_open t = if t.closed then invalid_arg "Journal: used after close"
+let warnings t = List.rev t.notes
+let entries t = List.rev t.order
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.index)
+let path t = t.path
+let key t = t.key
+
+let find t ~c ~strategy ~t:horizon =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.find_opt t.index (c, strategy, horizon))
+
+let append t e =
+  no_whitespace "strategy" e.strategy;
+  Mutex.protect t.lock (fun () ->
+      check_open t;
+      let seq = t.appended in
+      t.appended <- seq + 1;
+      (match t.chaos with
+      | Some chaos -> Chaos.inject chaos ~key:seq ~attempt:0
+      | None -> ());
+      output_string t.oc (render e);
+      output_char t.oc '\n';
+      flush t.oc;
+      Hashtbl.replace t.index (e.c, e.strategy, e.t) e;
+      t.order <- e :: t.order;
+      t.dirty <- t.dirty + 1)
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      check_open t;
+      if t.dirty > 0 then begin
+        flush t.oc;
+        Unix.fsync (Unix.descr_of_out_channel t.oc);
+        t.dirty <- 0
+      end)
+
+let close t =
+  sync t;
+  Mutex.protect t.lock (fun () ->
+      check_open t;
+      t.closed <- true;
+      close_out_noerr t.oc)

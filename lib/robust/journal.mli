@@ -1,0 +1,80 @@
+(** Append-only campaign journal: crash-safe persistence of completed
+    grid points.
+
+    The journal applies the paper's own lesson to the reproduction
+    pipeline: a long sweep commits each completed [(c, strategy, t)]
+    point to disk the moment it is computed, so an interrupted campaign
+    resumes from its last checkpoint instead of restarting from zero.
+
+    On-disk format (text, one record per line):
+    {v
+    # fixedlen-journal v1 <key>
+    p <c> <strategy> <t> <mean> <ci95> <failures> <checkpoints> <fnv64>
+    v}
+    where [<key>] identifies the producing spec (a content hash of the
+    spec and its seed — see [Experiments.Spec.fingerprint]) and [<fnv64>]
+    is the FNV-1a checksum of the rest of the line. Floats are printed
+    with ["%.17g"], so journaled values round-trip bit-exactly and a
+    resumed campaign reproduces the same curves as an uninterrupted one.
+
+    Recovery rules at {!open_}:
+    - missing file: created with a fresh header;
+    - key mismatch or unrecognised header: the journal is reset (with a
+      warning) unless [strict] is set, in which case it fails — [strict]
+      is the [--resume] contract, where silently discarding someone's
+      journal would be worse than stopping;
+    - corrupted or truncated tail (a line that does not parse or whose
+      checksum disagrees): the tail is truncated and the journal
+      continues from the last good record — the expected outcome of a
+      crash mid-append.
+
+    [append] is thread-safe (campaign tasks run on multiple domains);
+    each record is flushed on append and fsync'd on {!sync}/{!close}
+    (batch boundaries), bounding loss to the current batch. *)
+
+type entry = {
+  c : float;
+  strategy : string;  (** display name; must contain no whitespace *)
+  t : float;
+  mean : float;
+  ci95 : float;
+  mean_failures : float;
+  mean_checkpoints : float;
+}
+
+type t
+
+val open_ :
+  ?chaos:Chaos.t -> ?strict:bool -> path:string -> key:string -> unit -> t
+(** Open (creating or recovering as described above) a journal for
+    producer [key]. [chaos], if given, injects faults into subsequent
+    {!append} calls (for resilience tests). Raises [Failure] in [strict]
+    mode on a key/header mismatch, and [Invalid_argument] on a key
+    containing whitespace. *)
+
+val warnings : t -> string list
+(** Human-readable notes from recovery at open time (reset journal,
+    truncated tail, …), oldest first. *)
+
+val entries : t -> entry list
+(** Entries live in the journal, in append order (loaded + appended). *)
+
+val length : t -> int
+
+val find : t -> c:float -> strategy:string -> t:float -> entry option
+(** Lookup by grid point. Coordinates compare exactly; this is sound
+    because journaled floats round-trip through ["%.17g"]. *)
+
+val append : t -> entry -> unit
+(** Persist one completed point (thread-safe, atomic line append,
+    flushed). Raises [Invalid_argument] if [strategy] contains
+    whitespace, [Chaos.Injected] under injection. *)
+
+val sync : t -> unit
+(** fsync the file if any record was appended since the last sync. *)
+
+val close : t -> unit
+(** {!sync} then close. The journal must not be used afterwards. *)
+
+val path : t -> string
+val key : t -> string

@@ -1,0 +1,45 @@
+type t = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  jitter : float;
+  seed : int64;
+}
+
+let make ?(attempts = 3) ?(base_delay = 0.05) ?(multiplier = 2.0)
+    ?(jitter = 0.5) ?(seed = 0L) () =
+  if attempts < 1 then invalid_arg "Retry.make: attempts < 1";
+  if base_delay < 0.0 then invalid_arg "Retry.make: base_delay < 0";
+  if multiplier < 0.0 then invalid_arg "Retry.make: multiplier < 0";
+  if jitter < 0.0 || jitter > 1.0 then invalid_arg "Retry.make: jitter outside [0, 1]";
+  { attempts; base_delay; multiplier; jitter; seed }
+
+let no_retry = make ~attempts:1 ~base_delay:0.0 ()
+
+let unit_draw t ~key ~attempt =
+  let h = Numerics.Checksum.fnv1a64 "retry" in
+  let h = Numerics.Checksum.fold_int h (Int64.to_int t.seed) in
+  let h = Numerics.Checksum.fold_int h key in
+  let h = Numerics.Checksum.fold_int h attempt in
+  Numerics.Checksum.to_unit_float h
+
+let delay_before t ~key ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_before: attempt < 1";
+  let nominal =
+    t.base_delay *. (t.multiplier ** float_of_int (attempt - 1))
+  in
+  nominal *. (1.0 -. t.jitter +. (t.jitter *. unit_draw t ~key ~attempt))
+
+let run ?(sleep = Unix.sleepf) t ~key f =
+  let rec go attempt =
+    match f ~attempt with
+    | v -> Ok v
+    | exception e ->
+        if attempt + 1 >= t.attempts then Error e
+        else begin
+          let d = delay_before t ~key ~attempt:(attempt + 1) in
+          if d > 0.0 then sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,49 @@
+(** Bounded retries with deterministic jittered backoff.
+
+    A transient failure (an injected chaos fault, a flaky I/O error)
+    should cost one retry, not a whole sweep. The policy is a value, so
+    the same policy object gives the same delays on every run: jitter is
+    derived from [(seed, key, attempt)] by hashing, never from global
+    RNG state, which keeps parallel campaigns replayable. *)
+
+type t = private {
+  attempts : int;  (** total tries, including the first; [>= 1] *)
+  base_delay : float;  (** seconds before the first retry *)
+  multiplier : float;  (** exponential backoff factor between retries *)
+  jitter : float;
+      (** fraction of each delay that is randomised: the delay for retry
+          [k] is [base * multiplier^k * (1 - jitter + jitter * u)] with
+          [u] in [\[0, 1)] a pure function of [(seed, key, attempt)] *)
+  seed : int64;
+}
+
+val no_retry : t
+(** One attempt, no backoff: failures surface immediately. *)
+
+val make :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** Defaults: 3 attempts, 0.05 s base delay, multiplier 2, jitter 0.5,
+    seed 0. Raises [Invalid_argument] on [attempts < 1], negative
+    delays/multiplier, or jitter outside [\[0, 1\]]. *)
+
+val delay_before : t -> key:int -> attempt:int -> float
+(** Backoff before attempt [attempt] (>= 1) of task [key]. Deterministic:
+    equal inputs give equal delays. *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  t ->
+  key:int ->
+  (attempt:int -> 'a) ->
+  ('a, exn) result
+(** [run policy ~key f] calls [f ~attempt:0]; on an exception it backs
+    off ([sleep], default [Unix.sleepf]) and retries with the next
+    attempt number, up to [attempts] tries in total. Returns the first
+    success or [Error e] with the last exception. [key] distinguishes
+    tasks so their jitter streams do not collide. *)

@@ -79,6 +79,7 @@ let test_campaign_runs_selection () =
   with_temp_dir (fun dir ->
       let config =
         {
+          C.default_config with
           C.out_dir = dir;
           n_traces = Some 30;
           t_step = Some 300.0;
@@ -108,6 +109,7 @@ let test_campaign_write_report () =
   with_temp_dir (fun dir ->
       let config =
         {
+          C.default_config with
           C.out_dir = dir;
           n_traces = Some 20;
           t_step = Some 500.0;

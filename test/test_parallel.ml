@@ -99,6 +99,94 @@ let test_create_validation () =
   | _ -> Alcotest.fail "domains 0 accepted"
   | exception Invalid_argument _ -> ())
 
+let test_try_mapi_isolates_failures () =
+  Pool.with_pool (fun pool ->
+      let xs = Array.init 64 (fun i -> i) in
+      let outcomes =
+        Pool.try_mapi pool
+          ~f:(fun i x ->
+            if i = 13 then raise exception_payload else x * 2)
+          xs
+      in
+      Alcotest.(check int) "one outcome per task" 64 (Array.length outcomes);
+      Array.iteri
+        (fun i outcome ->
+          match (i, outcome) with
+          | 13, Error (Failure msg) ->
+              Alcotest.(check string) "original exception" "task 13 exploded" msg
+          | 13, _ -> Alcotest.fail "poisoned task did not report its failure"
+          | i, Ok v -> Alcotest.(check int) (Printf.sprintf "task %d" i) (i * 2) v
+          | i, Error _ -> Alcotest.failf "healthy task %d failed" i)
+        outcomes)
+
+let test_try_mapi_all_tasks_run_despite_failures () =
+  (* Unlike [map], a failure must not stop the remaining tasks from being
+     scheduled: every index gets executed exactly once. *)
+  Pool.with_pool (fun pool ->
+      let ran = Array.init 256 (fun _ -> Atomic.make 0) in
+      let outcomes =
+        Pool.try_mapi pool
+          ~f:(fun i _ ->
+            Atomic.incr ran.(i);
+            if i mod 3 = 0 then failwith "injected" else i)
+          (Array.init 256 (fun i -> i))
+      in
+      Array.iteri
+        (fun i counter ->
+          Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1
+            (Atomic.get counter))
+        ran;
+      let failed =
+        Array.fold_left
+          (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+          0 outcomes
+      in
+      Alcotest.(check int) "every third task failed" 86 failed)
+
+let test_try_mapi_retry_absorbs_flaky_tasks () =
+  (* The composition the campaign runner uses: transient failures inside
+     the task are retried, so the result array is all Ok. *)
+  Pool.with_pool (fun pool ->
+      let retry = Robust.Retry.make ~attempts:3 ~base_delay:0.0 () in
+      let attempts_seen = Array.init 32 (fun _ -> Atomic.make 0) in
+      let outcomes =
+        Pool.try_mapi pool
+          ~f:(fun i x ->
+            let computed =
+              Robust.Retry.run retry ~key:i (fun ~attempt ->
+                  Atomic.incr attempts_seen.(i);
+                  (* Every task fails its first attempt, succeeds after. *)
+                  if attempt = 0 then failwith "flaky";
+                  x * 10)
+            in
+            match computed with Ok v -> v | Error e -> raise e)
+          (Array.init 32 (fun i -> i))
+      in
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "task %d" i) (i * 10) v
+          | Error _ -> Alcotest.failf "retry did not absorb flaky task %d" i)
+        outcomes;
+      Array.iteri
+        (fun i counter ->
+          Alcotest.(check int)
+            (Printf.sprintf "task %d took two attempts" i)
+            2 (Atomic.get counter))
+        attempts_seen)
+
+let test_try_map_empty_and_clean () =
+  Pool.with_pool (fun pool ->
+      Alcotest.(check int) "empty" 0
+        (Array.length (Pool.try_map pool ~f:(fun x -> x) [||]));
+      let outcomes = Pool.try_map pool ~f:succ [| 1; 2; 3 |] in
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Ok v -> Alcotest.(check int) "value" (i + 2) v
+          | Error _ -> Alcotest.fail "clean task failed")
+        outcomes)
+
 let test_heavy_numeric_speed_consistency () =
   (* Not a benchmark: only checks that a realistic workload (many DP
      mini-builds) computes identical results through the pool. *)
@@ -153,6 +241,17 @@ let () =
             test_pool_usable_after_exception;
           Alcotest.test_case "shutdown semantics" `Quick test_shutdown_blocks_use;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "fault isolation",
+        [
+          Alcotest.test_case "try_mapi isolates failures" `Quick
+            test_try_mapi_isolates_failures;
+          Alcotest.test_case "all tasks run despite failures" `Quick
+            test_try_mapi_all_tasks_run_despite_failures;
+          Alcotest.test_case "retry absorbs flaky tasks" `Quick
+            test_try_mapi_retry_absorbs_flaky_tasks;
+          Alcotest.test_case "try_map empty and clean" `Quick
+            test_try_map_empty_and_clean;
         ] );
       ( "workloads",
         [

@@ -1,0 +1,567 @@
+(* Tests for Robust.{Retry, Chaos, Guard, Journal} and the resilience
+   behaviour of Experiments.Runner (journal resume, chaos + retry). *)
+
+module Retry = Robust.Retry
+module Chaos = Robust.Chaos
+module Guard = Robust.Guard
+module Journal = Robust.Journal
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_temp f =
+  let path = Filename.temp_file "fixedlen_journal" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Retry *)
+
+let fast = Retry.make ~attempts:3 ~base_delay:0.0 ()
+
+let test_retry_transient_recovers () =
+  let calls = ref 0 in
+  let result =
+    Retry.run fast ~key:7 (fun ~attempt ->
+        incr calls;
+        if attempt < 2 then failwith "transient";
+        42)
+  in
+  Alcotest.(check int) "three calls" 3 !calls;
+  (match result with
+  | Ok v -> Alcotest.(check int) "recovered value" 42 v
+  | Error _ -> Alcotest.fail "transient failure not absorbed")
+
+let test_retry_exhaustion () =
+  let calls = ref 0 in
+  (match
+     Retry.run fast ~key:7 (fun ~attempt:_ ->
+         incr calls;
+         failwith "permanent")
+   with
+  | Ok _ -> Alcotest.fail "permanent failure succeeded"
+  | Error (Failure msg) -> Alcotest.(check string) "last exception" "permanent" msg
+  | Error _ -> Alcotest.fail "wrong exception");
+  Alcotest.(check int) "budget respected" 3 !calls
+
+let test_retry_no_retry_single_attempt () =
+  let calls = ref 0 in
+  (match
+     Retry.run Retry.no_retry ~key:0 (fun ~attempt:_ ->
+         incr calls;
+         failwith "boom")
+   with
+  | Ok _ -> Alcotest.fail "failure succeeded"
+  | Error _ -> ());
+  Alcotest.(check int) "exactly one attempt" 1 !calls
+
+let test_retry_deterministic_jittered_backoff () =
+  let policy =
+    Retry.make ~attempts:5 ~base_delay:0.1 ~multiplier:2.0 ~jitter:0.5
+      ~seed:42L ()
+  in
+  for attempt = 1 to 4 do
+    let d = Retry.delay_before policy ~key:3 ~attempt in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "attempt %d replayable" attempt)
+      d
+      (Retry.delay_before policy ~key:3 ~attempt);
+    let nominal = 0.1 *. (2.0 ** float_of_int (attempt - 1)) in
+    if d < nominal *. 0.5 -. 1e-12 || d > nominal +. 1e-12 then
+      Alcotest.failf "attempt %d delay %g outside [%g, %g]" attempt d
+        (nominal *. 0.5) nominal
+  done;
+  (* Different keys draw different jitter (with overwhelming odds). *)
+  let distinct =
+    List.exists
+      (fun key ->
+        Retry.delay_before policy ~key ~attempt:1
+        <> Retry.delay_before policy ~key:3 ~attempt:1)
+      [ 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "jitter varies with key" true distinct
+
+let test_retry_sleeps_recorded_delays () =
+  let policy =
+    Retry.make ~attempts:3 ~base_delay:0.25 ~multiplier:2.0 ~jitter:0.5
+      ~seed:9L ()
+  in
+  let slept = ref [] in
+  (match
+     Retry.run ~sleep:(fun d -> slept := d :: !slept) policy ~key:11
+       (fun ~attempt:_ -> failwith "always")
+   with
+  | Ok _ -> Alcotest.fail "unexpected success"
+  | Error _ -> ());
+  let expected =
+    [
+      Retry.delay_before policy ~key:11 ~attempt:1;
+      Retry.delay_before policy ~key:11 ~attempt:2;
+    ]
+  in
+  Alcotest.(check (list (float 0.0))) "backoff schedule" expected
+    (List.rev !slept)
+
+let test_retry_validation () =
+  List.iter
+    (fun thunk ->
+      match thunk () with
+      | (_ : Retry.t) -> Alcotest.fail "invalid policy accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Retry.make ~attempts:0 ());
+      (fun () -> Retry.make ~base_delay:(-1.0) ());
+      (fun () -> Retry.make ~jitter:1.5 ());
+    ]
+
+(* Chaos *)
+
+let test_chaos_rate_extremes () =
+  let never = Chaos.create ~failure_rate:0.0 ~seed:1L () in
+  let always = Chaos.create ~failure_rate:1.0 ~seed:1L () in
+  for key = 0 to 99 do
+    if Chaos.should_fail never ~key ~attempt:0 then
+      Alcotest.failf "rate 0 failed key %d" key;
+    if not (Chaos.should_fail always ~key ~attempt:0) then
+      Alcotest.failf "rate 1 spared key %d" key
+  done
+
+let test_chaos_deterministic_and_counted () =
+  let ch = Chaos.create ~failure_rate:0.4 ~seed:5L () in
+  let decisions key attempt = Chaos.should_fail ch ~key ~attempt in
+  (* Same (key, attempt) always decides the same way; a fresh instance
+     with the same seed replays the run. *)
+  let ch' = Chaos.create ~failure_rate:0.4 ~seed:5L () in
+  for key = 0 to 49 do
+    for attempt = 0 to 2 do
+      Alcotest.(check bool)
+        (Printf.sprintf "replayable (%d, %d)" key attempt)
+        (decisions key attempt)
+        (Chaos.should_fail ch' ~key ~attempt)
+    done
+  done;
+  let struck = ref 0 in
+  for key = 0 to 49 do
+    match Chaos.inject ch ~key ~attempt:0 with
+    | () -> ()
+    | exception Chaos.Injected _ -> incr struck
+  done;
+  Alcotest.(check int) "counter matches raises" !struck
+    (Chaos.injected_failures ch);
+  Alcotest.(check bool) "rate 0.4 struck at least once" true (!struck > 0)
+
+let test_chaos_rate_validation () =
+  (match Chaos.create ~failure_rate:1.5 ~seed:0L () with
+  | (_ : Chaos.t) -> Alcotest.fail "rate > 1 accepted"
+  | exception Invalid_argument _ -> ())
+
+(* Guard *)
+
+let test_guard_passthrough () =
+  ignore (Guard.drain ());
+  let v =
+    Guard.protect ~context:"test" ~recover:(fun _ -> Some ("fallback", 0))
+      (fun () -> 17)
+  in
+  Alcotest.(check int) "primary value" 17 v;
+  Alcotest.(check int) "no warning" 0 (List.length (Guard.drain ()))
+
+let test_guard_fallback_records_warning () =
+  ignore (Guard.drain ());
+  let v =
+    Guard.protect ~context:"test ctx"
+      ~recover:(function Failure _ -> Some ("closed form", 99) | _ -> None)
+      (fun () -> failwith "diverged")
+  in
+  Alcotest.(check int) "fallback value" 99 v;
+  match Guard.drain () with
+  | [ w ] ->
+      Alcotest.(check string) "context" "test ctx" w.Guard.context;
+      Alcotest.(check bool) "detail names exception" true
+        (contains w.Guard.detail "diverged");
+      Alcotest.(check string) "fallback" "closed form" w.Guard.fallback
+  | ws -> Alcotest.failf "expected one warning, got %d" (List.length ws)
+
+let test_guard_unrecoverable_reraises () =
+  ignore (Guard.drain ());
+  (match
+     Guard.protect ~context:"test"
+       ~recover:(function Failure _ -> Some ("x", 0) | _ -> None)
+       (fun () -> raise Exit)
+   with
+  | _ -> Alcotest.fail "foreign exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check int) "no warning for reraise" 0 (List.length (Guard.drain ()))
+
+let test_guard_fallback_is_young_daly () =
+  (* The fallback Threshold installs must be the first-order
+     (Young/Daly-style) closed form, so degradation is principled, not
+     arbitrary. Reproduce the same recover logic against a forced solver
+     failure and compare with the closed form directly. *)
+  ignore (Guard.drain ());
+  let params = Fault.Params.paper ~lambda:0.001 ~c:60.0 ~d:0.0 in
+  let n = 3 in
+  let closed_form = Core.Threshold.threshold_first_order ~params ~n in
+  let v =
+    Guard.protect ~context:"test threshold"
+      ~recover:(function
+        | Numerics.Rootfind.No_bracket _ ->
+            Some ("first-order closed form", closed_form)
+        | _ -> None)
+      (fun () -> raise (Numerics.Rootfind.No_bracket "forced"))
+  in
+  Alcotest.(check (float 0.0)) "fallback = Young/Daly closed form"
+    closed_form v;
+  Alcotest.(check int) "degradation recorded" 1 (List.length (Guard.drain ()))
+
+(* Journal *)
+
+let e1 =
+  {
+    Journal.c = 60.0;
+    strategy = "YoungDaly";
+    t = 1.0 /. 3.0;
+    mean = Float.pi;
+    ci95 = 0.001;
+    mean_failures = 1.5;
+    mean_checkpoints = 4.0;
+  }
+
+let e2 = { e1 with Journal.strategy = "SingleFinal"; mean = 0.25 }
+let e3 = { e1 with Journal.t = 500.0; mean = 0.5 }
+
+let entry_eq (a : Journal.entry) (b : Journal.entry) =
+  a.Journal.c = b.Journal.c
+  && a.Journal.strategy = b.Journal.strategy
+  && a.Journal.t = b.Journal.t
+  && a.Journal.mean = b.Journal.mean
+  && a.Journal.ci95 = b.Journal.ci95
+  && a.Journal.mean_failures = b.Journal.mean_failures
+  && a.Journal.mean_checkpoints = b.Journal.mean_checkpoints
+
+let test_journal_roundtrip () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"deadbeef" () in
+      List.iter (Journal.append j) [ e1; e2; e3 ];
+      Journal.close j;
+      let j = Journal.open_ ~path ~key:"deadbeef" () in
+      Alcotest.(check (list string)) "clean reopen" [] (Journal.warnings j);
+      Alcotest.(check int) "all entries" 3 (Journal.length j);
+      List.iter2
+        (fun expected got ->
+          Alcotest.(check bool) "bit-exact roundtrip" true (entry_eq expected got))
+        [ e1; e2; e3 ] (Journal.entries j);
+      (match Journal.find j ~c:60.0 ~strategy:"SingleFinal" ~t:(1.0 /. 3.0) with
+      | Some e -> Alcotest.(check (float 0.0)) "find" 0.25 e.Journal.mean
+      | None -> Alcotest.fail "exact float lookup failed");
+      Alcotest.(check bool) "missing point" true
+        (Journal.find j ~c:60.0 ~strategy:"YoungDaly" ~t:999.0 = None);
+      Journal.close j)
+
+let test_journal_key_mismatch_resets () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"aaaa" () in
+      Journal.append j e1;
+      Journal.close j;
+      let j = Journal.open_ ~path ~key:"bbbb" () in
+      Alcotest.(check int) "reset journal is empty" 0 (Journal.length j);
+      Alcotest.(check bool) "warned about the reset" true
+        (List.exists (fun w -> contains w "did not match") (Journal.warnings j));
+      Journal.close j)
+
+let test_journal_key_mismatch_strict_fails () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"aaaa" () in
+      Journal.append j e1;
+      Journal.close j;
+      (match Journal.open_ ~strict:true ~path ~key:"bbbb" () with
+      | _ -> Alcotest.fail "strict resume accepted foreign journal"
+      | exception Failure msg ->
+          Alcotest.(check bool) "explains the refusal" true
+            (contains msg "refusing to resume"));
+      (* The mismatched file must be untouched by the failed open. *)
+      let j = Journal.open_ ~path ~key:"aaaa" () in
+      Alcotest.(check int) "original data intact" 1 (Journal.length j);
+      Journal.close j)
+
+let test_journal_corrupt_tail_recovery () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      List.iter (Journal.append j) [ e1; e2 ];
+      Journal.close j;
+      (* Simulate a crash mid-append: garbage after the good records. *)
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "p 60 YoungDaly garbage-without-checksum\n";
+      close_out oc;
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check bool) "warned about truncation" true
+        (List.exists (fun w -> contains w "truncated") (Journal.warnings j));
+      Alcotest.(check int) "good records kept" 2 (Journal.length j);
+      (* The journal keeps working after recovery... *)
+      Journal.append j e3;
+      Journal.close j;
+      (* ...and the recovered-then-extended file reloads cleanly. *)
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check (list string)) "clean after recovery" []
+        (Journal.warnings j);
+      Alcotest.(check int) "three records" 3 (Journal.length j);
+      Journal.close j)
+
+let test_journal_torn_final_write () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      List.iter (Journal.append j) [ e1; e2; e3 ];
+      Journal.close j;
+      (* Chop bytes off the last record, losing its newline. *)
+      let len = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (len - 5);
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check int) "torn record dropped" 2 (Journal.length j);
+      Alcotest.(check bool) "warned" true (Journal.warnings j <> []);
+      Journal.close j)
+
+let test_journal_validation () =
+  with_temp (fun path ->
+      (match Journal.open_ ~path ~key:"bad key" () with
+      | _ -> Alcotest.fail "whitespace key accepted"
+      | exception Invalid_argument _ -> ());
+      let j = Journal.open_ ~path ~key:"ok" () in
+      (match Journal.append j { e1 with Journal.strategy = "a b" } with
+      | () -> Alcotest.fail "whitespace strategy accepted"
+      | exception Invalid_argument _ -> ());
+      Journal.close j;
+      (match Journal.append j e1 with
+      | () -> Alcotest.fail "append after close accepted"
+      | exception Invalid_argument _ -> ()))
+
+(* Runner-level resilience: resume and chaos-equivalence.
+
+   A deliberately tiny spec (2 strategies x 2 grid points x 25 traces)
+   keeps these end-to-end tests fast. *)
+
+let tiny_spec =
+  {
+    Experiments.Spec.id = "robust-tiny";
+    description = "tiny spec for resilience tests";
+    lambda = 0.01;
+    d = 0.0;
+    cs = [ 5.0 ];
+    t_max = 60.0;
+    t_step = 20.0;
+    strategies = [ Experiments.Spec.Young_daly; Experiments.Spec.Single_final ];
+    n_traces = 25;
+    seed = 7L;
+    failure_dist = Experiments.Spec.Exp;
+    ckpt_noise = Experiments.Spec.Deterministic;
+  }
+
+let check_same_result (a : Experiments.Runner.result)
+    (b : Experiments.Runner.result) =
+  let module R = Experiments.Runner in
+  Alcotest.(check int) "curve count" (List.length a.R.curves)
+    (List.length b.R.curves);
+  List.iter2
+    (fun (ca : R.curve) (cb : R.curve) ->
+      Alcotest.(check string) "strategy" ca.R.name cb.R.name;
+      Alcotest.(check int)
+        (ca.R.name ^ " point count")
+        (Array.length ca.R.points) (Array.length cb.R.points);
+      Array.iteri
+        (fun i (pa : R.point) ->
+          let pb = cb.R.points.(i) in
+          let same label x y =
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "%s[%d] %s bit-exact" ca.R.name i label)
+              x y
+          in
+          same "t" pa.R.t pb.R.t;
+          same "mean" pa.R.mean pb.R.mean;
+          same "ci95" pa.R.ci95 pb.R.ci95;
+          same "failures" pa.R.mean_failures pb.R.mean_failures;
+          same "checkpoints" pa.R.mean_checkpoints pb.R.mean_checkpoints)
+        ca.R.points)
+    a.R.curves b.R.curves
+
+let test_chaos_with_retry_matches_fault_free () =
+  Parallel.Pool.with_pool (fun pool ->
+      let clean = Experiments.Runner.run ~pool tiny_spec in
+      let chaos = Chaos.create ~failure_rate:0.5 ~seed:3L () in
+      let retry = Retry.make ~attempts:8 ~base_delay:0.0 () in
+      let chaotic = Experiments.Runner.run ~pool ~retry ~chaos tiny_spec in
+      Alcotest.(check bool) "chaos actually struck" true
+        (Chaos.injected_failures chaos > 0);
+      check_same_result clean chaotic)
+
+let test_resume_skips_journaled_points () =
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          let j = Journal.open_ ~path ~key () in
+          let first =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () -> Experiments.Runner.run ~pool ~journal:j tiny_spec)
+          in
+          Alcotest.(check int) "all points journaled" 4 (Journal.length j);
+          (* Relaunch with chaos that fails EVERY computed task and no
+             retries: success is only possible if every point is served
+             from the journal. *)
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          let chaos = Chaos.create ~failure_rate:1.0 ~seed:1L () in
+          let resumed =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                Experiments.Runner.run ~pool ~journal:j ~chaos tiny_spec)
+          in
+          check_same_result first resumed))
+
+let test_partial_resume_completes_the_rest () =
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          let full = Experiments.Runner.run ~pool tiny_spec in
+          (* Journal only the YoungDaly half, as if the run died there. *)
+          let j = Journal.open_ ~path ~key () in
+          let module R = Experiments.Runner in
+          List.iter
+            (fun (curve : R.curve) ->
+              if curve.R.name = "YoungDaly" then
+                Array.iter
+                  (fun (p : R.point) ->
+                    Journal.append j
+                      {
+                        Journal.c = curve.R.c;
+                        strategy = curve.R.name;
+                        t = p.R.t;
+                        mean = p.R.mean;
+                        ci95 = p.R.ci95;
+                        mean_failures = p.R.mean_failures;
+                        mean_checkpoints = p.R.mean_checkpoints;
+                      })
+                  curve.R.points)
+            full.R.curves;
+          Journal.close j;
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          let resumed =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () -> Experiments.Runner.run ~pool ~journal:j tiny_spec)
+          in
+          check_same_result full resumed;
+          (* The relaunch computed (and journaled) only the missing half. *)
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          Alcotest.(check int) "journal completed" 4 (Journal.length j);
+          Journal.close j))
+
+let test_sweep_failure_preserves_completed_points () =
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          (* Rate-0.5 chaos with no retries: some tasks fail permanently,
+             the others must still complete and land in the journal. *)
+          let chaos = Chaos.create ~failure_rate:0.5 ~seed:3L () in
+          let j = Journal.open_ ~path ~key () in
+          (match
+             Fun.protect
+               ~finally:(fun () -> Journal.close j)
+               (fun () ->
+                 Experiments.Runner.run ~pool ~journal:j ~chaos tiny_spec)
+           with
+          | _ -> Alcotest.fail "chaos without retry succeeded"
+          | exception Experiments.Runner.Sweep_failure { completed; failed; _ }
+            ->
+              Alcotest.(check int) "every task accounted for" 4
+                (completed + failed);
+              Alcotest.(check bool) "some completed" true (completed > 0);
+              Alcotest.(check bool) "some failed" true (failed > 0));
+          (* Kill/restart: the relaunch on the same journal finishes the
+             missing points and matches a fault-free run. *)
+          let full = Experiments.Runner.run ~pool tiny_spec in
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          Alcotest.(check bool) "partial progress persisted" true
+            (Journal.length j > 0);
+          let resumed =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () -> Experiments.Runner.run ~pool ~journal:j tiny_spec)
+          in
+          check_same_result full resumed))
+
+let test_fingerprint_distinguishes_specs () =
+  let fp = Experiments.Spec.fingerprint in
+  let base = fp tiny_spec in
+  Alcotest.(check string) "stable" base (fp tiny_spec);
+  List.iter
+    (fun (label, spec') ->
+      if fp spec' = base then Alcotest.failf "%s shares the fingerprint" label)
+    [
+      ("seed", { tiny_spec with Experiments.Spec.seed = 8L });
+      ("n_traces", { tiny_spec with Experiments.Spec.n_traces = 26 });
+      ("lambda", { tiny_spec with Experiments.Spec.lambda = 0.02 });
+      ( "strategies",
+        { tiny_spec with Experiments.Spec.strategies = [ Experiments.Spec.Young_daly ] } );
+    ]
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "retry",
+        [
+          Alcotest.test_case "transient failure recovers" `Quick
+            test_retry_transient_recovers;
+          Alcotest.test_case "budget exhaustion" `Quick test_retry_exhaustion;
+          Alcotest.test_case "no_retry tries once" `Quick
+            test_retry_no_retry_single_attempt;
+          Alcotest.test_case "deterministic jittered backoff" `Quick
+            test_retry_deterministic_jittered_backoff;
+          Alcotest.test_case "sleep schedule" `Quick
+            test_retry_sleeps_recorded_delays;
+          Alcotest.test_case "validation" `Quick test_retry_validation;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "rate extremes" `Quick test_chaos_rate_extremes;
+          Alcotest.test_case "deterministic and counted" `Quick
+            test_chaos_deterministic_and_counted;
+          Alcotest.test_case "rate validation" `Quick test_chaos_rate_validation;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "passthrough" `Quick test_guard_passthrough;
+          Alcotest.test_case "fallback records warning" `Quick
+            test_guard_fallback_records_warning;
+          Alcotest.test_case "unrecoverable reraises" `Quick
+            test_guard_unrecoverable_reraises;
+          Alcotest.test_case "fallback is Young/Daly" `Quick
+            test_guard_fallback_is_young_daly;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "key mismatch resets" `Quick
+            test_journal_key_mismatch_resets;
+          Alcotest.test_case "key mismatch strict fails" `Quick
+            test_journal_key_mismatch_strict_fails;
+          Alcotest.test_case "corrupt tail recovery" `Quick
+            test_journal_corrupt_tail_recovery;
+          Alcotest.test_case "torn final write" `Quick
+            test_journal_torn_final_write;
+          Alcotest.test_case "validation" `Quick test_journal_validation;
+        ] );
+      ( "runner resilience",
+        [
+          Alcotest.test_case "chaos + retry = fault-free" `Slow
+            test_chaos_with_retry_matches_fault_free;
+          Alcotest.test_case "resume skips journaled points" `Slow
+            test_resume_skips_journaled_points;
+          Alcotest.test_case "partial resume completes the rest" `Slow
+            test_partial_resume_completes_the_rest;
+          Alcotest.test_case "failed sweep preserves completed points" `Slow
+            test_sweep_failure_preserves_completed_points;
+          Alcotest.test_case "fingerprint distinguishes specs" `Quick
+            test_fingerprint_distinguishes_specs;
+        ] );
+    ]

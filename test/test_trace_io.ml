@@ -92,6 +92,77 @@ let test_empty_file () =
       close_out oc;
       Alcotest.(check int) "no traces" 0 (Array.length (Io.load ~path)))
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let test_header_written_and_validated () =
+  with_temp (fun path ->
+      Io.save ~path ~horizon:100.0 [| T.of_iats [| 1.0; 2.0 |]; T.of_iats [| 3.0 |] |];
+      let content = read_file path in
+      Alcotest.(check bool) "magic + version + count" true
+        (contains content "# fixedlen-traces v1 2 ");
+      Alcotest.(check int) "loads back" 2 (Array.length (Io.load ~path)))
+
+let test_corrupted_payload_detected () =
+  with_temp (fun path ->
+      Io.save ~path ~horizon:100.0 [| T.of_iats [| 1.5; 2.5 |] |];
+      (* Flip one payload digit: 1.5 becomes 7.5 — still a perfectly
+         parseable trace, caught only by the checksum. *)
+      let content = read_file path in
+      let i = String.index_from content (String.index content '\n') '1' in
+      write_file path
+        (String.sub content 0 i ^ "7"
+        ^ String.sub content (i + 1) (String.length content - i - 1));
+      match Io.load ~path with
+      | _ -> Alcotest.fail "corrupted payload accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "blames the checksum" true
+            (contains msg "checksum");
+          Alcotest.(check bool) "names the file" true (contains msg path))
+
+let test_truncated_file_detected () =
+  with_temp (fun path ->
+      Io.save ~path ~horizon:100.0
+        [| T.of_iats [| 1.0 |]; T.of_iats [| 2.0 |]; T.of_iats [| 3.0 |] |];
+      let content = read_file path in
+      (* Drop the final trace line entirely (a clean truncation). *)
+      let cut = String.rindex_from content (String.length content - 2) '\n' in
+      write_file path (String.sub content 0 (cut + 1));
+      match Io.load ~path with
+      | _ -> Alcotest.fail "truncated file accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "says corrupted or truncated" true
+            (contains msg "corrupted or truncated"))
+
+let test_unsupported_version_rejected () =
+  with_temp (fun path ->
+      write_file path "# fixedlen-traces v9 1 100 0123456789abcdef\n1.0\n";
+      match Io.load ~path with
+      | _ -> Alcotest.fail "future version accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "names the version" true (contains msg "v9"))
+
+let test_legacy_headerless_file_loads () =
+  with_temp (fun path ->
+      write_file path "1.5 2.5\n0.25 7 100\n";
+      let loaded = Io.load ~path in
+      Alcotest.(check int) "two traces" 2 (Array.length loaded);
+      close "legacy value" 2.5 (T.iat loaded.(0) 1);
+      close "legacy value 2" 0.25 (T.iat loaded.(1) 0))
+
 let () =
   Alcotest.run "trace_io"
     [
@@ -108,5 +179,18 @@ let () =
         [
           Alcotest.test_case "malformed input" `Quick test_load_errors;
           Alcotest.test_case "empty file" `Quick test_empty_file;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "header written and validated" `Quick
+            test_header_written_and_validated;
+          Alcotest.test_case "corrupted payload detected" `Quick
+            test_corrupted_payload_detected;
+          Alcotest.test_case "truncated file detected" `Quick
+            test_truncated_file_detected;
+          Alcotest.test_case "unsupported version rejected" `Quick
+            test_unsupported_version_rejected;
+          Alcotest.test_case "legacy headerless file loads" `Quick
+            test_legacy_headerless_file_loads;
         ] );
     ]
