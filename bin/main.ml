@@ -104,15 +104,83 @@ let chaos_rate_t =
   in
   Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"RATE" ~doc)
 
+let chaos_hang_t =
+  let doc =
+    "Chaos drill: deterministically hang this fraction of grid-point \
+     attempts forever (0 <= $(docv) <= 1). Requires $(b,--task-timeout): \
+     only the process-isolated watchdog can kill and re-dispatch a hung \
+     task."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos-hang" ] ~docv:"RATE" ~doc)
+
 let chaos_seed_t =
   let doc = "Seed of the chaos injection stream." in
   Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
 
-let chaos_of rate seed =
+let chaos_of rate hang_rate seed =
   or_fail (fun () ->
-      Option.map
-        (fun rate -> Robust.Chaos.create ~failure_rate:rate ~seed ())
-        rate)
+      match (rate, hang_rate) with
+      | None, None -> None
+      | _ ->
+          Some
+            (Robust.Chaos.create
+               ?failure_rate:rate ?hang_rate ~seed ()))
+
+(* Deadline-aware supervised execution: a wall-clock reservation budget
+   for the run itself, and process isolation so hung or crashing grid
+   points can be killed and re-dispatched instead of taking the process
+   down. Exit code 3 distinguishes a graceful partial run (deadline hit,
+   completed points journaled) from success (0) and failure (1). *)
+
+let exit_partial = 3
+
+let deadline_t =
+  let doc =
+    "Wall-clock budget in seconds for the whole run. When it expires, \
+     in-flight grid points drain, completed points are fsync'd to the \
+     journal, whatever curves are complete are reported, and the exit \
+     code is 3 (partial) instead of crashing. Combine with \
+     $(b,--journal)/$(b,--resume) to finish the rest later."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let task_timeout_t =
+  let doc =
+    "Watchdog timeout in seconds for a single grid point. Implies \
+     $(b,--isolate); a task that exceeds it is SIGKILLed and \
+     re-dispatched up to the $(b,--retry) budget."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "task-timeout" ] ~docv:"SECONDS" ~doc)
+
+let isolate_t =
+  let doc =
+    "Run each grid point in a supervised forked worker process instead \
+     of an in-process domain: a crashing or hanging task then costs one \
+     point (retried), not the whole run."
+  in
+  Arg.(value & flag & info [ "isolate" ] ~doc)
+
+(* Validates the supervision flags and returns the effective isolate
+   setting. Usage errors exit 2, like cmdliner's own. *)
+let supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline =
+  (match task_timeout with
+  | Some s when s <= 0.0 ->
+      Printf.eprintf "fixedlen: --task-timeout must be > 0\n";
+      exit 2
+  | _ -> ());
+  (match deadline with
+  | Some s when s < 0.0 ->
+      Printf.eprintf "fixedlen: --deadline must be >= 0\n";
+      exit 2
+  | _ -> ());
+  if chaos_hang <> None && task_timeout = None then begin
+    Printf.eprintf
+      "fixedlen: --chaos-hang requires --task-timeout: a hung task can \
+       only be recovered by the process-isolation watchdog\n";
+    exit 2
+  end;
+  isolate || task_timeout <> None
 
 let report_result ~csv ~no_plot result =
   (match csv with
@@ -149,17 +217,25 @@ let figure_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run id n_traces t_step t_max csv no_plot domains quiet journal resume
-      retry chaos_rate chaos_seed =
+      retry chaos_rate chaos_hang chaos_seed deadline task_timeout isolate =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
           (String.concat ", " Experiments.Figures.ids);
         exit 2
     | Some spec ->
+        let isolate =
+          supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline
+        in
         let spec = Experiments.Figures.scale ?n_traces ?t_step ?t_max spec in
         let progress = if quiet then fun _ -> () else prerr_endline in
         let retry = retry_of retry in
-        let chaos = chaos_of chaos_rate chaos_seed in
+        let chaos = chaos_of chaos_rate chaos_hang chaos_seed in
+        let deadline =
+          match deadline with
+          | None -> Robust.Deadline.unlimited
+          | Some budget -> Robust.Deadline.start ~budget ()
+        in
         let journal =
           match (resume, journal) with
           | Some path, _ -> Some (path, true)
@@ -169,9 +245,19 @@ let figure_cmd =
         let result =
           or_fail (fun () ->
               Parallel.Pool.with_pool ?domains (fun pool ->
+                  let backend =
+                    if isolate then
+                      Experiments.Runner.Processes
+                        (Parallel.Proc_pool.create
+                           ~workers:(Parallel.Pool.domains pool)
+                           ?task_timeout
+                           ~attempts:retry.Robust.Retry.attempts ())
+                    else Experiments.Runner.Domains
+                  in
                   match journal with
                   | None ->
-                      Experiments.Runner.run ~pool ~progress ~retry ?chaos spec
+                      Experiments.Runner.run ~pool ~backend ~deadline ~progress
+                        ~retry ?chaos spec
                   | Some (path, strict) ->
                       let j =
                         Robust.Journal.open_ ~strict ~path
@@ -181,10 +267,17 @@ let figure_cmd =
                       Fun.protect
                         ~finally:(fun () -> Robust.Journal.close j)
                         (fun () ->
-                          Experiments.Runner.run ~pool ~progress ~journal:j
-                            ~retry ?chaos spec)))
+                          Experiments.Runner.run ~pool ~backend ~deadline
+                            ~progress ~journal:j ~retry ?chaos spec)))
         in
-        report_result ~csv ~no_plot result
+        report_result ~csv ~no_plot result;
+        if result.Experiments.Runner.partial then begin
+          Printf.eprintf
+            "fixedlen: partial result — %d grid point(s) missed the deadline \
+             (completed points journaled; rerun with --resume to finish)\n"
+            result.Experiments.Runner.missed;
+          exit exit_partial
+        end
   in
   let n_traces_t =
     Arg.(value & opt (some int) None
@@ -195,7 +288,7 @@ let figure_cmd =
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t
       $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t $ chaos_rate_t
-      $ chaos_seed_t)
+      $ chaos_hang_t $ chaos_seed_t $ deadline_t $ task_timeout_t $ isolate_t)
 
 let campaign_cmd =
   let out_t =
@@ -233,7 +326,9 @@ let campaign_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
   let run out n_traces t_step t_max report figures domains quiet journal
-      resume retry chaos_rate chaos_seed =
+      resume retry chaos_rate chaos_hang chaos_seed deadline task_timeout
+      isolate =
+    let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
     let journal =
       match (resume, journal) with
       | Some dir, _ -> Experiments.Campaign.Resume dir
@@ -249,11 +344,14 @@ let campaign_cmd =
         figure_ids = Option.map (String.split_on_char ',') figures;
         journal;
         retry = retry_of retry;
-        chaos = chaos_of chaos_rate chaos_seed;
+        chaos = chaos_of chaos_rate chaos_hang chaos_seed;
+        deadline;
+        task_timeout;
+        isolate;
       }
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
-    let results =
+    let outcome =
       or_fail (fun () ->
           Parallel.Pool.with_pool ?domains (fun pool ->
               Experiments.Campaign.run ~pool ~progress config))
@@ -265,12 +363,29 @@ let campaign_cmd =
         print_endline
           (Experiments.Report.render_checks
              (Experiments.Report.qualitative_checks result)))
-      results;
-    match report with
+      outcome.Experiments.Campaign.results;
+    (match report with
     | None -> ()
     | Some path ->
-        Experiments.Campaign.write_report results ~path;
-        Printf.printf "wrote %s\n" path
+        Experiments.Campaign.write_report outcome ~path;
+        Printf.printf "wrote %s\n" path);
+    if outcome.Experiments.Campaign.partial then begin
+      let missed =
+        List.fold_left
+          (fun acc (_, r) -> acc + r.Experiments.Runner.missed)
+          0 outcome.Experiments.Campaign.results
+      in
+      Printf.eprintf
+        "fixedlen: partial campaign — %d grid point(s) missed the deadline%s \
+         (completed points journaled; rerun with --resume to finish)\n"
+        missed
+        (match outcome.Experiments.Campaign.skipped with
+        | [] -> ""
+        | ids ->
+            Printf.sprintf ", figure(s) not started: %s"
+              (String.concat ", " ids));
+      exit exit_partial
+    end
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -278,7 +393,8 @@ let campaign_cmd =
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
       $ figures_only_t $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t
-      $ chaos_rate_t $ chaos_seed_t)
+      $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ deadline_t
+      $ task_timeout_t $ isolate_t)
 
 (* exact *)
 

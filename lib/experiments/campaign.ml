@@ -9,6 +9,9 @@ type config = {
   journal : journal_mode;
   retry : Robust.Retry.t;
   chaos : Robust.Chaos.t option;
+  deadline : float option;
+  task_timeout : float option;
+  isolate : bool;
 }
 
 let default_config =
@@ -21,7 +24,16 @@ let default_config =
     journal = No_journal;
     retry = Robust.Retry.no_retry;
     chaos = None;
+    deadline = None;
+    task_timeout = None;
+    isolate = false;
   }
+
+type outcome = {
+  results : (Spec.t * Runner.result) list;
+  partial : bool;
+  skipped : string list;
+}
 
 let selected_specs config =
   match config.figure_ids with
@@ -68,32 +80,76 @@ let open_journal ~progress config (scaled : Spec.t) =
 let run ?pool ?(progress = fun _ -> ()) config =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
+  (* One reservation budget spans the whole campaign: figures that start
+     late inherit whatever the earlier ones left. *)
+  let deadline =
+    match config.deadline with
+    | None -> Robust.Deadline.unlimited
+    | Some budget -> Robust.Deadline.start ~budget ()
+  in
+  (* The watchdog budget for killed/hung dispatches mirrors the in-task
+     retry budget, so "--retry N" bounds both failure modes. *)
+  let backend =
+    if config.isolate || config.task_timeout <> None then
+      Runner.Processes
+        (Parallel.Proc_pool.create
+           ~workers:(Parallel.Pool.domains pool)
+           ?task_timeout:config.task_timeout
+           ~attempts:config.retry.Robust.Retry.attempts ())
+    else Runner.Domains
+  in
   Fun.protect
     ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
     (fun () ->
       ensure_dir config.out_dir;
-      List.map
-        (fun spec ->
-          let scaled =
-            Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
-              ?t_max:config.t_max spec
-          in
-          progress (Printf.sprintf "== %s ==" scaled.Spec.id);
-          let journal = open_journal ~progress config scaled in
-          let result =
-            Fun.protect
-              ~finally:(fun () -> Option.iter Robust.Journal.close journal)
-              (fun () ->
-                Runner.run ~pool ~progress ?journal ~retry:config.retry
-                  ?chaos:config.chaos scaled)
-          in
-          let path = Filename.concat config.out_dir (scaled.Spec.id ^ ".csv") in
-          Report.to_csv result ~path;
-          progress (Printf.sprintf "wrote %s" path);
-          (scaled, result))
-        (selected_specs config))
+      let skipped = ref [] in
+      let results =
+        List.filter_map
+          (fun spec ->
+            let scaled =
+              Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
+                ?t_max:config.t_max spec
+            in
+            if Robust.Deadline.expired deadline then begin
+              progress
+                (Printf.sprintf "== %s == skipped: deadline exhausted"
+                   scaled.Spec.id);
+              skipped := scaled.Spec.id :: !skipped;
+              None
+            end
+            else begin
+              progress (Printf.sprintf "== %s ==" scaled.Spec.id);
+              let journal = open_journal ~progress config scaled in
+              let result =
+                Fun.protect
+                  ~finally:(fun () -> Option.iter Robust.Journal.close journal)
+                  (fun () ->
+                    Runner.run ~pool ~backend ~deadline ~progress ?journal
+                      ~retry:config.retry ?chaos:config.chaos scaled)
+              in
+              let path =
+                Filename.concat config.out_dir (scaled.Spec.id ^ ".csv")
+              in
+              Report.to_csv result ~path;
+              progress
+                (Printf.sprintf "wrote %s%s" path
+                   (if result.Runner.partial then
+                      Printf.sprintf " (partial: %d point(s) missed)"
+                        result.Runner.missed
+                    else ""));
+              Some (scaled, result)
+            end)
+          (selected_specs config)
+      in
+      let skipped = List.rev !skipped in
+      let partial =
+        skipped <> []
+        || List.exists (fun (_, r) -> r.Runner.partial) results
+      in
+      { results; partial; skipped })
 
-let markdown_report results =
+let markdown_report outcome =
+  let results = outcome.results in
   let md = Output.Markdown.create () in
   Output.Markdown.heading md ~level:1 "Experiment report";
   let all_checks =
@@ -108,6 +164,27 @@ let markdown_report results =
        (List.length results)
        (List.length all_checks - failed)
        (List.length all_checks));
+  if outcome.partial then begin
+    let missed_figures =
+      List.filter_map
+        (fun ((spec : Spec.t), (r : Runner.result)) ->
+          if r.Runner.partial then
+            Some (Printf.sprintf "%s (%d point(s) missed)" spec.Spec.id r.missed)
+          else None)
+        results
+    in
+    Output.Markdown.paragraph md
+      (Printf.sprintf
+         "**Partial report**: the reservation deadline expired before the \
+          campaign finished. Completed points are journaled; rerun with \
+          [--resume] to finish the rest.%s%s"
+         (match missed_figures with
+         | [] -> ""
+         | fs -> " Incomplete: " ^ String.concat ", " fs ^ ".")
+         (match outcome.skipped with
+         | [] -> ""
+         | ids -> " Not started: " ^ String.concat ", " ids ^ "."))
+  end;
   (match Robust.Guard.peek () with
   | [] -> ()
   | ws ->
@@ -144,5 +221,5 @@ let markdown_report results =
     results;
   md
 
-let write_report results ~path =
-  Output.Markdown.to_file (markdown_report results) ~path
+let write_report outcome ~path =
+  Output.Markdown.to_file (markdown_report outcome) ~path

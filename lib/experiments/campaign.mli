@@ -22,17 +22,36 @@ type config = {
   journal : journal_mode;
   retry : Robust.Retry.t;  (** per-grid-point retry budget *)
   chaos : Robust.Chaos.t option;  (** fault injection, for drills *)
+  deadline : float option;
+      (** wall-clock seconds for the {e whole} campaign; when the budget
+          runs out, in-flight points drain, the journal is synced, and
+          remaining work is reported as partial instead of crashing *)
+  task_timeout : float option;
+      (** per-grid-point watchdog (seconds); implies process isolation,
+          since only a forked worker can be killed and re-dispatched *)
+  isolate : bool;
+      (** run grid points in supervised forked workers
+          ({!Parallel.Proc_pool}) instead of domains *)
 }
 
 val default_config : config
 (** out_dir "results", paper-scale everything, all figures, no journal,
-    no retries, no chaos. *)
+    no retries, no chaos, no deadline, in-process domains. *)
+
+type outcome = {
+  results : (Spec.t * Runner.result) list;  (** figures that ran *)
+  partial : bool;
+      (** the deadline cut something short — some figure is missing
+          points, or some figure was never started *)
+  skipped : string list;
+      (** figure ids not started because the budget was already gone *)
+}
 
 val run :
   ?pool:Parallel.Pool.t ->
   ?progress:(string -> unit) ->
   config ->
-  (Spec.t * Runner.result) list
+  outcome
 (** Runs the selected figures sequentially (each internally parallel over
     the pool), writing [<out_dir>/<figure>.csv] as results complete.
     With journaling enabled, every completed grid point is persisted as
@@ -41,12 +60,24 @@ val run :
     remaining work only. Journal keys are [Spec.fingerprint]s of the
     {e scaled} specs: resuming with different [--traces]/[--t-step]
     overrides is detected as a mismatch rather than silently mixing
-    incompatible points. Raises [Invalid_argument] on an unknown figure
-    id, [Failure] on a strict-resume mismatch, [Runner.Sweep_failure]
-    when points fail after retries (completed points stay journaled). *)
+    incompatible points.
 
-val markdown_report : (Spec.t * Runner.result) list -> Output.Markdown.t
+    With [deadline] set, one {!Robust.Deadline} reservation spans all
+    figures: when it expires mid-figure the sweep stops dispatching and
+    returns its complete curves ([partial = true] on that figure's
+    result); figures not yet started are listed in [skipped]. With
+    [isolate] (or [task_timeout], which implies it), grid points run in
+    forked workers supervised by a wall-clock watchdog — a hung point is
+    SIGKILLed and re-dispatched within the retry budget rather than
+    hanging the campaign.
+
+    Raises [Invalid_argument] on an unknown figure id, [Failure] on a
+    strict-resume mismatch, [Runner.Sweep_failure] when points fail
+    after retries (completed points stay journaled). *)
+
+val markdown_report : outcome -> Output.Markdown.t
 (** Per figure: parameters, the summary table, and the qualitative
-    paper-shape checks; prefixed by a campaign-wide verdict. *)
+    paper-shape checks; prefixed by a campaign-wide verdict and, for a
+    partial run, which figures are incomplete or unstarted. *)
 
-val write_report : (Spec.t * Runner.result) list -> path:string -> unit
+val write_report : outcome -> path:string -> unit

@@ -13,7 +13,14 @@ type curve = {
   points : point array;
 }
 
-type result = { spec : Spec.t; curves : curve list }
+type result = {
+  spec : Spec.t;
+  curves : curve list;
+  partial : bool;
+  missed : int;
+}
+
+type backend = Domains | Processes of Parallel.Proc_pool.t
 
 let distinct_quanta strategies =
   List.sort_uniq compare
@@ -140,12 +147,14 @@ let entry_of_point ~c ~strategy (p : point) =
   }
 
 (* One C block's Monte-Carlo phase: build the shared tables, then sweep
-   every (strategy, t) task through the pool with per-task fault
-   isolation. Each completed point is appended to the journal (if any)
-   from inside the worker, so an interruption loses at most the points
-   still in flight. *)
-let sweep ~pool ~progress ~journal ~retry ~chaos ~spec ~dist ~params ~c ~grid
-    ~horizon_max ~tasks ~cached ~base =
+   every uncached (strategy, t) task through the selected backend with
+   per-task fault isolation. Each completed point is committed to the
+   journal (if any) as soon as it settles — from inside the worker on the
+   [Domains] backend, from the supervising parent on [Processes] (a
+   forked child's journal writes would die with its copy-on-write heap)
+   — so an interruption loses at most the points still in flight. *)
+let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~spec ~dist
+    ~params ~c ~grid ~horizon_max ~tasks ~cached ~base =
   let traces =
     Fault.Trace.batch ~dist
       ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
@@ -229,32 +238,78 @@ let sweep ~pool ~progress ~journal ~retry ~chaos ~spec ~dist ~params ~c ~grid
       mean_checkpoints = r.Sim.Runner.mean_checkpoints;
     }
   in
-  Parallel.Pool.try_mapi pool tasks ~f:(fun i ((strategy, _) as task) ->
-      match cached.(i) with
-      | Some p -> p
-      | None ->
-          (* The task key feeds chaos injection and retry jitter; the
-             evaluation itself is a pure function of (i, task), so a
-             retried attempt reproduces the fault-free value exactly. *)
-          let key = base + i in
-          let compute ~attempt =
-            (match chaos with
-            | Some ch -> Robust.Chaos.inject ch ~key ~attempt
-            | None -> ());
-            eval i task
-          in
-          (match Robust.Retry.run retry ~key compute with
-          | Ok p ->
-              (match journal with
-              | Some j ->
-                  Robust.Journal.append j
-                    (entry_of_point ~c
-                       ~strategy:(Spec.strategy_name strategy) p)
-              | None -> ());
-              p
-          | Error e -> raise e))
+  (* Cached points never travel through a backend: they are free, so a
+     deadline that expires mid-block cannot cancel them, and they must
+     not be journaled a second time. *)
+  let todo =
+    Array.of_list
+      (List.filter (fun i -> cached.(i) = None)
+         (List.init (Array.length tasks) Fun.id))
+  in
+  (* The task key feeds chaos injection and retry jitter; the evaluation
+     itself is a pure function of (i, task), so a retried attempt
+     reproduces the fault-free value exactly. [dispatch_attempt] counts
+     watchdog re-dispatches on the process backend (always 0 on domains):
+     folding it into the chaos attempt number means a task whose previous
+     incarnation was killed mid-hang draws {e fresh} chaos decisions, so
+     a deterministic hang cannot livelock a retried dispatch. *)
+  let compute ~dispatch_attempt i =
+    let key = base + i in
+    let run_attempt ~attempt =
+      (match chaos with
+      | Some ch ->
+          Robust.Chaos.inject ch ~key
+            ~attempt:((dispatch_attempt * retry.Robust.Retry.attempts) + attempt)
+      | None -> ());
+      eval i tasks.(i)
+    in
+    match Robust.Retry.run retry ~key run_attempt with
+    | Ok p -> p
+    | Error e -> raise e
+  in
+  let commit i p =
+    match journal with
+    | Some j ->
+        Robust.Journal.append j
+          (entry_of_point ~c ~strategy:(Spec.strategy_name (fst tasks.(i))) p)
+    | None -> ()
+  in
+  let computed =
+    match backend with
+    | Domains ->
+        (* Commit runs inside the task body: a failing append (e.g. under
+           journal fault injection) fails the task, same as the process
+           backend's parent-side commit failing a settled result. *)
+        Parallel.Pool.try_mapi pool todo ~f:(fun _j i ->
+            Robust.Deadline.check deadline;
+            let p = compute ~dispatch_attempt:0 i in
+            commit i p;
+            p)
+    | Processes pp ->
+        Parallel.Proc_pool.try_mapi pp todo
+          ~should_stop:(fun () -> Robust.Deadline.expired deadline)
+          ~on_result:(fun j p -> commit todo.(j) p)
+          ~f:(fun ~attempt _j i -> compute ~dispatch_attempt:attempt i)
+  in
+  let outcomes =
+    Array.map
+      (function
+        | Some p -> Ok p
+        | None -> Error Robust.Deadline.Deadline_exceeded)
+      cached
+  in
+  Array.iteri (fun j i -> outcomes.(i) <- computed.(j)) todo;
+  outcomes
 
-let run ?pool ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry)
+(* Deadline misses are bookkept apart from real failures: a point the
+   budget cancelled is not broken, merely not yet computed, and must
+   surface as [partial]/[missed] rather than as a {!Sweep_failure}. *)
+let is_deadline_miss = function
+  | Robust.Deadline.Deadline_exceeded | Parallel.Proc_pool.Cancelled -> true
+  | _ -> false
+
+let run ?pool ?(backend = Domains) ?(deadline = Robust.Deadline.unlimited)
+    ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry)
     ?chaos spec =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
@@ -270,6 +325,7 @@ let run ?pool ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry
          attempted (and its successes journaled) before the run gives
          up, so a relaunch has the most progress possible to resume. *)
       let total_completed = ref 0 and all_failures = ref [] in
+      let total_missed = ref 0 in
       let curves =
         List.concat_map
           (fun c ->
@@ -317,50 +373,80 @@ let run ?pool ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry
               let outcomes =
                 if n_cached = Array.length tasks then
                   (* Fully journaled: skip trace generation and table
-                     builds entirely. *)
+                     builds entirely (even past the deadline — cached
+                     points are free). *)
                   Array.map (fun o -> Ok (Option.get o)) cached
+                else if Robust.Deadline.expired deadline then begin
+                  (* The budget ran out before this block: serve what the
+                     journal has and mark the rest missed, without paying
+                     for trace generation or table builds. *)
+                  progress
+                    (Printf.sprintf
+                       "[%s] C = %g: deadline exhausted, skipping block"
+                       spec.Spec.id c);
+                  Array.map
+                    (function
+                      | Some p -> Ok p
+                      | None -> Error Robust.Deadline.Deadline_exceeded)
+                    cached
+                end
                 else
-                  sweep ~pool ~progress ~journal ~retry ~chaos ~spec ~dist
-                    ~params ~c ~grid ~horizon_max ~tasks ~cached ~base
+                  sweep ~pool ~backend ~deadline ~progress ~journal ~retry
+                    ~chaos ~spec ~dist ~params ~c ~grid ~horizon_max ~tasks
+                    ~cached ~base
               in
               (match journal with
               | Some j -> Robust.Journal.sync j
               | None -> ());
-              let failures = ref [] in
+              let failures = ref [] and missed = ref 0 in
               Array.iter
                 (function
                   | Ok _ -> incr total_completed
+                  | Error e when is_deadline_miss e -> incr missed
                   | Error e -> failures := e :: !failures)
                 outcomes;
-              match List.rev !failures with
+              total_missed := !total_missed + !missed;
+              if !missed > 0 then
+                progress
+                  (Printf.sprintf
+                     "[%s] C = %g: %d point(s) missed the deadline"
+                     spec.Spec.id c !missed);
+              (match List.rev !failures with
               | _ :: _ as fs ->
                   (* Keep going: later C blocks still run and journal
                      their successes; the raise happens once at the end. *)
-                  all_failures := !all_failures @ fs;
-                  []
-              | [] ->
-                  let points =
-                    Array.map
-                      (function Ok p -> p | Error _ -> assert false)
-                      outcomes
+                  all_failures := !all_failures @ fs
+              | [] -> ());
+              (* A curve is emitted only when every one of its points is
+                 Ok: partial curves would plot as distorted lines, and
+                 the journal already preserves the completed points for a
+                 resumed run to finish the rest. *)
+              let strategy_of i = fst tasks.(i) in
+              List.filter_map
+                (fun strategy ->
+                  let idx =
+                    List.filter
+                      (fun i -> strategy_of i = strategy)
+                      (List.init (Array.length tasks) Fun.id)
                   in
-                  List.map
-                    (fun strategy ->
-                      let pts =
-                        Array.of_list
-                          (List.filter_map
-                             (fun (i, (s, _)) ->
-                               if s = strategy then Some points.(i) else None)
-                             (Array.to_list
-                                (Array.mapi (fun i t -> (i, t)) tasks)))
-                      in
+                  let pts =
+                    List.filter_map
+                      (fun i ->
+                        match outcomes.(i) with
+                        | Ok p -> Some p
+                        | Error _ -> None)
+                      idx
+                  in
+                  if List.length pts = List.length idx then
+                    Some
                       {
                         c;
                         strategy;
                         name = Spec.strategy_name strategy;
-                        points = pts;
-                      })
-                    spec.Spec.strategies
+                        points = Array.of_list pts;
+                      }
+                  else None)
+                spec.Spec.strategies
             end)
           spec.Spec.cs
       in
@@ -374,7 +460,7 @@ let run ?pool ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry
                  failed = List.length fs;
                  first;
                }));
-      { spec; curves })
+      { spec; curves; partial = !total_missed > 0; missed = !total_missed })
 
 let curve_for result ~c ~strategy =
   List.find_opt

@@ -16,16 +16,40 @@ type curve = {
   points : point array;  (** ordered by [t] *)
 }
 
-type result = { spec : Spec.t; curves : curve list }
+type result = {
+  spec : Spec.t;
+  curves : curve list;
+  partial : bool;
+      (** true when the deadline cut the sweep short: some grid points
+          were never computed. Completed points are in the journal (when
+          one is in use); a relaunch with [--resume] finishes the rest. *)
+  missed : int;  (** grid points cancelled or skipped by the deadline *)
+}
+
+(** How grid-point tasks execute. [Domains] (the default) shares one
+    address space — fast, but a hung or crashing task takes the whole
+    run down. [Processes] runs each task in a supervised forked worker
+    ({!Parallel.Proc_pool}): a task that hangs past the pool's watchdog
+    timeout is SIGKILLed and re-dispatched, and a segfaulting task
+    surfaces as that one point's error. Precomputations (trace
+    prefetch, DP table builds) always run on the domain pool; the
+    backends interleave safely because {!Parallel.Pool} joins its
+    domains before each [map] returns, so no domain is live at fork
+    time. *)
+type backend = Domains | Processes of Parallel.Proc_pool.t
 
 exception
   Sweep_failure of { completed : int; failed : int; first : exn }
 (** Raised when grid points still fail after the retry budget. Completed
     points were already committed to the journal (when one is in use),
-    so a relaunch with the same journal resumes instead of restarting. *)
+    so a relaunch with the same journal resumes instead of restarting.
+    Deadline misses are {e not} failures: they surface as
+    [partial]/[missed] in the result instead. *)
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?backend:backend ->
+  ?deadline:Robust.Deadline.t ->
   ?progress:(string -> unit) ->
   ?journal:Robust.Journal.t ->
   ?retry:Robust.Retry.t ->
@@ -44,13 +68,23 @@ val run :
       fully journaled skips trace generation and table builds
       altogether); each newly computed point is appended as soon as it
       completes and the journal is fsync'd at every C-block boundary.
+      On the [Processes] backend the append happens in the supervising
+      parent as results settle (a forked child's writes would be lost
+      with its copy-on-write heap).
     - [retry]: per-task bounded retries with deterministic jittered
       backoff for transient failures ([Robust.Retry.no_retry] by
       default). Because each task is a pure function of the spec, a
       retried task yields the identical point, so curves under
-      chaos-with-retry equal fault-free curves exactly.
+      chaos-with-retry equal fault-free curves exactly — on either
+      backend, since [Marshal] round-trips float bits.
     - [chaos]: deterministic fault injection at task boundaries, for
       resilience tests and demos.
+    - [deadline]: a reservation budget ({!Robust.Deadline.unlimited} by
+      default). Once it expires no new task is dispatched (in-flight
+      tasks drain); remaining points are counted in [missed], the
+      journal is fsync'd, and whatever curves are complete are returned
+      with [partial = true] — the run ends gracefully instead of dying.
+      A curve is emitted only when {e all} its points completed.
     One task failing (after retries) no longer abandons the others:
     every remaining task completes (and is journaled) before
     {!Sweep_failure} is raised. *)

@@ -6,7 +6,14 @@
     simulations — balance automatically. Results preserve input order,
     making parallel runs bit-identical to sequential ones as long as each
     task is deterministic (which they are: every task derives its
-    randomness from its own seed). *)
+    randomness from its own seed).
+
+    Domains share one address space and one fate: a crash or a hang in
+    any task takes the whole process with it, and a running task cannot
+    be cancelled. When tasks are untrusted in that sense — may not
+    terminate, may exhaust memory — prefer {!Proc_pool}, which runs them
+    in supervised forked processes with a wall-clock watchdog at the
+    cost of a fork per call and marshalled results. *)
 
 type t
 

@@ -4,6 +4,8 @@ type t = {
   failure_rate : float;
   delay_rate : float;
   delay : float;
+  hang_rate : float;
+  hang : unit -> unit;
   sleep : float -> unit;
   seed : int64;
   raised : int Atomic.t;
@@ -13,12 +15,28 @@ let check_rate name r =
   if r < 0.0 || r > 1.0 then
     invalid_arg (Printf.sprintf "Chaos.create: %s outside [0, 1]" name)
 
+(* The default hang never returns: the task is gone for good unless a
+   supervisor (Proc_pool's watchdog) kills its process. *)
+let rec hang_forever () =
+  Unix.sleepf 3600.0;
+  hang_forever ()
+
 let create ?(failure_rate = 0.0) ?(delay_rate = 0.0) ?(delay = 0.01)
-    ?(sleep = Unix.sleepf) ~seed () =
+    ?(hang_rate = 0.0) ?(hang = hang_forever) ?(sleep = Unix.sleepf) ~seed () =
   check_rate "failure_rate" failure_rate;
   check_rate "delay_rate" delay_rate;
+  check_rate "hang_rate" hang_rate;
   if delay < 0.0 then invalid_arg "Chaos.create: delay < 0";
-  { failure_rate; delay_rate; delay; sleep; seed; raised = Atomic.make 0 }
+  {
+    failure_rate;
+    delay_rate;
+    delay;
+    hang_rate;
+    hang;
+    sleep;
+    seed;
+    raised = Atomic.make 0;
+  }
 
 let unit_draw t ~salt ~key ~attempt =
   let h = Numerics.Checksum.fnv1a64 salt in
@@ -33,6 +51,9 @@ let should_fail t ~key ~attempt =
 let should_delay t ~key ~attempt =
   unit_draw t ~salt:"chaos-delay" ~key ~attempt < t.delay_rate
 
+let should_hang t ~key ~attempt =
+  unit_draw t ~salt:"chaos-hang" ~key ~attempt < t.hang_rate
+
 let injected_failures t = Atomic.get t.raised
 
 let inject t ~key ~attempt =
@@ -43,7 +64,8 @@ let inject t ~key ~attempt =
       (Injected
          (Printf.sprintf "chaos: injected failure (key %d, attempt %d)" key
             attempt))
-  end
+  end;
+  if should_hang t ~key ~attempt then t.hang ()
 
 let wrap t ~key f ~attempt =
   inject t ~key ~attempt;

@@ -1,0 +1,25 @@
+exception Deadline_exceeded
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded ->
+        Some
+          "Robust.Deadline.Deadline_exceeded: reservation budget exhausted \
+           (completed points are preserved in the journal, if any)"
+    | _ -> None)
+
+type t = { now : unit -> float; started : float; budget : float }
+
+let unlimited = { now = (fun () -> 0.0); started = 0.0; budget = infinity }
+
+let start ?(now = Unix.gettimeofday) ~budget () =
+  if Float.is_nan budget || budget = infinity || budget < 0.0 then
+    invalid_arg "Deadline.start: budget must be finite and >= 0";
+  { now; started = now (); budget }
+
+let is_unlimited t = t.budget = infinity
+let budget t = t.budget
+let elapsed t = if is_unlimited t then 0.0 else t.now () -. t.started
+let remaining t = Float.max 0.0 (t.budget -. elapsed t)
+let expired t = (not (is_unlimited t)) && t.budget -. elapsed t <= 0.0
+let check t = if expired t then raise Deadline_exceeded

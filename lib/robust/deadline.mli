@@ -1,0 +1,51 @@
+(** Reservation budget for the pipeline itself.
+
+    The paper's applications run inside a fixed-length reservation: work
+    not committed before the deadline is lost. A campaign sweep is in
+    the same situation when it runs under a batch scheduler, so the
+    runner threads one of these through the sweep and stops dispatching
+    new grid points once the budget is exhausted — completed points are
+    already in the journal, and the run exits with an explicit partial
+    marker instead of being killed mid-write.
+
+    A deadline is armed once ({!start}) and read many times, possibly
+    from several domains: {!remaining}/{!expired} are pure reads of the
+    clock and never mutate. The clock is injectable for tests; the
+    default is [Unix.gettimeofday] (the sub-second drift of a wall clock
+    over a reservation is negligible next to the safety margin any
+    sensible budget keeps). *)
+
+type t
+
+exception Deadline_exceeded
+(** Raised by {!check} (and by task wrappers in
+    [Experiments.Runner]) when the budget has run out. *)
+
+val unlimited : t
+(** Never expires: [remaining] is [infinity]. The default everywhere a
+    deadline is optional. *)
+
+val start : ?now:(unit -> float) -> budget:float -> unit -> t
+(** Arm a deadline [budget] seconds from now. [budget] must be finite
+    and [>= 0] ([0] is legal and immediately expired — useful to drill
+    the partial-exit path deterministically). [now] (default
+    [Unix.gettimeofday]) is sampled once here and again at every
+    {!remaining}/{!expired} query. *)
+
+val is_unlimited : t -> bool
+
+val budget : t -> float
+(** The armed budget in seconds; [infinity] for {!unlimited}. *)
+
+val elapsed : t -> float
+(** Seconds since {!start}; [0.] for {!unlimited}. *)
+
+val remaining : t -> float
+(** [budget - elapsed], clamped to [>= 0]; [infinity] for
+    {!unlimited}. *)
+
+val expired : t -> bool
+(** [remaining t = 0]. Thread-safe (reads the clock, mutates nothing). *)
+
+val check : t -> unit
+(** Raise {!Deadline_exceeded} if {!expired}. *)

@@ -4,7 +4,25 @@
     should cost one retry, not a whole sweep. The policy is a value, so
     the same policy object gives the same delays on every run: jitter is
     derived from [(seed, key, attempt)] by hashing, never from global
-    RNG state, which keeps parallel campaigns replayable. *)
+    RNG state, which keeps parallel campaigns replayable.
+
+    {2 Attempt numbering}
+
+    One convention everywhere: attempts are numbered from 0, and
+    attempt [k > 0] is preceded by exactly one backoff delay,
+    [delay_before ~attempt:k].
+
+    - {!run} calls its body with [~attempt:0] first; a body observing
+      [attempt = k] is on its [k+1]-th try.
+    - {!delay_before} is the sleep {e before} attempt [k], so its domain
+      is [k >= 1]: the first attempt is never delayed, and asking for
+      the "delay before attempt 0" is a programming error
+      ([Invalid_argument]), not 0.
+    - The delays actually slept by [run ~key] are therefore exactly
+      [delay_before ~key ~attempt:1; delay_before ~key ~attempt:2; …]
+      up to [attempts - 1] of them — a pure function of
+      [(policy, key)], asserted against an injected [sleep] in the test
+      suite. *)
 
 type t = private {
   attempts : int;  (** total tries, including the first; [>= 1] *)

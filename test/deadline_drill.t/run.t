@@ -1,0 +1,44 @@
+End-to-end drill for deadline-aware supervised execution. Everything
+below is deterministic: chaos hang decisions are a pure function of
+(seed, key, attempt), and a zero deadline expires before any work
+starts, so the partial/resume sequence is exactly reproducible.
+
+Baseline: a small fig3 sweep on the in-process domain backend.
+
+  $ ../../bin/main.exe figure fig3 --traces 30 --t-step 300 --t-max 900 \
+  >   --quiet --no-plot --csv baseline.csv > /dev/null
+
+Watchdog drill: the same sweep under process isolation with ~20% of
+grid-point attempts hanging forever. The supervisor SIGKILLs each hung
+worker after the 1s task timeout and re-dispatches with a fresh chaos
+attempt number, so the sweep completes — and because results cross the
+pipe via Marshal (bit-exact floats), the curves are identical to the
+in-process baseline.
+
+  $ ../../bin/main.exe figure fig3 --traces 30 --t-step 300 --t-max 900 \
+  >   --quiet --no-plot --isolate --task-timeout 1 --retry 4 \
+  >   --chaos-hang 0.2 --chaos-seed 5 --csv hang.csv > /dev/null
+  $ cmp baseline.csv hang.csv
+
+Deadline drill: a campaign whose reservation budget is already exhausted
+ends gracefully — exit code 3 (partial), figure skipped, no crash — and
+leaves the journal directory ready for a resume.
+
+  $ ../../bin/main.exe campaign --figures fig3 --traces 30 --t-step 300 \
+  >   --t-max 900 --deadline 0 --journal j --out out --quiet > /dev/null
+  fixedlen: partial campaign — 0 grid point(s) missed the deadline, figure(s) not started: fig3 (completed points journaled; rerun with --resume to finish)
+  [3]
+
+Resuming the interrupted campaign (no deadline this time) completes the
+grid and reproduces the uninterrupted run bit for bit.
+
+  $ ../../bin/main.exe campaign --figures fig3 --traces 30 --t-step 300 \
+  >   --t-max 900 --resume j --out out --quiet > /dev/null
+  $ cmp baseline.csv out/fig3.csv
+
+Hang injection without a watchdog is refused: a hung task in the
+in-process domain pool could never be recovered.
+
+  $ ../../bin/main.exe figure fig3 --traces 2 --chaos-hang 0.2
+  fixedlen: --chaos-hang requires --task-timeout: a hung task can only be recovered by the process-isolation watchdog
+  [2]

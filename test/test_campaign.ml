@@ -87,16 +87,47 @@ let test_campaign_runs_selection () =
           figure_ids = Some [ "fig3" ];
         }
       in
-      let results = C.run config in
-      Alcotest.(check int) "one figure" 1 (List.length results);
+      let outcome = C.run config in
+      Alcotest.(check int) "one figure" 1 (List.length outcome.C.results);
+      Alcotest.(check bool) "complete" false outcome.C.partial;
+      Alcotest.(check (list string)) "nothing skipped" [] outcome.C.skipped;
       Alcotest.(check bool) "csv written" true
         (Sys.file_exists (Filename.concat dir "fig3.csv"));
-      let md = Md.contents (C.markdown_report results) in
+      let md = Md.contents (C.markdown_report outcome) in
       List.iter
         (fun fragment ->
           Alcotest.(check bool) fragment true (contains md fragment))
         [ "# Experiment report"; "## fig3"; "YoungDaly"; "qualitative" ]
       |> ignore)
+
+let test_campaign_deadline_skips_figures () =
+  (* A budget that is gone before the first figure starts: the campaign
+     must end gracefully with everything skipped, not raise. *)
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          C.default_config with
+          C.out_dir = dir;
+          n_traces = Some 10;
+          t_step = Some 500.0;
+          t_max = Some 1000.0;
+          figure_ids = Some [ "fig3" ];
+          deadline = Some 0.0;
+        }
+      in
+      let outcome = C.run config in
+      Alcotest.(check bool) "partial" true outcome.C.partial;
+      Alcotest.(check (list string)) "figure skipped" [ "fig3" ]
+        outcome.C.skipped;
+      Alcotest.(check int) "nothing ran" 0 (List.length outcome.C.results);
+      Alcotest.(check bool) "no csv" false
+        (Sys.file_exists (Filename.concat dir "fig3.csv"));
+      (* The report still renders, flagging the partial campaign. *)
+      let md = Md.contents (C.markdown_report outcome) in
+      Alcotest.(check bool) "report flags partial" true
+        (contains md "Partial report");
+      Alcotest.(check bool) "report names the skipped figure" true
+        (contains md "fig3"))
 
 let test_campaign_unknown_figure () =
   (match
@@ -117,9 +148,9 @@ let test_campaign_write_report () =
           figure_ids = Some [ "fig3" ];
         }
       in
-      let results = C.run config in
+      let outcome = C.run config in
       let path = Filename.concat dir "report.md" in
-      C.write_report results ~path;
+      C.write_report outcome ~path;
       Alcotest.(check bool) "report exists" true (Sys.file_exists path))
 
 let () =
@@ -141,6 +172,8 @@ let () =
           Alcotest.test_case "selected figure end-to-end" `Slow
             test_campaign_runs_selection;
           Alcotest.test_case "unknown figure" `Quick test_campaign_unknown_figure;
+          Alcotest.test_case "deadline skips figures" `Quick
+            test_campaign_deadline_skips_figures;
           Alcotest.test_case "write report" `Slow test_campaign_write_report;
         ] );
     ]

@@ -175,6 +175,45 @@ let test_try_mapi_retry_absorbs_flaky_tasks () =
             2 (Atomic.get counter))
         attempts_seen)
 
+let test_chaos_retry_composition_bit_identical () =
+  (* Full resilience stack on the domain pool: deterministic chaos
+     injecting both delays and failures, absorbed by retries inside
+     try_mapi — the result array must equal the fault-free run bit for
+     bit, delays and scheduling shifts notwithstanding. *)
+  Pool.with_pool (fun pool ->
+      let xs = Array.init 48 (fun i -> float_of_int i) in
+      let eval x = sqrt ((x +. 1.0) /. 3.0) in
+      let fault_free = Pool.try_mapi pool ~f:(fun _ x -> eval x) xs in
+      let chaos =
+        Robust.Chaos.create ~failure_rate:0.4 ~delay_rate:0.3 ~delay:0.001
+          ~seed:21L ()
+      in
+      let retry = Robust.Retry.make ~attempts:8 ~base_delay:0.0 () in
+      let chaotic =
+        Pool.try_mapi pool
+          ~f:(fun i x ->
+            match
+              Robust.Retry.run retry ~key:i (fun ~attempt ->
+                  Robust.Chaos.inject chaos ~key:i ~attempt;
+                  eval x)
+            with
+            | Ok v -> v
+            | Error e -> raise e)
+          xs
+      in
+      Alcotest.(check bool) "chaos actually struck" true
+        (Robust.Chaos.injected_failures chaos > 0);
+      Array.iteri
+        (fun i outcome ->
+          match (fault_free.(i), outcome) with
+          | Ok a, Ok b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "task %d bit-identical" i)
+                true
+                (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+          | _ -> Alcotest.failf "task %d did not survive chaos" i)
+        chaotic)
+
 let test_try_map_empty_and_clean () =
   Pool.with_pool (fun pool ->
       Alcotest.(check int) "empty" 0
@@ -250,6 +289,8 @@ let () =
             test_try_mapi_all_tasks_run_despite_failures;
           Alcotest.test_case "retry absorbs flaky tasks" `Quick
             test_try_mapi_retry_absorbs_flaky_tasks;
+          Alcotest.test_case "chaos + retry composition bit-identical" `Quick
+            test_chaos_retry_composition_bit_identical;
           Alcotest.test_case "try_map empty and clean" `Quick
             test_try_map_empty_and_clean;
         ] );

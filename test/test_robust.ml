@@ -116,6 +116,40 @@ let test_retry_validation () =
       (fun () -> Retry.make ~jitter:1.5 ());
     ]
 
+let test_retry_attempt_numbering () =
+  (* The documented convention: [run] numbers attempts from 0, a delay
+     exists only {e before} attempt k >= 1, so [delay_before ~attempt:0]
+     is a programming error, and the slept schedule of a failing run is
+     exactly [delay_before ~attempt:1 .. attempts-1]. *)
+  let policy =
+    Retry.make ~attempts:4 ~base_delay:0.125 ~multiplier:2.0 ~jitter:0.5
+      ~seed:77L ()
+  in
+  (match Retry.delay_before policy ~key:0 ~attempt:0 with
+  | (_ : float) -> Alcotest.fail "delay before the first attempt accepted"
+  | exception Invalid_argument _ -> ());
+  let observed = ref [] and slept = ref [] in
+  (match
+     Retry.run
+       ~sleep:(fun d -> slept := d :: !slept)
+       policy ~key:13
+       (fun ~attempt ->
+         observed := attempt :: !observed;
+         failwith "always")
+   with
+  | Ok _ -> Alcotest.fail "unexpected success"
+  | Error _ -> ());
+  Alcotest.(check (list int)) "attempts numbered from 0" [ 0; 1; 2; 3 ]
+    (List.rev !observed);
+  Alcotest.(check (list (float 0.0)))
+    "exactly one deterministic delay before each attempt k >= 1"
+    [
+      Retry.delay_before policy ~key:13 ~attempt:1;
+      Retry.delay_before policy ~key:13 ~attempt:2;
+      Retry.delay_before policy ~key:13 ~attempt:3;
+    ]
+    (List.rev !slept)
+
 (* Chaos *)
 
 let test_chaos_rate_extremes () =
@@ -155,7 +189,127 @@ let test_chaos_deterministic_and_counted () =
 let test_chaos_rate_validation () =
   (match Chaos.create ~failure_rate:1.5 ~seed:0L () with
   | (_ : Chaos.t) -> Alcotest.fail "rate > 1 accepted"
+  | exception Invalid_argument _ -> ());
+  (match Chaos.create ~hang_rate:(-0.1) ~seed:0L () with
+  | (_ : Chaos.t) -> Alcotest.fail "negative hang rate accepted"
   | exception Invalid_argument _ -> ())
+
+let test_chaos_delay_deterministic () =
+  (* Delay decisions, like failures, are a pure function of
+     (seed, key, attempt): a replayed run sleeps at exactly the same
+     points, which is what makes delay-chaos drills reproducible. *)
+  let make () = Chaos.create ~delay_rate:0.3 ~delay:0.5 ~seed:11L () in
+  let a = make () and b = make () in
+  let hits = ref 0 in
+  for key = 0 to 49 do
+    for attempt = 0 to 2 do
+      let da = Chaos.should_delay a ~key ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "replayable (%d, %d)" key attempt)
+        da
+        (Chaos.should_delay b ~key ~attempt);
+      if da then incr hits
+    done
+  done;
+  Alcotest.(check bool) "rate 0.3 delayed some attempt" true (!hits > 0);
+  Alcotest.(check bool) "rate 0.3 spared some attempt" true (!hits < 150);
+  (* [inject] acts on exactly the decisions [should_delay] reports, with
+     the configured duration, through the injected sleep. *)
+  let slept = ref [] in
+  let ch =
+    Chaos.create ~delay_rate:0.3 ~delay:0.5
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~seed:11L ()
+  in
+  for key = 0 to 49 do
+    Chaos.inject ch ~key ~attempt:0
+  done;
+  let expected =
+    List.filter (fun key -> Chaos.should_delay a ~key ~attempt:0)
+      (List.init 50 Fun.id)
+  in
+  Alcotest.(check int) "inject slept per decision" (List.length expected)
+    (List.length !slept);
+  List.iter
+    (fun d -> Alcotest.(check (float 0.0)) "configured duration" 0.5 d)
+    !slept
+
+let test_chaos_hang_deterministic () =
+  let hang_hit = ref 0 in
+  let ch =
+    Chaos.create ~hang_rate:0.25 ~hang:(fun () -> incr hang_hit) ~seed:3L ()
+  in
+  let ch' = Chaos.create ~hang_rate:0.25 ~seed:3L () in
+  let decided = ref 0 in
+  for key = 0 to 79 do
+    let h = Chaos.should_hang ch ~key ~attempt:0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "replayable key %d" key)
+      h
+      (Chaos.should_hang ch' ~key ~attempt:0);
+    if h then incr decided;
+    Chaos.inject ch ~key ~attempt:0
+  done;
+  Alcotest.(check bool) "rate 0.25 hung something" true (!decided > 0);
+  Alcotest.(check int) "inject hung per decision" !decided !hang_hit;
+  (* A later attempt of the same key draws fresh: at rate 0.25 at least
+     one of the 80 keys must decide differently on attempt 1. *)
+  let differs =
+    List.exists
+      (fun key ->
+        Chaos.should_hang ch ~key ~attempt:0
+        <> Chaos.should_hang ch ~key ~attempt:1)
+      (List.init 80 Fun.id)
+  in
+  Alcotest.(check bool) "attempts draw independently" true differs
+
+(* Deadline *)
+
+let fake_clock times =
+  let remaining = ref times in
+  fun () ->
+    match !remaining with
+    | [] -> Alcotest.fail "fake clock exhausted"
+    | t :: rest ->
+        remaining := rest;
+        t
+
+let test_deadline_unlimited () =
+  let d = Robust.Deadline.unlimited in
+  Alcotest.(check bool) "unlimited" true (Robust.Deadline.is_unlimited d);
+  Alcotest.(check bool) "never expires" false (Robust.Deadline.expired d);
+  Alcotest.(check bool) "infinite remaining" true
+    (Robust.Deadline.remaining d = infinity);
+  Robust.Deadline.check d
+
+let test_deadline_expiry () =
+  (* start reads the clock once (10); then elapsed = now - 10. *)
+  let now = fake_clock [ 10.0; 11.0; 14.0; 14.9; 14.95; 15.0 ] in
+  let d = Robust.Deadline.start ~now ~budget:5.0 () in
+  Alcotest.(check (float 0.0)) "budget" 5.0 (Robust.Deadline.budget d);
+  Alcotest.(check (float 1e-12)) "elapsed at 11" 1.0
+    (Robust.Deadline.elapsed d);
+  Alcotest.(check (float 1e-12)) "remaining at 14" 1.0
+    (Robust.Deadline.remaining d);
+  Alcotest.(check bool) "not expired at 14.9" false (Robust.Deadline.expired d);
+  Robust.Deadline.check d;
+  (* at 15.0 the budget is exactly consumed: <= means expired *)
+  match Robust.Deadline.check d with
+  | () -> Alcotest.fail "expiry not detected"
+  | exception Robust.Deadline.Deadline_exceeded -> ()
+
+let test_deadline_zero_budget () =
+  let d = Robust.Deadline.start ~budget:0.0 () in
+  Alcotest.(check bool) "zero budget starts expired" true
+    (Robust.Deadline.expired d)
+
+let test_deadline_validation () =
+  List.iter
+    (fun budget ->
+      match Robust.Deadline.start ~budget () with
+      | (_ : Robust.Deadline.t) -> Alcotest.fail "invalid budget accepted"
+      | exception Invalid_argument _ -> ())
+    [ -1.0; infinity; Float.nan ]
 
 (* Guard *)
 
@@ -490,6 +644,103 @@ let test_sweep_failure_preserves_completed_points () =
           in
           check_same_result full resumed))
 
+let test_process_backend_matches_domains () =
+  (* The fork-based backend must be a drop-in: same curves, bit for bit
+     (Marshal round-trips float bits), with journaling done by the
+     supervising parent instead of the worker. *)
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let in_process = Experiments.Runner.run ~pool tiny_spec in
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          let j = Journal.open_ ~path ~key () in
+          let isolated =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                Parallel.Proc_pool.with_pool ~workers:2 (fun pp ->
+                    Experiments.Runner.run ~pool
+                      ~backend:(Experiments.Runner.Processes pp) ~journal:j
+                      tiny_spec))
+          in
+          check_same_result in_process isolated;
+          Alcotest.(check bool) "no deadline, no partial" false
+            isolated.Experiments.Runner.partial;
+          (* Parent-side journaling committed every point. *)
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          Alcotest.(check int) "journaled from the parent" 4 (Journal.length j);
+          Journal.close j))
+
+let test_process_backend_recovers_chaos_hang () =
+  (* A deterministically hung grid point is SIGKILLed by the watchdog and
+     re-dispatched; the re-dispatch draws fresh chaos decisions (the
+     attempt number folds in the dispatch attempt), so the sweep finishes
+     and matches the fault-free curves exactly. *)
+  Parallel.Pool.with_pool (fun pool ->
+      let clean = Experiments.Runner.run ~pool tiny_spec in
+      let chaos = Chaos.create ~hang_rate:0.4 ~seed:5L () in
+      let retry = Retry.make ~attempts:4 ~base_delay:0.0 () in
+      let chaotic =
+        Parallel.Proc_pool.with_pool ~workers:2 ~task_timeout:0.5 ~attempts:4
+          (fun pp ->
+            Experiments.Runner.run ~pool
+              ~backend:(Experiments.Runner.Processes pp) ~retry ~chaos
+              tiny_spec)
+      in
+      (* The real hangs happen in forked children, invisible to this
+         process's counters — assert on the pure decision function
+         instead: some (key, attempt=0) must hang at rate 0.4. *)
+      let struck =
+        List.exists
+          (fun key -> Chaos.should_hang chaos ~key ~attempt:0)
+          (List.init 4 Fun.id)
+      in
+      Alcotest.(check bool) "chaos would hang an attempt" true struck;
+      check_same_result clean chaotic)
+
+let test_deadline_partial_then_resume () =
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          let full = Experiments.Runner.run ~pool tiny_spec in
+          (* A clock that jumps 1s per reading against a 3.5s budget:
+             early grid points fit the budget, later ones miss it. *)
+          let ticks = Atomic.make 0 in
+          let now () = float_of_int (Atomic.fetch_and_add ticks 1) in
+          let deadline = Robust.Deadline.start ~now ~budget:3.5 () in
+          let j = Journal.open_ ~path ~key () in
+          let cut =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                Experiments.Runner.run ~pool ~deadline ~journal:j tiny_spec)
+          in
+          let module R = Experiments.Runner in
+          Alcotest.(check bool) "partial" true cut.R.partial;
+          Alcotest.(check bool) "some points missed" true (cut.R.missed > 0);
+          Alcotest.(check bool) "not everything missed" true (cut.R.missed < 4);
+          (* Whatever completed is already durable. *)
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          Alcotest.(check int) "completed points journaled"
+            (4 - cut.R.missed) (Journal.length j);
+          (* Resuming without a deadline finishes the rest and matches
+             the uninterrupted run bit for bit. *)
+          let resumed =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () -> Experiments.Runner.run ~pool ~journal:j tiny_spec)
+          in
+          Alcotest.(check bool) "resume completes" false resumed.R.partial;
+          check_same_result full resumed))
+
+let test_deadline_zero_misses_everything () =
+  Parallel.Pool.with_pool (fun pool ->
+      let deadline = Robust.Deadline.start ~budget:0.0 () in
+      let r = Experiments.Runner.run ~pool ~deadline tiny_spec in
+      let module R = Experiments.Runner in
+      Alcotest.(check bool) "partial" true r.R.partial;
+      Alcotest.(check int) "every point missed" 4 r.R.missed;
+      Alcotest.(check int) "no curves" 0 (List.length r.R.curves))
+
 let test_fingerprint_distinguishes_specs () =
   let fp = Experiments.Spec.fingerprint in
   let base = fp tiny_spec in
@@ -520,6 +771,8 @@ let () =
           Alcotest.test_case "sleep schedule" `Quick
             test_retry_sleeps_recorded_delays;
           Alcotest.test_case "validation" `Quick test_retry_validation;
+          Alcotest.test_case "attempt numbering convention" `Quick
+            test_retry_attempt_numbering;
         ] );
       ( "chaos",
         [
@@ -527,6 +780,19 @@ let () =
           Alcotest.test_case "deterministic and counted" `Quick
             test_chaos_deterministic_and_counted;
           Alcotest.test_case "rate validation" `Quick test_chaos_rate_validation;
+          Alcotest.test_case "delay decisions deterministic" `Quick
+            test_chaos_delay_deterministic;
+          Alcotest.test_case "hang decisions deterministic" `Quick
+            test_chaos_hang_deterministic;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "unlimited" `Quick test_deadline_unlimited;
+          Alcotest.test_case "expiry against a fake clock" `Quick
+            test_deadline_expiry;
+          Alcotest.test_case "zero budget starts expired" `Quick
+            test_deadline_zero_budget;
+          Alcotest.test_case "validation" `Quick test_deadline_validation;
         ] );
       ( "guard",
         [
@@ -561,6 +827,14 @@ let () =
             test_partial_resume_completes_the_rest;
           Alcotest.test_case "failed sweep preserves completed points" `Slow
             test_sweep_failure_preserves_completed_points;
+          Alcotest.test_case "process backend matches domains" `Slow
+            test_process_backend_matches_domains;
+          Alcotest.test_case "process backend recovers chaos hang" `Slow
+            test_process_backend_recovers_chaos_hang;
+          Alcotest.test_case "deadline partial then resume" `Slow
+            test_deadline_partial_then_resume;
+          Alcotest.test_case "zero deadline misses everything" `Slow
+            test_deadline_zero_misses_everything;
           Alcotest.test_case "fingerprint distinguishes specs" `Quick
             test_fingerprint_distinguishes_specs;
         ] );
