@@ -74,8 +74,13 @@ let quiet_t =
    on stderr instead of letting cmdliner print a backtrace. *)
 let or_fail f =
   try f () with
-  | (Failure msg | Invalid_argument msg) ->
+  | (Failure msg | Invalid_argument msg | Sys_error msg) ->
       Printf.eprintf "fixedlen: %s\n" msg;
+      exit 1
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "fixedlen: %s%s: %s\n" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
       exit 1
   | Experiments.Runner.Sweep_failure _ as e ->
       Printf.eprintf "fixedlen: %s\n" (Printexc.to_string e);
@@ -95,6 +100,13 @@ let retry_of attempts =
     exit 2);
   if attempts = 1 then Robust.Retry.no_retry
   else Robust.Retry.make ~attempts ()
+
+(* --chaos-fs injects I/O errors into journal opens and whole-file
+   publishes; --retry covers those the same way it covers grid points. *)
+let retry_write retry ~key f =
+  match Robust.Retry.run retry ~key (fun ~attempt:_ -> f ()) with
+  | Ok v -> v
+  | Error e -> raise e
 
 let chaos_rate_t =
   let doc =
@@ -125,6 +137,47 @@ let chaos_of rate hang_rate seed =
           Some
             (Robust.Chaos.create
                ?failure_rate:rate ?hang_rate ~seed ()))
+
+let chaos_fs_t =
+  let doc =
+    "Filesystem chaos drill: deterministically inject short writes and \
+     I/O errors ($(b,EIO)/$(b,ENOSPC)) into this fraction of artifact \
+     writes — journal appends, CSV exports, the Markdown report \
+     (0 <= $(docv) <= 1). Combine with $(b,--retry) and \
+     $(b,--journal) to verify the artifacts survive unchanged."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos-fs" ] ~docv:"RATE" ~doc)
+
+let chaos_crash_at_t =
+  let doc =
+    "Filesystem chaos drill: SIGKILL the process mid-write at write \
+     point $(docv), given as POINT:N (e.g. $(b,journal:5) dies while \
+     appending the 6th journal record, leaving a torn tail on disk). \
+     Repeatable. Relaunch with $(b,--resume) to verify recovery."
+  in
+  Arg.(value & opt_all string []
+       & info [ "chaos-crash-at" ] ~docv:"POINT:N" ~doc)
+
+let chaos_fs_of rate crash_specs seed =
+  let crash_at =
+    List.map
+      (fun spec ->
+        match Robust.Chaos_fs.parse_crash_at spec with
+        | Some pt -> pt
+        | None ->
+            Printf.eprintf
+              "fixedlen: --chaos-crash-at expects POINT:N (e.g. journal:5), \
+               got %S\n"
+              spec;
+            exit 2)
+      crash_specs
+  in
+  if rate = None && crash_at = [] then None
+  else
+    or_fail (fun () ->
+        Some
+          (Robust.Chaos_fs.create ?short_write_rate:rate ?error_rate:rate
+             ~crash_at ~seed ()))
 
 (* Deadline-aware supervised execution: a wall-clock reservation budget
    for the run itself, and process isolation so hung or crashing grid
@@ -182,10 +235,12 @@ let supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline =
   end;
   isolate || task_timeout <> None
 
-let report_result ~csv ~no_plot result =
+let report_result ?chaos_fs ~retry ~csv ~no_plot result =
   (match csv with
   | Some path ->
-      Experiments.Report.to_csv result ~path;
+      or_fail (fun () ->
+          retry_write retry ~key:(Hashtbl.hash ("csv", path)) (fun () ->
+              Experiments.Report.to_csv ?chaos_fs result ~path));
       Printf.printf "wrote %s\n" path
   | None -> ());
   if not no_plot then print_string (Experiments.Report.plots result);
@@ -217,7 +272,8 @@ let figure_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run id n_traces t_step t_max csv no_plot domains quiet journal resume
-      retry chaos_rate chaos_hang chaos_seed deadline task_timeout isolate =
+      retry chaos_rate chaos_hang chaos_seed chaos_fs_rate chaos_crash_at
+      deadline task_timeout isolate =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
@@ -231,6 +287,7 @@ let figure_cmd =
         let progress = if quiet then fun _ -> () else prerr_endline in
         let retry = retry_of retry in
         let chaos = chaos_of chaos_rate chaos_hang chaos_seed in
+        let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
         let deadline =
           match deadline with
           | None -> Robust.Deadline.unlimited
@@ -260,8 +317,10 @@ let figure_cmd =
                         ~retry ?chaos spec
                   | Some (path, strict) ->
                       let j =
-                        Robust.Journal.open_ ~strict ~path
-                          ~key:(Experiments.Spec.fingerprint spec) ()
+                        retry_write retry ~key:(Hashtbl.hash ("journal", path))
+                          (fun () ->
+                            Robust.Journal.open_ ?fs:chaos_fs ~strict ~path
+                              ~key:(Experiments.Spec.fingerprint spec) ())
                       in
                       List.iter progress (Robust.Journal.warnings j);
                       Fun.protect
@@ -270,7 +329,7 @@ let figure_cmd =
                           Experiments.Runner.run ~pool ~backend ~deadline
                             ~progress ~journal:j ~retry ?chaos spec)))
         in
-        report_result ~csv ~no_plot result;
+        report_result ?chaos_fs ~retry ~csv ~no_plot result;
         if result.Experiments.Runner.partial then begin
           Printf.eprintf
             "fixedlen: partial result — %d grid point(s) missed the deadline \
@@ -288,7 +347,8 @@ let figure_cmd =
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t
       $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t $ chaos_rate_t
-      $ chaos_hang_t $ chaos_seed_t $ deadline_t $ task_timeout_t $ isolate_t)
+      $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t
+      $ deadline_t $ task_timeout_t $ isolate_t)
 
 let campaign_cmd =
   let out_t =
@@ -326,9 +386,10 @@ let campaign_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
   let run out n_traces t_step t_max report figures domains quiet journal
-      resume retry chaos_rate chaos_hang chaos_seed deadline task_timeout
-      isolate =
+      resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
+      chaos_crash_at deadline task_timeout isolate =
     let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
+    let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
     let journal =
       match (resume, journal) with
       | Some dir, _ -> Experiments.Campaign.Resume dir
@@ -345,6 +406,7 @@ let campaign_cmd =
         journal;
         retry = retry_of retry;
         chaos = chaos_of chaos_rate chaos_hang chaos_seed;
+        chaos_fs;
         deadline;
         task_timeout;
         isolate;
@@ -367,7 +429,9 @@ let campaign_cmd =
     (match report with
     | None -> ()
     | Some path ->
-        Experiments.Campaign.write_report outcome ~path;
+        or_fail (fun () ->
+            Experiments.Campaign.write_report ~retry:config.Experiments.Campaign.retry
+              ?chaos_fs outcome ~path);
         Printf.printf "wrote %s\n" path);
     if outcome.Experiments.Campaign.partial then begin
       let missed =
@@ -393,8 +457,8 @@ let campaign_cmd =
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
       $ figures_only_t $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t
-      $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ deadline_t
-      $ task_timeout_t $ isolate_t)
+      $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
+      $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
 
 (* exact *)
 
@@ -653,7 +717,15 @@ let traces_cmd =
   let run lambda out n horizon dist seed check =
     match check with
     | Some path ->
-        let traces = Fault.Trace_io.load ~path in
+        (* A corrupt or truncated trace file is an expected operational
+           error: one diagnostic line and exit 1, never a backtrace. *)
+        let traces =
+          match Fault.Trace_io.read ~path with
+          | Ok traces -> traces
+          | Error e ->
+              Printf.eprintf "fixedlen: %s\n" (Fault.Trace_io.error_message e);
+              exit 1
+        in
         let acc = Numerics.Stats.acc_create () in
         Array.iter
           (fun tr ->
@@ -668,7 +740,7 @@ let traces_cmd =
     | None ->
         let dist = parse_dist ~lambda dist in
         let traces = Fault.Trace.batch ~dist ~seed ~n in
-        Fault.Trace_io.save ~path:out ~horizon traces;
+        or_fail (fun () -> Fault.Trace_io.save ~path:out ~horizon traces);
         Printf.printf "wrote %d traces covering horizon %g to %s\n" n horizon
           out
   in

@@ -9,6 +9,7 @@ type config = {
   journal : journal_mode;
   retry : Robust.Retry.t;
   chaos : Robust.Chaos.t option;
+  chaos_fs : Robust.Chaos_fs.t option;
   deadline : float option;
   task_timeout : float option;
   isolate : bool;
@@ -24,6 +25,7 @@ let default_config =
     journal = No_journal;
     retry = Robust.Retry.no_retry;
     chaos = None;
+    chaos_fs = None;
     deadline = None;
     task_timeout = None;
     isolate = false;
@@ -57,6 +59,16 @@ let ensure_dir dir =
 let journal_path ~dir (spec : Spec.t) =
   Filename.concat dir (spec.Spec.id ^ ".journal")
 
+(* Artifact writes share the grid points' retry budget: under --chaos-fs
+   a journal header or a CSV publish can fail with an injected I/O error
+   too, and --retry should cover those the same way it covers compute. A
+   torn header left by a failed attempt is quarantined and recreated on
+   the next one; a failed atomic publish leaves the previous version. *)
+let retry_write retry ~key f =
+  match Robust.Retry.run retry ~key (fun ~attempt:_ -> f ()) with
+  | Ok v -> v
+  | Error e -> raise e
+
 let open_journal ~progress config (scaled : Spec.t) =
   match config.journal with
   | No_journal -> None
@@ -64,9 +76,13 @@ let open_journal ~progress config (scaled : Spec.t) =
       ensure_dir dir;
       let strict = match config.journal with Resume _ -> true | _ -> false in
       let j =
-        Robust.Journal.open_ ?chaos:config.chaos ~strict
-          ~path:(journal_path ~dir scaled)
-          ~key:(Spec.fingerprint scaled) ()
+        retry_write config.retry
+          ~key:(Hashtbl.hash (scaled.Spec.id, "journal"))
+          (fun () ->
+            Robust.Journal.open_ ?chaos:config.chaos ?fs:config.chaos_fs
+              ~strict
+              ~path:(journal_path ~dir scaled)
+              ~key:(Spec.fingerprint scaled) ())
       in
       List.iter
         (fun w -> progress (Printf.sprintf "[%s] %s" scaled.Spec.id w))
@@ -130,7 +146,10 @@ let run ?pool ?(progress = fun _ -> ()) config =
               let path =
                 Filename.concat config.out_dir (scaled.Spec.id ^ ".csv")
               in
-              Report.to_csv result ~path;
+              retry_write config.retry
+                ~key:(Hashtbl.hash (scaled.Spec.id, "csv"))
+                (fun () ->
+                  Report.to_csv ?chaos_fs:config.chaos_fs result ~path);
               progress
                 (Printf.sprintf "wrote %s%s" path
                    (if result.Runner.partial then
@@ -221,5 +240,6 @@ let markdown_report outcome =
     results;
   md
 
-let write_report outcome ~path =
-  Output.Markdown.to_file (markdown_report outcome) ~path
+let write_report ?(retry = Robust.Retry.no_retry) ?chaos_fs outcome ~path =
+  retry_write retry ~key:(Hashtbl.hash ("report", path)) (fun () ->
+      Output.Markdown.to_file ?chaos:chaos_fs (markdown_report outcome) ~path)

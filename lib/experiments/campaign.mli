@@ -21,7 +21,11 @@ type config = {
   figure_ids : string list option;  (** [None] = all *)
   journal : journal_mode;
   retry : Robust.Retry.t;  (** per-grid-point retry budget *)
-  chaos : Robust.Chaos.t option;  (** fault injection, for drills *)
+  chaos : Robust.Chaos.t option;  (** task-level fault injection *)
+  chaos_fs : Robust.Chaos_fs.t option;
+      (** filesystem fault injection (short writes, I/O errors, crash
+          points) threaded into every artifact write: journal appends,
+          CSV exports and the Markdown report *)
   deadline : float option;
       (** wall-clock seconds for the {e whole} campaign; when the budget
           runs out, in-flight points drain, the journal is synced, and
@@ -80,4 +84,12 @@ val markdown_report : outcome -> Output.Markdown.t
     paper-shape checks; prefixed by a campaign-wide verdict and, for a
     partial run, which figures are incomplete or unstarted. *)
 
-val write_report : outcome -> path:string -> unit
+val write_report :
+  ?retry:Robust.Retry.t ->
+  ?chaos_fs:Robust.Chaos_fs.t ->
+  outcome ->
+  path:string ->
+  unit
+(** {!markdown_report} published atomically and durably to [path].
+    [retry] (default {!Robust.Retry.no_retry}) covers transient write
+    failures, e.g. those injected by [chaos_fs]. *)

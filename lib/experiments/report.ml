@@ -1,4 +1,4 @@
-let to_csv (result : Runner.result) ~path =
+let to_csv ?chaos_fs (result : Runner.result) ~path =
   let rows =
     List.concat_map
       (fun (curve : Runner.curve) ->
@@ -18,7 +18,7 @@ let to_csv (result : Runner.result) ~path =
              curve.Runner.points))
       result.Runner.curves
   in
-  Output.Csv.write ~path
+  Output.Csv.write ?chaos:chaos_fs ~path
     ~header:
       [
         "figure"; "c"; "strategy"; "t"; "mean_proportion"; "ci95";

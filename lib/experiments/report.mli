@@ -1,8 +1,11 @@
 (** Rendering and sanity-checking of experiment results. *)
 
-val to_csv : Runner.result -> path:string -> unit
+val to_csv :
+  ?chaos_fs:Robust.Chaos_fs.t -> Runner.result -> path:string -> unit
 (** Columns: figure, c, strategy, t, mean_proportion, ci95,
-    mean_failures, mean_checkpoints. *)
+    mean_failures, mean_checkpoints. The file is published atomically
+    and durably ({!Robust.Durable.write_atomic}); [chaos_fs] injects
+    filesystem faults into the write path for drills. *)
 
 val plots : ?width:int -> ?height:int -> Runner.result -> string
 (** One ASCII plot per checkpoint cost: proportion of work vs reservation

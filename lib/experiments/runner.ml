@@ -267,11 +267,22 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~spec ~dist
     | Ok p -> p
     | Error e -> raise e
   in
+  (* Appends share the per-point retry budget: a transient I/O failure
+     (real or injected) mid-append leaves the journal repaired back to
+     the previous record boundary, so retrying the append is sound and
+     "--retry N" covers the persistence path as well as the compute. *)
   let commit i p =
     match journal with
     | Some j ->
-        Robust.Journal.append j
-          (entry_of_point ~c ~strategy:(Spec.strategy_name (fst tasks.(i))) p)
+        let entry =
+          entry_of_point ~c ~strategy:(Spec.strategy_name (fst tasks.(i))) p
+        in
+        (match
+           Robust.Retry.run retry ~key:(base + i) (fun ~attempt:_ ->
+               Robust.Journal.append j entry)
+         with
+        | Ok () -> ()
+        | Error e -> raise e)
     | None -> ()
   in
   let computed =

@@ -1,3 +1,35 @@
+type error =
+  | Unreadable of { path : string; cause : string }
+  | Malformed_header of { path : string; header : string }
+  | Unsupported_version of { path : string; version : string }
+  | Checksum_mismatch of { path : string; expected : string; actual : string }
+  | Count_mismatch of { path : string; announced : int; found : int }
+  | Malformed_trace of { path : string; line : int; cause : string }
+
+let error_message = function
+  | Unreadable { path; cause } ->
+      Printf.sprintf "Trace_io.load: cannot read %s: %s" path cause
+  | Malformed_header { path; header } ->
+      Printf.sprintf "Trace_io.load: %s: malformed trace-file header %S" path
+        header
+  | Unsupported_version { path; version } ->
+      Printf.sprintf
+        "Trace_io.load: %s has unsupported trace-file version %s (this build \
+         reads v1)"
+        path version
+  | Checksum_mismatch { path; expected; actual } ->
+      Printf.sprintf
+        "Trace_io.load: %s is corrupted or truncated: payload checksum %s \
+         does not match header %s"
+        path actual expected
+  | Count_mismatch { path; announced; found } ->
+      Printf.sprintf
+        "Trace_io.load: %s is truncated: header announces %d traces, file \
+         holds %d"
+        path announced found
+  | Malformed_trace { path = _; line; cause } ->
+      Printf.sprintf "Trace_io.load: %s on line %d" cause line
+
 let magic = "# fixedlen-traces"
 let version = "v1"
 
@@ -5,10 +37,12 @@ let header ~count ~horizon ~checksum =
   Printf.sprintf "%s %s %d %.17g %s" magic version count horizon
     (Numerics.Checksum.to_hex checksum)
 
-let save ~path ~horizon traces =
+let save ?chaos ~path ~horizon traces =
   (* The payload is materialised first so its checksum can go into the
      header line; trace files are text and comfortably fit in memory
-     (they are read back whole anyway). *)
+     (they are read back whole anyway). Publication is atomic and
+     durable: a crash mid-save leaves the previous file (or none), never
+     a torn one. *)
   let buf = Buffer.create 65536 in
   Array.iter
     (fun trace ->
@@ -22,38 +56,37 @@ let save ~path ~horizon traces =
     traces;
   let payload = Buffer.contents buf in
   let checksum = Numerics.Checksum.fnv1a64 payload in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc (header ~count:(Array.length traces) ~horizon ~checksum);
-     output_char oc '\n';
-     output_string oc payload
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  Robust.Durable.write_atomic ?chaos ~point:"trace" ~path
+    (header ~count:(Array.length traces) ~horizon ~checksum ^ "\n" ^ payload)
 
-let parse_line ~lineno line =
+exception Error of error
+
+let parse_line ~path ~lineno line =
   let fields =
     List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
   in
   if fields = [] then
-    failwith (Printf.sprintf "Trace_io.load: empty trace on line %d" lineno);
+    raise
+      (Error (Malformed_trace { path; line = lineno; cause = "empty trace" }));
   let iats =
     List.map
       (fun field ->
         match float_of_string_opt field with
         | Some x when Float.is_finite x && x > 0.0 -> x
         | Some _ ->
-            failwith
-              (Printf.sprintf "Trace_io.load: non-positive IAT on line %d"
-                 lineno)
+            raise
+              (Error
+                 (Malformed_trace
+                    { path; line = lineno; cause = "non-positive IAT" }))
         | None ->
-            failwith
-              (Printf.sprintf "Trace_io.load: malformed number %S on line %d"
-                 field lineno))
+            raise
+              (Error
+                 (Malformed_trace
+                    {
+                      path;
+                      line = lineno;
+                      cause = Printf.sprintf "malformed number %S" field;
+                    })))
       fields
   in
   Trace.of_iats (Array.of_list iats)
@@ -69,72 +102,64 @@ let split_lines payload =
     | parts -> List.rev parts
 
 let validate_header ~path ~first ~payload =
-  match
-    List.filter (fun s -> s <> "") (String.split_on_char ' ' first)
-  with
+  match List.filter (fun s -> s <> "") (String.split_on_char ' ' first) with
   | [ "#"; "fixedlen-traces"; v; count; _horizon; checksum ] ->
       if v <> version then
-        failwith
-          (Printf.sprintf
-             "Trace_io.load: %s has unsupported trace-file version %s \
-              (this build reads %s)"
-             path v version);
+        raise (Error (Unsupported_version { path; version = v }));
       let count =
         match int_of_string_opt count with
         | Some n when n >= 0 -> n
-        | _ ->
-            failwith
-              (Printf.sprintf "Trace_io.load: %s: malformed header count %S"
-                 path count)
+        | _ -> raise (Error (Malformed_header { path; header = first }))
       in
       let actual = Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 payload) in
       if actual <> checksum then
-        failwith
-          (Printf.sprintf
-             "Trace_io.load: %s is corrupted or truncated: payload checksum \
-              %s does not match header %s"
-             path actual checksum);
+        raise (Error (Checksum_mismatch { path; expected = checksum; actual }));
       let lines = split_lines payload in
       if List.length lines <> count then
-        failwith
-          (Printf.sprintf
-             "Trace_io.load: %s is truncated: header announces %d traces, \
-              file holds %d"
-             path count (List.length lines));
+        raise
+          (Error
+             (Count_mismatch { path; announced = count; found = List.length lines }));
       lines
-  | _ ->
-      failwith
-        (Printf.sprintf "Trace_io.load: %s: malformed trace-file header %S"
-           path first)
+  | _ -> raise (Error (Malformed_header { path; header = first }))
+
+let read ~path =
+  match
+    let content =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error cause -> raise (Error (Unreadable { path; cause }))
+    in
+    let headered =
+      String.length content >= String.length magic
+      && String.sub content 0 (String.length magic) = magic
+    in
+    let lines =
+      match String.index_opt content '\n' with
+      | Some first_end when headered ->
+          let first = String.sub content 0 first_end in
+          let payload =
+            String.sub content (first_end + 1)
+              (String.length content - first_end - 1)
+          in
+          validate_header ~path ~first ~payload
+      | _ ->
+          (* Headerless legacy file: every line is a trace. *)
+          split_lines content
+    in
+    (* In headered files the first trace sits on file line 2. *)
+    let first_lineno = if headered then 2 else 1 in
+    Array.of_list
+      (List.mapi
+         (fun i line -> parse_line ~path ~lineno:(i + first_lineno) line)
+         lines)
+  with
+  | traces -> Ok traces
+  | exception Error e -> Result.Error e
 
 let load ~path =
-  let ic = open_in_bin path in
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let lines =
-    match String.index_opt content '\n' with
-    | Some first_end
-      when String.length content >= String.length magic
-           && String.sub content 0 (String.length magic) = magic ->
-        let first = String.sub content 0 first_end in
-        let payload =
-          String.sub content (first_end + 1)
-            (String.length content - first_end - 1)
-        in
-        validate_header ~path ~first ~payload
-    | _ ->
-        (* Headerless legacy file: every line is a trace. *)
-        split_lines content
-  in
-  let first_lineno =
-    (* In headered files the first trace sits on file line 2. *)
-    if String.length content >= String.length magic
-       && String.sub content 0 (String.length magic) = magic
-    then 2
-    else 1
-  in
-  Array.of_list
-    (List.mapi (fun i line -> parse_line ~lineno:(i + first_lineno) line) lines)
+  match read ~path with
+  | Ok traces -> traces
+  | Error e -> failwith (error_message e)

@@ -10,20 +10,39 @@
     # fixedlen-traces v1 <count> <horizon> <fnv64>
     v}
     where [<fnv64>] is the FNV-1a checksum of everything after the
-    header. {!load} verifies the version, the checksum and the trace
-    count, so a truncated copy or bit-rot fails with a clear message
-    instead of silently feeding a shortened trace set to a campaign.
-    Headerless files from older versions still load. *)
+    header. {!read} verifies the version, the checksum and the trace
+    count, so a truncated copy or bit-rot yields a typed {!error}
+    (rendered by {!error_message}) instead of silently feeding a
+    shortened trace set to a campaign. Headerless files from older
+    versions still load. *)
 
-val save : path:string -> horizon:float -> Trace.t array -> unit
+type error =
+  | Unreadable of { path : string; cause : string }
+  | Malformed_header of { path : string; header : string }
+  | Unsupported_version of { path : string; version : string }
+  | Checksum_mismatch of { path : string; expected : string; actual : string }
+      (** the header announced [expected]; the payload hashes to
+          [actual] — corruption or truncation *)
+  | Count_mismatch of { path : string; announced : int; found : int }
+  | Malformed_trace of { path : string; line : int; cause : string }
+      (** non-numeric field, non-positive IAT, or empty line *)
+
+val error_message : error -> string
+(** One-line human rendering, naming the file and the cause. *)
+
+val save : ?chaos:Robust.Chaos_fs.t -> path:string -> horizon:float ->
+  Trace.t array -> unit
 (** [save ~path ~horizon traces] materialises each trace far enough to
     cover any reservation of length [<= horizon] and writes them,
-    prefixed by the checksummed header. The write is atomic (temporary
-    file + rename). *)
+    prefixed by the checksummed header. The write is atomic and durable
+    (temporary file + fsync + rename + directory fsync, via
+    {!Robust.Durable.write_atomic}); [chaos] injects filesystem faults
+    for drills. *)
+
+val read : path:string -> (Trace.t array, error) result
+(** Re-read a trace set as fixed traces, returning a typed error on a
+    corrupted, truncated, unreadable or malformed file. *)
 
 val load : path:string -> Trace.t array
-(** Re-read a trace set as fixed traces. Raises [Failure] with a message
-    naming the file and cause on a corrupted or truncated headered file
-    (checksum or count mismatch, unsupported version), and with a
-    message naming the line on malformed input (non-numeric field,
-    non-positive IAT, empty line). *)
+(** {!read}, raising [Failure (error_message e)] on error — for callers
+    predating the typed interface. *)

@@ -36,13 +36,17 @@ let write_floats w ~label xs =
 
 let close w = close_out w.oc
 
-let write ~path ~header rows =
-  let tmp = path ^ ".tmp" in
-  let w = open_out ~path:tmp ~header in
-  (try List.iter (write_row w) rows
-   with e ->
-     close w;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  close w;
-  Sys.rename tmp path
+let write ?chaos ~path ~header rows =
+  if header = [] then invalid_arg "Csv.write: empty header";
+  let arity = List.length header in
+  let buf = Buffer.create 4096 in
+  let add_row cells =
+    if List.length cells <> arity then
+      invalid_arg "Csv.write: cell count differs from header";
+    Buffer.add_string buf (row_to_string cells);
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (row_to_string header);
+  Buffer.add_char buf '\n';
+  List.iter add_row rows;
+  Robust.Durable.write_atomic ?chaos ~point:"csv" ~path (Buffer.contents buf)

@@ -5,8 +5,13 @@ val escape : string -> string
 
 val row_to_string : string list -> string
 
-val write : path:string -> header:string list -> string list list -> unit
-(** Write a whole file atomically (via a temporary file + rename). *)
+val write : ?chaos:Robust.Chaos_fs.t -> path:string -> header:string list ->
+  string list list -> unit
+(** Write a whole file atomically and durably (temporary file + fsync +
+    rename + directory fsync, via {!Robust.Durable.write_atomic});
+    [chaos] injects filesystem faults for drills. Raises
+    [Invalid_argument] on an empty header or a row of the wrong
+    arity. *)
 
 type writer
 

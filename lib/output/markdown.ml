@@ -40,9 +40,5 @@ let table t ~header rows =
 
 let contents t = Buffer.contents t.buf
 
-let to_file t ~path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (contents t);
-  close_out oc;
-  Sys.rename tmp path
+let to_file ?chaos t ~path =
+  Robust.Durable.write_atomic ?chaos ~point:"report" ~path (contents t)

@@ -16,4 +16,7 @@ val table : t -> header:string list -> string list list -> unit
     arity. *)
 
 val contents : t -> string
-val to_file : t -> path:string -> unit
+
+val to_file : ?chaos:Robust.Chaos_fs.t -> t -> path:string -> unit
+(** Publish atomically and durably (via
+    {!Robust.Durable.write_atomic}). *)

@@ -1,0 +1,97 @@
+type plan =
+  | Write_all
+  | Short_write of int
+  | Fail_after of int * Unix.error
+  | Crash_after of int
+
+type t = {
+  short_write_rate : float;
+  error_rate : float;
+  crash_at : (string * int) list;
+  seed : int64;
+  lock : Mutex.t;
+  seqs : (string, int) Hashtbl.t;  (* per-point write counter *)
+  short_writes : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let check_rate name r =
+  if r < 0.0 || r > 1.0 then
+    invalid_arg (Printf.sprintf "Chaos_fs.create: %s outside [0, 1]" name)
+
+let create ?(short_write_rate = 0.0) ?(error_rate = 0.0) ?(crash_at = [])
+    ~seed () =
+  check_rate "short_write_rate" short_write_rate;
+  check_rate "error_rate" error_rate;
+  List.iter
+    (fun (point, n) ->
+      if point = "" then invalid_arg "Chaos_fs.create: empty crash point name";
+      if n < 0 then
+        invalid_arg
+          (Printf.sprintf "Chaos_fs.create: negative crash index for %s" point))
+    crash_at;
+  {
+    short_write_rate;
+    error_rate;
+    crash_at;
+    seed;
+    lock = Mutex.create ();
+    seqs = Hashtbl.create 8;
+    short_writes = Atomic.make 0;
+    errors = Atomic.make 0;
+  }
+
+let draw t ~salt ~point ~seq =
+  let h = Numerics.Checksum.fnv1a64 salt in
+  let h = Numerics.Checksum.fold_int h (Int64.to_int t.seed) in
+  let h = Numerics.Checksum.fnv1a64 (Numerics.Checksum.to_hex h ^ point) in
+  let h = Numerics.Checksum.fold_int h seq in
+  Numerics.Checksum.to_unit_float h
+
+(* A deterministic prefix length strictly inside (0, len): the injected
+   event happens mid-record, leaving a genuinely torn tail. *)
+let prefix_of t ~salt ~point ~seq ~len =
+  if len <= 1 then len
+  else 1 + int_of_float (draw t ~salt:(salt ^ "-prefix") ~point ~seq
+                         *. float_of_int (len - 1))
+
+let plan t ~point ~len =
+  let seq =
+    Mutex.protect t.lock (fun () ->
+        let seq = Option.value ~default:0 (Hashtbl.find_opt t.seqs point) in
+        Hashtbl.replace t.seqs point (seq + 1);
+        seq)
+  in
+  if List.mem (point, seq) t.crash_at then
+    Crash_after (prefix_of t ~salt:"chaos-fs-crash" ~point ~seq ~len)
+  else if len > 0 && draw t ~salt:"chaos-fs-error" ~point ~seq < t.error_rate
+  then begin
+    Atomic.incr t.errors;
+    let err =
+      if draw t ~salt:"chaos-fs-errno" ~point ~seq < 0.5 then Unix.EIO
+      else Unix.ENOSPC
+    in
+    Fail_after (prefix_of t ~salt:"chaos-fs-error" ~point ~seq ~len, err)
+  end
+  else if len > 1
+          && draw t ~salt:"chaos-fs-short" ~point ~seq < t.short_write_rate
+  then begin
+    Atomic.incr t.short_writes;
+    Short_write (prefix_of t ~salt:"chaos-fs-short" ~point ~seq ~len)
+  end
+  else Write_all
+
+let injected_errors t = Atomic.get t.errors
+let injected_short_writes t = Atomic.get t.short_writes
+
+let parse_crash_at spec =
+  match String.rindex_opt spec ':' with
+  | None -> None
+  | Some i ->
+      let point = String.sub spec 0 i in
+      let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if point = "" then None
+      else
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Some (point, n)
+        | _ -> None

@@ -1,0 +1,64 @@
+(** Deterministic filesystem fault injection for durability drills.
+
+    The companion of {!Chaos} one layer down: where [Chaos] strikes task
+    bodies, [Chaos_fs] strikes the write path of every durable artifact
+    (journal, trace files, CSV, reports). Decisions are a pure function
+    of [(seed, point, seq)], where [point] names the write site (e.g.
+    ["journal"]) and [seq] counts writes at that site — so the same
+    faults strike the same writes on every replay, regardless of
+    scheduling.
+
+    Three fault families, mirroring what real filesystems do:
+    - {e short writes}: [write(2)] reports fewer bytes than asked —
+      harmless iff the caller loops, which is exactly what the drill
+      proves;
+    - {e I/O errors}: [EIO] or [ENOSPC] raised {e after} a prefix of
+      the payload reached the file, as a full disk does;
+    - {e named crash points}: at write [seq] of point [p] (selected with
+      [crash_at = [(p, seq)]], the CLI's [--chaos-crash-at p:seq]), a
+      prefix is written and fsync'd and then the process SIGKILLs
+      itself — a guaranteed torn record on disk, the raw material of
+      every recovery test. *)
+
+type plan =
+  | Write_all  (** no injection: write the whole payload *)
+  | Short_write of int
+      (** the first [write] call must report only this many bytes
+          written; the caller's loop then finishes the rest normally *)
+  | Fail_after of int * Unix.error
+      (** write this prefix, then raise [Unix.Unix_error] *)
+  | Crash_after of int
+      (** write this prefix, fsync it, then SIGKILL the process *)
+
+type t
+
+val create :
+  ?short_write_rate:float ->
+  ?error_rate:float ->
+  ?crash_at:(string * int) list ->
+  seed:int64 ->
+  unit ->
+  t
+(** [short_write_rate] (default 0) is the probability that a write is
+    split; [error_rate] (default 0) the probability that it fails with
+    [EIO]/[ENOSPC] after a partial write; [crash_at] the named crash
+    points. Rates must lie in [\[0, 1\]]; crash indices must be [>= 0].
+    Raises [Invalid_argument] otherwise. *)
+
+val plan : t -> point:string -> len:int -> plan
+(** Decide the fate of the next [len]-byte payload written at [point],
+    advancing the point's write counter (thread-safe). Injected prefixes
+    are strictly inside [(0, len)] so the record is genuinely torn.
+    Crash points take precedence over drawn faults; a retried write
+    draws fresh (its [seq] advanced), so error chaos at realistic rates
+    is survivable by retry, like {!Chaos}. *)
+
+val injected_errors : t -> int
+(** How many [Fail_after] plans were issued so far — lets tests assert
+    that chaos really struck. *)
+
+val injected_short_writes : t -> int
+
+val parse_crash_at : string -> (string * int) option
+(** Parse a [POINT:N] crash-point spec ([None] on malformed input);
+    shared by the CLI flag and tests. *)

@@ -1,0 +1,218 @@
+let fsync_dir dir =
+  (* Directory fsync makes the rename itself durable. Some filesystems
+     refuse to open or fsync a directory; losing that last nine of
+     durability there is better than failing the publish. *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Write the whole string, looping on partial writes. [chaos] intercepts
+   the first syscall of the payload: a planned short write exercises
+   this very loop; a planned error or crash leaves a deterministic
+   prefix on disk first, like a full disk or a power cut would. *)
+let write_all ?chaos ~point fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let len = Bytes.length bytes in
+  let plan =
+    match chaos with
+    | Some c -> Chaos_fs.plan c ~point ~len
+    | None -> Chaos_fs.Write_all
+  in
+  let write_exactly ofs n =
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write fd bytes (ofs + !written) (n - !written)
+    done
+  in
+  match plan with
+  | Chaos_fs.Write_all -> write_exactly 0 len
+  | Chaos_fs.Short_write n ->
+      (* The injected syscall "returns" n < len; the loop must finish. *)
+      write_exactly 0 n;
+      write_exactly n (len - n)
+  | Chaos_fs.Fail_after (n, err) ->
+      write_exactly 0 n;
+      raise (Unix.Unix_error (err, "write", point))
+  | Chaos_fs.Crash_after n ->
+      write_exactly 0 n;
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      (* SIGKILL cannot be handled; this point is unreachable. *)
+      assert false
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_atomic ?chaos ?(point = "publish") ~path content =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  (try
+     write_all ?chaos ~point fd content;
+     Unix.fsync fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.close fd;
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let quarantine ~path ~reason =
+  let qpath = path ^ ".quarantine" in
+  Sys.rename path qpath;
+  (* The sidecar is best-effort: quarantining must survive the very
+     disk conditions that corrupted the file in the first place. *)
+  (try
+     write_atomic ~path:(qpath ^ ".reason")
+       (Printf.sprintf "file: %s\nquarantined-to: %s\nreason: %s\n" path qpath
+          reason)
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  qpath
+
+module Framed = struct
+  type scan = {
+    header : string option;
+    records : (int * string) list;
+    tail_error : (int * string) option;
+    length : int;
+  }
+
+  let digest payload =
+    Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 payload)
+
+  let frame payload =
+    Printf.sprintf "%d %s %s\n" (String.length payload) payload
+      (digest payload)
+
+  let is_digit ch = ch >= '0' && ch <= '9'
+
+  let scan_content content =
+    let len = String.length content in
+    match String.index_opt content '\n' with
+    | None -> { header = None; records = []; tail_error = None; length = len }
+    | Some header_end ->
+        let header = String.sub content 0 header_end in
+        let records = ref [] in
+        let tail_error = ref None in
+        let offset = ref (header_end + 1) in
+        let stop ~at cause = tail_error := Some (at, cause) in
+        while !tail_error = None && !offset < len do
+          let o = !offset in
+          (* <decimal-len> ' ' <payload> ' ' <16-hex-fnv64> '\n' *)
+          let j = ref o in
+          while !j < len && is_digit content.[!j] && !j - o <= 9 do
+            incr j
+          done;
+          if !j = o || !j >= len || content.[!j] <> ' ' then
+            stop ~at:o "torn or malformed length prefix"
+          else begin
+            let plen = int_of_string (String.sub content o (!j - o)) in
+            let payload_start = !j + 1 in
+            (* payload + ' ' + 16 hex + '\n' *)
+            if payload_start + plen + 18 > len then
+              stop ~at:o "record extends past end of file (torn write)"
+            else if content.[payload_start + plen] <> ' '
+                    || content.[payload_start + plen + 17] <> '\n' then
+              stop ~at:o "record framing bytes corrupt"
+            else begin
+              let payload = String.sub content payload_start plen in
+              let found =
+                String.sub content (payload_start + plen + 1) 16
+              in
+              if digest payload <> found then
+                stop ~at:o "record checksum mismatch"
+              else begin
+                records := (o, payload) :: !records;
+                offset := payload_start + plen + 18
+              end
+            end
+          end
+        done;
+        {
+          header = Some header;
+          records = List.rev !records;
+          tail_error = !tail_error;
+          length = len;
+        }
+
+  let scan ~path = scan_content (read_file path)
+
+  type writer = {
+    fd : Unix.file_descr;
+    path : string;
+    point : string;
+    chaos : Chaos_fs.t option;
+    durable : bool;
+    mutable dirty : bool;
+    mutable closed : bool;
+  }
+
+  let create ?chaos ?(durable = true) ~point ~path ~header () =
+    let fd =
+      Unix.openfile path
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+        0o644
+    in
+    (try
+       write_all ?chaos ~point:(point ^ "-header") fd (header ^ "\n");
+       if durable then begin
+         Unix.fsync fd;
+         fsync_dir (Filename.dirname path)
+       end
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; path; point; chaos; durable; dirty = false; closed = false }
+
+  let open_append ?chaos ?(durable = true) ~point ~path ~keep () =
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 in
+    (try
+       Unix.ftruncate fd keep;
+       ignore (Unix.lseek fd 0 Unix.SEEK_END)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; path; point; chaos; durable; dirty = false; closed = false }
+
+  let check_open w =
+    if w.closed then invalid_arg "Durable.Framed: writer used after close"
+
+  let append w payload =
+    check_open w;
+    let start = Unix.lseek w.fd 0 Unix.SEEK_CUR in
+    (try write_all ?chaos:w.chaos ~point:w.point w.fd (frame payload)
+     with e ->
+       (* Repair: a failed append may have left a prefix of the frame on
+          disk; truncating back keeps the store appendable — without
+          this, a retried append would land after torn bytes and the
+          recovery scan would discard it along with the tear. *)
+       (try
+          Unix.ftruncate w.fd start;
+          ignore (Unix.lseek w.fd start Unix.SEEK_SET)
+        with Unix.Unix_error _ -> ());
+       raise e);
+    if w.durable then Unix.fsync w.fd else w.dirty <- true
+
+  let sync w =
+    check_open w;
+    if w.dirty then begin
+      Unix.fsync w.fd;
+      w.dirty <- false
+    end
+
+  let close w =
+    check_open w;
+    (try sync w with Unix.Unix_error _ -> ());
+    w.closed <- true;
+    try Unix.close w.fd with Unix.Unix_error _ -> ()
+end

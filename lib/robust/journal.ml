@@ -15,14 +15,14 @@ type t = {
   lock : Mutex.t;
   index : (float * string * float, entry) Hashtbl.t;
   mutable order : entry list;  (* newest first *)
-  mutable oc : out_channel;
-  mutable dirty : int;  (* appends since last fsync *)
+  writer : Durable.Framed.writer;
   mutable appended : int;  (* total appends: chaos key stream *)
   mutable notes : string list;  (* newest first *)
   mutable closed : bool;
 }
 
-let header_of key = Printf.sprintf "# fixedlen-journal v1 %s" key
+let point = "journal"
+let header_of key = Printf.sprintf "# fixedlen-journal v2 %s" key
 
 let no_whitespace what s =
   String.iter
@@ -35,142 +35,132 @@ let payload e =
   Printf.sprintf "p %.17g %s %.17g %.17g %.17g %.17g %.17g" e.c e.strategy e.t
     e.mean e.ci95 e.mean_failures e.mean_checkpoints
 
-let render e =
-  let p = payload e in
-  Printf.sprintf "%s %s" p
-    (Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 p))
-
-(* A record line is [<payload> <16-hex-digest>]. Returns [None] on any
-   mismatch: the caller treats that as the corrupt tail. *)
-let parse_line line =
-  let len = String.length line in
-  if len < 18 || line.[len - 17] <> ' ' then None
-  else begin
-    let p = String.sub line 0 (len - 17) in
-    let digest = String.sub line (len - 16) 16 in
-    if Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 p) <> digest then
-      None
-    else
+(* The frame layer already checksummed the payload; this only has to
+   parse it. [None] marks the record (and everything after) as the
+   corrupt tail. *)
+let parse_payload p =
+  match List.filter (fun s -> s <> "") (String.split_on_char ' ' p) with
+  | [ "p"; c; strategy; t; mean; ci95; mf; mc ] -> (
       match
-        List.filter (fun s -> s <> "") (String.split_on_char ' ' p)
+        ( float_of_string_opt c,
+          float_of_string_opt t,
+          float_of_string_opt mean,
+          float_of_string_opt ci95,
+          float_of_string_opt mf,
+          float_of_string_opt mc )
       with
-      | [ "p"; c; strategy; t; mean; ci95; mf; mc ] -> (
-          match
-            ( float_of_string_opt c,
-              float_of_string_opt t,
-              float_of_string_opt mean,
-              float_of_string_opt ci95,
-              float_of_string_opt mf,
-              float_of_string_opt mc )
-          with
-          | Some c, Some t, Some mean, Some ci95, Some mf, Some mc ->
-              Some
-                {
-                  c;
-                  strategy;
-                  t;
-                  mean;
-                  ci95;
-                  mean_failures = mf;
-                  mean_checkpoints = mc;
-                }
-          | _ -> None)
-      | _ -> None
-  end
+      | Some c, Some t, Some mean, Some ci95, Some mf, Some mc ->
+          Some
+            {
+              c;
+              strategy;
+              t;
+              mean;
+              ci95;
+              mean_failures = mf;
+              mean_checkpoints = mc;
+            }
+      | _ -> None)
+  | _ -> None
 
-type loaded = {
-  accepted : entry list;  (* oldest first *)
-  truncate_at : int option;  (* byte offset of the corrupt tail, if any *)
-  header_ok : bool;
-  empty : bool;
-}
+(* A well-formed journal header for some other producer — as opposed to
+   bytes that are not a journal header at all. The distinction decides
+   strict-mode behaviour: refusing to resume someone else's valid
+   journal protects their data; a corrupt header has no data to protect
+   and is quarantined instead. *)
+let foreign_header h =
+  match String.split_on_char ' ' h with
+  | [ "#"; "fixedlen-journal"; "v2"; key ] -> key <> ""
+  | _ -> false
 
-let load_existing ~path ~key =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
-  match String.index_opt content '\n' with
-  | None ->
-      (* No complete header line: empty file or torn header write. *)
-      { accepted = []; truncate_at = None; header_ok = false; empty = len = 0 }
-  | Some header_end ->
-      if String.sub content 0 header_end <> header_of key then
-        { accepted = []; truncate_at = None; header_ok = false; empty = false }
-      else begin
-        let accepted = ref [] in
-        let corrupt = ref None in
-        let offset = ref (header_end + 1) in
-        while !corrupt = None && !offset < len do
-          match String.index_from_opt content !offset '\n' with
-          | None ->
-              (* Torn final write: a record without its newline may be a
-                 truncated prefix even if its digest happens to parse. *)
-              corrupt := Some !offset
-          | Some line_end -> (
-              let line = String.sub content !offset (line_end - !offset) in
-              match parse_line line with
-              | Some e ->
-                  accepted := e :: !accepted;
-                  offset := line_end + 1
-              | None -> corrupt := Some !offset)
-        done;
-        {
-          accepted = List.rev !accepted;
-          truncate_at = !corrupt;
-          header_ok = true;
-          empty = false;
-        }
-      end
-
-let open_ ?chaos ?(strict = false) ~path ~key () =
+let open_ ?chaos ?fs ?(durable = true) ?(strict = false) ~path ~key () =
   no_whitespace "key" key;
   let notes = ref [] in
   let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
-  let start_fresh () =
-    let oc = open_out_bin path in
-    output_string oc (header_of key);
-    output_char oc '\n';
-    flush oc;
-    (oc, [])
+  let wrap_open f =
+    try f ()
+    with Unix.Unix_error (err, _, _) ->
+      failwith
+        (Printf.sprintf "cannot open journal %s: %s" path
+           (Unix.error_message err))
   in
-  let oc, accepted =
+  let start_fresh () =
+    wrap_open (fun () ->
+        Durable.Framed.create ?chaos:fs ~durable ~point ~path
+          ~header:(header_of key) ())
+  in
+  let quarantine_and_restart reason =
+    let qpath = Durable.quarantine ~path ~reason in
+    note "journal %s: %s; quarantined to %s, starting fresh" path reason qpath;
+    (start_fresh (), [])
+  in
+  let writer, accepted =
     if not (Sys.file_exists path) then begin
       (* Notable under --resume: a mistyped path quietly recomputes
          everything, so say that a brand-new journal was started. *)
       if strict then note "journal %s did not exist: starting fresh" path;
-      start_fresh ()
+      (start_fresh (), [])
     end
     else begin
-      let loaded = load_existing ~path ~key in
-      if not loaded.header_ok then begin
-        if strict then
-          failwith
-            (Printf.sprintf
-               "Journal.open_: %s %s (expected header %S); refusing to \
-                resume — delete the file or drop --resume to start over"
-               path
-               (if loaded.empty then "is empty"
-                else "was written by a different spec/seed or is not a journal")
-               (header_of key));
-        note "journal %s did not match this spec: starting fresh" path;
-        start_fresh ()
-      end
-      else begin
-        (match loaded.truncate_at with
-        | None -> ()
-        | Some offset ->
+      let scan = wrap_open (fun () -> Durable.Framed.scan ~path) in
+      match scan.Durable.Framed.header with
+      | None when scan.Durable.Framed.length = 0 ->
+          if strict then note "journal %s was empty: starting fresh" path;
+          (start_fresh (), [])
+      | None -> quarantine_and_restart "torn header (no complete header line)"
+      | Some h when h <> header_of key ->
+          if foreign_header h then
+            if strict then
+              failwith
+                (Printf.sprintf
+                   "Journal.open_: %s was written by a different spec/seed \
+                    (expected header %S); refusing to resume — delete the \
+                    file or drop --resume to start over"
+                   path (header_of key))
+            else begin
+              let qpath =
+                Durable.quarantine ~path
+                  ~reason:
+                    (Printf.sprintf "journal key mismatch (expected %S)"
+                       (header_of key))
+              in
+              note
+                "journal %s did not match this spec; quarantined to %s, \
+                 starting fresh"
+                path qpath;
+              (start_fresh (), [])
+            end
+          else quarantine_and_restart "unrecognised journal header"
+      | Some _ ->
+          (* Our header. Accept intact records up to the first one that
+             is torn, checksum-damaged, or semantically unparsable; the
+             tail after that point is truncated — the expected outcome
+             of a crash mid-append. *)
+          let accepted = ref [] in
+          let keep = ref scan.Durable.Framed.length in
+          let corrupt = ref None in
+          List.iter
+            (fun (offset, p) ->
+              if !corrupt = None then
+                match parse_payload p with
+                | Some e -> accepted := e :: !accepted
+                | None -> corrupt := Some offset)
+            scan.Durable.Framed.records;
+          (match (!corrupt, scan.Durable.Framed.tail_error) with
+          | Some offset, _ | None, Some (offset, _) -> keep := offset
+          | None, None -> ());
+          if !keep < scan.Durable.Framed.length then
             note
               "journal %s: corrupted tail at byte %d truncated (%d good \
                records kept)"
-              path offset
-              (List.length loaded.accepted);
-            Unix.truncate path offset);
-        let oc =
-          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
-        in
-        (oc, loaded.accepted)
-      end
+              path !keep
+              (List.length !accepted);
+          let writer =
+            wrap_open (fun () ->
+                Durable.Framed.open_append ?chaos:fs ~durable ~point ~path
+                  ~keep:!keep ())
+          in
+          (writer, List.rev !accepted)
     end
   in
   let index = Hashtbl.create 256 in
@@ -184,8 +174,7 @@ let open_ ?chaos ?(strict = false) ~path ~key () =
     lock = Mutex.create ();
     index;
     order = List.rev accepted;
-    oc;
-    dirty = 0;
+    writer;
     appended = 0;
     notes = !notes;
     closed = false;
@@ -211,25 +200,17 @@ let append t e =
       (match t.chaos with
       | Some chaos -> Chaos.inject chaos ~key:seq ~attempt:0
       | None -> ());
-      output_string t.oc (render e);
-      output_char t.oc '\n';
-      flush t.oc;
+      Durable.Framed.append t.writer (payload e);
       Hashtbl.replace t.index (e.c, e.strategy, e.t) e;
-      t.order <- e :: t.order;
-      t.dirty <- t.dirty + 1)
+      t.order <- e :: t.order)
 
 let sync t =
   Mutex.protect t.lock (fun () ->
       check_open t;
-      if t.dirty > 0 then begin
-        flush t.oc;
-        Unix.fsync (Unix.descr_of_out_channel t.oc);
-        t.dirty <- 0
-      end)
+      Durable.Framed.sync t.writer)
 
 let close t =
-  sync t;
   Mutex.protect t.lock (fun () ->
       check_open t;
       t.closed <- true;
-      close_out_noerr t.oc)
+      Durable.Framed.close t.writer)

@@ -6,31 +6,38 @@
     point to disk the moment it is computed, so an interrupted campaign
     resumes from its last checkpoint instead of restarting from zero.
 
-    On-disk format (text, one record per line):
+    On-disk format: a {!Durable.Framed} store —
     {v
-    # fixedlen-journal v1 <key>
-    p <c> <strategy> <t> <mean> <ci95> <failures> <checkpoints> <fnv64>
+    # fixedlen-journal v2 <key>
+    <len> p <c> <strategy> <t> <mean> <ci95> <failures> <checkpoints> <fnv64>
     v}
     where [<key>] identifies the producing spec (a content hash of the
-    spec and its seed — see [Experiments.Spec.fingerprint]) and [<fnv64>]
-    is the FNV-1a checksum of the rest of the line. Floats are printed
-    with ["%.17g"], so journaled values round-trip bit-exactly and a
-    resumed campaign reproduces the same curves as an uninterrupted one.
+    spec and its seed — see [Experiments.Spec.fingerprint]) and each
+    record is length-prefixed and FNV-64-checksummed by the frame
+    layer. Floats are printed with ["%.17g"], so journaled values
+    round-trip bit-exactly and a resumed campaign reproduces the same
+    curves as an uninterrupted one.
 
     Recovery rules at {!open_}:
-    - missing file: created with a fresh header;
-    - key mismatch or unrecognised header: the journal is reset (with a
-      warning) unless [strict] is set, in which case it fails — [strict]
-      is the [--resume] contract, where silently discarding someone's
-      journal would be worse than stopping;
-    - corrupted or truncated tail (a line that does not parse or whose
-      checksum disagrees): the tail is truncated and the journal
+    - missing or empty file: created with a fresh header;
+    - corrupted or truncated tail (a torn frame, a checksum mismatch, or
+      an unparsable record): the tail is truncated and the journal
       continues from the last good record — the expected outcome of a
-      crash mid-append.
+      crash mid-append;
+    - well-formed header for a {e different} spec/seed: quarantined to
+      [<path>.quarantine] and restarted (with a warning) — unless
+      [strict] is set, in which case it fails: [strict] is the
+      [--resume] contract, where silently discarding someone's journal
+      would be worse than stopping;
+    - unrecognisable or torn header: quarantined and restarted in
+      {e both} modes — an irrecoverably corrupt journal costs a
+      recomputation of this point, never the whole campaign.
 
-    [append] is thread-safe (campaign tasks run on multiple domains);
-    each record is flushed on append and fsync'd on {!sync}/{!close}
-    (batch boundaries), bounding loss to the current batch. *)
+    [append] is thread-safe (campaign tasks run on multiple domains).
+    With [durable] (the default) every record is fsync'd as it is
+    appended, bounding loss after a crash to the record being written;
+    with [~durable:false] records are only flushed per append and
+    fsync'd at {!sync}/{!close} (batch boundaries). *)
 
 type entry = {
   c : float;
@@ -45,16 +52,25 @@ type entry = {
 type t
 
 val open_ :
-  ?chaos:Chaos.t -> ?strict:bool -> path:string -> key:string -> unit -> t
+  ?chaos:Chaos.t ->
+  ?fs:Chaos_fs.t ->
+  ?durable:bool ->
+  ?strict:bool ->
+  path:string ->
+  key:string ->
+  unit ->
+  t
 (** Open (creating or recovering as described above) a journal for
-    producer [key]. [chaos], if given, injects faults into subsequent
-    {!append} calls (for resilience tests). Raises [Failure] in [strict]
-    mode on a key/header mismatch, and [Invalid_argument] on a key
-    containing whitespace. *)
+    producer [key]. [chaos], if given, injects synthetic failures into
+    subsequent {!append} calls; [fs] injects filesystem faults (short
+    writes, [EIO]/[ENOSPC], crash points) into the write path itself.
+    Raises [Failure] in [strict] mode on a key mismatch, [Failure] with
+    a [cannot open journal] message on an unwritable path, and
+    [Invalid_argument] on a key containing whitespace. *)
 
 val warnings : t -> string list
-(** Human-readable notes from recovery at open time (reset journal,
-    truncated tail, …), oldest first. *)
+(** Human-readable notes from recovery at open time (quarantined
+    journal, truncated tail, …), oldest first. *)
 
 val entries : t -> entry list
 (** Entries live in the journal, in append order (loaded + appended). *)
@@ -66,12 +82,17 @@ val find : t -> c:float -> strategy:string -> t:float -> entry option
     because journaled floats round-trip through ["%.17g"]. *)
 
 val append : t -> entry -> unit
-(** Persist one completed point (thread-safe, atomic line append,
-    flushed). Raises [Invalid_argument] if [strategy] contains
-    whitespace, [Chaos.Injected] under injection. *)
+(** Persist one completed point (thread-safe, framed append, fsync'd
+    when the journal is durable). If the write fails midway the file is
+    repaired back to the previous record boundary before the exception
+    propagates, so a retried append finds a clean tail. Raises
+    [Invalid_argument] if [strategy] contains whitespace,
+    [Chaos.Injected] under injection, [Unix.Unix_error] on (injected or
+    real) I/O failure. *)
 
 val sync : t -> unit
-(** fsync the file if any record was appended since the last sync. *)
+(** fsync the file if any record was appended since the last sync (a
+    no-op on durable journals, which fsync per append). *)
 
 val close : t -> unit
 (** {!sync} then close. The journal must not be used afterwards. *)

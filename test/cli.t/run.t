@@ -86,6 +86,22 @@ Unknown figures are rejected:
   $ ../../bin/main.exe figure fig99 --quiet 2>/dev/null
   [2]
 
+An unwritable journal path is an operational error: one line naming the
+path and the cause, exit 1, no backtrace.
+
+  $ ../../bin/main.exe figure fig3 --traces 2 --t-step 900 --quiet --no-plot \
+  >   --journal /nonexistent-dir/j.journal
+  fixedlen: cannot open journal /nonexistent-dir/j.journal: No such file or directory
+  [1]
+
+So is a corrupted trace file under --check: the typed read error becomes
+a one-line diagnosis carrying both checksums.
+
+  $ printf '# fixedlen-traces v1 1 100 0000000000000000\n1.0\n' > corrupt.txt
+  $ ../../bin/main.exe traces --check corrupt.txt
+  fixedlen: Trace_io.load: corrupt.txt is corrupted or truncated: payload checksum 41e841f1165b0308 does not match header 0000000000000000
+  [1]
+
 The reservation-series and breakdown subcommands are deterministic for a
 fixed seed:
 

@@ -13,8 +13,11 @@ let contains haystack needle =
 
 let with_temp f =
   let path = Filename.temp_file "fixedlen_journal" ".journal" in
+  let rm p = try Sys.remove p with Sys_error _ -> () in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    ~finally:(fun () ->
+      (* Recovery may have quarantined the file instead of deleting it. *)
+      List.iter rm [ path; path ^ ".quarantine"; path ^ ".quarantine.reason" ])
     (fun () -> f path)
 
 (* Retry *)
@@ -423,6 +426,9 @@ let test_journal_key_mismatch_resets () =
       Alcotest.(check int) "reset journal is empty" 0 (Journal.length j);
       Alcotest.(check bool) "warned about the reset" true
         (List.exists (fun w -> contains w "did not match") (Journal.warnings j));
+      (* The foreign journal is preserved in quarantine, not destroyed. *)
+      Alcotest.(check bool) "foreign data quarantined" true
+        (Sys.file_exists (path ^ ".quarantine"));
       Journal.close j)
 
 let test_journal_key_mismatch_strict_fails () =
@@ -474,6 +480,95 @@ let test_journal_torn_final_write () =
       let j = Journal.open_ ~path ~key:"cafe" () in
       Alcotest.(check int) "torn record dropped" 2 (Journal.length j);
       Alcotest.(check bool) "warned" true (Journal.warnings j <> []);
+      Journal.close j)
+
+let test_journal_garbage_header_quarantined () =
+  (* An irrecoverably corrupt journal (header not even well-formed) is
+     quarantined and restarted in BOTH modes: under --resume this costs
+     a recomputation of the point, never the campaign. *)
+  List.iter
+    (fun strict ->
+      with_temp (fun path ->
+          let oc = open_out path in
+          output_string oc "!! this was never a journal\nrandom bytes\n";
+          close_out oc;
+          let j = Journal.open_ ~strict ~path ~key:"cafe" () in
+          Alcotest.(check int) "restarted empty" 0 (Journal.length j);
+          Alcotest.(check bool) "warned about the quarantine" true
+            (List.exists
+               (fun w -> contains w "quarantined")
+               (Journal.warnings j));
+          Alcotest.(check bool) "sick file preserved" true
+            (Sys.file_exists (path ^ ".quarantine"));
+          Alcotest.(check bool) "reason sidecar written" true
+            (Sys.file_exists (path ^ ".quarantine.reason"));
+          (* The restarted journal is fully functional. *)
+          Journal.append j e1;
+          Journal.close j;
+          let j = Journal.open_ ~path ~key:"cafe" () in
+          Alcotest.(check int) "restart holds the new record" 1
+            (Journal.length j);
+          Journal.close j))
+    [ false; true ]
+
+let test_journal_torn_header_quarantined () =
+  with_temp (fun path ->
+      (* A crash during the very first write: a header with no newline. *)
+      let oc = open_out path in
+      output_string oc "# fixedlen-jour";
+      close_out oc;
+      let j = Journal.open_ ~strict:true ~path ~key:"cafe" () in
+      Alcotest.(check int) "restarted empty" 0 (Journal.length j);
+      Alcotest.(check bool) "quarantined, not fatal" true
+        (Sys.file_exists (path ^ ".quarantine"));
+      Journal.close j)
+
+let test_journal_not_durable_roundtrip () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~durable:false ~path ~key:"cafe" () in
+      List.iter (Journal.append j) [ e1; e2 ];
+      Journal.sync j;
+      Journal.append j e3;
+      Journal.close j;
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check (list string)) "clean reopen" [] (Journal.warnings j);
+      Alcotest.(check int) "all records flushed at batch boundaries" 3
+        (Journal.length j);
+      Journal.close j)
+
+let test_journal_unwritable_path_fails_cleanly () =
+  match
+    Journal.open_ ~path:"/nonexistent-dir/x.journal" ~key:"cafe" ()
+  with
+  | _ -> Alcotest.fail "unwritable path accepted"
+  | exception Failure msg ->
+      Alcotest.(check bool) "names the journal" true
+        (contains msg "cannot open journal /nonexistent-dir/x.journal")
+
+let test_journal_chaos_fs_append_repairs () =
+  with_temp (fun path ->
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Journal.append j e1;
+      Journal.close j;
+      (* Every append fails after a partial write; the repair must leave
+         the file exactly as it was. *)
+      let fs = Robust.Chaos_fs.create ~error_rate:1.0 ~seed:2L () in
+      let j = Journal.open_ ~fs ~path ~key:"cafe" () in
+      Alcotest.(check (list string)) "clean open" [] (Journal.warnings j);
+      (match Journal.append j e2 with
+      | () -> Alcotest.fail "injected I/O error did not surface"
+      | exception Unix.Unix_error ((Unix.EIO | Unix.ENOSPC), _, _) -> ());
+      Journal.close j;
+      Alcotest.(check bool) "chaos struck" true
+        (Robust.Chaos_fs.injected_errors fs > 0);
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check (list string)) "repaired: no recovery needed" []
+        (Journal.warnings j);
+      Alcotest.(check int) "first record intact" 1 (Journal.length j);
+      Journal.append j e2;
+      Journal.close j;
+      let j = Journal.open_ ~path ~key:"cafe" () in
+      Alcotest.(check int) "retried append landed" 2 (Journal.length j);
       Journal.close j)
 
 let test_journal_validation () =
@@ -547,6 +642,37 @@ let test_chaos_with_retry_matches_fault_free () =
       Alcotest.(check bool) "chaos actually struck" true
         (Chaos.injected_failures chaos > 0);
       check_same_result clean chaotic)
+
+let test_chaos_fs_with_retry_matches_fault_free () =
+  (* Filesystem chaos on the journal write path: injected EIO/ENOSPC
+     fail some appends mid-record, the repair truncates back to the
+     record boundary, and the shared retry budget re-appends — so the
+     journaled sweep still matches a fault-free run bit for bit. *)
+  Parallel.Pool.with_pool (fun pool ->
+      with_temp (fun path ->
+          let clean = Experiments.Runner.run ~pool tiny_spec in
+          let key = Experiments.Spec.fingerprint tiny_spec in
+          let fs = Robust.Chaos_fs.create ~error_rate:0.4 ~seed:1L () in
+          let retry = Retry.make ~attempts:8 ~base_delay:0.0 () in
+          (* Create the store fault-free first: header publication is a
+             one-shot outside the per-point retry budget. *)
+          Journal.close (Journal.open_ ~path ~key ());
+          let j = Journal.open_ ~fs ~path ~key () in
+          let chaotic =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                Experiments.Runner.run ~pool ~journal:j ~retry tiny_spec)
+          in
+          Alcotest.(check bool) "fs chaos actually struck" true
+            (Robust.Chaos_fs.injected_errors fs > 0);
+          check_same_result clean chaotic;
+          (* Every point survived onto disk despite the write faults. *)
+          let j = Journal.open_ ~strict:true ~path ~key () in
+          Alcotest.(check (list string)) "journal clean on disk" []
+            (Journal.warnings j);
+          Alcotest.(check int) "all points journaled" 4 (Journal.length j);
+          Journal.close j))
 
 let test_resume_skips_journaled_points () =
   Parallel.Pool.with_pool (fun pool ->
@@ -815,12 +941,24 @@ let () =
             test_journal_corrupt_tail_recovery;
           Alcotest.test_case "torn final write" `Quick
             test_journal_torn_final_write;
+          Alcotest.test_case "garbage header quarantined" `Quick
+            test_journal_garbage_header_quarantined;
+          Alcotest.test_case "torn header quarantined" `Quick
+            test_journal_torn_header_quarantined;
+          Alcotest.test_case "non-durable roundtrip" `Quick
+            test_journal_not_durable_roundtrip;
+          Alcotest.test_case "unwritable path fails cleanly" `Quick
+            test_journal_unwritable_path_fails_cleanly;
+          Alcotest.test_case "chaos-fs append error repairs" `Quick
+            test_journal_chaos_fs_append_repairs;
           Alcotest.test_case "validation" `Quick test_journal_validation;
         ] );
       ( "runner resilience",
         [
           Alcotest.test_case "chaos + retry = fault-free" `Slow
             test_chaos_with_retry_matches_fault_free;
+          Alcotest.test_case "fs chaos + retry = fault-free" `Slow
+            test_chaos_fs_with_retry_matches_fault_free;
           Alcotest.test_case "resume skips journaled points" `Slow
             test_resume_skips_journaled_points;
           Alcotest.test_case "partial resume completes the rest" `Slow

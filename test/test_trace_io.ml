@@ -155,6 +155,35 @@ let test_unsupported_version_rejected () =
       | exception Failure msg ->
           Alcotest.(check bool) "names the version" true (contains msg "v9"))
 
+let test_typed_read_errors () =
+  (* The typed interface: corruption comes back as a structured value
+     carrying both checksums, not an exception — what the CLI renders as
+     a one-line diagnosis. *)
+  with_temp (fun path ->
+      Io.save ~path ~horizon:100.0 [| T.of_iats [| 1.5; 2.5 |] |];
+      let content = read_file path in
+      let i = String.index_from content (String.index content '\n') '1' in
+      write_file path
+        (String.sub content 0 i ^ "7"
+        ^ String.sub content (i + 1) (String.length content - i - 1));
+      (match Io.read ~path with
+      | Ok _ -> Alcotest.fail "corrupted payload accepted"
+      | Error (Io.Checksum_mismatch { path = p; expected; actual }) ->
+          Alcotest.(check string) "carries the path" path p;
+          Alcotest.(check int) "expected is an fnv64 hex" 16
+            (String.length expected);
+          Alcotest.(check int) "actual is an fnv64 hex" 16
+            (String.length actual);
+          Alcotest.(check bool) "checksums differ" true (expected <> actual)
+      | Error e -> Alcotest.failf "wrong error: %s" (Io.error_message e));
+      write_file path "# fixedlen-traces v1 not-a-count 100 0123456789abcdef\n";
+      (match Io.read ~path with
+      | Error (Io.Malformed_header _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "malformed header not typed");
+      match Io.read ~path:(path ^ ".does-not-exist") with
+      | Error (Io.Unreadable _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "missing file not typed as unreadable")
+
 let test_legacy_headerless_file_loads () =
   with_temp (fun path ->
       write_file path "1.5 2.5\n0.25 7 100\n";
@@ -190,6 +219,7 @@ let () =
             test_truncated_file_detected;
           Alcotest.test_case "unsupported version rejected" `Quick
             test_unsupported_version_rejected;
+          Alcotest.test_case "typed read errors" `Quick test_typed_read_errors;
           Alcotest.test_case "legacy headerless file loads" `Quick
             test_legacy_headerless_file_loads;
         ] );
