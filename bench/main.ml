@@ -14,7 +14,8 @@
       regressions in the algorithms are visible.
 
    Usage: dune exec bench/main.exe -- [--full] [--traces N] [--t-step X]
-            [--figures id1,id2] [--skip-figures] [--skip-micro] *)
+            [--figures id1,id2] [--skip-figures] [--skip-micro]
+            [--eval-json PATH] *)
 
 let default_traces = 250
 let default_t_step = 100.0
@@ -25,6 +26,7 @@ type options = {
   figures : string list option;
   skip_figures : bool;
   skip_micro : bool;
+  eval_json : string option;
 }
 
 let parse_args () =
@@ -33,6 +35,7 @@ let parse_args () =
   let figures = ref None in
   let skip_figures = ref false in
   let skip_micro = ref false in
+  let eval_json = ref None in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -54,11 +57,14 @@ let parse_args () =
     | "--skip-micro" :: rest ->
         skip_micro := true;
         go rest
+    | "--eval-json" :: path :: rest ->
+        eval_json := Some path;
+        go rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: bench [--full] [--traces N] [--t-step X] [--figures ids] \
-           [--skip-figures] [--skip-micro]\n"
+           [--skip-figures] [--skip-micro] [--eval-json PATH]\n"
           arg;
         exit 2
   in
@@ -69,6 +75,7 @@ let parse_args () =
     figures = !figures;
     skip_figures = !skip_figures;
     skip_micro = !skip_micro;
+    eval_json = !eval_json;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -209,6 +216,95 @@ let run_exact options =
               Output.Table.print table)
             spec.Experiments.Spec.cs)
     [ "fig3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable evaluation benchmark (--eval-json)
+
+   Runs one fixed, reduced-scale figure spec through the registry →
+   cache → streaming-evaluator stack and writes a small JSON document:
+   sweep throughput (grid points and trace evaluations per second), how
+   many compiled tables the strategy cache built, and a peak-RSS proxy.
+   The committed bench/BENCH_eval.json snapshots form a perf trajectory
+   across PRs; CI runs this mode as a smoke test.                       *)
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status on Linux; elsewhere fall back to a
+     GC-based proxy (major-heap words converted to kB). *)
+  let from_proc () =
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                Scanf.sscanf
+                  (String.sub line 6 (String.length line - 6))
+                  " %d kB"
+                  (fun kb -> Some kb)
+              else scan ()
+          | exception End_of_file -> None
+        in
+        scan ())
+  in
+  match (try from_proc () with _ -> None) with
+  | Some kb -> kb
+  | None -> (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / 1024
+
+let eval_json_spec () =
+  (* Fixed scale, independent of --traces/--t-step, so successive
+     BENCH_eval.json entries measure the same workload. *)
+  match Experiments.Figures.find "fig2" with
+  | Some spec -> Experiments.Figures.scale ~n_traces:200 ~t_step:200.0 spec
+  | None -> failwith "--eval-json: fig2 spec missing"
+
+let run_eval_json path =
+  let spec = eval_json_spec () in
+  let cache = Experiments.Strategy.Cache.create () in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Parallel.Pool.with_pool (fun pool ->
+        Experiments.Runner.run ~pool ~cache spec)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let points =
+    List.fold_left
+      (fun acc (cv : Experiments.Runner.curve) ->
+        acc + Array.length cv.Experiments.Runner.points)
+      0 result.Experiments.Runner.curves
+  in
+  let traces = spec.Experiments.Spec.n_traces in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"spec\": %S,\n\
+    \  \"n_traces\": %d,\n\
+    \  \"t_step\": %g,\n\
+    \  \"grid_points\": %d,\n\
+    \  \"elapsed_sec\": %.3f,\n\
+    \  \"points_per_sec\": %.2f,\n\
+    \  \"trace_evals_per_sec\": %.0f,\n\
+    \  \"table_builds\": %d,\n\
+    \  \"table_hits\": %d,\n\
+    \  \"peak_rss_kb\": %d\n\
+     }\n"
+    spec.Experiments.Spec.id spec.Experiments.Spec.n_traces
+    spec.Experiments.Spec.t_step points elapsed
+    (float_of_int points /. elapsed)
+    (float_of_int (points * traces) /. elapsed)
+    (Experiments.Strategy.Cache.builds cache)
+    (Experiments.Strategy.Cache.hits cache)
+    (peak_rss_kb ());
+  close_out oc;
+  Printf.printf
+    "eval benchmark: %d grid points in %.2f s (%.1f points/s), %d table \
+     build(s), %d cache hit(s); wrote %s\n"
+    points elapsed
+    (float_of_int points /. elapsed)
+    (Experiments.Strategy.Cache.builds cache)
+    (Experiments.Strategy.Cache.hits cache)
+    path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                             *)
@@ -357,4 +453,5 @@ let () =
     Parallel.Pool.with_pool (fun pool -> run_figures options pool);
     run_exact options
   end;
-  if not options.skip_micro then run_micro ()
+  if not options.skip_micro then run_micro ();
+  Option.iter run_eval_json options.eval_json

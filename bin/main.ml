@@ -86,6 +86,36 @@ let or_fail f =
       Printf.eprintf "fixedlen: %s\n" (Printexc.to_string e);
       exit 1
 
+(* Strategy selection goes through the registry
+   (lib/experiments/strategy): one list of entries owns the CLI
+   spellings, display names and compilation of every strategy. *)
+
+let strategies_opt_t =
+  let doc =
+    "Comma-separated strategy list (see $(b,fixedlen strategies) for \
+     the known spellings), e.g. $(b,young-daly,dp:0.5,no-checkpoint)."
+  in
+  Arg.(value & opt (some string) None & info [ "strategies" ] ~docv:"LIST" ~doc)
+
+let strategies_of = function
+  | None -> None
+  | Some text -> (
+      match Experiments.Strategy.of_string_list text with
+      | Ok strategies -> Some strategies
+      | Error msg ->
+          Printf.eprintf "fixedlen: %s\n" msg;
+          exit 2)
+
+(* Compile a strategy list for a one-shot command: build the required
+   tables once (shared across the list), then compile in order. *)
+let compile_strategies ~params ~horizon ~dist strategies =
+  or_fail (fun () ->
+      let cache = Experiments.Strategy.Cache.create () in
+      Experiments.Strategy.ensure cache ~params ~horizon ~dist strategies;
+      List.map
+        (Experiments.Strategy.compile_exn cache ~params ~horizon ~dist)
+        strategies)
+
 let retry_t =
   let doc =
     "Attempts per grid point (including the first). Transient task \
@@ -271,9 +301,9 @@ let figure_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
-  let run id n_traces t_step t_max csv no_plot domains quiet journal resume
-      retry chaos_rate chaos_hang chaos_seed chaos_fs_rate chaos_crash_at
-      deadline task_timeout isolate =
+  let run id n_traces t_step t_max strategies csv no_plot domains quiet
+      journal resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
+      chaos_crash_at deadline task_timeout isolate =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
@@ -284,6 +314,13 @@ let figure_cmd =
           supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline
         in
         let spec = Experiments.Figures.scale ?n_traces ?t_step ?t_max spec in
+        (* Override before the journal opens: the fingerprint must match
+           the spec actually swept. *)
+        let spec =
+          match strategies_of strategies with
+          | None -> spec
+          | Some strategies -> { spec with Experiments.Spec.strategies }
+        in
         let progress = if quiet then fun _ -> () else prerr_endline in
         let retry = retry_of retry in
         let chaos = chaos_of chaos_rate chaos_hang chaos_seed in
@@ -345,10 +382,10 @@ let figure_cmd =
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one figure of the paper.")
     Term.(
-      const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ csv_t $ no_plot_t
-      $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t $ chaos_rate_t
-      $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t
-      $ deadline_t $ task_timeout_t $ isolate_t)
+      const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ strategies_opt_t
+      $ csv_t $ no_plot_t $ domains_t $ quiet_t $ journal_t $ resume_t
+      $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
+      $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
 
 let campaign_cmd =
   let out_t =
@@ -385,8 +422,8 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
-  let run out n_traces t_step t_max report figures domains quiet journal
-      resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
+  let run out n_traces t_step t_max report figures strategies domains quiet
+      journal resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
       chaos_crash_at deadline task_timeout isolate =
     let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
     let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
@@ -403,6 +440,7 @@ let campaign_cmd =
         t_step;
         t_max;
         figure_ids = Option.map (String.split_on_char ',') figures;
+        strategies = strategies_of strategies;
         journal;
         retry = retry_of retry;
         chaos = chaos_of chaos_rate chaos_hang chaos_seed;
@@ -456,9 +494,10 @@ let campaign_cmd =
        ~doc:"Run the simulation campaign (every figure, or a subset).")
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
-      $ figures_only_t $ domains_t $ quiet_t $ journal_t $ resume_t $ retry_t
-      $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
-      $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
+      $ figures_only_t $ strategies_opt_t $ domains_t $ quiet_t $ journal_t
+      $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t
+      $ chaos_fs_t $ chaos_crash_at_t $ deadline_t $ task_timeout_t
+      $ isolate_t)
 
 (* exact *)
 
@@ -506,13 +545,24 @@ let series_cmd =
     Arg.(value & opt int 200
          & info [ "repetitions" ] ~docv:"N" ~doc:"Monte-Carlo repetitions.")
   in
-  let run params quantum reservation target reps seed =
+  let run params quantum reservation target reps seed strategies =
     Printf.printf
       "campaign of %g work units in reservations of %g on %s (%d repetitions)\n"
       target reservation (Fault.Params.to_string params) reps;
+    let strategies =
+      match strategies_of strategies with
+      | Some strategies -> strategies
+      | None ->
+          Experiments.Spec.
+            [
+              Young_daly; First_order; Numerical_optimum;
+              Dynamic_programming { quantum }; Single_final;
+            ]
+    in
     let policies =
-      Core.Policies.all_paper ~params ~quantum ~horizon:reservation
-      @ [ Core.Policies.single_final ~params ]
+      compile_strategies ~params ~horizon:reservation
+        ~dist:(Fault.Trace.Exponential { rate = params.Fault.Params.lambda })
+        strategies
     in
     let table =
       Output.Table.create
@@ -550,7 +600,7 @@ let series_cmd =
          reservations and compare the reservations each strategy needs.")
     Term.(
       const run $ params_t $ quantum_t $ reservation_t $ target_t $ reps_t
-      $ seed_t)
+      $ seed_t $ strategies_opt_t)
 
 (* breakdown *)
 
@@ -559,12 +609,9 @@ let breakdown_cmd =
     Arg.(value & opt float 500.0
          & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
   in
-  let run params quantum t seed traces =
-    let trace_set =
-      Fault.Trace.batch
-        ~dist:(Fault.Trace.Exponential { rate = params.Fault.Params.lambda })
-        ~seed ~n:traces
-    in
+  let run params quantum t seed traces strategies =
+    let dist = Fault.Trace.Exponential { rate = params.Fault.Params.lambda } in
+    let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
     Printf.printf "where does the reservation go? %s, T=%g, %d traces\n"
       (Fault.Params.to_string params) t traces;
     let table =
@@ -580,7 +627,17 @@ let breakdown_cmd =
             ("unused %", Output.Table.Right);
           ]
     in
-    let policies = Core.Policies.all_paper ~params ~quantum ~horizon:t in
+    let strategies =
+      match strategies_of strategies with
+      | Some strategies -> strategies
+      | None ->
+          Experiments.Spec.
+            [
+              Young_daly; First_order; Numerical_optimum;
+              Dynamic_programming { quantum };
+            ]
+    in
+    let policies = compile_strategies ~params ~horizon:t ~dist strategies in
     List.iter
       (fun policy ->
         let acc = Array.make 6 0.0 in
@@ -608,7 +665,9 @@ let breakdown_cmd =
   Cmd.v
     (Cmd.info "breakdown"
        ~doc:"Wall-clock breakdown of the reservation per strategy.")
-    Term.(const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000)
+    Term.(
+      const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000
+      $ strategies_opt_t)
 
 (* renewal *)
 
@@ -635,7 +694,7 @@ let renewal_cmd =
     in
     Arg.(value & opt string "weibull:0.7" & info [ "dist" ] ~docv:"DIST" ~doc)
   in
-  let run params quantum t dist_spec seed traces =
+  let run params quantum t dist_spec seed traces strategies =
     let dist = parse_dist ~lambda:params.Fault.Params.lambda dist_spec in
     Printf.printf
       "renewal-aware optimum for %s failures on %s, T=%g (u=%g)\n" dist_spec
@@ -652,11 +711,23 @@ let renewal_cmd =
          (List.map
             (fun q -> Printf.sprintf "%g" (float_of_int q *. quantum))
             (Core.Dp_renewal.plan_q renewal ~n ~age:0 ~delta:false)));
-    (* Compare by simulation on the same traces. *)
+    (* Compare by simulation on the same traces. The renewal-aware
+       policy reuses the table inspected above; the comparators compile
+       through the registry. *)
     let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
+    let comparators =
+      match strategies_of strategies with
+      | Some strategies -> strategies
+      | None ->
+          Experiments.Spec.
+            [
+              Young_daly; First_order; Numerical_optimum;
+              Dynamic_programming { quantum };
+            ]
+    in
     let policies =
-      (Core.Dp_renewal.policy renewal
-      :: Core.Policies.all_paper ~params ~quantum ~horizon:t)
+      Core.Dp_renewal.policy renewal
+      :: compile_strategies ~params ~horizon:t ~dist comparators
     in
     let table =
       Output.Table.create
@@ -686,7 +757,8 @@ let renewal_cmd =
         "Build the renewal-aware optimum for non-memoryless failures and \
          compare it with the exponential-derived strategies.")
     Term.(
-      const run $ params_t $ quantum_t $ t_t $ dist_t $ seed_t $ traces_t 2000)
+      const run $ params_t $ quantum_t $ t_t $ dist_t $ seed_t $ traces_t 2000
+      $ strategies_opt_t)
 
 (* traces *)
 
@@ -760,6 +832,31 @@ let list_cmd =
       Experiments.Figures.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List the known figures.") Term.(const run $ const ())
+
+(* strategies *)
+
+let strategies_cmd =
+  let markdown_t =
+    let doc =
+      "Emit the listing as a Markdown table (the README strategy table \
+       is generated from this, so docs and $(b,--strategies) parsing \
+       cannot drift)."
+    in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  let run markdown =
+    if markdown then print_string (Experiments.Strategy.markdown_table ())
+    else
+      List.iter
+        (fun (cli, name, doc) -> Printf.printf "%-22s %-20s %s\n" cli name doc)
+        (Experiments.Strategy.listing ())
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:
+        "List the strategy registry: CLI spellings (as accepted by \
+         $(b,--strategies)), display names and descriptions.")
+    Term.(const run $ markdown_t)
 
 (* thresholds *)
 
@@ -869,20 +966,23 @@ let simulate_cmd =
     Arg.(value & opt float 500.0
          & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
   in
-  let run params quantum t seed traces =
+  let run params quantum t seed traces strategies =
     let dist =
       Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
     in
     let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
-    let policies = Core.Policies.all_paper ~params ~quantum ~horizon:t in
-    let policies =
-      policies
-      @ [
-          Core.Policies.single_final ~params;
-          Core.Policies.daly_second_order ~params;
-          Core.Policies.lambert_optimal_period ~params;
-        ]
+    let strategies =
+      match strategies_of strategies with
+      | Some strategies -> strategies
+      | None ->
+          Experiments.Spec.
+            [
+              Young_daly; First_order; Numerical_optimum;
+              Dynamic_programming { quantum }; Single_final;
+              Daly_second_order; Lambert_period;
+            ]
     in
+    let policies = compile_strategies ~params ~horizon:t ~dist strategies in
     Printf.printf "simulating %s, T=%g, %d traces\n"
       (Fault.Params.to_string params) t traces;
     let table =
@@ -914,7 +1014,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Evaluate every strategy on one reservation length.")
-    Term.(const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000)
+    Term.(
+      const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000
+      $ strategies_opt_t)
 
 (* analysis (Section 4 case studies) *)
 
@@ -982,9 +1084,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "fixedlen" ~version:"1.0.0" ~doc)
     [
-      figure_cmd; campaign_cmd; list_cmd; thresholds_cmd; dp_cmd; simulate_cmd;
-      analysis_cmd; series_cmd; breakdown_cmd; traces_cmd; renewal_cmd;
-      exact_cmd;
+      figure_cmd; campaign_cmd; list_cmd; strategies_cmd; thresholds_cmd;
+      dp_cmd; simulate_cmd; analysis_cmd; series_cmd; breakdown_cmd;
+      traces_cmd; renewal_cmd; exact_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

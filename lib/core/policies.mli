@@ -1,5 +1,12 @@
 (** The checkpointing strategies evaluated in the paper (Section 7), plus
-    ablation baselines, as executable {!Sim.Policy.t} values. *)
+    ablation baselines, as executable {!Sim.Policy.t} values.
+
+    These are one-shot constructors: the table-backed ones build their
+    threshold/DP tables on every call. Sweeps and campaigns should not
+    call them directly — the experiment pipeline compiles strategies
+    through the [Experiments.Strategy] registry instead, which shares
+    the compiled tables campaign-wide and reduces to exactly the same
+    builder calls (so the two paths are bit-identical). *)
 
 val young_daly : params:Fault.Params.t -> Sim.Policy.t
 (** Periodic checkpoints every [W_YD = sqrt (2µC)] of work; final

@@ -6,6 +6,7 @@ type config = {
   t_step : float option;
   t_max : float option;
   figure_ids : string list option;
+  strategies : Spec.strategy list option;
   journal : journal_mode;
   retry : Robust.Retry.t;
   chaos : Robust.Chaos.t option;
@@ -22,6 +23,7 @@ let default_config =
     t_step = None;
     t_max = None;
     figure_ids = None;
+    strategies = None;
     journal = No_journal;
     retry = Robust.Retry.no_retry;
     chaos = None;
@@ -93,9 +95,15 @@ let open_journal ~progress config (scaled : Spec.t) =
              scaled.Spec.id (Robust.Journal.length j));
       Some j
 
-let run ?pool ?(progress = fun _ -> ()) config =
+let run ?pool ?cache ?(progress = fun _ -> ()) config =
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
+  (* One compiled-table cache spans the whole campaign: figures sharing
+     a (params, horizon, quantum) point — fig2 and fig7 are identical,
+     fig2/fig4 share C = 20 — reuse each other's DP/threshold tables. *)
+  let cache =
+    match cache with Some c -> c | None -> Strategy.Cache.create ()
+  in
   (* One reservation budget spans the whole campaign: figures that start
      late inherit whatever the earlier ones left. *)
   let deadline =
@@ -126,6 +134,13 @@ let run ?pool ?(progress = fun _ -> ()) config =
               Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
                 ?t_max:config.t_max spec
             in
+            (* A strategy override changes the spec (and therefore its
+               fingerprint) before any journal is opened against it. *)
+            let scaled =
+              match config.strategies with
+              | None -> scaled
+              | Some strategies -> { scaled with Spec.strategies }
+            in
             if Robust.Deadline.expired deadline then begin
               progress
                 (Printf.sprintf "== %s == skipped: deadline exhausted"
@@ -141,7 +156,7 @@ let run ?pool ?(progress = fun _ -> ()) config =
                   ~finally:(fun () -> Option.iter Robust.Journal.close journal)
                   (fun () ->
                     Runner.run ~pool ~backend ~deadline ~progress ?journal
-                      ~retry:config.retry ?chaos:config.chaos scaled)
+                      ~retry:config.retry ?chaos:config.chaos ~cache scaled)
               in
               let path =
                 Filename.concat config.out_dir (scaled.Spec.id ^ ".csv")

@@ -19,6 +19,11 @@ type config = {
   t_step : float option;
   t_max : float option;
   figure_ids : string list option;  (** [None] = all *)
+  strategies : Spec.strategy list option;
+      (** override every selected spec's strategy list (registry
+          spellings are parsed by {!Strategy.of_string_list}); affects
+          the specs' fingerprints, so journals keyed on the unmodified
+          specs are detected as mismatched *)
   journal : journal_mode;
   retry : Robust.Retry.t;  (** per-grid-point retry budget *)
   chaos : Robust.Chaos.t option;  (** task-level fault injection *)
@@ -53,11 +58,16 @@ type outcome = {
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?cache:Strategy.Cache.t ->
   ?progress:(string -> unit) ->
   config ->
   outcome
 (** Runs the selected figures sequentially (each internally parallel over
     the pool), writing [<out_dir>/<figure>.csv] as results complete.
+    One {!Strategy.Cache} (a fresh one unless [cache] is given) spans
+    the whole campaign, so compiled threshold/DP/optimal/renewal tables
+    are built at most once per [(params, horizon, quantum, kind)] and
+    shared across figures and duplicated sub-plots.
     With journaling enabled, every completed grid point is persisted as
     it lands and already-journaled points are skipped, so a killed
     campaign relaunched on the same journal directory finishes the

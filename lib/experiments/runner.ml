@@ -22,95 +22,20 @@ type result = {
 
 type backend = Domains | Processes of Parallel.Proc_pool.t
 
-let distinct_quanta strategies =
-  List.sort_uniq compare
-    (List.filter_map
-       (function
-         | Spec.Dynamic_programming { quantum } -> Some quantum
-         | Spec.Variable_segments ->
-             (* VariableSegments uses the u = 1 DP value tables as its
-                continuation function. *)
-             Some 1.0
-         | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
-         | Spec.Single_final | Spec.Daly_second_order | Spec.Lambert_period
-         | Spec.No_checkpoint | Spec.Optimal_unrestricted _
-         | Spec.Renewal_dp _ ->
-             None)
-       strategies)
-
-let distinct_optimal_quanta strategies =
-  List.sort_uniq compare
-    (List.filter_map
-       (function
-         | Spec.Optimal_unrestricted { quantum } -> Some quantum
-         | Spec.Dynamic_programming _ | Spec.Variable_segments
-         | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
-         | Spec.Single_final | Spec.Daly_second_order | Spec.Lambert_period
-         | Spec.No_checkpoint | Spec.Renewal_dp _ ->
-             None)
-       strategies)
-
-let distinct_renewal_quanta strategies =
-  List.sort_uniq compare
-    (List.filter_map
-       (function Spec.Renewal_dp { quantum } -> Some quantum | _ -> None)
-       strategies)
-
-(* Everything a grid-point task needs; policies are created inside the
-   task because the DP policy is stateful across one reservation. *)
-type ctx = {
-  params : Fault.Params.t;
-  traces : Fault.Trace.t array;
-  thresholds_num : Core.Threshold.table Lazy.t;
-  thresholds_fo : Core.Threshold.table Lazy.t;
-  dps : (float * Core.Dp.t) list;
-  opts : (float * Core.Optimal.t) list;
-  renewals : (float * Core.Dp_renewal.t) list;
-  horizon_max : float;
-}
-
-let policy_of ctx strategy =
-  match strategy with
-  | Spec.Young_daly -> Core.Policies.young_daly ~params:ctx.params
-  | Spec.First_order ->
-      Core.Policies.of_threshold_table ~name:"FirstOrder" ~params:ctx.params
-        (Lazy.force ctx.thresholds_fo)
-  | Spec.Numerical_optimum ->
-      Core.Policies.of_threshold_table ~name:"NumericalOptimum"
-        ~params:ctx.params
-        (Lazy.force ctx.thresholds_num)
-  | Spec.Dynamic_programming { quantum } ->
-      let dp =
-        try List.assoc quantum ctx.dps
-        with Not_found -> failwith "Runner: missing DP tables"
-      in
-      Core.Dp.policy dp
-  | Spec.Single_final -> Core.Policies.single_final ~params:ctx.params
-  | Spec.Daly_second_order -> Core.Policies.daly_second_order ~params:ctx.params
-  | Spec.Lambert_period -> Core.Policies.lambert_optimal_period ~params:ctx.params
-  | Spec.No_checkpoint -> Sim.Policy.no_checkpoint
-  | Spec.Variable_segments ->
-      let dp =
-        try List.assoc 1.0 ctx.dps
-        with Not_found -> failwith "Runner: missing DP tables for VariableSegments"
-      in
-      Core.Plan_opt.variable_segments_policy ~params:ctx.params
-        ~horizon:ctx.horizon_max ~dp
-  | Spec.Optimal_unrestricted { quantum } ->
-      let opt =
-        try List.assoc quantum ctx.opts
-        with Not_found -> failwith "Runner: missing Optimal tables"
-      in
-      Core.Optimal.policy opt
-  | Spec.Renewal_dp { quantum } ->
-      let renewal =
-        try List.assoc quantum ctx.renewals
-        with Not_found -> failwith "Runner: missing renewal tables"
-      in
-      Core.Dp_renewal.policy renewal
-
+(* Per-(c, salt) trace seeds. The salt-0 stream feeds trace generation,
+   salt i+1 the checkpoint-noise sampler of task i. The derivation
+   hashes the exact decimal rendering of [c] (FNV-1a over "%.17g") so
+   distinct checkpoint costs can never collide — the previous
+   [int_of_float (c *. 97.0) * 1009] salt collapsed e.g. c = 10.0 and
+   c = 10.001 onto the same seed. Seed compatibility note: this change
+   shifts every Monte-Carlo stream, so goldens generated before it do
+   not match (Spec.fingerprint was bumped to v2 in the same change, so
+   stale journals are detected rather than silently resumed). *)
 let seed_for base ~c ~salt =
-  Int64.add base (Int64.of_int ((int_of_float (c *. 97.0) * 1009) + salt))
+  Int64.add base
+    (Numerics.Checksum.fold_int
+       (Numerics.Checksum.fnv1a64 (Printf.sprintf "%.17g" c))
+       salt)
 
 exception Sweep_failure of { completed : int; failed : int; first : exn }
 
@@ -153,8 +78,8 @@ let entry_of_point ~c ~strategy (p : point) =
    [Domains] backend, from the supervising parent on [Processes] (a
    forked child's journal writes would die with its copy-on-write heap)
    — so an interruption loses at most the points still in flight. *)
-let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~spec ~dist
-    ~params ~c ~grid ~horizon_max ~tasks ~cached ~base =
+let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~cache
+    ~spec ~dist ~params ~c ~grid ~horizon_max ~tasks ~cached ~base =
   let traces =
     Fault.Trace.batch ~dist
       ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
@@ -165,55 +90,21 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~spec ~dist
   Parallel.Pool.map pool traces ~f:(fun tr ->
       Fault.Trace.prefetch tr ~until:horizon_max)
   |> ignore;
-  let thresholds_num =
-    lazy (Core.Threshold.table_numerical ~params ~up_to:horizon_max)
-  in
-  let thresholds_fo =
-    lazy (Core.Threshold.table_first_order ~params ~up_to:horizon_max)
-  in
-  (* Force the lazies now: Lazy.force is not thread-safe. *)
-  List.iter
-    (fun s ->
-      match s with
-      | Spec.First_order -> ignore (Lazy.force thresholds_fo)
-      | Spec.Numerical_optimum -> ignore (Lazy.force thresholds_num)
-      | _ -> ())
+  (* Build whatever tables this (params, horizon) point still needs —
+     in the parent, before any task runs, so compiles below are pure
+     reads (safe from worker domains and forked workers alike). Tables
+     already in the campaign cache (an earlier figure, a duplicated
+     sub-plot) are reused as-is. *)
+  Strategy.ensure ~pool cache ~params ~horizon:horizon_max ~dist
     spec.Spec.strategies;
-  let quanta = distinct_quanta spec.Spec.strategies in
-  let dps =
-    List.combine quanta
-      (Array.to_list
-         (Parallel.Pool.map pool (Array.of_list quanta) ~f:(fun quantum ->
-              Core.Dp.build
-                ~kmax:(Core.Dp.suggested_kmax ~params ~horizon:horizon_max)
-                ~params ~quantum ~horizon:horizon_max ())))
-  in
-  let opt_quanta = distinct_optimal_quanta spec.Spec.strategies in
-  let opts =
-    List.combine opt_quanta
-      (Array.to_list
-         (Parallel.Pool.map pool (Array.of_list opt_quanta) ~f:(fun quantum ->
-              Core.Optimal.build ~params ~quantum ~horizon:horizon_max ())))
-  in
-  let renewal_quanta = distinct_renewal_quanta spec.Spec.strategies in
-  let renewals =
-    List.combine renewal_quanta
-      (Array.to_list
-         (Parallel.Pool.map pool (Array.of_list renewal_quanta)
-            ~f:(fun quantum ->
-              Core.Dp_renewal.build ~params ~dist ~quantum
-                ~horizon:horizon_max ())))
-  in
-  let ctx =
-    { params; traces; thresholds_num; thresholds_fo; dps; opts;
-      renewals; horizon_max }
-  in
   progress
     (Printf.sprintf "[%s] C = %g: sweeping %d lengths x %d strategies"
        spec.Spec.id c (Array.length grid)
        (List.length spec.Spec.strategies));
   let eval i (strategy, horizon) =
-    let policy = policy_of ctx strategy in
+    let policy =
+      Strategy.compile_exn cache ~params ~horizon:horizon_max ~dist strategy
+    in
     let ckpt_sampler =
       match spec.Spec.ckpt_noise with
       | Spec.Deterministic -> None
@@ -228,7 +119,7 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~spec ~dist
                 ~scale:(c /. float_of_int shape))
     in
     let r =
-      Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy ctx.traces
+      Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy traces
     in
     {
       t = horizon;
@@ -321,7 +212,10 @@ let is_deadline_miss = function
 
 let run ?pool ?(backend = Domains) ?(deadline = Robust.Deadline.unlimited)
     ?(progress = fun _ -> ()) ?journal ?(retry = Robust.Retry.no_retry)
-    ?chaos spec =
+    ?chaos ?cache spec =
+  let cache =
+    match cache with Some c -> c | None -> Strategy.Cache.create ()
+  in
   let own_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create () in
   Fun.protect
@@ -403,8 +297,8 @@ let run ?pool ?(backend = Domains) ?(deadline = Robust.Deadline.unlimited)
                 end
                 else
                   sweep ~pool ~backend ~deadline ~progress ~journal ~retry
-                    ~chaos ~spec ~dist ~params ~c ~grid ~horizon_max ~tasks
-                    ~cached ~base
+                    ~chaos ~cache ~spec ~dist ~params ~c ~grid ~horizon_max
+                    ~tasks ~cached ~base
               in
               (match journal with
               | Some j -> Robust.Journal.sync j

@@ -38,6 +38,13 @@ type result = {
     time. *)
 type backend = Domains | Processes of Parallel.Proc_pool.t
 
+val seed_for : int64 -> c:float -> salt:int -> int64
+(** RNG seed for one stream of a sweep: [base] is the spec seed, salt 0
+    is the failure-trace batch of the C block and salt [i + 1] the
+    checkpoint-noise stream of strategy [i]. The cost enters through a
+    checksum of its decimal rendering, so distinct costs — however
+    close — can never collide onto the same Monte-Carlo stream. *)
+
 exception
   Sweep_failure of { completed : int; failed : int; first : exn }
 (** Raised when grid points still fail after the retry budget. Completed
@@ -54,13 +61,17 @@ val run :
   ?journal:Robust.Journal.t ->
   ?retry:Robust.Retry.t ->
   ?chaos:Robust.Chaos.t ->
+  ?cache:Strategy.Cache.t ->
   Spec.t ->
   result
-(** Precomputations (threshold tables, DP tables — one per distinct
-    quantum, covering the whole grid) are shared across the sweep; each
-    grid point replays the same prefetched traces, so strategies are
-    compared on identical failure scenarios. [progress] receives
-    human-readable stage messages.
+(** Policies are compiled through the {!Strategy} registry against
+    [cache] (a private cache per run by default). Pass a shared cache —
+    as {!Campaign.run} does — and the expensive threshold/DP tables are
+    built at most once per [(params, horizon, quantum, kind)] across
+    every figure and sub-plot of the campaign, instead of once per
+    sweep. Each grid point replays the same prefetched traces, so
+    strategies are compared on identical failure scenarios. [progress]
+    receives human-readable stage messages.
 
     Resilience knobs:
     - [journal]: must be keyed by [Spec.fingerprint] of this spec. Grid

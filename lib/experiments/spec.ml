@@ -91,7 +91,12 @@ let fingerprint spec =
   in
   let canonical =
     Printf.sprintf
-      "fixedlen-spec v1|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s"
+      (* v2: the per-(c, salt) trace-seed derivation changed (checksum
+         of the decimal rendering of c instead of the collision-prone
+         integer salt), shifting every Monte-Carlo stream. Bumping the
+         version makes v1 journals key-mismatch instead of resuming
+         stale numbers. *)
+      "fixedlen-spec v2|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s"
       spec.id spec.lambda spec.d
       (String.concat "," (List.map (Printf.sprintf "%.17g") spec.cs))
       spec.t_max spec.t_step

@@ -1,0 +1,448 @@
+(* The strategy registry: the one place that knows how a Spec.strategy
+   is spelled, parsed, documented and compiled into a Sim.Policy.t.
+   See strategy.mli for the architecture notes. *)
+
+module Cache = struct
+  type kind =
+    | Threshold_numerical
+    | Threshold_first_order
+    | Dp of { quantum : float }
+    | Optimal of { quantum : float }
+    | Renewal of { quantum : float; dist : Fault.Trace.dist }
+
+  let pp_dist ppf = function
+    | Fault.Trace.Exponential { rate } -> Format.fprintf ppf "exp(%g)" rate
+    | Fault.Trace.Weibull { shape; scale } ->
+        Format.fprintf ppf "weibull(%g, %g)" shape scale
+    | Fault.Trace.Lognormal { mu; sigma } ->
+        Format.fprintf ppf "lognormal(%g, %g)" mu sigma
+
+  let pp_kind ppf = function
+    | Threshold_numerical -> Format.pp_print_string ppf "threshold-numerical"
+    | Threshold_first_order -> Format.pp_print_string ppf "threshold-first-order"
+    | Dp { quantum } -> Format.fprintf ppf "dp(u=%g)" quantum
+    | Optimal { quantum } -> Format.fprintf ppf "optimal(u=%g)" quantum
+    | Renewal { quantum; dist } ->
+        Format.fprintf ppf "renewal(u=%g, %a)" quantum pp_dist dist
+
+  type table =
+    | T_threshold of Core.Threshold.table
+    | T_dp of Core.Dp.t
+    | T_optimal of Core.Optimal.t
+    | T_renewal of Core.Dp_renewal.t
+
+  type t = {
+    store : (string, table) Hashtbl.t;
+    mutable builds : int;
+    mutable hits : int;
+  }
+
+  let create () = { store = Hashtbl.create 16; builds = 0; hits = 0 }
+  let builds t = t.builds
+  let hits t = t.hits
+
+  (* Canonical key: every float rendered with %.17g so distinct values
+     can never collide through formatting (same convention as
+     Spec.fingerprint). *)
+  let dist_key = function
+    | Fault.Trace.Exponential { rate } -> Printf.sprintf "exp:%.17g" rate
+    | Fault.Trace.Weibull { shape; scale } ->
+        Printf.sprintf "weibull:%.17g:%.17g" shape scale
+    | Fault.Trace.Lognormal { mu; sigma } ->
+        Printf.sprintf "lognormal:%.17g:%.17g" mu sigma
+
+  let kind_key = function
+    | Threshold_numerical -> "thr-num"
+    | Threshold_first_order -> "thr-fo"
+    | Dp { quantum } -> Printf.sprintf "dp:%.17g" quantum
+    | Optimal { quantum } -> Printf.sprintf "opt:%.17g" quantum
+    | Renewal { quantum; dist } ->
+        Printf.sprintf "renewal:%.17g|%s" quantum (dist_key dist)
+
+  let key ~(params : Fault.Params.t) ~horizon kind =
+    Printf.sprintf "lambda=%.17g,c=%.17g,r=%.17g,d=%.17g|h=%.17g|%s"
+      params.Fault.Params.lambda params.Fault.Params.c params.Fault.Params.r
+      params.Fault.Params.d horizon (kind_key kind)
+
+  let mem t ~params ~horizon kind = Hashtbl.mem t.store (key ~params ~horizon kind)
+  let find t ~params ~horizon kind =
+    Hashtbl.find_opt t.store (key ~params ~horizon kind)
+
+  (* The build calls replicate what the pre-registry runner did per
+     C block, so the tables — and therefore the figures — are
+     bit-identical. In particular the DP keeps its suggested_kmax cap. *)
+  let build ~params ~horizon kind =
+    match kind with
+    | Threshold_numerical ->
+        T_threshold (Core.Threshold.table_numerical ~params ~up_to:horizon)
+    | Threshold_first_order ->
+        T_threshold (Core.Threshold.table_first_order ~params ~up_to:horizon)
+    | Dp { quantum } ->
+        T_dp
+          (Core.Dp.build
+             ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
+             ~params ~quantum ~horizon ())
+    | Optimal { quantum } ->
+        T_optimal (Core.Optimal.build ~params ~quantum ~horizon ())
+    | Renewal { quantum; dist } ->
+        T_renewal (Core.Dp_renewal.build ~params ~dist ~quantum ~horizon ())
+
+  let insert t ~params ~horizon kind table =
+    t.builds <- t.builds + 1;
+    Hashtbl.replace t.store (key ~params ~horizon kind) table
+end
+
+type error =
+  | Missing_table of {
+      kind : Cache.kind;
+      params : Fault.Params.t;
+      horizon : float;
+    }
+
+let error_message = function
+  | Missing_table { kind; params; horizon } ->
+      Format.asprintf
+        "Strategy: table %a for %s, horizon %g was never built — call \
+         Strategy.ensure before compiling (configuration error)"
+        Cache.pp_kind kind
+        (Fault.Params.to_string params)
+        horizon
+
+(* Typed lookups: the key encodes the kind, so a present entry always
+   carries the matching constructor; absence is the diagnosed error. *)
+let missing kind ~params ~horizon = Error (Missing_table { kind; params; horizon })
+
+let find_threshold cache ~params ~horizon kind =
+  match Cache.find cache ~params ~horizon kind with
+  | Some (Cache.T_threshold t) -> Ok t
+  | _ -> missing kind ~params ~horizon
+
+let find_dp cache ~params ~horizon kind =
+  match Cache.find cache ~params ~horizon kind with
+  | Some (Cache.T_dp t) -> Ok t
+  | _ -> missing kind ~params ~horizon
+
+let find_optimal cache ~params ~horizon kind =
+  match Cache.find cache ~params ~horizon kind with
+  | Some (Cache.T_optimal t) -> Ok t
+  | _ -> missing kind ~params ~horizon
+
+let find_renewal cache ~params ~horizon kind =
+  match Cache.find cache ~params ~horizon kind with
+  | Some (Cache.T_renewal t) -> Ok t
+  | _ -> missing kind ~params ~horizon
+
+type entry = {
+  cli : string;
+  doc : string;
+  takes_quantum : bool;
+  example : Spec.strategy;
+  make : quantum:float option -> (Spec.strategy, string) result;
+  owns : Spec.strategy -> bool;
+  requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list;
+  compile :
+    Cache.t ->
+    params:Fault.Params.t ->
+    horizon:float ->
+    dist:Fault.Trace.dist ->
+    Spec.strategy ->
+    (Sim.Policy.t, error) result;
+}
+
+let ( let* ) = Result.bind
+
+(* Helper for the entries that need no tables and ignore the cache. *)
+let simple ~cli ~doc ~strategy ~policy =
+  {
+    cli;
+    doc;
+    takes_quantum = false;
+    example = strategy;
+    make =
+      (fun ~quantum ->
+        match quantum with
+        | None -> Ok strategy
+        | Some _ -> Error (Printf.sprintf "%s takes no quantum" cli));
+    owns = (fun s -> s = strategy);
+    requires = (fun ~dist:_ _ -> []);
+    compile =
+      (fun _cache ~params ~horizon:_ ~dist:_ _ -> Ok (policy ~params));
+  }
+
+let quantum_of = function
+  | Spec.Dynamic_programming { quantum }
+  | Spec.Optimal_unrestricted { quantum }
+  | Spec.Renewal_dp { quantum } ->
+      quantum
+  | _ -> 1.0
+
+let entries =
+  [
+    simple ~cli:"young-daly" ~strategy:Spec.Young_daly
+      ~doc:
+        "periodic checkpoints every sqrt(2µC) of work, final checkpoint at \
+         the end"
+      ~policy:(fun ~params -> Core.Policies.young_daly ~params);
+    {
+      cli = "first-order";
+      doc =
+        "threshold heuristic with the first-order thresholds of Equation (5)";
+      takes_quantum = false;
+      example = Spec.First_order;
+      make =
+        (fun ~quantum ->
+          match quantum with
+          | None -> Ok Spec.First_order
+          | Some _ -> Error "first-order takes no quantum");
+      owns = (fun s -> s = Spec.First_order);
+      requires = (fun ~dist:_ _ -> [ Cache.Threshold_first_order ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ _ ->
+          let* table =
+            find_threshold cache ~params ~horizon Cache.Threshold_first_order
+          in
+          Ok (Core.Policies.of_threshold_table ~name:"FirstOrder" ~params table));
+    };
+    {
+      cli = "numerical-optimum";
+      doc = "threshold heuristic with numerically computed thresholds";
+      takes_quantum = false;
+      example = Spec.Numerical_optimum;
+      make =
+        (fun ~quantum ->
+          match quantum with
+          | None -> Ok Spec.Numerical_optimum
+          | Some _ -> Error "numerical-optimum takes no quantum");
+      owns = (fun s -> s = Spec.Numerical_optimum);
+      requires = (fun ~dist:_ _ -> [ Cache.Threshold_numerical ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ _ ->
+          let* table =
+            find_threshold cache ~params ~horizon Cache.Threshold_numerical
+          in
+          Ok
+            (Core.Policies.of_threshold_table ~name:"NumericalOptimum" ~params
+               table));
+    };
+    {
+      cli = "dp";
+      doc = "the Section 6 dynamic program over time quanta (optimal)";
+      takes_quantum = true;
+      example = Spec.Dynamic_programming { quantum = 1.0 };
+      make =
+        (fun ~quantum ->
+          Ok
+            (Spec.Dynamic_programming
+               { quantum = Option.value quantum ~default:1.0 }));
+      owns = (function Spec.Dynamic_programming _ -> true | _ -> false);
+      requires =
+        (fun ~dist:_ s -> [ Cache.Dp { quantum = quantum_of s } ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ s ->
+          let* dp =
+            find_dp cache ~params ~horizon (Cache.Dp { quantum = quantum_of s })
+          in
+          (* Stateful across one reservation: a fresh policy per compile
+             (tables are shared, the closure is cheap). *)
+          Ok (Core.Dp.policy dp));
+    };
+    simple ~cli:"single-final" ~strategy:Spec.Single_final
+      ~doc:"one checkpoint at the very end of the reservation (Strat1)"
+      ~policy:(fun ~params -> Core.Policies.single_final ~params);
+    simple ~cli:"daly-second-order" ~strategy:Spec.Daly_second_order
+      ~doc:"Young/Daly scheme with Daly's higher-order period (ablation)"
+      ~policy:(fun ~params -> Core.Policies.daly_second_order ~params);
+    simple ~cli:"lambert-period" ~strategy:Spec.Lambert_period
+      ~doc:
+        "Young/Daly scheme with the exact fixed-work-optimal period \
+         (ablation: optimal for the wrong objective)"
+      ~policy:(fun ~params -> Core.Policies.lambert_optimal_period ~params);
+    simple ~cli:"no-checkpoint" ~strategy:Spec.No_checkpoint
+      ~doc:"never checkpoint (lower-bound baseline)"
+      ~policy:(fun ~params:_ -> Sim.Policy.no_checkpoint);
+    {
+      cli = "variable-segments";
+      doc =
+        "threshold checkpoint count with continuously optimised offsets \
+         over the DP value tables (ablation)";
+      takes_quantum = false;
+      example = Spec.Variable_segments;
+      make =
+        (fun ~quantum ->
+          match quantum with
+          | None -> Ok Spec.Variable_segments
+          | Some _ -> Error "variable-segments takes no quantum");
+      owns = (fun s -> s = Spec.Variable_segments);
+      requires =
+        (* The u = 1 DP value tables serve as the continuation function. *)
+        (fun ~dist:_ _ -> [ Cache.Dp { quantum = 1.0 } ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ _ ->
+          let* dp =
+            find_dp cache ~params ~horizon (Cache.Dp { quantum = 1.0 })
+          in
+          Ok (Core.Plan_opt.variable_segments_policy ~params ~horizon ~dp));
+    };
+    {
+      cli = "optimal";
+      doc = "the k-free quantised optimum of Core.Optimal (ablation)";
+      takes_quantum = true;
+      example = Spec.Optimal_unrestricted { quantum = 1.0 };
+      make =
+        (fun ~quantum ->
+          Ok
+            (Spec.Optimal_unrestricted
+               { quantum = Option.value quantum ~default:1.0 }));
+      owns = (function Spec.Optimal_unrestricted _ -> true | _ -> false);
+      requires =
+        (fun ~dist:_ s -> [ Cache.Optimal { quantum = quantum_of s } ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ s ->
+          let* opt =
+            find_optimal cache ~params ~horizon
+              (Cache.Optimal { quantum = quantum_of s })
+          in
+          Ok (Core.Optimal.policy opt));
+    };
+    {
+      cli = "renewal-dp";
+      doc =
+        "renewal-aware DP built for the spec's IAT distribution \
+         (non-memoryless-aware optimum, extension)";
+      takes_quantum = true;
+      example = Spec.Renewal_dp { quantum = 1.0 };
+      make =
+        (fun ~quantum ->
+          Ok (Spec.Renewal_dp { quantum = Option.value quantum ~default:1.0 }));
+      owns = (function Spec.Renewal_dp _ -> true | _ -> false);
+      requires =
+        (fun ~dist s -> [ Cache.Renewal { quantum = quantum_of s; dist } ]);
+      compile =
+        (fun cache ~params ~horizon ~dist s ->
+          let* renewal =
+            find_renewal cache ~params ~horizon
+              (Cache.Renewal { quantum = quantum_of s; dist })
+          in
+          Ok (Core.Dp_renewal.policy renewal));
+    };
+  ]
+
+let name = Spec.strategy_name
+
+let entry_of strategy =
+  match List.find_opt (fun e -> e.owns strategy) entries with
+  | Some e -> e
+  | None ->
+      (* Unreachable while the registry covers the Spec.strategy variant;
+         a loud failure beats a silent miscompile if they ever drift. *)
+      invalid_arg
+        (Printf.sprintf "Strategy: no registry entry owns %s"
+           (Spec.strategy_name strategy))
+
+(* CLI spelling: "%g" when it round-trips (every shipped quantum does),
+   an exact 17-digit rendering otherwise — so to_string/of_string is a
+   bijection on representable strategies. *)
+let render_quantum q =
+  let s = Printf.sprintf "%g" q in
+  if float_of_string s = q then s else Printf.sprintf "%.17g" q
+
+let to_string strategy =
+  let e = entry_of strategy in
+  if e.takes_quantum then
+    let q = quantum_of strategy in
+    if Float.equal q 1.0 then e.cli
+    else Printf.sprintf "%s:%s" e.cli (render_quantum q)
+  else e.cli
+
+let known_spellings () =
+  String.concat ", "
+    (List.map
+       (fun e -> if e.takes_quantum then e.cli ^ "[:U]" else e.cli)
+       entries)
+
+let of_string text =
+  let keyword, quantum_text =
+    match String.index_opt text ':' with
+    | None -> (text, None)
+    | Some i ->
+        ( String.sub text 0 i,
+          Some (String.sub text (i + 1) (String.length text - i - 1)) )
+  in
+  match List.find_opt (fun e -> e.cli = keyword) entries with
+  | None ->
+      Error
+        (Printf.sprintf "unknown strategy %S (known: %s)" text
+           (known_spellings ()))
+  | Some e -> (
+      match quantum_text with
+      | None -> e.make ~quantum:None
+      | Some qt -> (
+          match float_of_string_opt qt with
+          | Some q when q > 0.0 -> e.make ~quantum:(Some q)
+          | Some _ -> Error (Printf.sprintf "quantum must be > 0 in %S" text)
+          | None -> Error (Printf.sprintf "bad quantum %S in %S" qt text)))
+
+let of_string_list text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match of_string (String.trim spec) with
+        | Ok s -> go (s :: acc) rest
+        | Error _ as e -> e)
+  in
+  match String.split_on_char ',' text with
+  | [ "" ] -> Error "empty strategy list"
+  | specs -> ( match go [] specs with Ok [] -> Error "empty strategy list" | r -> r)
+
+let requires ~dist strategy = (entry_of strategy).requires ~dist strategy
+
+let ensure ?pool cache ~params ~horizon ~dist strategies =
+  let wanted =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> requires ~dist s) strategies)
+  in
+  let missing, present =
+    List.partition (fun k -> not (Cache.mem cache ~params ~horizon k)) wanted
+  in
+  cache.Cache.hits <- cache.Cache.hits + List.length present;
+  match missing with
+  | [] -> ()
+  | _ ->
+      let kinds = Array.of_list missing in
+      let tables =
+        match pool with
+        | Some pool ->
+            Parallel.Pool.map pool kinds ~f:(fun kind ->
+                Cache.build ~params ~horizon kind)
+        | None -> Array.map (fun kind -> Cache.build ~params ~horizon kind) kinds
+      in
+      (* Inserts stay in the caller: workers only ever read the cache. *)
+      Array.iteri
+        (fun i table -> Cache.insert cache ~params ~horizon kinds.(i) table)
+        tables
+
+let compile cache ~params ~horizon ~dist strategy =
+  (entry_of strategy).compile cache ~params ~horizon ~dist strategy
+
+let compile_exn cache ~params ~horizon ~dist strategy =
+  match compile cache ~params ~horizon ~dist strategy with
+  | Ok policy -> policy
+  | Error e -> failwith (error_message e)
+
+let listing () =
+  List.map
+    (fun e ->
+      ( (if e.takes_quantum then e.cli ^ "[:U]" else e.cli),
+        Spec.strategy_name e.example,
+        e.doc ))
+    entries
+
+let markdown_table () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "| CLI spelling | Strategy | Description |\n";
+  Buffer.add_string buf "|---|---|---|\n";
+  List.iter
+    (fun (cli, name, doc) ->
+      Buffer.add_string buf (Printf.sprintf "| `%s` | %s | %s |\n" cli name doc))
+    (listing ());
+  Buffer.contents buf

@@ -1,0 +1,138 @@
+(** First-class strategy registry.
+
+    One entry per {!Spec.strategy} family. Each entry owns everything a
+    strategy needs to exist across the stack: its spec constructor, its
+    stable display name, its CLI spelling (with parse/print
+    round-trip), the tables it depends on, and a [compile] function
+    that turns a spec strategy into an executable {!Sim.Policy.t}.
+    Adding a strategy means adding one entry here — the runner, the
+    campaign driver, the CLI and the docs all read this list.
+
+    Compilation is backed by a campaign-wide {!Cache} of the expensive
+    numerical tables ({!Core.Threshold}, {!Core.Dp}, {!Core.Optimal},
+    {!Core.Dp_renewal}), keyed by [(params, horizon, quantum, kind)] so
+    each table is built at most once per campaign no matter how many
+    sub-plots, figures or strategies request it. *)
+
+module Cache : sig
+  type t
+  (** Mutable table store plus instrumentation counters. Builds and
+      inserts happen only in {!ensure} (call it from the parent before
+      fanning tasks out); {!val-compile} only reads, so compiled lookups
+      are safe from worker domains and forked workers. *)
+
+  type kind =
+    | Threshold_numerical
+    | Threshold_first_order
+    | Dp of { quantum : float }
+    | Optimal of { quantum : float }
+    | Renewal of { quantum : float; dist : Fault.Trace.dist }
+        (** The renewal table depends on the IAT distribution, not just
+            on [params] — two specs with the same grid but different
+            failure laws must not share it. *)
+
+  val pp_kind : Format.formatter -> kind -> unit
+
+  val create : unit -> t
+
+  val builds : t -> int
+  (** Number of tables built so far (cache misses). *)
+
+  val hits : t -> int
+  (** Number of {!ensure} requests answered from the cache. *)
+end
+
+type error =
+  | Missing_table of {
+      kind : Cache.kind;
+      params : Fault.Params.t;
+      horizon : float;
+    }
+      (** {!val-compile} was asked for a table {!ensure} never built — a
+          configuration error in the calling code, reported as data
+          instead of crashing the sweep. *)
+
+val error_message : error -> string
+
+type entry = {
+  cli : string;  (** stable CLI keyword, e.g. ["dp"] *)
+  doc : string;  (** one-line description for [--help] and the README *)
+  takes_quantum : bool;
+      (** accepts an optional [:U] suffix selecting the time quantum *)
+  example : Spec.strategy;  (** canonical instance, quantum = 1 *)
+  make : quantum:float option -> (Spec.strategy, string) result;
+      (** spec constructor from the parsed CLI form *)
+  owns : Spec.strategy -> bool;
+  requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list;
+      (** the tables this entry's [compile] will look up *)
+  compile :
+    Cache.t ->
+    params:Fault.Params.t ->
+    horizon:float ->
+    dist:Fault.Trace.dist ->
+    Spec.strategy ->
+    (Sim.Policy.t, error) result;
+}
+
+val entries : entry list
+(** The registry, in the paper's presentation order. *)
+
+val name : Spec.strategy -> string
+(** Display name — identical to {!Spec.strategy_name}, which is the
+    label used in reports, CSV columns and resume journals. *)
+
+val to_string : Spec.strategy -> string
+(** CLI spelling, e.g. ["dp:0.5"]. Guaranteed to round-trip:
+    [of_string (to_string s) = Ok s] for every strategy, including
+    non-representable-in-%g quanta (falls back to an exact rendering). *)
+
+val of_string : string -> (Spec.strategy, string) result
+(** Parse a CLI spelling ([KEYWORD] or [KEYWORD:U]). The error lists
+    the known spellings. *)
+
+val of_string_list : string -> (Spec.strategy list, string) result
+(** Parse a comma-separated list of CLI spellings. *)
+
+val requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list
+(** The tables the strategy's [compile] will look up. *)
+
+val ensure :
+  ?pool:Parallel.Pool.t ->
+  Cache.t ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  dist:Fault.Trace.dist ->
+  Spec.strategy list ->
+  unit
+(** Build (in parallel when [pool] is given) every table the strategies
+    need at this [(params, horizon)] point that the cache does not
+    already hold. Call from the parent process/domain only. *)
+
+val compile :
+  Cache.t ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  dist:Fault.Trace.dist ->
+  Spec.strategy ->
+  (Sim.Policy.t, error) result
+(** Compile a strategy against the cache. Cheap (table lookups plus
+    policy closure allocation) and read-only, but note that some
+    policies — the Section 6 DP — are stateful across one simulated
+    reservation: compile a fresh policy per concurrent evaluation. *)
+
+val compile_exn :
+  Cache.t ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  dist:Fault.Trace.dist ->
+  Spec.strategy ->
+  Sim.Policy.t
+(** [compile] with the error raised as [Failure (error_message e)]. *)
+
+val listing : unit -> (string * string * string) list
+(** One [(cli spelling, display name, doc)] row per registry entry —
+    the single source for the README table and the [strategies]
+    subcommand. *)
+
+val markdown_table : unit -> string
+(** The listing as a GitHub-flavoured Markdown table. *)

@@ -13,15 +13,48 @@ type result = {
   mean_checkpoints : float;
 }
 
+type quantile_mode =
+  | Exact  (** buffer samples, type-7 interpolation (golden default) *)
+  | Streaming  (** P² marker estimates, O(1) memory in the trace count *)
+
+type stream
+(** Online evaluation state: traces are folded in one at a time and
+    every aggregate (mean, CI, quantiles, work/failure/checkpoint
+    totals) is maintained incrementally. *)
+
+val stream_create :
+  ?ckpt_sampler:(unit -> float) ->
+  ?quantile_mode:quantile_mode ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  policy:Policy.t ->
+  unit ->
+  stream
+(** [quantile_mode] defaults to [Exact], which reproduces the batch
+    results bit-for-bit; [Streaming] trades exactness of the three
+    quantiles for flat memory. *)
+
+val stream_feed : stream -> Fault.Trace.t -> unit
+(** Run the policy on one trace and fold its outcome in. *)
+
+val stream_count : stream -> int
+
+val stream_result : stream -> result
+(** Aggregate of everything fed so far. Raises [Invalid_argument] when
+    no trace has been fed. The stream remains usable: more traces can be
+    fed and a new result taken. *)
+
 val evaluate :
   ?ckpt_sampler:(unit -> float) ->
+  ?quantile_mode:quantile_mode ->
   params:Fault.Params.t ->
   horizon:float ->
   policy:Policy.t ->
   Fault.Trace.t array ->
   result
-(** Runs the policy on every trace and aggregates. Each trace is replayed
-    from its beginning, so passing the same array to several policies
-    compares them on identical failure scenarios. *)
+(** Runs the policy on every trace and aggregates — a fold of
+    {!stream_feed} over the array. Each trace is replayed from its
+    beginning, so passing the same array to several policies compares
+    them on identical failure scenarios. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -72,6 +72,51 @@ let test_common_random_numbers () =
   close ~eps:0.0 "same failure count across policies" a1.R.mean_failures
     b1.R.mean_failures
 
+let test_stream_matches_batch () =
+  (* evaluate is now a fold over the stream API; feeding the traces by
+     hand must reproduce it bit-for-bit, including exact quantiles. *)
+  let trace_set = traces () in
+  let batch = R.evaluate ~params ~horizon ~policy trace_set in
+  let s = R.stream_create ~params ~horizon ~policy () in
+  Array.iter (R.stream_feed s) trace_set;
+  Alcotest.(check int) "count" 500 (R.stream_count s);
+  let streamed = R.stream_result s in
+  Alcotest.(check bool) "bit-identical result" true (batch = streamed)
+
+let test_streaming_quantiles_close_to_exact () =
+  let trace_set = traces () in
+  let exact = R.evaluate ~params ~horizon ~policy trace_set in
+  let approx =
+    R.evaluate ~quantile_mode:R.Streaming ~params ~horizon ~policy trace_set
+  in
+  (* Means and totals do not depend on the quantile mode at all. *)
+  close ~eps:0.0 "mean work unchanged" exact.R.mean_work approx.R.mean_work;
+  close ~eps:0.0 "mean unchanged" exact.R.proportion.Numerics.Stats.mean
+    approx.R.proportion.Numerics.Stats.mean;
+  let ep5, emed, ep95 = exact.R.quantiles in
+  let ap5, amed, ap95 = approx.R.quantiles in
+  close ~eps:0.02 "p5" ep5 ap5;
+  close ~eps:0.02 "median" emed amed;
+  close ~eps:0.02 "p95" ep95 ap95
+
+let test_stream_result_reusable () =
+  let trace_set = traces () in
+  let s = R.stream_create ~params ~horizon ~policy () in
+  (match R.stream_result s with
+  | _ -> Alcotest.fail "empty stream accepted"
+  | exception Invalid_argument _ -> ());
+  Array.iteri
+    (fun i t -> if i < 100 then R.stream_feed s t)
+    trace_set;
+  let early = R.stream_result s in
+  Alcotest.(check int) "early count" 100 early.R.traces;
+  Array.iteri
+    (fun i t -> if i >= 100 then R.stream_feed s t)
+    trace_set;
+  let full = R.stream_result s in
+  Alcotest.(check bool) "full equals batch" true
+    (full = R.evaluate ~params ~horizon ~policy trace_set)
+
 let test_empty_rejected () =
   (match R.evaluate ~params ~horizon ~policy [||] with
   | _ -> Alcotest.fail "empty trace set accepted"
@@ -95,5 +140,14 @@ let () =
             test_common_random_numbers;
           Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
           Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "stream matches batch" `Quick
+            test_stream_matches_batch;
+          Alcotest.test_case "p2 quantiles close to exact" `Quick
+            test_streaming_quantiles_close_to_exact;
+          Alcotest.test_case "stream result reusable" `Quick
+            test_stream_result_reusable;
         ] );
     ]

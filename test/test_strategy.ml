@@ -1,0 +1,244 @@
+(* The strategy registry: CLI spelling round-trips, display names vs
+   report labels, the compiled-table cache counters, trace-seed
+   derivation, and a committed golden CSV pinning the full
+   spec -> registry -> cache -> streaming-evaluator path bit-for-bit. *)
+
+module Spec = Experiments.Spec
+module Strategy = Experiments.Strategy
+module Figures = Experiments.Figures
+module Runner = Experiments.Runner
+module Report = Experiments.Report
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* spelling round-trips *)
+
+let test_round_trip () =
+  let canonical =
+    List.map (fun (e : Strategy.entry) -> e.Strategy.example) Strategy.entries
+  in
+  let quantum_variants =
+    Spec.
+      [
+        Dynamic_programming { quantum = 0.5 };
+        Dynamic_programming { quantum = 2.0 };
+        Dynamic_programming { quantum = 10.0 };
+        Optimal_unrestricted { quantum = 0.25 };
+        Renewal_dp { quantum = 5.0 };
+        (* not representable in %g: forces the exact 17-digit fallback *)
+        Dynamic_programming { quantum = 1.0 /. 3.0 };
+      ]
+  in
+  List.iter
+    (fun s ->
+      let spelled = Strategy.to_string s in
+      match Strategy.of_string spelled with
+      | Ok s' when s' = s -> ()
+      | Ok s' ->
+          Alcotest.failf "%S parsed back as %s, not %s" spelled
+            (Spec.strategy_name s') (Spec.strategy_name s)
+      | Error e -> Alcotest.failf "%S did not parse: %s" spelled e)
+    (canonical @ quantum_variants)
+
+let test_spellings () =
+  let ok spelled expect =
+    match Strategy.of_string spelled with
+    | Ok s when s = expect -> ()
+    | Ok s ->
+        Alcotest.failf "%S -> %s, expected %s" spelled (Spec.strategy_name s)
+          (Spec.strategy_name expect)
+    | Error e -> Alcotest.failf "%S rejected: %s" spelled e
+  in
+  ok "dp" (Spec.Dynamic_programming { quantum = 1.0 });
+  ok "dp:0.5" (Spec.Dynamic_programming { quantum = 0.5 });
+  ok "optimal:2" (Spec.Optimal_unrestricted { quantum = 2.0 });
+  ok "young-daly" Spec.Young_daly;
+  let err spelled =
+    match Strategy.of_string spelled with
+    | Ok s -> Alcotest.failf "%S accepted as %s" spelled (Spec.strategy_name s)
+    | Error e -> e
+  in
+  Alcotest.(check bool) "unknown keyword lists spellings" true
+    (contains ~needle:"young-daly" (err "bogus"));
+  ignore (err "dp:0");
+  ignore (err "dp:nope");
+  ignore (err "young-daly:2");
+  (match Strategy.of_string_list " young-daly, dp:2 ,no-checkpoint" with
+  | Ok
+      [
+        Spec.Young_daly;
+        Spec.Dynamic_programming { quantum = 2.0 };
+        Spec.No_checkpoint;
+      ] ->
+      ()
+  | Ok _ -> Alcotest.fail "list parsed to the wrong strategies"
+  | Error e -> Alcotest.failf "list rejected: %s" e);
+  match Strategy.of_string_list "" with
+  | Ok _ -> Alcotest.fail "empty list accepted"
+  | Error _ -> ()
+
+(* display names: the registry, the report labels and the compiled
+   policies must all agree, strategy by strategy *)
+
+let test_names_match_labels () =
+  let params = Fault.Params.paper ~lambda:0.01 ~c:5.0 ~d:0.0 in
+  let dist = Fault.Trace.Exponential { rate = 0.01 } in
+  let horizon = 100.0 in
+  let cache = Strategy.Cache.create () in
+  List.iter
+    (fun (e : Strategy.entry) ->
+      let s = e.Strategy.example in
+      Alcotest.(check string)
+        (Strategy.to_string s ^ " registry name")
+        (Spec.strategy_name s) (Strategy.name s);
+      Strategy.ensure cache ~params ~horizon ~dist [ s ];
+      let policy = Strategy.compile_exn cache ~params ~horizon ~dist s in
+      Alcotest.(check string)
+        (Strategy.to_string s ^ " policy label")
+        (Spec.strategy_name s) policy.Sim.Policy.name)
+    Strategy.entries
+
+let test_listing_covers_registry () =
+  let rows = Strategy.listing () in
+  Alcotest.(check int) "one row per entry" (List.length Strategy.entries)
+    (List.length rows);
+  let md = Strategy.markdown_table () in
+  Alcotest.(check bool) "markdown header" true
+    (contains ~needle:"| CLI spelling | Strategy | Description |" md);
+  List.iter
+    (fun (cli, name, _) ->
+      if not (contains ~needle:cli md && contains ~needle:name md) then
+        Alcotest.failf "markdown table misses %s (%s)" cli name)
+    rows
+
+(* cache: a missing table is a diagnosed configuration error, never an
+   exception out of a float-keyed assoc lookup *)
+
+let test_missing_table_diagnosed () =
+  let params = Fault.Params.paper ~lambda:0.01 ~c:5.0 ~d:0.0 in
+  let dist = Fault.Trace.Exponential { rate = 0.01 } in
+  let cache = Strategy.Cache.create () in
+  (match
+     Strategy.compile cache ~params ~horizon:100.0 ~dist
+       (Spec.Dynamic_programming { quantum = 1.0 })
+   with
+  | Ok _ -> Alcotest.fail "compiled a DP with no table in the cache"
+  | Error e ->
+      let msg = Strategy.error_message e in
+      Alcotest.(check bool) "message names the fix" true
+        (contains ~needle:"Strategy.ensure" msg);
+      Alcotest.(check bool) "message names the kind" true
+        (contains ~needle:"dp(u=1)" msg));
+  match
+    Strategy.compile_exn cache ~params ~horizon:100.0 ~dist
+      (Spec.Dynamic_programming { quantum = 1.0 })
+  with
+  | _ -> Alcotest.fail "compile_exn succeeded without a table"
+  | exception Failure _ -> ()
+
+(* cache counters: a two-sub-plot sweep builds each table exactly once
+   and answers the duplicate sub-plot from the cache *)
+
+let test_cache_builds_once () =
+  let spec =
+    match Figures.find "fig3" with
+    | None -> Alcotest.fail "fig3 missing"
+    | Some spec ->
+        {
+          (Figures.scale ~n_traces:30 ~t_step:400.0 ~t_max:1200.0 spec) with
+          Spec.cs = [ 80.0; 80.0 ];
+        }
+  in
+  let cache = Strategy.Cache.create () in
+  let result = Runner.run ~cache spec in
+  Alcotest.(check int) "4 strategies x 2 sub-plots" 8
+    (List.length result.Runner.curves);
+  (* YD needs no table; FO, NO and DP(u=1) need one kind each. *)
+  Alcotest.(check int) "three tables built exactly once" 3
+    (Strategy.Cache.builds cache);
+  Alcotest.(check int) "duplicate sub-plot answered from the cache" 3
+    (Strategy.Cache.hits cache);
+  (* A second sweep against the same shared cache — the campaign
+     situation (fig2 = fig7) — builds nothing further. *)
+  let (_ : Runner.result) = Runner.run ~cache spec in
+  Alcotest.(check int) "shared cache: no rebuild across sweeps" 3
+    (Strategy.Cache.builds cache)
+
+(* seed derivation: distinct (cost, salt) pairs never share a stream *)
+
+let test_seed_distinctness () =
+  let base = 0x5EED_2024L in
+  (* the pair the old [int_of_float (c *. 97.0)] salt collapsed *)
+  Alcotest.(check bool) "c=10.0 vs c=10.001" true
+    (Runner.seed_for base ~c:10.0 ~salt:0
+    <> Runner.seed_for base ~c:10.001 ~salt:0);
+  Alcotest.(check bool) "salt separates streams" true
+    (Runner.seed_for base ~c:10.0 ~salt:0
+    <> Runner.seed_for base ~c:10.0 ~salt:1);
+  (* every (cost, salt) stream any shipped spec can request, pairwise
+     distinct per base seed *)
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (spec : Spec.t) ->
+      List.iter
+        (fun c ->
+          List.iteri
+            (fun i _ ->
+              let salt = i in
+              let seed = Runner.seed_for spec.Spec.seed ~c ~salt in
+              match Hashtbl.find_opt seen (spec.Spec.seed, seed) with
+              | Some (id, c', salt') when c' <> c || salt' <> salt ->
+                  Alcotest.failf
+                    "seed collision: %s (c=%g, salt=%d) = %s (c=%g, salt=%d)"
+                    spec.Spec.id c salt id c' salt'
+              | _ ->
+                  Hashtbl.replace seen (spec.Spec.seed, seed)
+                    (spec.Spec.id, c, salt))
+            (() :: List.map ignore spec.Spec.strategies))
+        spec.Spec.cs)
+    Figures.all
+
+(* golden figure: the fixed-seed fig2-style sweep must stay bit-identical
+   to the committed CSV across refactors of the compilation path *)
+
+let golden_spec () =
+  match Figures.find "fig2" with
+  | None -> Alcotest.fail "fig2 missing"
+  | Some spec -> Figures.scale ~n_traces:40 ~t_step:400.0 ~t_max:2000.0 spec
+
+let test_golden_csv () =
+  let result = Runner.run (golden_spec ()) in
+  let path = Filename.temp_file "fixedlen_golden" ".csv" in
+  Report.to_csv result ~path;
+  let read file = In_channel.with_open_bin file In_channel.input_all in
+  let got = read path in
+  Sys.remove path;
+  let want = read "golden_fig2_mini.csv" in
+  Alcotest.(check string) "bit-identical to the committed golden" want got
+
+let () =
+  Alcotest.run "strategy"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "spelling round-trip" `Quick test_round_trip;
+          Alcotest.test_case "spellings and errors" `Quick test_spellings;
+          Alcotest.test_case "names agree with labels" `Quick
+            test_names_match_labels;
+          Alcotest.test_case "listing covers registry" `Quick
+            test_listing_covers_registry;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "missing table diagnosed" `Quick
+            test_missing_table_diagnosed;
+          Alcotest.test_case "tables built once" `Slow test_cache_builds_once;
+        ] );
+      ( "seeds",
+        [ Alcotest.test_case "pairwise distinct" `Quick test_seed_distinctness ] );
+      ( "golden",
+        [ Alcotest.test_case "fig2-style CSV" `Slow test_golden_csv ] );
+    ]
