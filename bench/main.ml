@@ -15,7 +15,7 @@
 
    Usage: dune exec bench/main.exe -- [--full] [--traces N] [--t-step X]
             [--figures id1,id2] [--skip-figures] [--skip-micro]
-            [--eval-json PATH] *)
+            [--eval-json PATH] [--dp-json PATH] [--baseline PATH] *)
 
 let default_traces = 250
 let default_t_step = 100.0
@@ -27,6 +27,8 @@ type options = {
   skip_figures : bool;
   skip_micro : bool;
   eval_json : string option;
+  dp_json : string option;
+  baseline : string option;
 }
 
 let parse_args () =
@@ -36,6 +38,8 @@ let parse_args () =
   let skip_figures = ref false in
   let skip_micro = ref false in
   let eval_json = ref None in
+  let dp_json = ref None in
+  let baseline = ref None in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -60,11 +64,18 @@ let parse_args () =
     | "--eval-json" :: path :: rest ->
         eval_json := Some path;
         go rest
+    | "--dp-json" :: path :: rest ->
+        dp_json := Some path;
+        go rest
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        go rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: bench [--full] [--traces N] [--t-step X] [--figures ids] \
-           [--skip-figures] [--skip-micro] [--eval-json PATH]\n"
+           [--skip-figures] [--skip-micro] [--eval-json PATH] [--dp-json \
+           PATH] [--baseline PATH]\n"
           arg;
         exit 2
   in
@@ -76,6 +87,8 @@ let parse_args () =
     skip_figures = !skip_figures;
     skip_micro = !skip_micro;
     eval_json = !eval_json;
+    dp_json = !dp_json;
+    baseline = !baseline;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -262,12 +275,14 @@ let eval_json_spec () =
 let run_eval_json path =
   let spec = eval_json_spec () in
   let cache = Experiments.Strategy.Cache.create () in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let result =
     Parallel.Pool.with_pool (fun pool ->
         Experiments.Runner.run ~pool ~cache spec)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
   let points =
     List.fold_left
       (fun acc (cv : Experiments.Runner.curve) ->
@@ -287,6 +302,9 @@ let run_eval_json path =
     \  \"trace_evals_per_sec\": %.0f,\n\
     \  \"table_builds\": %d,\n\
     \  \"table_hits\": %d,\n\
+    \  \"minor_words\": %.0f,\n\
+    \  \"promoted_words\": %.0f,\n\
+    \  \"major_words\": %.0f,\n\
     \  \"peak_rss_kb\": %d\n\
      }\n"
     spec.Experiments.Spec.id spec.Experiments.Spec.n_traces
@@ -295,6 +313,9 @@ let run_eval_json path =
     (float_of_int (points * traces) /. elapsed)
     (Experiments.Strategy.Cache.builds cache)
     (Experiments.Strategy.Cache.hits cache)
+    (g1.Gc.minor_words -. g0.Gc.minor_words)
+    (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+    (g1.Gc.major_words -. g0.Gc.major_words)
     (peak_rss_kb ());
   close_out oc;
   Printf.printf
@@ -304,7 +325,110 @@ let run_eval_json path =
     (float_of_int points /. elapsed)
     (Experiments.Strategy.Cache.builds cache)
     (Experiments.Strategy.Cache.hits cache)
+    path;
+  float_of_int points /. elapsed
+
+(* ------------------------------------------------------------------ *)
+(* DP table-build micro-benchmark (--dp-json)
+
+   Builds the five DP tables of the fig2 C sweep (C in {10..160},
+   lambda = 0.001, D = 0, T = 2000, unit quantum, suggested_kmax cap)
+   and reports table cells per second plus allocation counters. The
+   committed bench/BENCH_dp.json trajectory tracks the DP core across
+   PRs the same way BENCH_eval.json tracks the evaluation stack.       *)
+
+let run_dp_json path =
+  let cs = [ 10.0; 20.0; 40.0; 80.0; 160.0 ] in
+  let horizon = 2000.0 in
+  Gc.compact ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let cells =
+    List.fold_left
+      (fun acc c ->
+        let params = Fault.Params.paper ~lambda:0.001 ~c ~d:0.0 in
+        let dp =
+          Core.Dp.build
+            ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
+            ~params ~quantum:1.0 ~horizon ()
+        in
+        acc + (2 * Core.Dp.kmax dp * Core.Dp.horizon_quanta dp))
+      0 cs
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"fig2 C sweep, T=2000, u=1, suggested_kmax\",\n\
+    \  \"builds\": %d,\n\
+    \  \"cells\": %d,\n\
+    \  \"elapsed_sec\": %.3f,\n\
+    \  \"cells_per_sec\": %.0f,\n\
+    \  \"minor_words\": %.0f,\n\
+    \  \"promoted_words\": %.0f,\n\
+    \  \"major_words\": %.0f,\n\
+    \  \"peak_rss_kb\": %d\n\
+     }\n"
+    (List.length cs) cells elapsed
+    (float_of_int cells /. elapsed)
+    (g1.Gc.minor_words -. g0.Gc.minor_words)
+    (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+    (g1.Gc.major_words -. g0.Gc.major_words)
+    (peak_rss_kb ());
+  close_out oc;
+  Printf.printf
+    "dp benchmark: %d cells in %.2f s (%.0f cells/s); wrote %s\n" cells
+    elapsed
+    (float_of_int cells /. elapsed)
     path
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression gate (--baseline)
+
+   Reads the last "points_per_sec" value from a committed trajectory
+   file (bench/BENCH_eval.json) and fails the run when the fresh
+   measurement falls below 70% of it. The generous margin absorbs
+   shared-runner noise while still catching step-function regressions. *)
+
+let last_points_per_sec path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let key = "\"points_per_sec\":" in
+  let klen = String.length key in
+  let rec last_from pos acc =
+    match String.index_from_opt body pos '"' with
+    | None -> acc
+    | Some q ->
+        if q + klen <= len && String.sub body q klen = key then
+          let rest = String.sub body (q + klen) (min 64 (len - q - klen)) in
+          match Scanf.sscanf_opt rest " %f" (fun v -> v) with
+          | Some v -> last_from (q + klen) (Some v)
+          | None -> last_from (q + 1) acc
+        else last_from (q + 1) acc
+  in
+  last_from 0 None
+
+let check_baseline ~path ~points_per_sec =
+  match last_points_per_sec path with
+  | None ->
+      Printf.eprintf "baseline %s holds no points_per_sec entry\n" path;
+      exit 1
+  | Some baseline ->
+      let floor = 0.7 *. baseline in
+      if points_per_sec < floor then begin
+        Printf.eprintf
+          "PERF REGRESSION: %.1f points/s is below 70%% of the committed \
+           baseline %.1f (floor %.1f)\n"
+          points_per_sec baseline floor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "baseline check: %.1f points/s >= 70%% of committed %.1f — ok\n"
+          points_per_sec baseline
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                             *)
@@ -454,4 +578,11 @@ let () =
     run_exact options
   end;
   if not options.skip_micro then run_micro ();
-  Option.iter run_eval_json options.eval_json
+  Option.iter run_dp_json options.dp_json;
+  match options.eval_json with
+  | None -> ()
+  | Some path ->
+      let points_per_sec = run_eval_json path in
+      Option.iter
+        (fun baseline -> check_baseline ~path:baseline ~points_per_sec)
+        options.baseline

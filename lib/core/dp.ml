@@ -6,12 +6,12 @@ type t = {
   cq : int;
   rq : int;
   dq : int;
-  e0 : float array array;  (* e0.(k).(n) = E(n, k, 0), in quanta *)
-  e1 : float array array;
-  ib0 : int array array;  (* optimal first-checkpoint quantum; 0 = none *)
-  ib1 : int array array;
-  argm1 : int array array;  (* argm1.(k).(n) = argmax_{m<=k} e1.(m).(n) *)
-  bestk0 : int array;  (* argmax_k e0.(k).(n) *)
+  e0 : Tables.F.t;  (* e0.(k, n) = E(n, k, 0), in quanta *)
+  e1 : Tables.F.t;
+  ib0 : Tables.I.t;  (* optimal first-checkpoint quantum; 0 = none *)
+  ib1 : Tables.I.t;
+  argm1 : Tables.I.t;  (* argm1.(k, n) = argmax_{m<=k} e1.(m, n) *)
+  bestk0 : int array;  (* argmax_k e0.(k, n) *)
 }
 
 let quanta_round x ~u = int_of_float (Float.round (x /. u))
@@ -19,9 +19,19 @@ let quanta_round x ~u = int_of_float (Float.round (x /. u))
 let suggested_kmax ~params ~horizon =
   let open Fault.Params in
   let u_yd = Model.young_daly_period params in
-  let exact = max 1 (int_of_float (floor (horizon /. params.c))) in
-  let guess = int_of_float (ceil (4.0 *. horizon /. (u_yd +. params.c))) + 8 in
-  min exact (max 1 guess)
+  (* With C = 0 both the exact bound T/C and the Young/Daly stride
+     4T/(W_YD + C) divide by zero (W_YD = sqrt(2µC) vanishes with C);
+     degrade to one checkpoint per time unit — free checkpoints make any
+     denser cap pointless on the unit-quantum grid the DP uses. *)
+  let denom = u_yd +. params.c in
+  let guess =
+    if denom > 0.0 then int_of_float (ceil (4.0 *. horizon /. denom)) + 8
+    else max 1 (int_of_float (ceil horizon))
+  in
+  if params.c > 0.0 then
+    let exact = max 1 (int_of_float (floor (horizon /. params.c))) in
+    min exact (max 1 guess)
+  else max 1 guess
 
 let build ?kmax ~params ~quantum ~horizon () =
   if quantum <= 0.0 then invalid_arg "Dp.build: quantum must be positive";
@@ -41,76 +51,213 @@ let build ?kmax ~params ~quantum ~horizon () =
         min k kmax_exact
   in
   let lam = params.lambda in
-  let psucc = Array.init (tstar + 1) (fun i -> exp (-.lam *. float_of_int i *. u)) in
-  let p = Array.make (tstar + 1) 0.0 in
+  let cols = tstar + 1 in
+  let psucc = Array.init cols (fun i -> exp (-.lam *. float_of_int i *. u)) in
+  let p = Array.make cols 0.0 in
   for f = 1 to tstar do
     p.(f) <- psucc.(f - 1) -. psucc.(f)
   done;
-  let mk_f () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0.0) in
-  let mk_i () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0) in
-  let e0 = mk_f () and e1 = mk_f () in
-  let ib0 = mk_i () and ib1 = mk_i () in
-  let argm1 = mk_i () in
+  let e0 = Tables.F.create ~rows:(kmax + 1) ~cols in
+  let e1 = Tables.F.create ~rows:(kmax + 1) ~cols in
+  let ib0 = Tables.I.create ~rows:(kmax + 1) ~cols ~max_value:tstar in
+  let ib1 = Tables.I.create ~rows:(kmax + 1) ~cols ~max_value:tstar in
+  let argm1 = Tables.I.create ~rows:(kmax + 1) ~cols ~max_value:kmax in
+  let e0d = Tables.F.data e0 and e1d = Tables.F.data e1 in
   (* bestv.(n) = max_{m<=k} E(n, m, 1) for the sweep's current k;
      updated in place as soon as E(n, k, 1) is known, which is safe
      because states only reference strictly smaller n. *)
-  let bestv = Array.make (tstar + 1) 0.0 in
-  let argv = Array.make (tstar + 1) 0 in
+  let bestv = Array.make cols 0.0 in
+  let argv = Array.make cols 0 in
+  (* The hot loop runs entirely on flat [float array] scratch rows —
+     the k-1 row read back as the continuation, the k row written — and
+     each finished row is copied into the Bigarray tables afterwards.
+     This keeps the inner loop free of the Bigarray descriptor
+     indirection while the persistent tables stay single-allocation.
+     [prev0] is all zeros while k = 1, which makes the k = 1
+     continuation (no later checkpoint) the same array read as the
+     k >= 2 one instead of a per-iteration branch. *)
+  let prev0 = ref (Array.make cols 0.0) in
+  let cur0 = ref (Array.make cols 0.0) in
+  let cur1 = Array.make cols 0.0 in
+  let icur0 = Array.make cols 0 in
+  let icur1 = Array.make cols 0 in
+  let ilo0 = cq + 1 in
+  let ilo1 = rq + cq + 1 in
   for k = 1 to kmax do
-    let e0k = e0.(k)
-    and e1k = e1.(k)
-    and ib0k = ib0.(k)
-    and ib1k = ib1.(k) in
-    let cont = if k >= 2 then e0.(k - 1) else [||] in
-    for n = 1 to tstar do
-      (* One state (n, k, delta): maximise over the completion quantum i
-         of the first checkpoint, carrying the failure-term prefix sum
-         S(i) = sum_{f=1..i} p_f * bestv(n - f - dq). *)
-      let solve ~delta =
-        let base = if delta then rq else 0 in
-        let ilo = base + cq + 1 in
-        let ihi = if k >= 2 then n - ((k - 1) * cq) else n in
-        if ihi < ilo then (0.0, 0)
-        else begin
-          let running = ref 0.0 in
-          for f = 1 to ilo - 1 do
-            let n' = n - f - dq in
-            if n' >= 1 then running := !running +. (p.(f) *. bestv.(n'))
-          done;
-          let best = ref 0.0 and besti = ref 0 in
-          for i = ilo to ihi do
-            let n' = n - i - dq in
-            if n' >= 1 then running := !running +. (p.(i) *. bestv.(n'));
-            let continuation = if k >= 2 then cont.(n - i) else 0.0 in
-            let work = float_of_int (i - cq - base) in
-            let cand = (psucc.(i) *. (work +. continuation)) +. !running in
-            if cand > !best then begin
-              best := cand;
-              besti := i
-            end
-          done;
-          (!best, !besti)
+    let row = Tables.F.row e0 k in
+    let cont = !prev0 in
+    let out0 = !cur0 in
+    let head = (k - 1) * cq in  (* quanta reserved for the k - 1 later checkpoints *)
+    Array.fill out0 0 cols 0.0;
+    Array.fill cur1 0 cols 0.0;
+    Array.fill icur0 0 cols 0;
+    Array.fill icur1 0 cols 0;
+    (* States with n <= k cq cannot fit the k checkpoints even from a
+       fresh start: both values stay at the tables' zero fill, exactly
+       as the per-state solve used to compute. The loop starts where a
+       candidate first exists. *)
+    for n = (k * cq) + 1 to tstar do
+      (* One state (n, k): maximise over the completion quantum i of the
+         first checkpoint for delta = 0 and delta = 1 together, sharing
+         the failure-term prefix sum
+         S(i) = sum_{f=1..i} p_f bestv(n - f - dq),
+         which the two solves used to recompute independently (the
+         accumulation sequence — and therefore every rounding — is the
+         same, so the shared sum is bit-identical to the two private
+         ones). The f < ilo0 ramp runs once instead of twice, and the
+         candidate scan runs once instead of twice, split at [ilo1] so
+         the delta = 1 candidate needs no range test per iteration. *)
+      let ihi = if k >= 2 then n - head else n in
+      let acc_hi = n - dq - 1 in  (* beyond this, n - i - dq < 1: no term *)
+      let running = ref 0.0 in
+      let fhi = min (ilo0 - 1) acc_hi in
+      for f = 1 to fhi do
+        running :=
+          !running
+          +. (Array.unsafe_get p f *. Array.unsafe_get bestv (n - f - dq))
+      done;
+      let best0 = ref 0.0 and besti0 = ref 0 in
+      let best1 = ref 0.0 and besti1 = ref 0 in
+      (* Each scan is further split at [acc_hi]: the prefix accumulates
+         the failure term, the (at most dq + 1 iteration) suffix does
+         not, so the accumulation guard never runs inside the hot loop. *)
+      (* The work terms i - cq and i - cq - rq advance by exactly 1 per
+         iteration; tracking them as float counters (exact on these
+         small integers, so bit-identical to the conversion) keeps the
+         int-to-float unit out of the hot loops. *)
+      let a_hi = min ihi (ilo1 - 1) in
+      let w0 = ref (float_of_int (ilo0 - cq)) in
+      for i = ilo0 to min a_hi acc_hi do
+        running :=
+          !running
+          +. (Array.unsafe_get p i *. Array.unsafe_get bestv (n - i - dq));
+        let pi = Array.unsafe_get psucc i in
+        let cand0 =
+          (pi *. (!w0 +. Array.unsafe_get cont (n - i))) +. !running
+        in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i
+        end;
+        w0 := !w0 +. 1.0
+      done;
+      for i = max ilo0 (acc_hi + 1) to a_hi do
+        let pi = Array.unsafe_get psucc i in
+        let cand0 =
+          (pi *. (float_of_int (i - cq) +. Array.unsafe_get cont (n - i)))
+          +. !running
+        in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i
         end
-      in
-      let v1, i1 = solve ~delta:true in
-      e1k.(n) <- v1;
-      ib1k.(n) <- i1;
-      let v0, i0 = solve ~delta:false in
-      e0k.(n) <- v0;
-      ib0k.(n) <- i0;
-      if v1 > bestv.(n) then begin
-        bestv.(n) <- v1;
+      done;
+      let b_lo = max ilo0 ilo1 in
+      let b_hi = min ihi acc_hi in
+      let w0 = ref (float_of_int (b_lo - cq)) in
+      let w1 = ref (float_of_int (b_lo - cq - rq)) in
+      (* Main scan, unrolled by two (identical operation sequence, less
+         loop overhead); the odd leftover falls through to [i = b_hi]. *)
+      let i = ref b_lo in
+      while !i < b_hi do
+        let i0 = !i in
+        running :=
+          !running
+          +. (Array.unsafe_get p i0 *. Array.unsafe_get bestv (n - i0 - dq));
+        let pi = Array.unsafe_get psucc i0 in
+        let continuation = Array.unsafe_get cont (n - i0) in
+        let cand0 = (pi *. (!w0 +. continuation)) +. !running in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i0
+        end;
+        let cand1 = (pi *. (!w1 +. continuation)) +. !running in
+        if cand1 > !best1 then begin
+          best1 := cand1;
+          besti1 := i0
+        end;
+        let i1 = i0 + 1 in
+        running :=
+          !running
+          +. (Array.unsafe_get p i1 *. Array.unsafe_get bestv (n - i1 - dq));
+        let pi = Array.unsafe_get psucc i1 in
+        let continuation = Array.unsafe_get cont (n - i1) in
+        let cand0 = (pi *. ((!w0 +. 1.0) +. continuation)) +. !running in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i1
+        end;
+        let cand1 = (pi *. ((!w1 +. 1.0) +. continuation)) +. !running in
+        if cand1 > !best1 then begin
+          best1 := cand1;
+          besti1 := i1
+        end;
+        w0 := !w0 +. 2.0;
+        w1 := !w1 +. 2.0;
+        i := i0 + 2
+      done;
+      if !i = b_hi then begin
+        let i0 = !i in
+        running :=
+          !running
+          +. (Array.unsafe_get p i0 *. Array.unsafe_get bestv (n - i0 - dq));
+        let pi = Array.unsafe_get psucc i0 in
+        let continuation = Array.unsafe_get cont (n - i0) in
+        let cand0 = (pi *. (!w0 +. continuation)) +. !running in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i0
+        end;
+        let cand1 = (pi *. (!w1 +. continuation)) +. !running in
+        if cand1 > !best1 then begin
+          best1 := cand1;
+          besti1 := i0
+        end
+      end;
+      for i = max b_lo (acc_hi + 1) to ihi do
+        let pi = Array.unsafe_get psucc i in
+        let continuation = Array.unsafe_get cont (n - i) in
+        let cand0 = (pi *. (float_of_int (i - cq) +. continuation)) +. !running in
+        if cand0 > !best0 then begin
+          best0 := cand0;
+          besti0 := i
+        end;
+        let cand1 =
+          (pi *. (float_of_int (i - cq - rq) +. continuation)) +. !running
+        in
+        if cand1 > !best1 then begin
+          best1 := cand1;
+          besti1 := i
+        end
+      done;
+      Array.unsafe_set out0 n !best0;
+      Array.unsafe_set cur1 n !best1;
+      Array.unsafe_set icur0 n !besti0;
+      Array.unsafe_set icur1 n !besti1;
+      if !best1 > Array.unsafe_get bestv n then begin
+        bestv.(n) <- !best1;
         argv.(n) <- k
       end
     done;
-    Array.blit argv 0 argm1.(k) 0 (tstar + 1)
+    for n = 0 to tstar do
+      Bigarray.Array1.unsafe_set e0d (row + n) (Array.unsafe_get out0 n);
+      Bigarray.Array1.unsafe_set e1d (row + n) (Array.unsafe_get cur1 n)
+    done;
+    Tables.I.set_row ib0 k icur0;
+    Tables.I.set_row ib1 k icur1;
+    Tables.I.set_row argm1 k argv;
+    let swap = !prev0 in
+    prev0 := out0;
+    cur0 := swap
   done;
-  let bestk0 = Array.make (tstar + 1) 0 in
-  let beste0 = Array.make (tstar + 1) 0.0 in
+  let bestk0 = Array.make cols 0 in
+  let beste0 = Array.make cols 0.0 in
   for k = 1 to kmax do
+    let row = Tables.F.row e0 k in
     for n = 1 to tstar do
-      if e0.(k).(n) > beste0.(n) then begin
-        beste0.(n) <- e0.(k).(n);
+      let v = Bigarray.Array1.unsafe_get e0d (row + n) in
+      if v > beste0.(n) then begin
+        beste0.(n) <- v;
         bestk0.(n) <- k
       end
     done
@@ -127,14 +274,23 @@ let check_state t ~n ~k =
 
 let expected_work_q t ~n ~k ~delta =
   check_state t ~n ~k;
-  (if delta then t.e1 else t.e0).(k).(n) *. t.u
+  Tables.F.get (if delta then t.e1 else t.e0) k n *. t.u
+
+let first_checkpoint_q t ~n ~k ~delta =
+  check_state t ~n ~k;
+  Tables.I.get (if delta then t.ib1 else t.ib0) k n
+
+let arg_best_m t ~n ~k =
+  check_state t ~n ~k;
+  Tables.I.get t.argm1 k n
 
 let best_expected_work_q t ~n ~delta =
   if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
   let table = if delta then t.e1 else t.e0 in
   let best = ref 0.0 in
   for k = 1 to t.kmax do
-    if table.(k).(n) > !best then best := table.(k).(n)
+    let v = Tables.F.get table k n in
+    if v > !best then best := v
   done;
   !best *. t.u
 
@@ -145,18 +301,18 @@ let clamp_n t tleft =
 let expected_work t ~tleft =
   let n = clamp_n t tleft in
   let k = t.bestk0.(n) in
-  if k = 0 then 0.0 else t.e0.(k).(n) *. t.u
+  if k = 0 then 0.0 else Tables.F.get t.e0 k n *. t.u
 
 let best_k t ~n ~delta =
   if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
-  if delta then t.argm1.(t.kmax).(n) else t.bestk0.(n)
+  if delta then Tables.I.get t.argm1 t.kmax n else t.bestk0.(n)
 
 let plan_q t ~n ~k ~delta =
   check_state t ~n ~k;
   let rec go n k delta acc base =
     if k = 0 then List.rev acc
     else begin
-      let ib = (if delta then t.ib1 else t.ib0).(k).(n) in
+      let ib = Tables.I.get (if delta then t.ib1 else t.ib0) k n in
       if ib = 0 then List.rev acc
       else go (n - ib) (k - 1) false ((base + ib) :: acc) (base + ib)
     end
@@ -194,7 +350,7 @@ let policy t =
             in
             max 1 (k_prev - completed)
       in
-      let m = t.argm1.(min k_cap t.kmax).(n) in
+      let m = Tables.I.get t.argm1 (min k_cap t.kmax) n in
       if m = 0 then []
       else begin
         let offsets = to_offsets (plan_q t ~n ~k:m ~delta:true) in

@@ -33,7 +33,9 @@ val build :
 val suggested_kmax : params:Fault.Params.t -> horizon:float -> int
 (** A generous cap on the useful number of checkpoints: roughly four
     times the Young/Daly count over the horizon, plus slack; never more
-    than the exact bound. *)
+    than the exact bound [T/C]. When [C = 0] (free checkpoints) the
+    exact bound does not exist and the cap degrades to one checkpoint
+    per time unit. *)
 
 val quantum : t -> float
 val horizon_quanta : t -> int
@@ -41,6 +43,15 @@ val kmax : t -> int
 
 val expected_work_q : t -> n:int -> k:int -> delta:bool -> float
 (** [E(n, k, δ)] in time units (quanta × u). *)
+
+val first_checkpoint_q : t -> n:int -> k:int -> delta:bool -> int
+(** Completion quantum of the optimal first checkpoint in state
+    [(n, k, δ)]; 0 when no checkpoint improves on doing nothing. *)
+
+val arg_best_m : t -> n:int -> k:int -> int
+(** [argmax_{1<=m<=k} E(n, m, 1)] — the checkpoint count the re-planning
+    recursion selects after a failure with [k] checkpoints still
+    available; 0 when every such state is worthless. *)
 
 val best_expected_work_q : t -> n:int -> delta:bool -> float
 (** [max_{1<=k<=kmax} E(n, k, δ)] in time units. *)

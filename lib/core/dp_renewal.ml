@@ -4,8 +4,8 @@ type t = {
   cq : int;
   rq : int;
   dq : int;
-  v : float array array;  (* v.(n).(a), a <= tstar - n; fresh execution *)
-  iv : int array array;  (* argmax completion quantum; 0 = stop *)
+  v : Tables.Tri.t;  (* v.(n, a), a <= tstar - n; fresh execution *)
+  iv : Tables.Itri.t;  (* argmax completion quantum; 0 = stop *)
   vr : float array;  (* post-failure: age 0, recovery pending *)
   ir : int array;
 }
@@ -27,37 +27,55 @@ let build ~params ~dist ~quantum ~horizon () =
     Array.init (tstar + 1) (fun x ->
         Fault.Trace.dist_survival dist (float_of_int x *. u))
   in
-  let v = Array.init (tstar + 1) (fun n -> Array.make (tstar - n + 1) 0.0) in
-  let iv = Array.init (tstar + 1) (fun n -> Array.make (tstar - n + 1) 0) in
+  let v = Tables.Tri.create ~side:tstar in
+  let iv = Tables.Itri.create ~side:tstar ~max_value:tstar in
+  let vd = Tables.Tri.data v in
+  (* Row offsets of the triangular value table, hoisted so the inner
+     candidate scan reads [vd] with one add instead of re-deriving the
+     row start from the quadratic offset formula. *)
+  let row_off = Array.init (tstar + 1) (fun m -> Tables.Tri.row v m) in
   let vr = Array.make (tstar + 1) 0.0 in
   let ir = Array.make (tstar + 1) 0 in
   for n = 1 to tstar do
     (* Fresh execution at every reachable age. *)
+    let off_n = Array.unsafe_get row_off n in
     for a = 0 to tstar - n do
-      let s_a = sq.(a) in
+      let s_a = Array.unsafe_get sq a in
       if s_a > 1e-300 then begin
         let running = ref 0.0 in
         for f = 1 to cq do
           let n' = n - f - dq in
           if n' >= 1 then
-            running := !running +. ((sq.(a + f - 1) -. sq.(a + f)) /. s_a *. vr.(n'))
+            running :=
+              !running
+              +. (Array.unsafe_get sq (a + f - 1) -. Array.unsafe_get sq (a + f))
+                 /. s_a
+                 *. Array.unsafe_get vr n'
         done;
         let best = ref 0.0 and besti = ref 0 in
         for i = cq + 1 to n do
           let n' = n - i - dq in
           if n' >= 1 then
-            running := !running +. ((sq.(a + i - 1) -. sq.(a + i)) /. s_a *. vr.(n'));
-          let cont = v.(n - i).(a + i) in
+            running :=
+              !running
+              +. (Array.unsafe_get sq (a + i - 1) -. Array.unsafe_get sq (a + i))
+                 /. s_a
+                 *. Array.unsafe_get vr n';
+          let cont =
+            Bigarray.Array1.unsafe_get vd
+              (Array.unsafe_get row_off (n - i) + a + i)
+          in
           let cand =
-            (sq.(a + i) /. s_a *. (float_of_int (i - cq) +. cont)) +. !running
+            (Array.unsafe_get sq (a + i) /. s_a *. (float_of_int (i - cq) +. cont))
+            +. !running
           in
           if cand > !best then begin
             best := cand;
             besti := i
           end
         done;
-        v.(n).(a) <- !best;
-        iv.(n).(a) <- !besti
+        Bigarray.Array1.unsafe_set vd (off_n + a) !best;
+        if !besti <> 0 then Tables.Itri.set iv n a !besti
       end
     done;
     (* Post-failure state: age 0, recovery charged to the first segment. *)
@@ -74,7 +92,9 @@ let build ~params ~dist ~quantum ~horizon () =
         let n' = n - i - dq in
         if n' >= 1 then
           running := !running +. ((sq.(i - 1) -. sq.(i)) *. vr.(n'));
-        let cont = v.(n - i).(i) in
+        let cont =
+          Bigarray.Array1.unsafe_get vd (Array.unsafe_get row_off (n - i) + i)
+        in
         let cand =
           (sq.(i) *. (float_of_int (i - cq - rq) +. cont)) +. !running
         in
@@ -99,7 +119,7 @@ let check t ~n ~age =
 
 let value_q t ~n ~age =
   check t ~n ~age;
-  t.v.(n).(age) *. t.u
+  Tables.Tri.get t.v n age *. t.u
 
 let clamp_n t tleft =
   let n = int_of_float (floor ((tleft /. t.u) +. 1e-9)) in
@@ -112,7 +132,7 @@ let plan_q t ~n ~age ~delta =
   if delta && age <> 0 then
     invalid_arg "Dp_renewal.plan_q: recovery only happens at age 0";
   let rec fresh n a acc base =
-    let i = t.iv.(n).(a) in
+    let i = Tables.Itri.get t.iv n a in
     if i = 0 then List.rev acc
     else fresh (n - i) (a + i) ((base + i) :: acc) (base + i)
   in

@@ -91,19 +91,36 @@ let build_table ~up_to next =
   in
   { thresholds = Array.of_list (0.0 :: go [] 0.0 1) }
 
+(* With C = 0 every threshold T_n collapses to 0 (an extra free
+   checkpoint always pays), so the threshold sequence never exceeds
+   [up_to] and [build_table] would not terminate: reject upfront. *)
+let check_positive_c ~params fn =
+  if params.Fault.Params.c <= 0.0 then
+    invalid_arg (fn ^ ": thresholds degenerate for C = 0")
+
 let table_numerical ~params ~up_to =
+  check_positive_c ~params "Threshold.table_numerical";
   build_table ~up_to (fun ~t_prev ~n -> threshold_numerical ~t_prev ~params n)
 
 let table_first_order ~params ~up_to =
+  check_positive_c ~params "Threshold.table_first_order";
   build_table ~up_to (fun ~t_prev ~n ->
       Float.max t_prev (threshold_first_order ~params ~n))
 
 let segments_for table ~tleft =
   let t = table.thresholds in
   let len = Array.length t in
-  (* Largest n (1-based) with T_n <= tleft; thresholds are increasing. *)
-  let rec search n = if n + 1 < len && t.(n + 1) <= tleft then search (n + 1) else n in
-  search 0 + 1
+  (* Largest n (1-based) with T_n <= tleft, by binary search — the
+     thresholds are nondecreasing and t.(0) = 0 <= tleft always holds,
+     so the invariant "t.(lo) <= tleft < t.(hi + 1)" closes on the
+     answer in O(log n) instead of the former linear scan (called once
+     per re-plan inside simulation loops). *)
+  let lo = ref 0 and hi = ref (len - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.(mid) <= tleft then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
 
 let geometric_mean_approx ~params ~n =
   let open Fault.Params in

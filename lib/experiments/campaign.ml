@@ -126,21 +126,38 @@ let run ?pool ?cache ?(progress = fun _ -> ()) config =
     ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
     (fun () ->
       ensure_dir config.out_dir;
+      let scale spec =
+        let scaled =
+          Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
+            ?t_max:config.t_max spec
+        in
+        (* A strategy override changes the spec (and therefore its
+           fingerprint) before any journal is opened against it. *)
+        match config.strategies with
+        | None -> scaled
+        | Some strategies -> { scaled with Spec.strategies }
+      in
+      (* Campaign-wide warm-up: with neither a journal (a resume may
+         need no tables at all) nor a deadline (an exhausted budget must
+         not pay for builds), every figure's table needs are known
+         upfront, so build them in one pool-saturating pass. Figures
+         sharing tables (fig2/fig7, fig2/fig4 at C = 20) dedup through
+         the cache key before any build is scheduled. *)
+      (match (config.journal, config.deadline) with
+      | No_journal, None ->
+          let built =
+            Strategy.warm_up_specs ~pool cache
+              (List.map scale (selected_specs config))
+          in
+          if built > 0 then
+            progress
+              (Printf.sprintf "warmed %d table(s) for the campaign" built)
+      | _ -> ());
       let skipped = ref [] in
       let results =
         List.filter_map
           (fun spec ->
-            let scaled =
-              Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
-                ?t_max:config.t_max spec
-            in
-            (* A strategy override changes the spec (and therefore its
-               fingerprint) before any journal is opened against it. *)
-            let scaled =
-              match config.strategies with
-              | None -> scaled
-              | Some strategies -> { scaled with Spec.strategies }
-            in
+            let scaled = scale spec in
             if Robust.Deadline.expired deadline then begin
               progress
                 (Printf.sprintf "== %s == skipped: deadline exhausted"

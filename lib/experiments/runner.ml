@@ -226,6 +226,51 @@ let run ?pool ?(backend = Domains) ?(deadline = Robust.Deadline.unlimited)
          one C block) so chaos injection and retry jitter never correlate
          between sub-plots. *)
       let task_base = ref 0 in
+      (* Warm the table cache across every C block this run will
+         actually sweep, before the first block's simulations start:
+         tables for different (params, horizon) points are independent,
+         so one pool-wide pass builds them concurrently instead of
+         serially between per-block simulation bursts. Fully journaled
+         blocks build nothing (a resume stays table-free), and an
+         already-expired deadline skips the pass the same way it skips
+         the sweeps. The per-block [Strategy.ensure] stays in [sweep] as
+         the correctness anchor; after warm-up it only scores hits. *)
+      if not (Robust.Deadline.expired deadline) then begin
+        let fully_journaled ~c grid =
+          match journal with
+          | None -> false
+          | Some j ->
+              List.for_all
+                (fun strategy ->
+                  let name = Spec.strategy_name strategy in
+                  Array.for_all
+                    (fun t -> Robust.Journal.find j ~c ~strategy:name ~t <> None)
+                    grid)
+                spec.Spec.strategies
+        in
+        let points =
+          List.filter_map
+            (fun c ->
+              let grid = Spec.t_grid spec ~c in
+              if Array.length grid = 0 || fully_journaled ~c grid then None
+              else
+                Some
+                  {
+                    Strategy.wp_params =
+                      Fault.Params.paper ~lambda:spec.Spec.lambda ~c
+                        ~d:spec.Spec.d;
+                    wp_horizon = grid.(Array.length grid - 1);
+                    wp_dist = dist;
+                    wp_strategies = spec.Spec.strategies;
+                  })
+            spec.Spec.cs
+        in
+        let built = Strategy.warm_up ~pool cache points in
+        if built > 0 then
+          progress
+            (Printf.sprintf "[%s] warmed %d table(s) across %d block(s)"
+               spec.Spec.id built (List.length points))
+      end;
       (* Failures are collected across every C block — the whole grid is
          attempted (and its successes journaled) before the run gives
          up, so a relaunch has the most progress possible to resume. *)

@@ -421,6 +421,70 @@ let ensure ?pool cache ~params ~horizon ~dist strategies =
         (fun i table -> Cache.insert cache ~params ~horizon kinds.(i) table)
         tables
 
+type warm_point = {
+  wp_params : Fault.Params.t;
+  wp_horizon : float;
+  wp_dist : Fault.Trace.dist;
+  wp_strategies : Spec.strategy list;
+}
+
+let warm_up ?pool cache points =
+  (* Collect the distinct table keys the whole campaign will need, in
+     first-seen order (deterministic for a fixed spec list), keeping
+     only the ones the cache does not already hold. Keys dedup through
+     the same canonical rendering the cache itself uses, so a table
+     shared by two figures is collected once. *)
+  let seen = Hashtbl.create 32 in
+  let jobs = ref [] in
+  List.iter
+    (fun wp ->
+      List.iter
+        (fun kind ->
+          let k = Cache.key ~params:wp.wp_params ~horizon:wp.wp_horizon kind in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            if not (Cache.mem cache ~params:wp.wp_params ~horizon:wp.wp_horizon kind)
+            then jobs := (wp.wp_params, wp.wp_horizon, kind) :: !jobs
+          end)
+        (List.concat_map (fun s -> requires ~dist:wp.wp_dist s) wp.wp_strategies))
+    points;
+  let jobs = Array.of_list (List.rev !jobs) in
+  let build (params, horizon, kind) = Cache.build ~params ~horizon kind in
+  let tables =
+    match pool with
+    | Some pool -> Parallel.Pool.map pool jobs ~f:build
+    | None -> Array.map build jobs
+  in
+  (* Inserts stay in the caller, same as {!ensure}: workers only read.
+     The hits counter is untouched — warm-up is not a lookup, and later
+     {!ensure} calls will count their (now guaranteed) hits. *)
+  Array.iteri
+    (fun i table ->
+      let params, horizon, kind = jobs.(i) in
+      Cache.insert cache ~params ~horizon kind table)
+    tables;
+  Array.length jobs
+
+let warm_points_of_spec spec =
+  let dist = Spec.trace_dist spec in
+  List.filter_map
+    (fun c ->
+      let grid = Spec.t_grid spec ~c in
+      if Array.length grid = 0 then None
+      else
+        Some
+          {
+            wp_params =
+              Fault.Params.paper ~lambda:spec.Spec.lambda ~c ~d:spec.Spec.d;
+            wp_horizon = grid.(Array.length grid - 1);
+            wp_dist = dist;
+            wp_strategies = spec.Spec.strategies;
+          })
+    spec.Spec.cs
+
+let warm_up_specs ?pool cache specs =
+  warm_up ?pool cache (List.concat_map warm_points_of_spec specs)
+
 let compile cache ~params ~horizon ~dist strategy =
   (entry_of strategy).compile cache ~params ~horizon ~dist strategy
 

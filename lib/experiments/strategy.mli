@@ -108,6 +108,36 @@ val ensure :
     need at this [(params, horizon)] point that the cache does not
     already hold. Call from the parent process/domain only. *)
 
+type warm_point = {
+  wp_params : Fault.Params.t;
+  wp_horizon : float;
+  wp_dist : Fault.Trace.dist;
+  wp_strategies : Spec.strategy list;
+}
+(** One [(params, horizon, dist, strategies)] point a campaign will
+    sweep — the unit of {!warm_up} collection. *)
+
+val warm_up : ?pool:Parallel.Pool.t -> Cache.t -> warm_point list -> int
+(** Collect the distinct table keys the given points will need, drop
+    the ones the cache already holds, and build the rest — concurrently
+    when [pool] is given (builds are independent; inserts happen in the
+    caller). Returns the number of tables built. Unlike {!ensure} this
+    crosses [(params, horizon)] boundaries, so a whole campaign's tables
+    can saturate the pool upfront instead of being built serially
+    between per-block simulation bursts. Does not count cache hits:
+    later {!ensure} calls observe and count their (now guaranteed)
+    hits. Call from the parent process/domain only. *)
+
+val warm_points_of_spec : Spec.t -> warm_point list
+(** The warm-up points of one spec: one per sub-plot ([cs] entry) with a
+    non-empty reservation grid, at that sub-plot's maximal horizon —
+    exactly the [(params, horizon)] keys {!Runner.run}'s sweeps will
+    {!ensure}. *)
+
+val warm_up_specs : ?pool:Parallel.Pool.t -> Cache.t -> Spec.t list -> int
+(** [warm_up] over the concatenated {!warm_points_of_spec} of a
+    campaign's specs. *)
+
 val compile :
   Cache.t ->
   params:Fault.Params.t ->

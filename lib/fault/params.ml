@@ -3,8 +3,8 @@ type t = { lambda : float; c : float; r : float; d : float }
 let make ~lambda ~c ~r ~d =
   if not (Float.is_finite lambda && lambda > 0.0) then
     invalid_arg "Params.make: lambda must be positive and finite";
-  if not (Float.is_finite c && c > 0.0) then
-    invalid_arg "Params.make: c must be positive and finite";
+  if not (Float.is_finite c && c >= 0.0) then
+    invalid_arg "Params.make: c must be nonnegative and finite";
   if not (Float.is_finite r && r >= 0.0) then
     invalid_arg "Params.make: r must be nonnegative and finite";
   if not (Float.is_finite d && d >= 0.0) then

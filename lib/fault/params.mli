@@ -11,8 +11,9 @@ type t = private {
 }
 
 val make : lambda:float -> c:float -> r:float -> d:float -> t
-(** Validates: [lambda > 0], [c > 0], [r >= 0], [d >= 0].
-    Raises [Invalid_argument] otherwise. *)
+(** Validates: [lambda > 0], [c >= 0], [r >= 0], [d >= 0] ([c = 0]
+    models instantaneous checkpoints, useful as a degenerate limit in
+    tests). Raises [Invalid_argument] otherwise. *)
 
 val paper : lambda:float -> c:float -> d:float -> t
 (** Paper convention: [R = C]. *)

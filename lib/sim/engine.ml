@@ -78,7 +78,10 @@ let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
                 let lost = !wall -. !committed_wall in
                 b_lost := !b_lost +. lost;
                 push (Failure { at = !wall; lost });
-                b_down := !b_down +. Float.min d (horizon -. !wall);
+                (* A stochastic-checkpoint shift can push [wall] past the
+                   horizon before the failure strikes; the downtime share
+                   is then empty, not negative. *)
+                b_down := !b_down +. Float.max 0.0 (Float.min d (horizon -. !wall));
                 wall := !wall +. d;
                 recovering := true;
                 if horizon -. !wall < r +. c then finished := true

@@ -273,6 +273,174 @@ let test_last_checkpoint_can_end_early () =
     (Printf.sprintf "last checkpoint at %d < 10" last)
     true (last < n)
 
+(* The pre-Bigarray table builder, kept verbatim as an executable
+   specification: the flat-table core with the merged delta=0/delta=1
+   inner loop must reproduce every cell of these boxed tables exactly
+   (same additions in the same order, so equality is bitwise, not
+   approximate). *)
+module Reference = struct
+  type t = {
+    tstar : int;
+    kmax : int;
+    e0 : float array array;
+    e1 : float array array;
+    ib0 : int array array;
+    ib1 : int array array;
+    argm1 : int array array;
+    bestk0 : int array;
+  }
+
+  let quanta_round x ~u = int_of_float (Float.round (x /. u))
+
+  let build ?kmax ~params ~quantum ~horizon () =
+    let open Fault.Params in
+    let u = quantum in
+    let tstar = int_of_float (floor ((horizon /. u) +. 1e-9)) in
+    let cq = max 1 (quanta_round params.c ~u) in
+    let rq = max 0 (quanta_round params.r ~u) in
+    let dq = max 0 (quanta_round params.d ~u) in
+    let kmax_exact = max 1 (tstar / cq) in
+    let kmax =
+      match kmax with None -> kmax_exact | Some k -> min k kmax_exact
+    in
+    let lam = params.lambda in
+    let psucc =
+      Array.init (tstar + 1) (fun i -> exp (-.lam *. float_of_int i *. u))
+    in
+    let p = Array.make (tstar + 1) 0.0 in
+    for f = 1 to tstar do
+      p.(f) <- psucc.(f - 1) -. psucc.(f)
+    done;
+    let mk_f () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0.0) in
+    let mk_i () = Array.init (kmax + 1) (fun _ -> Array.make (tstar + 1) 0) in
+    let e0 = mk_f () and e1 = mk_f () in
+    let ib0 = mk_i () and ib1 = mk_i () in
+    let argm1 = mk_i () in
+    let bestv = Array.make (tstar + 1) 0.0 in
+    let argv = Array.make (tstar + 1) 0 in
+    for k = 1 to kmax do
+      let e0k = e0.(k)
+      and e1k = e1.(k)
+      and ib0k = ib0.(k)
+      and ib1k = ib1.(k) in
+      let cont = if k >= 2 then e0.(k - 1) else [||] in
+      for n = 1 to tstar do
+        let solve ~delta =
+          let base = if delta then rq else 0 in
+          let ilo = base + cq + 1 in
+          let ihi = if k >= 2 then n - ((k - 1) * cq) else n in
+          if ihi < ilo then (0.0, 0)
+          else begin
+            let running = ref 0.0 in
+            for f = 1 to ilo - 1 do
+              let n' = n - f - dq in
+              if n' >= 1 then running := !running +. (p.(f) *. bestv.(n'))
+            done;
+            let best = ref 0.0 and besti = ref 0 in
+            for i = ilo to ihi do
+              let n' = n - i - dq in
+              if n' >= 1 then running := !running +. (p.(i) *. bestv.(n'));
+              let continuation = if k >= 2 then cont.(n - i) else 0.0 in
+              let work = float_of_int (i - cq - base) in
+              let cand = (psucc.(i) *. (work +. continuation)) +. !running in
+              if cand > !best then begin
+                best := cand;
+                besti := i
+              end
+            done;
+            (!best, !besti)
+          end
+        in
+        let v1, i1 = solve ~delta:true in
+        e1k.(n) <- v1;
+        ib1k.(n) <- i1;
+        let v0, i0 = solve ~delta:false in
+        e0k.(n) <- v0;
+        ib0k.(n) <- i0;
+        if v1 > bestv.(n) then begin
+          bestv.(n) <- v1;
+          argv.(n) <- k
+        end
+      done;
+      Array.blit argv 0 argm1.(k) 0 (tstar + 1)
+    done;
+    let bestk0 = Array.make (tstar + 1) 0 in
+    let beste0 = Array.make (tstar + 1) 0.0 in
+    for k = 1 to kmax do
+      for n = 1 to tstar do
+        if e0.(k).(n) > beste0.(n) then begin
+          beste0.(n) <- e0.(k).(n);
+          bestk0.(n) <- k
+        end
+      done
+    done;
+    { tstar; kmax; e0; e1; ib0; ib1; argm1; bestk0 }
+end
+
+let test_flat_tables_match_reference () =
+  List.iter
+    (fun (lambda, c, d, quantum, horizon, kmax) ->
+      let params = P.paper ~lambda ~c ~d in
+      let label =
+        Printf.sprintf "λ=%g C=%g D=%g u=%g T=%g" lambda c d quantum horizon
+      in
+      let dp = Dp.build ?kmax ~params ~quantum ~horizon () in
+      let r = Reference.build ?kmax ~params ~quantum ~horizon () in
+      Alcotest.(check int) (label ^ " kmax") r.Reference.kmax (Dp.kmax dp);
+      Alcotest.(check int)
+        (label ^ " tstar") r.Reference.tstar
+        (Dp.horizon_quanta dp);
+      for k = 1 to r.Reference.kmax do
+        for n = 0 to r.Reference.tstar do
+          let cell what want got =
+            if not (Float.equal want got) then
+              Alcotest.failf "%s: %s(%d, %d) = %h, reference %h" label what k n
+                got want
+          in
+          cell "e0"
+            (r.Reference.e0.(k).(n) *. quantum)
+            (Dp.expected_work_q dp ~n ~k ~delta:false);
+          cell "e1"
+            (r.Reference.e1.(k).(n) *. quantum)
+            (Dp.expected_work_q dp ~n ~k ~delta:true);
+          let icell what want got =
+            if want <> got then
+              Alcotest.failf "%s: %s(%d, %d) = %d, reference %d" label what k n
+                got want
+          in
+          icell "ib0"
+            r.Reference.ib0.(k).(n)
+            (Dp.first_checkpoint_q dp ~n ~k ~delta:false);
+          icell "ib1"
+            r.Reference.ib1.(k).(n)
+            (Dp.first_checkpoint_q dp ~n ~k ~delta:true);
+          icell "argm1" r.Reference.argm1.(k).(n) (Dp.arg_best_m dp ~n ~k)
+        done
+      done;
+      for n = 0 to r.Reference.tstar do
+        Alcotest.(check int)
+          (Printf.sprintf "%s bestk0(%d)" label n)
+          r.Reference.bestk0.(n)
+          (Dp.best_k dp ~n ~delta:false)
+      done)
+    [
+      (0.002, 10.0, 5.0, 1.0, 300.0, None);
+      (0.01, 5.0, 2.0, 1.0, 150.0, None);
+      (0.001, 20.0, 0.0, 2.0, 500.0, None);
+      (0.005, 8.0, 3.0, 0.5, 120.0, None);
+      (0.002, 10.0, 0.0, 1.0, 400.0, Some 7);
+    ]
+
+let test_suggested_kmax_zero_c () =
+  (* C = 0 used to divide by zero in the exact bound T/C (and the
+     Young/Daly stride, since W_YD vanishes with C). *)
+  let params = P.make ~lambda:0.001 ~c:0.0 ~r:0.0 ~d:0.0 in
+  let k = Dp.suggested_kmax ~params ~horizon:100.0 in
+  Alcotest.(check bool) "finite and positive" true (k >= 1);
+  Alcotest.(check int) "one checkpoint per time unit" 100 k;
+  Alcotest.(check int) "tiny horizon still positive" 1
+    (Dp.suggested_kmax ~params ~horizon:0.5)
+
 let test_suggested_kmax_bounds () =
   let k = Dp.suggested_kmax ~params ~horizon:2000.0 in
   Alcotest.(check bool) "at least 1" true (k >= 1);
@@ -332,7 +500,11 @@ let () =
           Alcotest.test_case "recovery start is never better" `Quick
             test_delta_costs_recovery;
           Alcotest.test_case "suggested kmax" `Quick test_suggested_kmax_bounds;
+          Alcotest.test_case "suggested kmax with C = 0" `Quick
+            test_suggested_kmax_zero_c;
           Alcotest.test_case "build validation" `Quick test_build_validation;
+          Alcotest.test_case "flat tables match boxed reference" `Slow
+            test_flat_tables_match_reference;
         ] );
       ( "optimality",
         [

@@ -136,6 +136,25 @@ let test_stochastic_checkpoint_shorter () =
   close "both segments saved" 80.0 outcome.E.work_saved;
   Alcotest.(check int) "two checkpoints" 2 outcome.E.checkpoints
 
+let test_late_failure_downtime_clamped () =
+  (* A stochastic checkpoint 30 units over nominal pushes the wall clock
+     to 130 for a segment whose failure exposure ends at 130; a failure
+     at exposed 120 therefore strikes with wall = 120, past the horizon
+     of 100. The downtime share of the breakdown used to pick up
+     min(D, horizon - wall) = -20; it must clamp to zero. *)
+  let sampler () = params.Fault.Params.c +. 30.0 in
+  let trace = T.of_iats [| 120.0; 1.0e9 |] in
+  let outcome =
+    run ~ckpt_sampler:sampler ~policy:(P.single_final ~params) ~horizon:100.0
+      trace
+  in
+  Alcotest.(check int) "one failure" 1 outcome.E.failures;
+  Alcotest.(check bool) "downtime share is nonnegative" true
+    (outcome.E.breakdown.E.down >= 0.0);
+  close "downtime share is empty" 0.0 outcome.E.breakdown.E.down;
+  Alcotest.(check bool) "unused share is nonnegative" true
+    (outcome.E.breakdown.E.unused >= 0.0)
+
 let test_proportion_metric () =
   let outcome = run ~policy:(P.single_final ~params) ~horizon:110.0 (quiet_trace ()) in
   close "proportion 1" 1.0 (E.proportion_of_work ~params ~horizon:110.0 outcome);
@@ -238,6 +257,8 @@ let () =
         [
           Alcotest.test_case "overrun loses the tail" `Quick
             test_stochastic_checkpoint_shifts;
+          Alcotest.test_case "late failure clamps downtime" `Quick
+            test_late_failure_downtime_clamped;
           Alcotest.test_case "shorter checkpoints keep the plan" `Quick
             test_stochastic_checkpoint_shorter;
         ] );

@@ -156,16 +156,79 @@ let test_cache_builds_once () =
   let result = Runner.run ~cache spec in
   Alcotest.(check int) "4 strategies x 2 sub-plots" 8
     (List.length result.Runner.curves);
-  (* YD needs no table; FO, NO and DP(u=1) need one kind each. *)
+  (* YD needs no table; FO, NO and DP(u=1) need one kind each. The
+     sweep-start warm-up builds them before the first block, so both
+     sub-plots' ensure calls are answered from the cache. *)
   Alcotest.(check int) "three tables built exactly once" 3
     (Strategy.Cache.builds cache);
-  Alcotest.(check int) "duplicate sub-plot answered from the cache" 3
+  Alcotest.(check int) "both sub-plots answered from the cache" 6
     (Strategy.Cache.hits cache);
   (* A second sweep against the same shared cache — the campaign
      situation (fig2 = fig7) — builds nothing further. *)
   let (_ : Runner.result) = Runner.run ~cache spec in
   Alcotest.(check int) "shared cache: no rebuild across sweeps" 3
     (Strategy.Cache.builds cache)
+
+(* warm-up: one pass builds each distinct key exactly once, is
+   idempotent, matches the serial counters when run on a pool, and a
+   pre-warmed sweep reproduces the cold sweep byte for byte *)
+
+let test_warm_up_builds_each_key_once () =
+  let spec =
+    match Figures.find "fig3" with
+    | None -> Alcotest.fail "fig3 missing"
+    | Some spec -> Figures.scale ~n_traces:10 ~t_step:400.0 ~t_max:1200.0 spec
+  in
+  let points = Strategy.warm_points_of_spec spec in
+  Alcotest.(check int) "one warm point per sub-plot" 2 (List.length points);
+  (* fig3: YD needs no table; FO, NO, DP(u=1) x 2 (params, horizon)
+     blocks = 6 distinct keys. *)
+  let cache = Strategy.Cache.create () in
+  let built = Strategy.warm_up cache points in
+  Alcotest.(check int) "builds = #distinct keys" 6 built;
+  Alcotest.(check int) "cache counters agree" 6 (Strategy.Cache.builds cache);
+  Alcotest.(check int) "warm-up scores no hits" 0 (Strategy.Cache.hits cache);
+  Alcotest.(check int) "idempotent: nothing left to build" 0
+    (Strategy.warm_up cache points);
+  let pooled = Strategy.Cache.create () in
+  let pool = Parallel.Pool.create () in
+  let built_pooled =
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () -> Strategy.warm_up ~pool pooled points)
+  in
+  Alcotest.(check int) "parallel warm-up builds the same keys" 6 built_pooled;
+  Alcotest.(check int) "parallel cache counters agree" 6
+    (Strategy.Cache.builds pooled)
+
+let test_warmed_sweep_identical () =
+  let spec =
+    match Figures.find "fig3" with
+    | None -> Alcotest.fail "fig3 missing"
+    | Some spec ->
+        {
+          (Figures.scale ~n_traces:20 ~t_step:600.0 ~t_max:1200.0 spec) with
+          Spec.cs = [ 80.0 ];
+        }
+  in
+  let csv_of result =
+    let path = Filename.temp_file "fixedlen_warm" ".csv" in
+    Report.to_csv result ~path;
+    let got = In_channel.with_open_bin path In_channel.input_all in
+    Sys.remove path;
+    got
+  in
+  let cold_cache = Strategy.Cache.create () in
+  let cold = csv_of (Runner.run ~cache:cold_cache spec) in
+  let warm_cache = Strategy.Cache.create () in
+  let built = Strategy.warm_up_specs warm_cache [ spec ] in
+  Alcotest.(check int) "campaign warm-up built the block's tables" 3 built;
+  let warmed = csv_of (Runner.run ~cache:warm_cache spec) in
+  Alcotest.(check string) "warmed vs cold CSVs byte-identical" cold warmed;
+  (* The pre-warmed sweep answers at least as many requests from the
+     cache as the cold one (which warmed itself at sweep start). *)
+  Alcotest.(check bool) "warmed hits >= cold hits" true
+    (Strategy.Cache.hits warm_cache >= Strategy.Cache.hits cold_cache)
 
 (* seed derivation: distinct (cost, salt) pairs never share a stream *)
 
@@ -236,6 +299,10 @@ let () =
           Alcotest.test_case "missing table diagnosed" `Quick
             test_missing_table_diagnosed;
           Alcotest.test_case "tables built once" `Slow test_cache_builds_once;
+          Alcotest.test_case "warm-up builds each key once" `Quick
+            test_warm_up_builds_each_key_once;
+          Alcotest.test_case "warmed sweep bit-identical" `Slow
+            test_warmed_sweep_identical;
         ] );
       ( "seeds",
         [ Alcotest.test_case "pairwise distinct" `Quick test_seed_distinctness ] );

@@ -130,6 +130,18 @@ let test_validation () =
   Alcotest.check_raises "gain t=0" (Invalid_argument "Threshold.gain: t <= 0")
     (fun () -> ignore (Th.gain ~params ~t:0.0 ~n:1))
 
+(* With C = 0 every threshold collapses to 0 and the table builders
+   would scan forever: they must reject instead of hanging. *)
+let test_tables_reject_zero_c () =
+  let params = P.make ~lambda:0.001 ~c:0.0 ~r:0.0 ~d:0.0 in
+  Alcotest.check_raises "numerical table C=0"
+    (Invalid_argument "Threshold.table_numerical: thresholds degenerate for C = 0")
+    (fun () -> ignore (Th.table_numerical ~params ~up_to:100.0));
+  Alcotest.check_raises "first-order table C=0"
+    (Invalid_argument
+       "Threshold.table_first_order: thresholds degenerate for C = 0")
+    (fun () -> ignore (Th.table_first_order ~params ~up_to:100.0))
+
 let qcheck_tests =
   let arb =
     QCheck.make
@@ -192,6 +204,7 @@ let () =
           Alcotest.test_case "feasible" `Quick test_table_feasibility;
           Alcotest.test_case "segments_for" `Quick test_segments_for;
           Alcotest.test_case "first-order table" `Quick test_first_order_table;
+          Alcotest.test_case "reject C = 0" `Quick test_tables_reject_zero_c;
         ] );
       ("properties", qcheck_tests);
     ]
