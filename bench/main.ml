@@ -29,6 +29,8 @@ type options = {
   eval_json : string option;
   dp_json : string option;
   baseline : string option;
+  serve_json : string option;
+  serve_baseline : string option;
 }
 
 let parse_args () =
@@ -40,6 +42,8 @@ let parse_args () =
   let eval_json = ref None in
   let dp_json = ref None in
   let baseline = ref None in
+  let serve_json = ref None in
+  let serve_baseline = ref None in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -70,12 +74,19 @@ let parse_args () =
     | "--baseline" :: path :: rest ->
         baseline := Some path;
         go rest
+    | "--serve-json" :: path :: rest ->
+        serve_json := Some path;
+        go rest
+    | "--serve-baseline" :: path :: rest ->
+        serve_baseline := Some path;
+        go rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: bench [--full] [--traces N] [--t-step X] [--figures ids] \
            [--skip-figures] [--skip-micro] [--eval-json PATH] [--dp-json \
-           PATH] [--baseline PATH]\n"
+           PATH] [--baseline PATH] [--serve-json PATH] [--serve-baseline \
+           PATH]\n"
           arg;
         exit 2
   in
@@ -89,6 +100,8 @@ let parse_args () =
     eval_json = !eval_json;
     dp_json = !dp_json;
     baseline = !baseline;
+    serve_json = !serve_json;
+    serve_baseline = !serve_baseline;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -384,19 +397,120 @@ let run_dp_json path =
     path
 
 (* ------------------------------------------------------------------ *)
-(* Baseline regression gate (--baseline)
+(* Serve handler latency benchmark (--serve-json)
 
-   Reads the last "points_per_sec" value from a committed trajectory
-   file (bench/BENCH_eval.json) and fails the run when the fresh
-   measurement falls below 70% of it. The generous margin absorbs
-   shared-runner noise while still catching step-function regressions. *)
+   Drives the daemon's request brain (Serve.Handler — the exact code
+   path a worker runs per query, minus the socket) through two phases:
 
-let last_points_per_sec path =
+   - cold: one query per distinct platform, each a cache miss that
+     builds its DP table inline;
+   - warm: the same queries again, several rounds, every one answered
+     from the bounded Strategy.Cache.
+
+   Reports p50/p99 per phase and warm queries/sec. The committed
+   bench/BENCH_serve.json trajectory tracks serving latency across PRs;
+   the run itself enforces the cache's reason to exist: warm p99 must
+   be at least 10x better than cold p99. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1)))))
+
+let run_serve_json path =
+  let cache = Experiments.Strategy.Cache.create () in
+  let handler = Serve.Handler.create ~cache () in
+  let n_platforms = 32 and warm_rounds = 8 in
+  let request i =
+    (* 32 distinct platforms: the C sweep spread the paper's figures
+       use, each hashing to its own cache key. *)
+    Serve.Protocol.Query
+      {
+        Serve.Protocol.params =
+          Fault.Params.paper ~lambda:0.001 ~c:(10.0 +. (5.0 *. float_of_int i))
+            ~d:0.0;
+        horizon = 500.0;
+        quantum = 1.0;
+        tleft = 500.0;
+        kleft = None;
+        recovering = false;
+      }
+  in
+  let timed req =
+    let t0 = Unix.gettimeofday () in
+    let resp = Serve.Handler.handle handler req in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match resp with
+    | Serve.Protocol.Answer _ -> ()
+    | r ->
+        Printf.eprintf "serve benchmark: query failed: %s\n"
+          (Serve.Protocol.render_response r);
+        exit 1);
+    dt
+  in
+  let cold = Array.init n_platforms (fun i -> timed (request i)) in
+  let warm =
+    Array.init (warm_rounds * n_platforms) (fun j ->
+        timed (request (j mod n_platforms)))
+  in
+  let warm_elapsed = Array.fold_left ( +. ) 0.0 warm in
+  Array.sort compare cold;
+  Array.sort compare warm;
+  let ms t = t *. 1e3 in
+  let cold_p50 = percentile cold 0.5 and cold_p99 = percentile cold 0.99 in
+  let warm_p50 = percentile warm 0.5 and warm_p99 = percentile warm 0.99 in
+  let warm_qps = float_of_int (Array.length warm) /. warm_elapsed in
+  let speedup = cold_p99 /. warm_p99 in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"handler queries, %d platforms, T=500, u=1, %d warm \
+     rounds\",\n\
+    \  \"cold_queries\": %d,\n\
+    \  \"warm_queries\": %d,\n\
+    \  \"cold_p50_ms\": %.4f,\n\
+    \  \"cold_p99_ms\": %.4f,\n\
+    \  \"warm_p50_ms\": %.4f,\n\
+    \  \"warm_p99_ms\": %.4f,\n\
+    \  \"warm_qps\": %.0f,\n\
+    \  \"p99_speedup\": %.1f,\n\
+    \  \"table_builds\": %d,\n\
+    \  \"table_hits\": %d,\n\
+    \  \"peak_rss_kb\": %d\n\
+     }\n"
+    n_platforms warm_rounds n_platforms (Array.length warm) (ms cold_p50)
+    (ms cold_p99) (ms warm_p50) (ms warm_p99) warm_qps speedup
+    (Experiments.Strategy.Cache.builds cache)
+    (Experiments.Strategy.Cache.hits cache)
+    (peak_rss_kb ());
+  close_out oc;
+  Printf.printf
+    "serve benchmark: cold p99 %.2f ms, warm p99 %.4f ms (%.0fx), %.0f warm \
+     queries/s; wrote %s\n"
+    (ms cold_p99) (ms warm_p99) speedup warm_qps path;
+  if speedup < 10.0 then begin
+    Printf.eprintf
+      "SERVE CACHE REGRESSION: warm p99 %.4f ms is not 10x better than cold \
+       p99 %.4f ms (only %.1fx)\n"
+      (ms warm_p99) (ms cold_p99) speedup;
+    exit 1
+  end;
+  warm_qps
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression gate (--baseline, --serve-baseline)
+
+   Reads the last value of a key from a committed trajectory file
+   (bench/BENCH_eval.json, bench/BENCH_serve.json) and fails the run
+   when the fresh measurement falls below 70% of it. The generous
+   margin absorbs shared-runner noise while still catching
+   step-function regressions. *)
+
+let last_json_float ~key:name path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
   close_in ic;
-  let key = "\"points_per_sec\":" in
+  let key = Printf.sprintf "%S:" name in
   let klen = String.length key in
   let rec last_from pos acc =
     match String.index_from_opt body pos '"' with
@@ -411,24 +525,29 @@ let last_points_per_sec path =
   in
   last_from 0 None
 
-let check_baseline ~path ~points_per_sec =
-  match last_points_per_sec path with
+let check_floor ~path ~key ~unit fresh =
+  match last_json_float ~key path with
   | None ->
-      Printf.eprintf "baseline %s holds no points_per_sec entry\n" path;
+      Printf.eprintf "baseline %s holds no %s entry\n" path key;
       exit 1
   | Some baseline ->
       let floor = 0.7 *. baseline in
-      if points_per_sec < floor then begin
+      if fresh < floor then begin
         Printf.eprintf
-          "PERF REGRESSION: %.1f points/s is below 70%% of the committed \
-           baseline %.1f (floor %.1f)\n"
-          points_per_sec baseline floor;
+          "PERF REGRESSION: %.1f %s is below 70%% of the committed baseline \
+           %.1f (floor %.1f)\n"
+          fresh unit baseline floor;
         exit 1
       end
       else
-        Printf.printf
-          "baseline check: %.1f points/s >= 70%% of committed %.1f — ok\n"
-          points_per_sec baseline
+        Printf.printf "baseline check: %.1f %s >= 70%% of committed %.1f — ok\n"
+          fresh unit baseline
+
+let check_baseline ~path ~points_per_sec =
+  check_floor ~path ~key:"points_per_sec" ~unit:"points/s" points_per_sec
+
+let check_serve_baseline ~path ~warm_qps =
+  check_floor ~path ~key:"warm_qps" ~unit:"warm queries/s" warm_qps
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                             *)
@@ -579,6 +698,13 @@ let () =
   end;
   if not options.skip_micro then run_micro ();
   Option.iter run_dp_json options.dp_json;
+  (match options.serve_json with
+  | None -> ()
+  | Some path ->
+      let warm_qps = run_serve_json path in
+      Option.iter
+        (fun baseline -> check_serve_baseline ~path:baseline ~warm_qps)
+        options.serve_baseline);
   match options.eval_json with
   | None -> ()
   | Some path ->

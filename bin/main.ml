@@ -1083,6 +1083,221 @@ let analysis_cmd =
     (Cmd.info "analysis" ~doc:"Print the Section 4 analytical case studies.")
     Term.(const run $ const ())
 
+(* serve / query — the policy-as-a-service daemon (lib/serve) and its
+   client. Exit codes extend the usual 0/1/2 with typed service
+   outcomes: 4 = request shed by admission control, 5 = per-request
+   budget expired. *)
+
+let exit_overloaded = 4
+let exit_timeout = 5
+
+let socket_t =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt string "fixedlen.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_t =
+    let doc = "Concurrent worker loops (Parallel.Pool domains)." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_t =
+    let doc =
+      "Admission-queue capacity. A connection arriving while the queue \
+       holds $(docv) others is refused with an explicit $(b,overloaded) \
+       reply instead of queueing without bound; 0 sheds everything (the \
+       overload drill)."
+    in
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let budget_t =
+    let doc =
+      "Per-query wall-clock budget in seconds. A query that overruns it \
+       is answered $(b,timeout) (the table build still completes and is \
+       cached, so a retry hits)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "request-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let slow_t =
+    let doc =
+      "Sleep this many seconds at the head of every query — the \
+       deterministic way to drill $(b,--request-budget) timeouts."
+    in
+    Arg.(value & opt float 0.0 & info [ "slow" ] ~docv:"SECONDS" ~doc)
+  in
+  let journal_t =
+    let doc =
+      "Journal every query request to $(docv) (framed, checksummed). On \
+       restart the journal is scanned, a torn tail truncated, and the \
+       recovered record count reported — the crash-recovery drill."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let cache_tables_t =
+    let doc = "LRU bound on resident policy tables." in
+    Arg.(value & opt (some int) None & info [ "cache-tables" ] ~docv:"N" ~doc)
+  in
+  let cache_bytes_t =
+    let doc = "LRU bound on summed resident table bytes." in
+    Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"B" ~doc)
+  in
+  let run socket workers queue budget slow journal cache_tables cache_bytes
+      chaos_rate chaos_seed chaos_fs_rate chaos_crash_at quiet =
+    if workers < 1 then begin
+      Printf.eprintf "fixedlen: --workers must be >= 1\n";
+      exit 2
+    end;
+    if queue < 0 then begin
+      Printf.eprintf "fixedlen: --queue must be >= 0\n";
+      exit 2
+    end;
+    let chaos = chaos_of chaos_rate None chaos_seed in
+    let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        workers;
+        queue_capacity = queue;
+        budget;
+        slow;
+        journal;
+        chaos;
+        chaos_fs;
+        max_tables = cache_tables;
+        max_bytes = cache_bytes;
+        quiet;
+      }
+    in
+    exit (or_fail (fun () -> Serve.Server.run cfg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve checkpoint-policy queries over a Unix-domain socket until \
+          SIGTERM (drains gracefully; survives SIGKILL via the request \
+          journal).")
+    Term.(
+      const run $ socket_t $ workers_t $ queue_t $ budget_t $ slow_t
+      $ journal_t $ cache_tables_t $ cache_bytes_t $ chaos_rate_t
+      $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t $ quiet_t)
+
+let query_cmd =
+  let horizon_t =
+    Arg.(value & opt float 500.0
+         & info [ "t"; "length" ] ~docv:"T"
+             ~doc:"Reservation length (the horizon the DP tables cover).")
+  in
+  let tleft_t =
+    let doc = "Remaining reservation time (defaults to the full length)." in
+    Arg.(value & opt (some float) None & info [ "left" ] ~docv:"TIME" ~doc)
+  in
+  let kleft_t =
+    let doc =
+      "Checkpoints still available when re-planning (with \
+       $(b,--recovering)); unconstrained when omitted."
+    in
+    Arg.(value & opt (some int) None & info [ "kleft" ] ~docv:"K" ~doc)
+  in
+  let recovering_t =
+    let doc = "Plan the post-failure (δ = 1) state: recover first." in
+    Arg.(value & flag & info [ "recovering" ] ~doc)
+  in
+  let ping_t =
+    let doc = "Just ping the daemon." in
+    Arg.(value & flag & info [ "ping" ] ~doc)
+  in
+  let stats_t =
+    let doc = "Ask for the daemon's cache statistics." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let count_t =
+    let doc = "Send the request $(docv) times over one connection." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let retry_base_t =
+    let doc = "Base backoff delay between retries, in seconds." in
+    Arg.(value & opt float 0.05 & info [ "retry-base" ] ~docv:"SECONDS" ~doc)
+  in
+  let decorrelated_t =
+    let doc =
+      "Back off with decorrelated jitter instead of exponential — what a \
+       herd of shed clients should use."
+    in
+    Arg.(value & flag & info [ "retry-decorrelated" ] ~doc)
+  in
+  let code_of = function
+    | Serve.Protocol.Answer _ | Serve.Protocol.Pong
+    | Serve.Protocol.Stats_reply _ ->
+        0
+    | Serve.Protocol.Overloaded -> exit_overloaded
+    | Serve.Protocol.Timeout -> exit_timeout
+    | Serve.Protocol.Failed _ -> 1
+  in
+  let run socket params quantum horizon tleft kleft recovering ping stats
+      count attempts retry_base decorrelated =
+    if count < 1 then begin
+      Printf.eprintf "fixedlen: --repeat must be >= 1\n";
+      exit 2
+    end;
+    (* A server that sheds us closes before reading: that must surface
+       as its [overloaded] reply, not kill us with SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let request =
+      if ping then Serve.Protocol.Ping
+      else if stats then Serve.Protocol.Stats
+      else
+        Serve.Protocol.Query
+          {
+            Serve.Protocol.params;
+            horizon;
+            quantum;
+            tleft = Option.value tleft ~default:horizon;
+            kleft;
+            recovering;
+          }
+    in
+    let retry =
+      if attempts <= 1 then Robust.Retry.no_retry
+      else
+        Robust.Retry.make ~attempts ~base_delay:retry_base ~decorrelated ()
+    in
+    let finish resp =
+      print_endline (Serve.Protocol.render_response resp);
+      code_of resp
+    in
+    let code =
+      or_fail (fun () ->
+          if count = 1 then
+            match Serve.Client.query ~retry ~socket request with
+            | Ok resp -> finish resp
+            | Error msg -> failwith msg
+          else begin
+            let fd = Serve.Client.connect ~socket in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let code = ref 0 in
+                for _ = 1 to count do
+                  match Serve.Client.request fd request with
+                  | Ok resp -> code := finish resp
+                  | Error msg -> failwith msg
+                done;
+                !code)
+          end)
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Ask a running daemon for the optimal next checkpoint (exit \
+          codes: 0 answered, 4 overloaded, 5 timeout).")
+    Term.(
+      const run $ socket_t $ params_t $ quantum_t $ horizon_t $ tleft_t
+      $ kleft_t $ recovering_t $ ping_t $ stats_t $ count_t $ retry_t
+      $ retry_base_t $ decorrelated_t)
+
 let main_cmd =
   let doc =
     "checkpointing strategies for a fixed-length execution (Benoit, \
@@ -1093,7 +1308,7 @@ let main_cmd =
     [
       figure_cmd; campaign_cmd; list_cmd; strategies_cmd; thresholds_cmd;
       dp_cmd; simulate_cmd; analysis_cmd; series_cmd; breakdown_cmd;
-      traces_cmd; renewal_cmd; exact_cmd;
+      traces_cmd; renewal_cmd; exact_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -268,6 +268,11 @@ let quantum t = t.u
 let horizon_quanta t = t.tstar
 let kmax t = t.kmax
 
+let bytes t =
+  Tables.F.bytes t.e0 + Tables.F.bytes t.e1 + Tables.I.bytes t.ib0
+  + Tables.I.bytes t.ib1 + Tables.I.bytes t.argm1
+  + (8 * Array.length t.bestk0)
+
 let check_state t ~n ~k =
   if n < 0 || n > t.tstar then invalid_arg "Dp: n outside [0, T*]";
   if k < 1 || k > t.kmax then invalid_arg "Dp: k outside [1, kmax]"

@@ -41,6 +41,11 @@ val quantum : t -> float
 val horizon_quanta : t -> int
 val kmax : t -> int
 
+val bytes : t -> int
+(** Exact resident footprint of the tables in bytes (the {!Tables}
+    buffers plus the flat argmax row) — what a memory-bounded cache
+    charges for holding this build. *)
+
 val expected_work_q : t -> n:int -> k:int -> delta:bool -> float
 (** [E(n, k, δ)] in time units (quanta × u). *)
 

@@ -152,3 +152,7 @@ let policy t =
         (plan_q t ~n ~age:0 ~delta:recovering)
   in
   Sim.Policy.make ~name:"RenewalDP" plan
+
+let bytes t =
+  Tables.Tri.bytes t.v + Tables.Itri.bytes t.iv
+  + (8 * (Array.length t.vr + Array.length t.ir))

@@ -59,3 +59,7 @@ val policy : t -> Sim.Policy.t
 
 val quantum : t -> float
 val horizon_quanta : t -> int
+
+val bytes : t -> int
+(** Exact resident footprint of the triangular tables plus the
+    post-failure rows in bytes, for cache memory accounting. *)

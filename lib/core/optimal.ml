@@ -100,3 +100,7 @@ let policy t =
         (plan_q t ~n ~delta:recovering)
   in
   Sim.Policy.make ~name:"OptimalUnrestricted" plan
+
+let bytes t =
+  (* Four flat arrays of tstar + 1 native words each. *)
+  8 * 4 * Array.length t.v0

@@ -39,3 +39,7 @@ val policy : t -> Sim.Policy.t
 
 val quantum : t -> float
 val horizon_quanta : t -> int
+
+val bytes : t -> int
+(** Exact resident footprint of the value/argmax arrays in bytes, for
+    cache memory accounting. *)

@@ -37,6 +37,7 @@ module F = struct
     r * t.cols
 
   let words t = t.rows * t.cols
+  let bytes t = 8 * t.rows * t.cols
 end
 
 module I = struct
@@ -104,7 +105,8 @@ module I = struct
         done
 
   let bytes_per_cell t = match t.buf with I16 _ -> 2 | I32 _ -> 4
-  let words t = (t.rows * t.cols * bytes_per_cell t + 7) / 8
+  let bytes t = t.rows * t.cols * bytes_per_cell t
+  let words t = (bytes t + 7) / 8
 end
 
 (* Triangular layout shared by Tri and Itri: row n of a side-s table
@@ -146,6 +148,7 @@ module Tri = struct
     tri_off t.side n
 
   let words t = tri_cells t.side
+  let bytes t = 8 * tri_cells t.side
 end
 
 module Itri = struct
@@ -175,5 +178,6 @@ module Itri = struct
     | I.I32 b -> Bigarray.Array1.unsafe_set b i (Int32.of_int v)
 
   let bytes_per_cell t = match t.buf with I.I16 _ -> 2 | I.I32 _ -> 4
-  let words t = (tri_cells t.side * bytes_per_cell t + 7) / 8
+  let bytes t = tri_cells t.side * bytes_per_cell t
+  let words t = (bytes t + 7) / 8
 end

@@ -54,6 +54,11 @@ module F : sig
 
   val words : t -> int
   (** Heap footprint in 8-byte words (for bench accounting). *)
+
+  val bytes : t -> int
+  (** Exact buffer footprint in bytes: [8 * rows * cols]. The unit the
+      cache memory bound is expressed in — no guessing from [words]
+      rounding. *)
 end
 
 module I : sig
@@ -76,6 +81,10 @@ module I : sig
   val bytes_per_cell : t -> int
   (** 2 or 4 — which width the value range selected. *)
 
+  val bytes : t -> int
+  (** Exact buffer footprint in bytes:
+      [rows * cols * bytes_per_cell]. *)
+
   val words : t -> int
 end
 
@@ -95,6 +104,9 @@ module Tri : sig
   (** Offset of row [n] in {!data}: element [(n, a)] lives at
       [row t n + a] for [a <= side - n]. *)
 
+  val bytes : t -> int
+  (** Exact buffer footprint in bytes: [8 * (side + 1)(side + 2)/2]. *)
+
   val words : t -> int
 end
 
@@ -106,5 +118,10 @@ module Itri : sig
   val side : t -> int
   val get : t -> int -> int -> int
   val set : t -> int -> int -> int -> unit
+
+  val bytes : t -> int
+  (** Exact buffer footprint in bytes: triangle cells times the selected
+      cell width (2 or 4). *)
+
   val words : t -> int
 end

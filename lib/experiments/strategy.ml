@@ -31,15 +31,83 @@ module Cache = struct
     | T_optimal of Core.Optimal.t
     | T_renewal of Core.Dp_renewal.t
 
+  (* What the memory bound charges per table: the exact buffer bytes
+     reported by each core's [bytes] accessor (threshold tables are one
+     float array). Headers and closure envelopes are noise next to the
+     quadratic DP buffers, so they are not modelled. *)
+  let table_bytes = function
+    | T_threshold tbl -> 8 * Array.length tbl.Core.Threshold.thresholds
+    | T_dp dp -> Core.Dp.bytes dp
+    | T_optimal opt -> Core.Optimal.bytes opt
+    | T_renewal dp -> Core.Dp_renewal.bytes dp
+
+  type slot = { table : table; size : int; mutable stamp : int }
+
   type t = {
-    store : (string, table) Hashtbl.t;
+    store : (string, slot) Hashtbl.t;
+    lock : Mutex.t;
+    max_tables : int option;
+    max_bytes : int option;
+    mutable tick : int;
     mutable builds : int;
     mutable hits : int;
+    mutable evictions : int;
+    mutable resident : int;
   }
 
-  let create () = { store = Hashtbl.create 16; builds = 0; hits = 0 }
-  let builds t = t.builds
-  let hits t = t.hits
+  let create ?max_tables ?max_bytes () =
+    let check name = function
+      | Some v when v < 1 ->
+          invalid_arg (Printf.sprintf "Strategy.Cache.create: %s < 1" name)
+      | _ -> ()
+    in
+    check "max_tables" max_tables;
+    check "max_bytes" max_bytes;
+    {
+      store = Hashtbl.create 16;
+      lock = Mutex.create ();
+      max_tables;
+      max_bytes;
+      tick = 0;
+      builds = 0;
+      hits = 0;
+      evictions = 0;
+      resident = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let builds t = locked t (fun () -> t.builds)
+  let hits t = locked t (fun () -> t.hits)
+  let evictions t = locked t (fun () -> t.evictions)
+  let resident_tables t = locked t (fun () -> Hashtbl.length t.store)
+  let resident_bytes t = locked t (fun () -> t.resident)
+
+  type stats = {
+    s_builds : int;
+    s_hits : int;
+    s_evictions : int;
+    s_resident_tables : int;
+    s_resident_bytes : int;
+  }
+
+  let stats t =
+    locked t (fun () ->
+        {
+          s_builds = t.builds;
+          s_hits = t.hits;
+          s_evictions = t.evictions;
+          s_resident_tables = Hashtbl.length t.store;
+          s_resident_bytes = t.resident;
+        })
+
+  let record_hits t n = locked t (fun () -> t.hits <- t.hits + n)
+
+  let touch t slot =
+    t.tick <- t.tick + 1;
+    slot.stamp <- t.tick
 
   (* Canonical key: every float rendered with %.17g so distinct values
      can never collide through formatting (same convention as
@@ -64,9 +132,23 @@ module Cache = struct
       params.Fault.Params.lambda params.Fault.Params.c params.Fault.Params.r
       params.Fault.Params.d horizon (kind_key kind)
 
-  let mem t ~params ~horizon kind = Hashtbl.mem t.store (key ~params ~horizon kind)
+  (* Lookups touch the LRU stamp: a table an [ensure] or a [compile]
+     just used is the one a bounded cache should keep. *)
+  let mem t ~params ~horizon kind =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.store (key ~params ~horizon kind) with
+        | Some slot ->
+            touch t slot;
+            true
+        | None -> false)
+
   let find t ~params ~horizon kind =
-    Hashtbl.find_opt t.store (key ~params ~horizon kind)
+    locked t (fun () ->
+        match Hashtbl.find_opt t.store (key ~params ~horizon kind) with
+        | Some slot ->
+            touch t slot;
+            Some slot.table
+        | None -> None)
 
   (* The build calls replicate what the pre-registry runner did per
      C block, so the tables — and therefore the figures — are
@@ -87,9 +169,49 @@ module Cache = struct
     | Renewal { quantum; dist } ->
         T_renewal (Core.Dp_renewal.build ~params ~dist ~quantum ~horizon ())
 
+  let over_bound t =
+    (match t.max_tables with
+    | Some m -> Hashtbl.length t.store > m
+    | None -> false)
+    ||
+    match t.max_bytes with Some m -> t.resident > m | None -> false
+
+  let evict_oldest t =
+    let victim =
+      Hashtbl.fold
+        (fun k slot acc ->
+          match acc with
+          | Some (_, best) when best.stamp <= slot.stamp -> acc
+          | _ -> Some (k, slot))
+        t.store None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, slot) ->
+        Hashtbl.remove t.store k;
+        t.resident <- t.resident - slot.size;
+        t.evictions <- t.evictions + 1
+
   let insert t ~params ~horizon kind table =
-    t.builds <- t.builds + 1;
-    Hashtbl.replace t.store (key ~params ~horizon kind) table
+    locked t (fun () ->
+        let k = key ~params ~horizon kind in
+        (* A replace (two racing builders of the same key) must not
+           double-charge the bytes. *)
+        (match Hashtbl.find_opt t.store k with
+        | Some old -> t.resident <- t.resident - old.size
+        | None -> ());
+        let slot = { table; size = table_bytes table; stamp = 0 } in
+        touch t slot;
+        Hashtbl.replace t.store k slot;
+        t.builds <- t.builds + 1;
+        t.resident <- t.resident + slot.size;
+        (* Shed least-recently-used entries until back under the bound,
+           but never the entry just inserted (it holds the newest stamp
+           and the [> 1] guard keeps it when it alone exceeds the byte
+           bound — a lone oversized table must stay answerable). *)
+        while over_bound t && Hashtbl.length t.store > 1 do
+          evict_oldest t
+        done)
 end
 
 type error =
@@ -131,6 +253,11 @@ let find_renewal cache ~params ~horizon kind =
   match Cache.find cache ~params ~horizon kind with
   | Some (Cache.T_renewal t) -> Ok t
   | _ -> missing kind ~params ~horizon
+
+(* Raw DP table lookup for callers that answer table queries directly
+   (the serve daemon) instead of compiling a policy. *)
+let dp_table cache ~params ~horizon ~quantum =
+  find_dp cache ~params ~horizon (Cache.Dp { quantum })
 
 type entry = {
   cli : string;
@@ -404,7 +531,7 @@ let ensure ?pool cache ~params ~horizon ~dist strategies =
   let missing, present =
     List.partition (fun k -> not (Cache.mem cache ~params ~horizon k)) wanted
   in
-  cache.Cache.hits <- cache.Cache.hits + List.length present;
+  Cache.record_hits cache (List.length present);
   match missing with
   | [] -> ()
   | _ ->

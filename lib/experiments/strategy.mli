@@ -16,10 +16,21 @@
 
 module Cache : sig
   type t
-  (** Mutable table store plus instrumentation counters. Builds and
-      inserts happen only in {!ensure} (call it from the parent before
-      fanning tasks out); {!val-compile} only reads, so compiled lookups
-      are safe from worker domains and forked workers. *)
+  (** Mutable table store plus instrumentation counters. Every cache
+      operation is guarded by an internal mutex, so lookups, inserts and
+      the counters are safe from concurrent domains and threads; the
+      expensive table builds themselves run outside the lock (two racing
+      builders of one key waste a build but converge on identical
+      tables — builds are deterministic).
+
+      By default the cache is unbounded, matching campaign use where
+      every table is needed until the end. {!create} optionally bounds
+      the resident set by table count and/or by (exact buffer) bytes;
+      over the bound the least-recently-{e used} entry is evicted —
+      lookups and inserts refresh recency — and counted in
+      {!evictions}. The entry being inserted is never the victim, so a
+      lone table larger than the byte bound stays resident and
+      answerable. *)
 
   type kind =
     | Threshold_numerical
@@ -33,13 +44,40 @@ module Cache : sig
 
   val pp_kind : Format.formatter -> kind -> unit
 
-  val create : unit -> t
+  val create : ?max_tables:int -> ?max_bytes:int -> unit -> t
+  (** Unbounded unless a bound is given. [max_tables] caps the resident
+      table count, [max_bytes] the summed {!Core.Dp.bytes}-style buffer
+      footprint; either alone or both together. Raises
+      [Invalid_argument] on a bound [< 1]. *)
 
   val builds : t -> int
   (** Number of tables built so far (cache misses). *)
 
   val hits : t -> int
   (** Number of {!ensure} requests answered from the cache. *)
+
+  val evictions : t -> int
+  (** Number of tables dropped by the LRU bound (0 when unbounded). *)
+
+  val resident_tables : t -> int
+  (** Tables currently held. *)
+
+  val resident_bytes : t -> int
+  (** Summed exact buffer footprint of the resident tables, the value
+      the [max_bytes] bound is enforced against. *)
+
+  type stats = {
+    s_builds : int;
+    s_hits : int;
+    s_evictions : int;
+    s_resident_tables : int;
+    s_resident_bytes : int;
+  }
+
+  val stats : t -> stats
+  (** All counters in one consistent snapshot (taken under the cache
+      lock — the individual accessors can tear across concurrent
+      inserts). *)
 end
 
 type error =
@@ -106,7 +144,10 @@ val ensure :
   unit
 (** Build (in parallel when [pool] is given) every table the strategies
     need at this [(params, horizon)] point that the cache does not
-    already hold. Call from the parent process/domain only. *)
+    already hold. The cache itself is lock-protected, so concurrent
+    [ensure] calls (the serve daemon's workers) are safe; racing callers
+    may duplicate a build but always converge on identical tables. Only
+    pass [pool] from the parent domain — nested pool use deadlocks. *)
 
 type warm_point = {
   wp_params : Fault.Params.t;
@@ -137,6 +178,18 @@ val warm_points_of_spec : Spec.t -> warm_point list
 val warm_up_specs : ?pool:Parallel.Pool.t -> Cache.t -> Spec.t list -> int
 (** [warm_up] over the concatenated {!warm_points_of_spec} of a
     campaign's specs. *)
+
+val dp_table :
+  Cache.t ->
+  params:Fault.Params.t ->
+  horizon:float ->
+  quantum:float ->
+  (Core.Dp.t, error) result
+(** The raw Section 6 DP table at [(params, horizon, quantum)], for
+    callers that answer table queries directly (the serve daemon's
+    next-checkpoint lookups) instead of compiling a simulation policy.
+    Same contract as {!val-compile}: read-only, the table must have been
+    built by {!ensure} first. *)
 
 val compile :
   Cache.t ->

@@ -3,16 +3,20 @@ type t = {
   base_delay : float;
   multiplier : float;
   jitter : float;
+  decorrelated : bool;
+  max_delay : float;
   seed : int64;
 }
 
 let make ?(attempts = 3) ?(base_delay = 0.05) ?(multiplier = 2.0)
-    ?(jitter = 0.5) ?(seed = 0L) () =
+    ?(jitter = 0.5) ?(decorrelated = false) ?(max_delay = infinity)
+    ?(seed = 0L) () =
   if attempts < 1 then invalid_arg "Retry.make: attempts < 1";
   if base_delay < 0.0 then invalid_arg "Retry.make: base_delay < 0";
   if multiplier < 0.0 then invalid_arg "Retry.make: multiplier < 0";
   if jitter < 0.0 || jitter > 1.0 then invalid_arg "Retry.make: jitter outside [0, 1]";
-  { attempts; base_delay; multiplier; jitter; seed }
+  if max_delay < 0.0 then invalid_arg "Retry.make: max_delay < 0";
+  { attempts; base_delay; multiplier; jitter; decorrelated; max_delay; seed }
 
 let no_retry = make ~attempts:1 ~base_delay:0.0 ()
 
@@ -23,12 +27,35 @@ let unit_draw t ~key ~attempt =
   let h = Numerics.Checksum.fold_int h attempt in
   Numerics.Checksum.to_unit_float h
 
+(* Decorrelated jitter (the "decorrelated" scheme of the AWS backoff
+   study): d_k = base + u_k * (3 d_{k-1} - base) with d_0 = base, each
+   delay drawn uniformly between the base and three times the previous
+   delay. Unrolled from attempt 1 so the whole sequence stays a pure
+   function of (policy, key) — stateless like the exponential mode,
+   replayable like everything else built on Checksum draws. *)
+let decorrelated_delay t ~key ~attempt =
+  if t.base_delay <= 0.0 then 0.0
+  else begin
+    let prev = ref t.base_delay in
+    for k = 1 to attempt do
+      let u = unit_draw t ~key ~attempt:k in
+      prev :=
+        Float.min t.max_delay
+          (t.base_delay +. (u *. ((3.0 *. !prev) -. t.base_delay)))
+    done;
+    !prev
+  end
+
 let delay_before t ~key ~attempt =
   if attempt < 1 then invalid_arg "Retry.delay_before: attempt < 1";
-  let nominal =
-    t.base_delay *. (t.multiplier ** float_of_int (attempt - 1))
-  in
-  nominal *. (1.0 -. t.jitter +. (t.jitter *. unit_draw t ~key ~attempt))
+  if t.decorrelated then decorrelated_delay t ~key ~attempt
+  else
+    let nominal =
+      t.base_delay *. (t.multiplier ** float_of_int (attempt - 1))
+    in
+    Float.min t.max_delay
+      (nominal
+      *. (1.0 -. t.jitter +. (t.jitter *. unit_draw t ~key ~attempt)))
 
 let run ?(sleep = Unix.sleepf) t ~key f =
   let rec go attempt =

@@ -22,7 +22,27 @@
       [delay_before ~key ~attempt:1; delay_before ~key ~attempt:2; …]
       up to [attempts - 1] of them — a pure function of
       [(policy, key)], asserted against an injected [sleep] in the test
-      suite. *)
+      suite. The numbering is identical in both jitter modes:
+      [decorrelated] changes how the delay before attempt [k] is
+      {e computed} (see below), never which attempts are delayed.
+
+    {2 Jitter modes}
+
+    - {e Exponential} (default): delay before attempt [k] is
+      [base * multiplier^(k-1) * (1 - jitter + jitter * u_k)].
+      Same-key clients share the schedule shape; the [jitter] fraction
+      spreads them inside each step.
+    - {e Decorrelated} ([~decorrelated:true]): the AWS "decorrelated
+      jitter" scheme, [d_k = base + u_k * (3 d_(k-1) - base)] with
+      [d_0 = base] — each delay is drawn between the base and three
+      times the previous delay, so a thundering herd of clients
+      retrying the same overloaded server decorrelates within a couple
+      of attempts instead of re-colliding at every exponential step.
+      [multiplier] and [jitter] are ignored in this mode.
+
+    Both modes clamp every delay to [max_delay] and both stay
+    deterministic: [u_k] is a pure function of [(seed, key, attempt)],
+    never global RNG state, so parallel campaigns remain replayable. *)
 
 type t = private {
   attempts : int;  (** total tries, including the first; [>= 1] *)
@@ -32,6 +52,11 @@ type t = private {
       (** fraction of each delay that is randomised: the delay for retry
           [k] is [base * multiplier^k * (1 - jitter + jitter * u)] with
           [u] in [\[0, 1)] a pure function of [(seed, key, attempt)] *)
+  decorrelated : bool;
+      (** when set, delays come from the decorrelated-jitter recurrence
+          instead of the exponential formula (see above); off by
+          default *)
+  max_delay : float;  (** upper clamp on every delay; [infinity] = none *)
   seed : int64;
 }
 
@@ -43,12 +68,15 @@ val make :
   ?base_delay:float ->
   ?multiplier:float ->
   ?jitter:float ->
+  ?decorrelated:bool ->
+  ?max_delay:float ->
   ?seed:int64 ->
   unit ->
   t
 (** Defaults: 3 attempts, 0.05 s base delay, multiplier 2, jitter 0.5,
+    exponential mode ([decorrelated = false]), no [max_delay] clamp,
     seed 0. Raises [Invalid_argument] on [attempts < 1], negative
-    delays/multiplier, or jitter outside [\[0, 1\]]. *)
+    delays/multiplier/[max_delay], or jitter outside [\[0, 1\]]. *)
 
 val delay_before : t -> key:int -> attempt:int -> float
 (** Backoff before attempt [attempt] (>= 1) of task [key]. Deterministic:

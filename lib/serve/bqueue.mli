@@ -1,0 +1,30 @@
+(** Bounded multi-producer/multi-consumer queue — the admission gate.
+
+    The accept loop pushes, worker domains pop. The bound is the
+    server's overload contract: {!try_push} never blocks and never
+    grows the queue past [capacity] — a full queue is the caller's cue
+    to shed the request with an explicit [overloaded] reply instead of
+    letting latency grow without bound. [capacity = 0] is legal and
+    sheds everything (the deterministic overload drill).
+
+    {!close} is the drain signal: pushers are refused from then on,
+    poppers drain what is already queued and then get [None] — exactly
+    the SIGTERM semantics (finish in-flight work, accept nothing
+    new). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 0]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full or closed; never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available or the queue is closed {e and}
+    drained; [None] only in the latter case. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked popper. Idempotent. *)
+
+val length : 'a t -> int

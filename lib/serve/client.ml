@@ -1,0 +1,68 @@
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let wait_ready ?(attempts = 100) ?(pause = 0.05) ~socket () =
+  let rec go n =
+    if n <= 0 then false
+    else
+      match connect ~socket with
+      | fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          true
+      | exception Unix.Unix_error _ ->
+          Unix.sleepf pause;
+          go (n - 1)
+  in
+  go attempts
+
+let request fd req =
+  (* A shedding server replies and closes before reading the request, so
+     the send can fail (EPIPE) while a perfectly good [overloaded] frame
+     sits in our receive buffer — always try the read, and only report
+     the send failure when nothing came back. *)
+  let send_error =
+    match Wire.send fd (Protocol.request_to_string req) with
+    | () -> None
+    | exception Unix.Unix_error (err, _, _) ->
+        Some ("send failed: " ^ Unix.error_message err)
+  in
+  match Wire.recv fd with
+  | Ok payload -> (
+      match Protocol.response_of_string payload with
+      | Ok resp -> Ok resp
+      | Error msg -> Error ("bad response: " ^ msg))
+  | Error e -> (
+      match send_error with
+      | Some msg -> Error msg
+      | None -> Error (Wire.error_message e))
+
+(* Retry currency: shedding and an absent daemon are the transient
+   conditions backoff exists for; anything else surfaces immediately. *)
+exception Shed
+exception Unavailable of string
+
+let query ?(retry = Robust.Retry.no_retry) ?sleep ~socket req =
+  let key = Int64.to_int (Numerics.Checksum.fnv1a64 (Protocol.request_to_string req)) in
+  let once ~attempt:_ =
+    match connect ~socket with
+    | exception Unix.Unix_error (err, _, _) ->
+        raise (Unavailable (Unix.error_message err))
+    | fd -> (
+        let result =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> request fd req)
+        in
+        match result with Ok Protocol.Overloaded -> raise Shed | r -> r)
+  in
+  match Robust.Retry.run ?sleep retry ~key once with
+  | Ok r -> r
+  | Error Shed -> Ok Protocol.Overloaded
+  | Error (Unavailable msg) -> Error ("daemon unavailable: " ^ msg)
+  | Error e -> Error (Printexc.to_string e)

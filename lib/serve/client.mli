@@ -1,0 +1,40 @@
+(** Client side of the serve protocol.
+
+    A thin wrapper over {!Wire} plus the overload etiquette the server's
+    shedding asks for: when the daemon answers [overloaded] (or is not
+    accepting connections at all), {!query} backs off through a
+    {!Robust.Retry} policy — jittered, deterministic, and ideally
+    decorrelated ([Retry.make ~decorrelated:true]) so a herd of shed
+    clients does not re-arrive in lockstep. The retry key is derived
+    from the request payload's checksum, so distinct queries spread
+    over distinct jitter streams while a replayed client stays
+    replayable. *)
+
+val connect : socket:string -> Unix.file_descr
+(** Connect to the daemon's Unix-domain socket. Raises
+    [Unix.Unix_error] (e.g. [ENOENT]/[ECONNREFUSED] when the daemon is
+    not up). *)
+
+val wait_ready :
+  ?attempts:int -> ?pause:float -> socket:string -> unit -> bool
+(** Poll until a connection succeeds — for scripts that just launched
+    the daemon. Default: 100 attempts, 0.05 s apart. *)
+
+val request :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+(** Send one request on an open connection and read its reply.
+    [Error] carries a transport-level diagnosis (torn frame, closed
+    connection); protocol-level failures arrive as [Ok (Failed _)]. *)
+
+val query :
+  ?retry:Robust.Retry.t ->
+  ?sleep:(float -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** One-shot: connect, send, read, close — retrying (fresh connection
+    each attempt) while the answer is [overloaded] or the connection is
+    refused. Default [retry] is {!Robust.Retry.no_retry} (single
+    attempt); when every attempt is shed the final answer is
+    [Ok Overloaded], mirroring what the server said. [sleep] overrides
+    the backoff sleeper for tests. *)

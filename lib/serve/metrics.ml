@@ -1,0 +1,37 @@
+type t = {
+  accepted : int Atomic.t;
+  shed : int Atomic.t;
+  requests : int Atomic.t;
+  answered : int Atomic.t;
+  timeouts : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+let create () =
+  {
+    accepted = Atomic.make 0;
+    shed = Atomic.make 0;
+    requests = Atomic.make 0;
+    answered = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    failed = Atomic.make 0;
+  }
+
+let bump c = Atomic.incr c
+let incr_accepted t = bump t.accepted
+let incr_shed t = bump t.shed
+let incr_requests t = bump t.requests
+let incr_answered t = bump t.answered
+let incr_timeouts t = bump t.timeouts
+let incr_failed t = bump t.failed
+let accepted t = Atomic.get t.accepted
+let shed t = Atomic.get t.shed
+let requests t = Atomic.get t.requests
+let answered t = Atomic.get t.answered
+let timeouts t = Atomic.get t.timeouts
+let failed t = Atomic.get t.failed
+
+let summary t =
+  Printf.sprintf
+    "accepted=%d shed=%d requests=%d answered=%d timeouts=%d failed=%d"
+    (accepted t) (shed t) (requests t) (answered t) (timeouts t) (failed t)

@@ -1,0 +1,175 @@
+type query = {
+  params : Fault.Params.t;
+  horizon : float;
+  quantum : float;
+  tleft : float;
+  kleft : int option;
+  recovering : bool;
+}
+
+type request = Ping | Stats | Query of query
+
+type answer = { next : float; k : int; work : float }
+
+type response =
+  | Answer of answer
+  | Stats_reply of Experiments.Strategy.Cache.stats
+  | Pong
+  | Overloaded
+  | Timeout
+  | Failed of string
+
+let g = Printf.sprintf "%.17g"
+
+let request_to_string = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Query q ->
+      Printf.sprintf
+        "query lambda=%s c=%s r=%s d=%s horizon=%s quantum=%s tleft=%s \
+         kleft=%s recovering=%d"
+        (g q.params.Fault.Params.lambda)
+        (g q.params.Fault.Params.c) (g q.params.Fault.Params.r)
+        (g q.params.Fault.Params.d) (g q.horizon) (g q.quantum) (g q.tleft)
+        (match q.kleft with None -> "-" | Some k -> string_of_int k)
+        (if q.recovering then 1 else 0)
+
+(* key=value fields after the leading keyword; order-insensitive,
+   duplicates rejected, every field mandatory — a stricter parse than
+   the single producer needs, but the journal outlives the producer. *)
+let fields_of tokens =
+  let rec go acc = function
+    | [] -> Ok acc
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "malformed field %S" tok)
+        | Some i ->
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            if List.mem_assoc k acc then
+              Error (Printf.sprintf "duplicate field %S" k)
+            else go ((k, v) :: acc) rest)
+  in
+  go [] tokens
+
+let float_field fields name =
+  match List.assoc_opt name fields with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad float %S for %S" v name))
+
+let int_field fields name =
+  match List.assoc_opt name fields with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad int %S for %S" v name))
+
+let ( let* ) = Result.bind
+
+let query_of_fields fields =
+  let* lambda = float_field fields "lambda" in
+  let* c = float_field fields "c" in
+  let* r = float_field fields "r" in
+  let* d = float_field fields "d" in
+  let* horizon = float_field fields "horizon" in
+  let* quantum = float_field fields "quantum" in
+  let* tleft = float_field fields "tleft" in
+  let* kleft =
+    match List.assoc_opt "kleft" fields with
+    | None -> Error "missing field \"kleft\""
+    | Some "-" -> Ok None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some k when k >= 0 -> Ok (Some k)
+        | _ -> Error (Printf.sprintf "bad kleft %S" v))
+  in
+  let* recovering =
+    let* i = int_field fields "recovering" in
+    match i with
+    | 0 -> Ok false
+    | 1 -> Ok true
+    | _ -> Error "recovering must be 0 or 1"
+  in
+  let* params =
+    match Fault.Params.make ~lambda ~c ~r ~d with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg
+  in
+  if quantum <= 0.0 then Error "quantum must be > 0"
+  else if horizon <= 0.0 then Error "horizon must be > 0"
+  else Ok { params; horizon; quantum; tleft; kleft; recovering }
+
+let request_of_string text =
+  match String.split_on_char ' ' (String.trim text) with
+  | [ "ping" ] -> Ok Ping
+  | [ "stats" ] -> Ok Stats
+  | "query" :: rest ->
+      let* fields = fields_of rest in
+      let* q = query_of_fields fields in
+      Ok (Query q)
+  | keyword :: _ -> Error (Printf.sprintf "unknown request %S" keyword)
+  | [] -> Error "empty request"
+
+let response_to_string = function
+  | Pong -> "pong"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Failed msg -> "error " ^ msg
+  | Answer a -> Printf.sprintf "answer next=%s k=%d work=%s" (g a.next) a.k (g a.work)
+  | Stats_reply s ->
+      Printf.sprintf "stats builds=%d hits=%d evictions=%d tables=%d bytes=%d"
+        s.Experiments.Strategy.Cache.s_builds s.s_hits s.s_evictions
+        s.s_resident_tables s.s_resident_bytes
+
+let response_of_string text =
+  let text = String.trim text in
+  match String.split_on_char ' ' text with
+  | [ "pong" ] -> Ok Pong
+  | [ "overloaded" ] -> Ok Overloaded
+  | [ "timeout" ] -> Ok Timeout
+  | "error" :: _ ->
+      (* the message is free text: everything after the keyword *)
+      let msg =
+        if String.length text > 6 then String.sub text 6 (String.length text - 6)
+        else ""
+      in
+      Ok (Failed msg)
+  | "answer" :: rest ->
+      let* fields = fields_of rest in
+      let* next = float_field fields "next" in
+      let* k = int_field fields "k" in
+      let* work = float_field fields "work" in
+      Ok (Answer { next; k; work })
+  | "stats" :: rest ->
+      let* fields = fields_of rest in
+      let* s_builds = int_field fields "builds" in
+      let* s_hits = int_field fields "hits" in
+      let* s_evictions = int_field fields "evictions" in
+      let* s_resident_tables = int_field fields "tables" in
+      let* s_resident_bytes = int_field fields "bytes" in
+      Ok
+        (Stats_reply
+           {
+             Experiments.Strategy.Cache.s_builds;
+             s_hits;
+             s_evictions;
+             s_resident_tables;
+             s_resident_bytes;
+           })
+  | keyword :: _ -> Error (Printf.sprintf "unknown response %S" keyword)
+  | [] -> Error "empty response"
+
+let render_response = function
+  | Pong -> "pong"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Failed msg -> "error: " ^ msg
+  | Answer a -> Printf.sprintf "next=%g k=%d work=%g" a.next a.k a.work
+  | Stats_reply s ->
+      Printf.sprintf "builds=%d hits=%d evictions=%d tables=%d bytes=%d"
+        s.Experiments.Strategy.Cache.s_builds s.s_hits s.s_evictions
+        s.s_resident_tables s.s_resident_bytes

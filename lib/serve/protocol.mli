@@ -1,0 +1,69 @@
+(** The serve request/reply language.
+
+    One line of [key=value] text per message, floats rendered with
+    [%.17g] so every query parameter round-trips exactly — two clients
+    asking about the same platform hash to the same cache key on the
+    server, and a journaled request replays bit-identically. Parsing is
+    total: a malformed payload becomes an [Error] string (answered as
+    {!Failed}), never an exception out of a worker.
+
+    Requests:
+    {v
+    ping
+    stats
+    query lambda=G c=G r=G d=G horizon=G quantum=G tleft=G kleft=(INT|-) recovering=(0|1)
+    v}
+
+    Replies:
+    {v
+    pong
+    stats builds=N hits=N evictions=N tables=N bytes=N
+    answer next=G k=N work=G
+    overloaded
+    timeout
+    error MESSAGE
+    v} *)
+
+type query = {
+  params : Fault.Params.t;
+  horizon : float;  (** reservation length [T] the DP tables cover *)
+  quantum : float;  (** DP time quantum [u] *)
+  tleft : float;  (** remaining reservation time at the query instant *)
+  kleft : int option;
+      (** checkpoints still available when re-planning after a failure;
+          [None] means unconstrained ([kmax]). Ignored unless
+          [recovering]. *)
+  recovering : bool;
+      (** true when the execution just recovered from a failure — the
+          [δ = 1] re-plan states of Equation (8) *)
+}
+
+type request = Ping | Stats | Query of query
+
+type answer = {
+  next : float;
+      (** completion time of the optimal first checkpoint, in time
+          units from the query instant; [0] = checkpointing now is not
+          worth it (or nothing fits) *)
+  k : int;  (** the checkpoint count the plan commits to; [0] = none *)
+  work : float;  (** optimal expected work for the remaining time *)
+}
+
+type response =
+  | Answer of answer
+  | Stats_reply of Experiments.Strategy.Cache.stats
+  | Pong
+  | Overloaded
+      (** shed at admission: the bounded request queue was full *)
+  | Timeout  (** the per-request budget expired before an answer *)
+  | Failed of string  (** malformed request or server-side error *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+
+val render_response : response -> string
+(** Human-facing one-liner for the CLI ([next=120 k=3 work=1500] style),
+    as opposed to the wire spelling. *)

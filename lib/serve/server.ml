@@ -1,0 +1,226 @@
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  budget : float option;
+  slow : float;
+  journal : string option;
+  chaos : Robust.Chaos.t option;
+  chaos_fs : Robust.Chaos_fs.t option;
+  max_tables : int option;
+  max_bytes : int option;
+  quiet : bool;
+}
+
+let journal_header = "fixedlen-serve-journal v1"
+let journal_point = "serve-journal"
+
+type state = {
+  cfg : config;
+  handler : Handler.t;
+  metrics : Metrics.t;
+  queue : Unix.file_descr Bqueue.t;
+  journal : Robust.Durable.Framed.writer option;
+  journal_lock : Mutex.t;
+  stop : bool Atomic.t;
+}
+
+let is_query payload =
+  String.length payload >= 5 && String.equal (String.sub payload 0 5) "query"
+
+(* Journal the request before answering it. Best-effort on injected
+   I/O errors (Framed.append already repaired the tail; the answer is
+   worth more than the journal line) — but a chaos {e crash} point is a
+   SIGKILL inside the append, which is the whole point of the drill. *)
+let journal_request t payload =
+  match t.journal with
+  | Some writer when is_query payload -> (
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () ->
+          try Robust.Durable.Framed.append writer payload
+          with Unix.Unix_error _ | Sys_error _ -> ()))
+  | _ -> ()
+
+let reply_string = Protocol.response_to_string
+
+let serve_connection t fd =
+  let send_or_give_up resp =
+    try
+      Wire.send fd (reply_string resp);
+      true
+    with Unix.Unix_error _ -> false
+  in
+  let rec loop () =
+    match Wire.recv fd with
+    | Error Wire.Closed -> ()
+    | Error (Wire.Torn why) ->
+        (* Framing is gone; answer what we can and hang up. *)
+        Metrics.incr_failed t.metrics;
+        ignore (send_or_give_up (Protocol.Failed ("torn frame: " ^ why)))
+    | Ok payload ->
+        Metrics.incr_requests t.metrics;
+        journal_request t payload;
+        let resp = Handler.handle_payload t.handler payload in
+        (match resp with
+        | Protocol.Timeout -> Metrics.incr_timeouts t.metrics
+        | Protocol.Failed _ -> Metrics.incr_failed t.metrics
+        | _ -> Metrics.incr_answered t.metrics);
+        if send_or_give_up resp then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let rec worker_loop t =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some fd ->
+      serve_connection t fd;
+      worker_loop t
+
+(* Admission control lives in the accept loop: a connection the queue
+   will not take is answered and closed here, so shedding stays O(1)
+   and cannot be starved by busy workers. *)
+let accept_one t lsock =
+  match Unix.accept lsock with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _ ->
+      if Bqueue.try_push t.queue fd then Metrics.incr_accepted t.metrics
+      else begin
+        Metrics.incr_shed t.metrics;
+        (try Wire.send fd (reply_string Protocol.Overloaded)
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+
+let rec accept_loop t lsock =
+  if not (Atomic.get t.stop) then begin
+    (* The timeout is the shutdown-latency bound: signal handlers only
+       set the flag; this loop observes it within 0.2 s. *)
+    (match Unix.select [ lsock ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> accept_one t lsock);
+    accept_loop t lsock
+  end
+
+let open_journal (cfg : config) =
+  match cfg.journal with
+  | None -> (None, 0)
+  | Some path ->
+      if Sys.file_exists path then begin
+        let scan = Robust.Durable.Framed.scan ~path in
+        match scan.Robust.Durable.Framed.header with
+        | Some h when String.equal h journal_header ->
+            let keep =
+              match scan.Robust.Durable.Framed.tail_error with
+              | None -> scan.Robust.Durable.Framed.length
+              | Some (offset, _) -> offset
+            in
+            ( Some
+                (Robust.Durable.Framed.open_append ?chaos:cfg.chaos_fs
+                   ~point:journal_point ~path ~keep ()),
+              List.length scan.Robust.Durable.Framed.records )
+        | _ ->
+            (* Unrecognised or torn header: park the sick file, start
+               fresh — same policy as every other Framed store here. *)
+            ignore
+              (Robust.Durable.quarantine ~path
+                 ~reason:"unrecognised serve journal header");
+            ( Some
+                (Robust.Durable.Framed.create ?chaos:cfg.chaos_fs
+                   ~point:journal_point ~path ~header:journal_header ()),
+              0 )
+      end
+      else
+        ( Some
+            (Robust.Durable.Framed.create ?chaos:cfg.chaos_fs
+               ~point:journal_point ~path ~header:journal_header ()),
+          0 )
+
+let say cfg fmt =
+  Printf.ksprintf
+    (fun line ->
+      if not cfg.quiet then begin
+        print_string line;
+        print_newline ();
+        flush stdout
+      end)
+    fmt
+
+let run cfg =
+  if cfg.workers < 1 then invalid_arg "Server.run: workers < 1";
+  (* A dead client mid-reply must be EPIPE, not a process kill. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  match
+    let cache =
+      Experiments.Strategy.Cache.create ?max_tables:cfg.max_tables
+        ?max_bytes:cfg.max_bytes ()
+    in
+    let handler =
+      Handler.create
+        ?budget:cfg.budget
+        ~slow:cfg.slow ?chaos:cfg.chaos ~cache ()
+    in
+    let journal, recovered = open_journal cfg in
+    let t =
+      {
+        cfg;
+        handler;
+        metrics = Metrics.create ();
+        queue = Bqueue.create ~capacity:cfg.queue_capacity;
+        journal;
+        journal_lock = Mutex.create ();
+        stop;
+      }
+    in
+    (* The daemon owns its socket path: a stale file left by a SIGKILLed
+       predecessor would make bind fail, so clear it first. *)
+    if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+    let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind lsock (Unix.ADDR_UNIX cfg.socket_path);
+    Unix.listen lsock 64;
+    (t, lsock, recovered)
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Printf.eprintf "serve: cannot listen: %s (%s)\n%!"
+        (Unix.error_message err) fn;
+      1
+  | t, lsock, recovered ->
+      (match cfg.journal with
+      | Some path -> say cfg "serve: journal %s recovered=%d" path recovered
+      | None -> ());
+      say cfg "serve: listening on %s workers=%d queue=%d" cfg.socket_path
+        cfg.workers cfg.queue_capacity;
+      (* Worker loops live on pool domains; the dispatcher thread
+         participates as the pool's calling worker, so [workers] loops
+         run concurrently while the main thread keeps the accept loop
+         (and signal delivery) to itself. *)
+      let pool = Parallel.Pool.create ~domains:cfg.workers () in
+      let workers =
+        Thread.create
+          (fun () ->
+            Parallel.Pool.map pool
+              ~f:(fun _ -> worker_loop t)
+              (Array.init cfg.workers Fun.id))
+          ()
+      in
+      accept_loop t lsock;
+      (* Drain: no new admissions, finish everything already admitted,
+         then make the journal durable before reporting. *)
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+      Bqueue.close t.queue;
+      ignore (Thread.join workers);
+      Parallel.Pool.shutdown pool;
+      (match t.journal with
+      | Some writer -> Robust.Durable.Framed.close writer
+      | None -> ());
+      say cfg "serve: drained %s" (Metrics.summary t.metrics);
+      0

@@ -1,0 +1,54 @@
+(** The policy-as-a-service daemon.
+
+    One Unix-domain listening socket; the main thread runs the accept
+    loop and admission control, worker loops run on {!Parallel.Pool}
+    domains and pull accepted connections from a bounded {!Bqueue}. A
+    connection carries any number of framed requests ({!Wire}), each
+    answered in order by the shared {!Handler}.
+
+    Lifecycle and failure story:
+
+    - {e admission}: a connection that does not fit in the queue is
+      answered [overloaded] and closed by the accept loop itself —
+      bounded queue, bounded latency, explicit shedding.
+    - {e drain} (SIGTERM/SIGINT): the accept loop stops, the queue is
+      closed, workers finish every connection already admitted, the
+      request journal is synced and closed, a final summary line is
+      printed, exit 0. No in-flight request is abandoned.
+    - {e crash} (SIGKILL, power loss): the optional request journal is a
+      {!Robust.Durable.Framed} store, so a restart scans it, truncates
+      the torn tail, reports how many requests it recovered, and serves
+      again — and because answers are pure functions of the tables,
+      re-asked queries produce bit-identical replies after the crash.
+    - {e chaos}: [chaos] injects faults into the handler (answered as
+      typed errors); [chaos_fs] injects filesystem faults — including
+      named crash points — into the journal writes, which is how the
+      crash drill above is made deterministic.
+
+    The daemon never re-raises out of a request: a sick request gets a
+    typed reply, a sick connection gets closed, the process stays up
+    until asked (or SIGKILLed). *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** concurrent worker loops; [>= 1] *)
+  queue_capacity : int;
+      (** admission bound; 0 sheds every connection (overload drill) *)
+  budget : float option;  (** per-query seconds; [None] = unlimited *)
+  slow : float;  (** injected per-query delay (timeout drill); default 0 *)
+  journal : string option;  (** framed request journal path *)
+  chaos : Robust.Chaos.t option;
+  chaos_fs : Robust.Chaos_fs.t option;
+  max_tables : int option;  (** cache LRU bound, tables *)
+  max_bytes : int option;  (** cache LRU bound, summed table bytes *)
+  quiet : bool;  (** suppress the listening/drained lines *)
+}
+
+val journal_header : string
+(** First line of the request journal file. *)
+
+val run : config -> int
+(** Serve until SIGTERM/SIGINT, then drain; returns the process exit
+    code (0 after a clean drain, 1 on a startup error such as an
+    unbindable socket). Installs SIGTERM/SIGINT/SIGPIPE handlers —
+    call once, from the main thread of a process that owns them. *)

@@ -1,0 +1,79 @@
+type error = Closed | Torn of string
+
+let error_message = function
+  | Closed -> "connection closed"
+  | Torn why -> "torn frame: " ^ why
+
+let max_frame = 1 lsl 20
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let send fd payload =
+  let bytes = Robust.Durable.Framed.frame payload in
+  let len = String.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let n =
+      restart_on_eintr (fun () ->
+          Unix.write_substring fd bytes !off (len - !off))
+    in
+    off := !off + n
+  done
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  if restart_on_eintr (fun () -> Unix.read fd b 0 1) = 0 then None
+  else Some (Bytes.get b 0)
+
+(* [None] on EOF before [len] bytes arrived. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Some (Bytes.unsafe_to_string buf)
+    else
+      let n = restart_on_eintr (fun () -> Unix.read fd buf off (len - off)) in
+      if n = 0 then None else go (off + n)
+  in
+  go 0
+
+(* The decimal length prefix, ended by the separating space. Kept as the
+   raw digit string so the final byte-for-byte comparison against
+   [Framed.frame payload] also rejects non-canonical renderings (leading
+   zeros) instead of silently normalising them. *)
+let read_prefix fd =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match read_byte fd with
+    | None ->
+        if Buffer.length buf = 0 then Error Closed
+        else Error (Torn "eof inside length prefix")
+    | Some ' ' when Buffer.length buf > 0 -> (
+        let digits = Buffer.contents buf in
+        match int_of_string_opt digits with
+        | Some len when len >= 0 && len <= max_frame -> Ok (digits, len)
+        | Some _ -> Error (Torn "frame larger than max_frame")
+        | None -> Error (Torn "unparseable length prefix"))
+    | Some ('0' .. '9' as c) ->
+        if Buffer.length buf >= 8 then Error (Torn "oversized length prefix")
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | Some _ -> Error (Torn "non-digit in length prefix")
+  in
+  go ()
+
+let recv fd =
+  match read_prefix fd with
+  | Error _ as e -> e
+  | Ok (digits, len) -> (
+      (* payload, then " <16-hex>\n". *)
+      match read_exact fd (len + 18) with
+      | None -> Error (Torn "eof inside frame body")
+      | Some body ->
+          let payload = String.sub body 0 len in
+          let received = digits ^ " " ^ body in
+          if String.equal received (Robust.Durable.Framed.frame payload) then
+            Ok payload
+          else Error (Torn "checksum mismatch"))

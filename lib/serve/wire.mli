@@ -1,0 +1,35 @@
+(** Checksummed message framing over a stream socket.
+
+    The wire format {e is} the {!Robust.Durable.Framed} record format —
+    one [<len> <payload> <fnv64-hex>\n] frame per message, no header
+    line. Reusing the journal framing buys the wire the same properties
+    the on-disk store has: a frame torn by a dying peer or a corrupted
+    byte is detected by the length/checksum pair and rejected as
+    {!Torn}, never half-parsed, and the serve request journal can store
+    request payloads byte-identically to how they crossed the wire.
+
+    Frames are bounded by {!max_frame} so a malformed length prefix
+    cannot make the server allocate unbounded memory. *)
+
+type error =
+  | Closed  (** clean EOF at a frame boundary *)
+  | Torn of string
+      (** damaged or truncated frame: bad length prefix, short body,
+          checksum mismatch, or a frame beyond {!max_frame} *)
+
+val error_message : error -> string
+
+val max_frame : int
+(** Maximum accepted payload length (1 MiB) — far above any protocol
+    message, far below harm. *)
+
+val send : Unix.file_descr -> string -> unit
+(** Write one framed payload (loops on short writes, restarts on
+    [EINTR]). Raises [Unix.Unix_error] on a dead peer — with [SIGPIPE]
+    ignored that is [EPIPE], not a process kill. *)
+
+val recv : Unix.file_descr -> (string, error) result
+(** Read one frame and return its verified payload. The received bytes
+    are re-framed with {!Robust.Durable.Framed.frame} and compared
+    byte-for-byte, so acceptance means exactly: this is the framing the
+    sender's [frame] produced for this payload. *)

@@ -1,0 +1,107 @@
+Serve drill: the daemon's failure disciplines end to end — crash
+recovery from the request journal, overload shedding at admission,
+per-request budgets, LRU eviction surfaced through stats, and a
+graceful SIGTERM drain.
+
+Crash drill. The daemon journals every query and is armed to SIGKILL
+itself during the 4th journal append (--chaos-crash-at serve-journal:3
+= crash during the write that follows 3 complete appends).
+
+  $ ../../bin/main.exe serve --socket s.sock --journal j.log \
+  >   --chaos-crash-at serve-journal:3 --quiet &
+  $ DPID=$!
+  $ ../../bin/main.exe query --socket s.sock --ping --retry 8 --retry-base 0.1
+  pong
+
+Three queries are answered (and fsync'd into the journal one by one):
+
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.001 -c 20 -t 500 \
+  >   | tee q1
+  next=245 k=2 work=395.864
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.001 -c 20 -t 500 \
+  >   --left 120 --recovering --kleft 2 | tee q2
+  next=120 k=1 work=73.8321
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.002 -c 40 -t 400 > q3
+
+The 4th query trips the crash point mid-append: the daemon dies with
+SIGKILL (137) under the client, which reports the dropped connection.
+
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.005 -c 10 -t 300 \
+  >   > /dev/null 2>&1
+  [1]
+  $ wait $DPID
+  [137]
+
+Restart on the same journal (chaos disarmed, cache now LRU-bounded to
+2 tables). The torn 4th record is truncated; the 3 fsync'd requests
+are recovered and reported.
+
+  $ ../../bin/main.exe serve --socket s.sock --journal j.log \
+  >   --cache-tables 2 > serve2.log &
+  $ DPID=$!
+  $ ../../bin/main.exe query --socket s.sock --ping --retry 8 --retry-base 0.1
+  pong
+  $ grep -o "recovered=3" serve2.log
+  recovered=3
+
+Every pre-crash query replays bit-identically — the %.17g wire floats
+hash to the same cache keys, the rebuilt tables are deterministic.
+
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.001 -c 20 -t 500 > r1
+  $ cmp q1 r1
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.001 -c 20 -t 500 \
+  >   --left 120 --recovering --kleft 2 > r2
+  $ cmp q2 r2
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.002 -c 40 -t 400 > r3
+  $ cmp q3 r3
+
+And the query the crash swallowed is simply asked again:
+
+  $ ../../bin/main.exe query --socket s.sock --lambda 0.005 -c 10 -t 300 \
+  >   > /dev/null
+
+The replay needed 3 distinct tables under a 2-table bound: the re-plan
+query hit the fresh-plan table (same platform and horizon), the third
+build evicted the least recently used one.
+
+  $ ../../bin/main.exe query --socket s.sock --stats \
+  >   | grep -o "builds=3 hits=1 evictions=1 tables=2"
+  builds=3 hits=1 evictions=1 tables=2
+
+SIGTERM drains gracefully: in-flight work finishes, the journal is
+closed durably, the exit is clean and the summary accounts every
+connection this daemon saw.
+
+  $ kill -TERM $DPID
+  $ wait $DPID
+  $ grep -o "drained accepted=6 shed=0 requests=6 answered=6" serve2.log
+  drained accepted=6 shed=0 requests=6 answered=6
+
+Overload drill. A queue capacity of 0 sheds every connection with a
+typed reply (exit 4) — also through the client's decorrelated-jitter
+retry path, which re-asks and is shed each time.
+
+  $ ../../bin/main.exe serve --socket o.sock --queue 0 --quiet &
+  $ OPID=$!
+  $ while [ ! -S o.sock ]; do sleep 0.05; done
+  $ ../../bin/main.exe query --socket o.sock --ping --retry 3 \
+  >   --retry-base 0.01 --retry-decorrelated
+  overloaded
+  [4]
+  $ kill -TERM $OPID
+  $ wait $OPID
+
+Timeout drill. A per-request budget of 0.05 s against a handler that
+sleeps 0.3 s per query: the reply is a typed timeout (exit 5), not a
+stall. Pings skip the query path, so readiness still answers fast.
+
+  $ ../../bin/main.exe serve --socket t.sock --slow 0.3 \
+  >   --request-budget 0.05 --quiet &
+  $ TPID=$!
+  $ ../../bin/main.exe query --socket t.sock --ping --retry 8 --retry-base 0.1
+  pong
+  $ ../../bin/main.exe query --socket t.sock --lambda 0.001 -c 20 -t 500
+  timeout
+  [5]
+  $ kill -TERM $TPID
+  $ wait $TPID

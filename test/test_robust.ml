@@ -153,6 +153,93 @@ let test_retry_attempt_numbering () =
     ]
     (List.rev !slept)
 
+let test_retry_decorrelated_jitter () =
+  (* d_k = min (cap, base + u_k * (3 d_(k-1) - base)), d_0 = base: every
+     delay is in [base, min (cap, 3 d_(k-1))], deterministic per
+     (seed, key, attempt), and key-dependent. *)
+  let base = 0.05 and cap = 1.0 in
+  let policy =
+    Retry.make ~attempts:8 ~base_delay:base ~decorrelated:true ~max_delay:cap
+      ~seed:42L ()
+  in
+  let prev = ref base in
+  for attempt = 1 to 7 do
+    let d = Retry.delay_before policy ~key:3 ~attempt in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "attempt %d replayable" attempt)
+      d
+      (Retry.delay_before policy ~key:3 ~attempt);
+    let hi = Float.min cap (3.0 *. !prev) in
+    if d < base -. 1e-12 || d > hi +. 1e-12 then
+      Alcotest.failf "attempt %d delay %g outside [%g, %g]" attempt d base hi;
+    prev := d
+  done;
+  let distinct =
+    List.exists
+      (fun key ->
+        Retry.delay_before policy ~key ~attempt:2
+        <> Retry.delay_before policy ~key:3 ~attempt:2)
+      [ 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "jitter varies with key" true distinct
+
+let test_retry_max_delay_clamps_both_modes () =
+  (* Exponential growth hits the cap quickly at multiplier 2... *)
+  let exp_policy =
+    Retry.make ~attempts:12 ~base_delay:0.1 ~multiplier:2.0 ~jitter:0.0
+      ~max_delay:0.5 ~seed:1L ()
+  in
+  for attempt = 1 to 11 do
+    let d = Retry.delay_before exp_policy ~key:0 ~attempt in
+    if d > 0.5 +. 1e-12 then
+      Alcotest.failf "exponential attempt %d delay %g exceeds cap" attempt d
+  done;
+  Alcotest.(check (float 1e-12))
+    "deep exponential attempt sits at the cap" 0.5
+    (Retry.delay_before exp_policy ~key:0 ~attempt:11);
+  (* ... and decorrelated delays never pierce it either. *)
+  let dec_policy =
+    Retry.make ~attempts:32 ~base_delay:0.1 ~decorrelated:true ~max_delay:0.3
+      ~seed:2L ()
+  in
+  for attempt = 1 to 31 do
+    let d = Retry.delay_before dec_policy ~key:5 ~attempt in
+    if d > 0.3 +. 1e-12 then
+      Alcotest.failf "decorrelated attempt %d delay %g exceeds cap" attempt d
+  done
+
+let test_retry_decorrelated_run_schedule () =
+  (* Attempt numbering is mode-independent: a failing run sleeps exactly
+     delay_before ~attempt:1 .. attempts-1, same as exponential mode. *)
+  let policy =
+    Retry.make ~attempts:4 ~base_delay:0.02 ~decorrelated:true ~seed:11L ()
+  in
+  (match Retry.delay_before policy ~key:0 ~attempt:0 with
+  | (_ : float) -> Alcotest.fail "delay before the first attempt accepted"
+  | exception Invalid_argument _ -> ());
+  let slept = ref [] in
+  (match
+     Retry.run
+       ~sleep:(fun d -> slept := d :: !slept)
+       policy ~key:21
+       (fun ~attempt:_ -> failwith "always")
+   with
+  | Ok _ -> Alcotest.fail "unexpected success"
+  | Error _ -> ());
+  Alcotest.(check (list (float 0.0)))
+    "decorrelated backoff schedule"
+    [
+      Retry.delay_before policy ~key:21 ~attempt:1;
+      Retry.delay_before policy ~key:21 ~attempt:2;
+      Retry.delay_before policy ~key:21 ~attempt:3;
+    ]
+    (List.rev !slept)
+
+let test_retry_decorrelated_validation () =
+  match Retry.make ~max_delay:(-0.5) () with
+  | (_ : Retry.t) -> Alcotest.fail "negative max_delay accepted"
+  | exception Invalid_argument _ -> ()
+
 (* Chaos *)
 
 let test_chaos_rate_extremes () =
@@ -899,6 +986,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_retry_validation;
           Alcotest.test_case "attempt numbering convention" `Quick
             test_retry_attempt_numbering;
+          Alcotest.test_case "decorrelated jitter" `Quick
+            test_retry_decorrelated_jitter;
+          Alcotest.test_case "max_delay clamps both modes" `Quick
+            test_retry_max_delay_clamps_both_modes;
+          Alcotest.test_case "decorrelated run schedule" `Quick
+            test_retry_decorrelated_run_schedule;
+          Alcotest.test_case "decorrelated validation" `Quick
+            test_retry_decorrelated_validation;
         ] );
       ( "chaos",
         [

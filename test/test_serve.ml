@@ -1,0 +1,350 @@
+(* Tests for the serve daemon's socket-free layers: the wire protocol
+   text, the framing over a socketpair, the bounded admission queue, and
+   the request handler (answers checked against the DP tables directly,
+   timeout on an injected clock, chaos, kleft capping). The end-to-end
+   daemon drills — crash recovery, shedding under load, SIGTERM drain —
+   live in serve_drill.t. *)
+
+module Protocol = Serve.Protocol
+module Wire = Serve.Wire
+module Bqueue = Serve.Bqueue
+module Handler = Serve.Handler
+module Strategy = Experiments.Strategy
+
+let params = Fault.Params.paper ~lambda:0.001 ~c:20.0 ~d:0.0
+
+let query ?(tleft = 500.0) ?kleft ?(recovering = false) () =
+  {
+    Protocol.params;
+    horizon = 500.0;
+    quantum = 1.0;
+    tleft;
+    kleft;
+    recovering;
+  }
+
+(* protocol text *)
+
+let test_request_round_trip () =
+  let requests =
+    [
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Query (query ());
+      Protocol.Query (query ~tleft:120.5 ~kleft:3 ~recovering:true ());
+      (* a quantum %g cannot render exactly: %.17g must round-trip it *)
+      Protocol.Query { (query ()) with Protocol.quantum = 1.0 /. 3.0 };
+    ]
+  in
+  List.iter
+    (fun req ->
+      let spelled = Protocol.request_to_string req in
+      match Protocol.request_of_string spelled with
+      | Ok req' when req' = req -> ()
+      | Ok _ -> Alcotest.failf "%S parsed back differently" spelled
+      | Error e -> Alcotest.failf "%S rejected: %s" spelled e)
+    requests
+
+let test_response_round_trip () =
+  let responses =
+    [
+      Protocol.Pong;
+      Protocol.Overloaded;
+      Protocol.Timeout;
+      Protocol.Answer { Protocol.next = 245.0; k = 2; work = 395.25 };
+      Protocol.Answer { Protocol.next = 0.0; k = 0; work = 0.0 };
+      Protocol.Stats_reply
+        {
+          Strategy.Cache.s_builds = 3;
+          s_hits = 6;
+          s_evictions = 1;
+          s_resident_tables = 2;
+          s_resident_bytes = 393786;
+        };
+      Protocol.Failed "bad float \"nope\" for \"lambda\"";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let spelled = Protocol.response_to_string resp in
+      match Protocol.response_of_string spelled with
+      | Ok resp' when resp' = resp -> ()
+      | Ok _ -> Alcotest.failf "%S parsed back differently" spelled
+      | Error e -> Alcotest.failf "%S rejected: %s" spelled e)
+    responses
+
+let test_malformed_requests () =
+  let rejected payload =
+    match Protocol.request_of_string payload with
+    | Ok _ -> Alcotest.failf "%S accepted" payload
+    | Error _ -> ()
+  in
+  rejected "";
+  rejected "bogus";
+  rejected "query lambda=0.001" (* missing fields *);
+  rejected
+    "query lambda=x c=20 r=20 d=0 horizon=500 quantum=1 tleft=500 kleft=- \
+     recovering=0" (* bad float *);
+  rejected
+    "query lambda=0.001 c=20 r=20 d=0 horizon=500 quantum=1 tleft=500 \
+     kleft=- recovering=0 c=21" (* duplicate field *);
+  rejected
+    "query lambda=-1 c=20 r=20 d=0 horizon=500 quantum=1 tleft=500 kleft=- \
+     recovering=0" (* Params.make must reject, as an Error not a raise *)
+
+(* wire framing over a socketpair *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let test_wire_round_trip () =
+  with_socketpair (fun a b ->
+      let payloads = [ "ping"; "stats"; String.make 512 'x'; "" ] in
+      List.iter (fun p -> Wire.send a p) payloads;
+      List.iter
+        (fun p ->
+          match Wire.recv b with
+          | Ok got -> Alcotest.(check string) "payload" p got
+          | Error e -> Alcotest.failf "recv failed: %s" (Wire.error_message e))
+        payloads)
+
+let test_wire_closed_and_torn () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      (match Wire.recv b with
+      | Error Wire.Closed -> ()
+      | Error (Wire.Torn why) -> Alcotest.failf "EOF diagnosed as torn: %s" why
+      | Ok p -> Alcotest.failf "read %S from a closed peer" p));
+  with_socketpair (fun a b ->
+      (* A corrupted checksum must be a torn frame, not a payload. *)
+      let frame = Robust.Durable.Framed.frame "ping" in
+      let bad = Bytes.of_string frame in
+      let last_hex = Bytes.length bad - 2 in
+      Bytes.set bad last_hex
+        (if Bytes.get bad last_hex = '0' then '1' else '0');
+      let n = Unix.write a bad 0 (Bytes.length bad) in
+      Alcotest.(check int) "wrote the whole frame" (Bytes.length bad) n;
+      match Wire.recv b with
+      | Error (Wire.Torn _) -> ()
+      | Error Wire.Closed -> Alcotest.fail "corruption diagnosed as EOF"
+      | Ok p -> Alcotest.failf "accepted corrupted frame as %S" p)
+
+(* bounded queue *)
+
+let test_bqueue_bound_and_fifo () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "full queue refuses" false (Bqueue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "slot freed" true (Bqueue.try_push q 3);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Bqueue.pop q)
+
+let test_bqueue_capacity_zero_sheds_all () =
+  let q = Bqueue.create ~capacity:0 in
+  Alcotest.(check bool) "sheds everything" false (Bqueue.try_push q 1);
+  (match Bqueue.create ~capacity:(-1) with
+  | (_ : int Bqueue.t) -> Alcotest.fail "negative capacity accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_bqueue_close_drains () =
+  let q = Bqueue.create ~capacity:4 in
+  Alcotest.(check bool) "push before close" true (Bqueue.try_push q 1);
+  Bqueue.close q;
+  Bqueue.close q (* idempotent *);
+  Alcotest.(check bool) "push after close refused" false (Bqueue.try_push q 2);
+  Alcotest.(check (option int)) "drains queued item" (Some 1) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then signals done" None (Bqueue.pop q)
+
+let test_bqueue_close_wakes_blocked_popper () =
+  let q = Bqueue.create ~capacity:1 in
+  let got = ref (Some 0) in
+  let popper = Thread.create (fun () -> got := Bqueue.pop q) () in
+  Thread.delay 0.05;
+  Bqueue.close q;
+  Thread.join popper;
+  Alcotest.(check (option int)) "blocked pop returns None on close" None !got
+
+(* handler *)
+
+let test_handler_ping_and_stats () =
+  let cache = Strategy.Cache.create () in
+  let h = Handler.create ~cache () in
+  (match Handler.handle h Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "ping did not pong");
+  (match Handler.handle h Protocol.Stats with
+  | Protocol.Stats_reply st ->
+      Alcotest.(check int) "cold cache: no builds" 0
+        st.Strategy.Cache.s_builds
+  | _ -> Alcotest.fail "stats did not reply with stats");
+  (match Handler.handle h (Protocol.Query (query ())) with
+  | Protocol.Answer _ -> ()
+  | r -> Alcotest.failf "query failed: %s" (Protocol.render_response r));
+  match Handler.handle h Protocol.Stats with
+  | Protocol.Stats_reply st ->
+      Alcotest.(check int) "query built one table" 1
+        st.Strategy.Cache.s_builds
+  | _ -> Alcotest.fail "stats did not reply with stats"
+
+(* The handler's answers restated from the DP table it queried — the
+   same recursion Core.Dp.policy replans with. *)
+let check_answer_against_table h q =
+  let dp =
+    Core.Dp.build ~params:q.Protocol.params ~quantum:q.Protocol.quantum
+      ~horizon:q.Protocol.horizon ()
+  in
+  let u = Core.Dp.quantum dp in
+  let n =
+    min
+      (int_of_float (Float.floor ((q.Protocol.tleft /. u) +. 1e-9)))
+      (Core.Dp.horizon_quanta dp)
+  in
+  let expect_k, delta =
+    if not q.Protocol.recovering then (Core.Dp.best_k dp ~n ~delta:false, false)
+    else
+      let cap =
+        match q.Protocol.kleft with
+        | None -> Core.Dp.kmax dp
+        | Some k -> min (max 1 k) (Core.Dp.kmax dp)
+      in
+      (Core.Dp.arg_best_m dp ~n ~k:cap, true)
+  in
+  match Handler.handle h (Protocol.Query q) with
+  | Protocol.Answer a ->
+      if expect_k = 0 || n = 0 then begin
+        Alcotest.(check int) "no plan: k" 0 a.Protocol.k;
+        Alcotest.(check (float 0.0)) "no plan: next" 0.0 a.Protocol.next
+      end
+      else begin
+        Alcotest.(check int) "k" expect_k a.Protocol.k;
+        Alcotest.(check (float 0.0))
+          "next"
+          (float_of_int (Core.Dp.first_checkpoint_q dp ~n ~k:expect_k ~delta)
+          *. u)
+          a.Protocol.next;
+        Alcotest.(check (float 0.0))
+          "work"
+          (Core.Dp.expected_work_q dp ~n ~k:expect_k ~delta)
+          a.Protocol.work
+      end
+  | r -> Alcotest.failf "query failed: %s" (Protocol.render_response r)
+
+let test_handler_answers_match_tables () =
+  let cache = Strategy.Cache.create () in
+  let h = Handler.create ~cache () in
+  check_answer_against_table h (query ()) (* fresh plan, full horizon *);
+  check_answer_against_table h (query ~tleft:120.0 ()) (* fresh, mid-run *);
+  check_answer_against_table h
+    (query ~tleft:120.0 ~recovering:true ()) (* re-plan, unconstrained *);
+  check_answer_against_table h
+    (query ~tleft:120.0 ~kleft:2 ~recovering:true ()) (* re-plan, capped *);
+  check_answer_against_table h
+    (query ~tleft:120.0 ~kleft:0 ~recovering:true ())
+    (* kleft=0 is clamped to 1: a recovering execution may always place
+       one more checkpoint if the table says it pays *);
+  check_answer_against_table h (query ~tleft:0.0 ()) (* nothing left *);
+  (* One table serves every tleft at this (params, horizon, quantum). *)
+  Alcotest.(check int) "one build across all queries" 1
+    (Strategy.Cache.builds cache)
+
+let test_handler_timeout_on_injected_clock () =
+  let time = ref 0.0 in
+  let cache = Strategy.Cache.create () in
+  let h =
+    Handler.create ~budget:0.05
+      ~now:(fun () -> !time)
+      ~slow:0.1
+      ~sleep:(fun d -> time := !time +. d)
+      ~cache ()
+  in
+  (match Handler.handle h (Protocol.Query (query ())) with
+  | Protocol.Timeout -> ()
+  | r -> Alcotest.failf "expected timeout, got %s" (Protocol.render_response r));
+  (* The budget bounds the request, not the handler: a fast handler on
+     the same cache still answers. *)
+  let fast = Handler.create ~budget:10.0 ~cache () in
+  match Handler.handle fast (Protocol.Query (query ())) with
+  | Protocol.Answer _ -> ()
+  | r -> Alcotest.failf "retry failed: %s" (Protocol.render_response r)
+
+let test_handler_chaos_is_typed_failure () =
+  let cache = Strategy.Cache.create () in
+  let chaos = Robust.Chaos.create ~failure_rate:1.0 ~seed:7L () in
+  let h = Handler.create ~chaos ~cache () in
+  match Handler.handle h (Protocol.Query (query ())) with
+  | Protocol.Failed msg ->
+      Alcotest.(check bool) "names the injection" true
+        (String.length msg >= 9 && String.sub msg 0 9 = "injected:")
+  | r ->
+      Alcotest.failf "chaos leaked through as %s" (Protocol.render_response r)
+
+let test_handler_malformed_payload () =
+  let cache = Strategy.Cache.create () in
+  let h = Handler.create ~cache () in
+  (match Handler.handle_payload h "query lambda=nope" with
+  | Protocol.Failed _ -> ()
+  | r -> Alcotest.failf "malformed payload answered %s"
+           (Protocol.render_response r));
+  Alcotest.(check int) "tables untouched" 0 (Strategy.Cache.builds cache)
+
+let test_handler_validation () =
+  let cache = Strategy.Cache.create () in
+  List.iter
+    (fun thunk ->
+      match thunk () with
+      | (_ : Handler.t) -> Alcotest.fail "invalid handler accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Handler.create ~budget:0.0 ~cache ());
+      (fun () -> Handler.create ~slow:(-1.0) ~cache ());
+    ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick
+            test_request_round_trip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_round_trip;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_malformed_requests;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "round-trip" `Quick test_wire_round_trip;
+          Alcotest.test_case "closed and torn" `Quick test_wire_closed_and_torn;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "bound and fifo" `Quick test_bqueue_bound_and_fifo;
+          Alcotest.test_case "capacity zero sheds" `Quick
+            test_bqueue_capacity_zero_sheds_all;
+          Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
+          Alcotest.test_case "close wakes popper" `Quick
+            test_bqueue_close_wakes_blocked_popper;
+        ] );
+      ( "handler",
+        [
+          Alcotest.test_case "ping and stats" `Quick test_handler_ping_and_stats;
+          Alcotest.test_case "answers match the tables" `Quick
+            test_handler_answers_match_tables;
+          Alcotest.test_case "timeout on injected clock" `Quick
+            test_handler_timeout_on_injected_clock;
+          Alcotest.test_case "chaos is a typed failure" `Quick
+            test_handler_chaos_is_typed_failure;
+          Alcotest.test_case "malformed payload" `Quick
+            test_handler_malformed_payload;
+          Alcotest.test_case "validation" `Quick test_handler_validation;
+        ] );
+    ]

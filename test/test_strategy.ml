@@ -230,6 +230,119 @@ let test_warmed_sweep_identical () =
   Alcotest.(check bool) "warmed hits >= cold hits" true
     (Strategy.Cache.hits warm_cache >= Strategy.Cache.hits cold_cache)
 
+(* LRU bound: eviction order (touch-on-lookup), counters, byte bound,
+   and a rebuilt-after-eviction table being bit-identical *)
+
+let lru_dist = Fault.Trace.Exponential { rate = 0.01 }
+let lru_specs = [ Spec.Dynamic_programming { quantum = 1.0 } ]
+let lru_params lambda = Fault.Params.paper ~lambda ~c:5.0 ~d:0.0
+
+let lru_ensure cache lambda =
+  Strategy.ensure cache ~params:(lru_params lambda) ~horizon:50.0
+    ~dist:lru_dist lru_specs
+
+let dp_of cache lambda =
+  match
+    Strategy.dp_table cache ~params:(lru_params lambda) ~horizon:50.0
+      ~quantum:1.0
+  with
+  | Ok dp -> dp
+  | Error e -> Alcotest.fail (Strategy.error_message e)
+
+let test_lru_eviction_order () =
+  let cache = Strategy.Cache.create ~max_tables:2 () in
+  lru_ensure cache 0.01 (* build A *);
+  lru_ensure cache 0.02 (* build B *);
+  Alcotest.(check int) "two builds" 2 (Strategy.Cache.builds cache);
+  Alcotest.(check int) "no evictions under the bound" 0
+    (Strategy.Cache.evictions cache);
+  lru_ensure cache 0.01 (* hit: A becomes most recent *);
+  Alcotest.(check int) "hit builds nothing" 2 (Strategy.Cache.builds cache);
+  Alcotest.(check int) "one hit" 1 (Strategy.Cache.hits cache);
+  lru_ensure cache 0.03 (* build C: evicts B, the least recently used *);
+  Alcotest.(check int) "third build" 3 (Strategy.Cache.builds cache);
+  Alcotest.(check int) "one eviction" 1 (Strategy.Cache.evictions cache);
+  Alcotest.(check int) "bound holds" 2 (Strategy.Cache.resident_tables cache);
+  lru_ensure cache 0.01 (* the touched entry survived *);
+  Alcotest.(check int) "touched entry survived" 3
+    (Strategy.Cache.builds cache);
+  lru_ensure cache 0.02 (* the victim is gone: rebuild *);
+  Alcotest.(check int) "victim rebuilds" 4 (Strategy.Cache.builds cache);
+  let st = Strategy.Cache.stats cache in
+  Alcotest.(check int) "stats: builds" 4 st.Strategy.Cache.s_builds;
+  Alcotest.(check int) "stats: hits" 2 st.Strategy.Cache.s_hits;
+  Alcotest.(check int) "stats: evictions" 2 st.Strategy.Cache.s_evictions;
+  Alcotest.(check int) "stats: resident tables" 2
+    st.Strategy.Cache.s_resident_tables;
+  Alcotest.(check int) "stats: resident bytes agree"
+    (Strategy.Cache.resident_bytes cache)
+    st.Strategy.Cache.s_resident_bytes
+
+let test_lru_byte_bound () =
+  let unbounded = Strategy.Cache.create () in
+  lru_ensure unbounded 0.01;
+  let one_table = Strategy.Cache.resident_bytes unbounded in
+  Alcotest.(check bool) "a DP table has a positive footprint" true
+    (one_table > 0);
+  (* A bound smaller than one table: the lone resident entry is never
+     the eviction victim, so the cache stays answerable... *)
+  let cache = Strategy.Cache.create ~max_bytes:(one_table - 1) () in
+  lru_ensure cache 0.01;
+  Alcotest.(check int) "lone oversized table stays resident" 1
+    (Strategy.Cache.resident_tables cache);
+  Alcotest.(check int) "no eviction of the only entry" 0
+    (Strategy.Cache.evictions cache);
+  let (_ : Core.Dp.t) = dp_of cache 0.01 in
+  (* ... but a second insert pushes the older one out. *)
+  lru_ensure cache 0.02;
+  Alcotest.(check int) "second insert evicts the first" 1
+    (Strategy.Cache.evictions cache);
+  Alcotest.(check int) "one table resident" 1
+    (Strategy.Cache.resident_tables cache);
+  Alcotest.(check bool) "resident bytes track the survivor" true
+    (Strategy.Cache.resident_bytes cache > 0
+    && Strategy.Cache.resident_bytes cache <= one_table + 8)
+
+let test_lru_rebuild_bit_identical () =
+  let reference = Strategy.Cache.create () in
+  lru_ensure reference 0.01;
+  let want = dp_of reference 0.01 in
+  let cache = Strategy.Cache.create ~max_tables:1 () in
+  lru_ensure cache 0.01;
+  lru_ensure cache 0.02 (* evicts the 0.01 table *);
+  Alcotest.(check int) "evicted" 1 (Strategy.Cache.evictions cache);
+  lru_ensure cache 0.01 (* rebuild from scratch *);
+  let got = dp_of cache 0.01 in
+  Alcotest.(check int) "same footprint" (Core.Dp.bytes want)
+    (Core.Dp.bytes got);
+  Alcotest.(check int) "same kmax" (Core.Dp.kmax want) (Core.Dp.kmax got);
+  for n = 0 to Core.Dp.horizon_quanta want do
+    Alcotest.(check int)
+      (Printf.sprintf "best_k at n=%d" n)
+      (Core.Dp.best_k want ~n ~delta:false)
+      (Core.Dp.best_k got ~n ~delta:false);
+    for k = 1 to Core.Dp.kmax want do
+      if
+        Core.Dp.first_checkpoint_q want ~n ~k ~delta:false
+        <> Core.Dp.first_checkpoint_q got ~n ~k ~delta:false
+        || Core.Dp.expected_work_q want ~n ~k ~delta:false
+           <> Core.Dp.expected_work_q got ~n ~k ~delta:false
+      then Alcotest.failf "rebuilt table differs at n=%d k=%d" n k
+    done
+  done
+
+let test_lru_validation () =
+  List.iter
+    (fun thunk ->
+      match thunk () with
+      | (_ : Strategy.Cache.t) -> Alcotest.fail "invalid bound accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Strategy.Cache.create ~max_tables:0 ());
+      (fun () -> Strategy.Cache.create ~max_bytes:0 ());
+      (fun () -> Strategy.Cache.create ~max_tables:(-3) ());
+    ]
+
 (* seed derivation: distinct (cost, salt) pairs never share a stream *)
 
 let test_seed_distinctness () =
@@ -303,6 +416,15 @@ let () =
             test_warm_up_builds_each_key_once;
           Alcotest.test_case "warmed sweep bit-identical" `Slow
             test_warmed_sweep_identical;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order and counters" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "byte bound" `Quick test_lru_byte_bound;
+          Alcotest.test_case "rebuild bit-identical" `Quick
+            test_lru_rebuild_bit_identical;
+          Alcotest.test_case "bound validation" `Quick test_lru_validation;
         ] );
       ( "seeds",
         [ Alcotest.test_case "pairwise distinct" `Quick test_seed_distinctness ] );
