@@ -116,6 +116,52 @@ let compile_strategies ~params ~horizon ~dist strategies =
         (Experiments.Strategy.compile_exn cache ~params ~horizon ~dist)
         strategies)
 
+(* Malleable-platform options: draw failures from a node-level model
+   where each failure can permanently take its node down (re-scaling the
+   failure rate) and spares can rejoin. See Fault.Trace.node_model. *)
+
+let platform_events_t =
+  let doc =
+    "Malleability drill: draw failures from a $(docv)-node platform \
+     whose nodes can be permanently lost (see $(b,--loss-rate)) and \
+     replaced from a spare pool (see $(b,--spares)). Each loss or \
+     rejoin re-scales the failure rate; adaptive strategies \
+     ($(b,adaptive-dp), $(b,adaptive-young-daly)) re-plan online at \
+     every such event."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "platform-events" ] ~docv:"NODES" ~doc)
+
+let spares_t =
+  let doc =
+    "Spare nodes available to replace lost ones (with \
+     $(b,--platform-events)); a spare rejoins after a fixed \
+     5-time-unit provisioning delay on top of the failure's downtime."
+  in
+  Arg.(value & opt int 0 & info [ "spares" ] ~docv:"K" ~doc)
+
+let loss_rate_t =
+  let doc =
+    "Probability that a failure permanently takes its node down (with \
+     $(b,--platform-events)); 0 <= $(docv) <= 1."
+  in
+  Arg.(value & opt float 0.25 & info [ "loss-rate" ] ~docv:"P" ~doc)
+
+(* Fixed 5-time-unit provisioning delay for rejoining spares (matching
+   the ext-replan figure): one shared convention across figure, campaign
+   and simulate rather than a fourth flag, and independent of D so
+   campaigns mixing downtimes stay comparable. *)
+let platform_model_of nodes spares loss_rate =
+  Option.map
+    (fun nodes ->
+      {
+        Fault.Trace.nodes;
+        spares;
+        loss_prob = loss_rate;
+        rejoin_delay = 5.0;
+      })
+    nodes
+
 let retry_t =
   let doc =
     "Attempts per grid point (including the first). Transient task \
@@ -301,9 +347,9 @@ let figure_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
-  let run id n_traces t_step t_max strategies csv no_plot domains quiet
-      journal resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
-      chaos_crash_at deadline task_timeout isolate =
+  let run id n_traces t_step t_max strategies platform_events spares loss_rate
+      csv no_plot domains quiet journal resume retry chaos_rate chaos_hang
+      chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout isolate =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
@@ -320,6 +366,11 @@ let figure_cmd =
           match strategies_of strategies with
           | None -> spec
           | Some strategies -> { spec with Experiments.Spec.strategies }
+        in
+        let spec =
+          match platform_model_of platform_events spares loss_rate with
+          | None -> spec
+          | Some _ as platform -> { spec with Experiments.Spec.platform }
         in
         let progress = if quiet then fun _ -> () else prerr_endline in
         let retry = retry_of retry in
@@ -383,6 +434,7 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Regenerate one figure of the paper.")
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ strategies_opt_t
+      $ platform_events_t $ spares_t $ loss_rate_t
       $ csv_t $ no_plot_t $ domains_t $ quiet_t $ journal_t $ resume_t
       $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
       $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
@@ -422,9 +474,10 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
-  let run out n_traces t_step t_max report figures strategies domains quiet
-      journal resume retry chaos_rate chaos_hang chaos_seed chaos_fs_rate
-      chaos_crash_at deadline task_timeout isolate =
+  let run out n_traces t_step t_max report figures strategies platform_events
+      spares loss_rate domains quiet journal resume retry chaos_rate
+      chaos_hang chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout
+      isolate =
     let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
     let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
     let journal =
@@ -441,6 +494,7 @@ let campaign_cmd =
         t_max;
         figure_ids = Option.map (String.split_on_char ',') figures;
         strategies = strategies_of strategies;
+        platform = platform_model_of platform_events spares loss_rate;
         journal;
         retry = retry_of retry;
         chaos = chaos_of chaos_rate chaos_hang chaos_seed;
@@ -494,7 +548,8 @@ let campaign_cmd =
        ~doc:"Run the simulation campaign (every figure, or a subset).")
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
-      $ figures_only_t $ strategies_opt_t $ domains_t $ quiet_t $ journal_t
+      $ figures_only_t $ strategies_opt_t $ platform_events_t $ spares_t
+      $ loss_rate_t $ domains_t $ quiet_t $ journal_t
       $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t
       $ chaos_fs_t $ chaos_crash_at_t $ deadline_t $ task_timeout_t
       $ isolate_t)
@@ -973,25 +1028,62 @@ let simulate_cmd =
     Arg.(value & opt float 500.0
          & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
   in
-  let run params quantum t seed traces strategies =
+  let run params quantum t seed traces strategies platform_events spares
+      loss_rate =
     let dist =
       Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
     in
-    let trace_set = Fault.Trace.batch ~dist ~seed ~n:traces in
+    let model = platform_model_of platform_events spares loss_rate in
+    (* With a platform model, traces come from the node-level generator
+       and each carries its own loss/rejoin schedule, replayed for every
+       strategy so they face identical platform histories. *)
+    let trace_set, platforms =
+      match model with
+      | None -> (Fault.Trace.batch ~dist ~seed ~n:traces, None)
+      | Some model ->
+          let histories =
+            or_fail (fun () ->
+                Fault.Trace.platform_batch ~model
+                  ~rate:params.Fault.Params.lambda ~d:params.Fault.Params.d
+                  ~horizon:t ~seed ~n:traces)
+          in
+          ( Array.map fst histories,
+            Some
+              (Array.map
+                 (fun (_, events) ->
+                   { Sim.Engine.initial = model.Fault.Trace.nodes; events })
+                 histories) )
+    in
     let strategies =
       match strategies_of strategies with
       | Some strategies -> strategies
-      | None ->
+      | None -> (
           Experiments.Spec.
             [
               Young_daly; First_order; Numerical_optimum;
               Dynamic_programming { quantum }; Single_final;
               Daly_second_order; Lambert_period;
             ]
+          @
+          (* On a malleable platform, the adaptive variants are the
+             point of the exercise: include them by default. *)
+          match model with
+          | None -> []
+          | Some _ ->
+              Experiments.Spec.
+                [
+                  Adaptive Young_daly;
+                  Adaptive (Dynamic_programming { quantum });
+                ])
     in
     let policies = compile_strategies ~params ~horizon:t ~dist strategies in
-    Printf.printf "simulating %s, T=%g, %d traces\n"
-      (Fault.Params.to_string params) t traces;
+    Printf.printf "simulating %s, T=%g, %d traces%s\n"
+      (Fault.Params.to_string params) t traces
+      (match model with
+      | None -> ""
+      | Some m ->
+          Printf.sprintf ", platform %d node(s) (%d spare(s), loss %g)"
+            m.Fault.Trace.nodes m.Fault.Trace.spares m.Fault.Trace.loss_prob);
     let table =
       Output.Table.create
         ~columns:
@@ -1005,7 +1097,9 @@ let simulate_cmd =
     in
     List.iter
       (fun policy ->
-        let r = Sim.Runner.evaluate ~params ~horizon:t ~policy trace_set in
+        let r =
+          Sim.Runner.evaluate ?platforms ~params ~horizon:t ~policy trace_set
+        in
         Output.Table.add_row table
           [
             r.Sim.Runner.policy;
@@ -1023,7 +1117,90 @@ let simulate_cmd =
        ~doc:"Evaluate every strategy on one reservation length.")
     Term.(
       const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000
-      $ strategies_opt_t)
+      $ strategies_opt_t $ platform_events_t $ spares_t $ loss_rate_t)
+
+(* replan — the malleability scenario (lib/experiments/replan) *)
+
+let replan_cmd =
+  let t_t =
+    Arg.(value & opt float 800.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let nodes_t =
+    let doc = "Platform size in nodes." in
+    Arg.(value & opt int 16 & info [ "nodes"; "platform-events" ] ~docv:"NODES" ~doc)
+  in
+  let rejoin_t =
+    let doc = "Provisioning delay before a spare rejoins." in
+    Arg.(value & opt float 5.0 & info [ "rejoin-delay" ] ~docv:"DELAY" ~doc)
+  in
+  let loss_grid_t =
+    let doc =
+      "Comma-separated node-loss probabilities to sweep (0 first proves \
+       the adaptive variants match their static strategies bit for bit \
+       when nothing happens)."
+    in
+    Arg.(value & opt string "0,0.1,0.25,0.5"
+         & info [ "loss-grid" ] ~docv:"P,P,..." ~doc)
+  in
+  let run params quantum t nodes spares rejoin loss_grid seed traces
+      strategies csv no_plot quiet =
+    let loss_probs =
+      let parts = String.split_on_char ',' loss_grid in
+      match
+        List.map (fun s -> float_of_string_opt (String.trim s)) parts
+      with
+      | fs when List.for_all Option.is_some fs ->
+          Array.of_list (List.map Option.get fs)
+      | _ ->
+          Printf.eprintf "fixedlen: bad --loss-grid %S\n" loss_grid;
+          exit 2
+    in
+    let strategies =
+      match strategies_of strategies with
+      | Some strategies -> strategies
+      | None ->
+          Experiments.Spec.
+            [
+              Young_daly;
+              Adaptive Young_daly;
+              Dynamic_programming { quantum };
+              Adaptive (Dynamic_programming { quantum });
+            ]
+    in
+    let progress = if quiet then fun _ -> () else prerr_endline in
+    let result =
+      or_fail (fun () ->
+          Experiments.Replan.run ~progress ~params ~horizon:t ~nodes ~spares
+            ~rejoin_delay:rejoin ~loss_probs ~n_traces:traces ~seed strategies)
+    in
+    (match csv with
+    | Some path ->
+        or_fail (fun () -> Experiments.Replan.to_csv result ~path);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if not no_plot then print_string (Experiments.Replan.plot result);
+    print_endline "qualitative checks:";
+    print_endline
+      (Experiments.Report.render_checks (Experiments.Replan.checks result));
+    (* The drills assert on these: re-planning at a revisited degraded λ
+       must be a cache hit, not a rebuild. *)
+    let s = result.Experiments.Replan.cache in
+    Printf.printf "cache: builds=%d hits=%d evictions=%d tables=%d\n"
+      s.Experiments.Strategy.Cache.s_builds s.Experiments.Strategy.Cache.s_hits
+      s.Experiments.Strategy.Cache.s_evictions
+      s.Experiments.Strategy.Cache.s_resident_tables
+  in
+  Cmd.v
+    (Cmd.info "replan"
+       ~doc:
+         "Malleability scenario: sweep node-loss probabilities and compare \
+          static-λ strategies against online re-planning on identical \
+          platform histories.")
+    Term.(
+      const run $ params_t $ quantum_t $ t_t $ nodes_t $ spares_t $ rejoin_t
+      $ loss_grid_t $ seed_t $ traces_t 500 $ strategies_opt_t $ csv_t
+      $ no_plot_t $ quiet_t)
 
 (* analysis (Section 4 case studies) *)
 
@@ -1133,6 +1310,17 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
+  let journal_rotate_t =
+    let doc =
+      "Seal the live request journal into an immutable numbered segment \
+       ($(b,FILE.1), $(b,FILE.2), ...) once an append pushes it past \
+       $(docv) bytes, so a long-lived daemon's live journal stays \
+       bounded. Restart recovery scans segments oldest-first, then the \
+       live tail."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "journal-rotate" ] ~docv:"BYTES" ~doc)
+  in
   let cache_tables_t =
     let doc = "LRU bound on resident policy tables." in
     Arg.(value & opt (some int) None & info [ "cache-tables" ] ~docv:"N" ~doc)
@@ -1141,8 +1329,8 @@ let serve_cmd =
     let doc = "LRU bound on summed resident table bytes." in
     Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"B" ~doc)
   in
-  let run socket workers queue budget slow journal cache_tables cache_bytes
-      chaos_rate chaos_seed chaos_fs_rate chaos_crash_at quiet =
+  let run socket workers queue budget slow journal journal_rotate cache_tables
+      cache_bytes chaos_rate chaos_seed chaos_fs_rate chaos_crash_at quiet =
     if workers < 1 then begin
       Printf.eprintf "fixedlen: --workers must be >= 1\n";
       exit 2
@@ -1151,6 +1339,11 @@ let serve_cmd =
       Printf.eprintf "fixedlen: --queue must be >= 0\n";
       exit 2
     end;
+    (match journal_rotate with
+    | Some b when b <= 0 ->
+        Printf.eprintf "fixedlen: --journal-rotate must be positive\n";
+        exit 2
+    | _ -> ());
     let chaos = chaos_of chaos_rate None chaos_seed in
     let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
     let cfg =
@@ -1161,6 +1354,7 @@ let serve_cmd =
         budget;
         slow;
         journal;
+        journal_rotate;
         chaos;
         chaos_fs;
         max_tables = cache_tables;
@@ -1178,8 +1372,8 @@ let serve_cmd =
           journal).")
     Term.(
       const run $ socket_t $ workers_t $ queue_t $ budget_t $ slow_t
-      $ journal_t $ cache_tables_t $ cache_bytes_t $ chaos_rate_t
-      $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t $ quiet_t)
+      $ journal_t $ journal_rotate_t $ cache_tables_t $ cache_bytes_t
+      $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t $ quiet_t)
 
 let query_cmd =
   let horizon_t =
@@ -1307,8 +1501,8 @@ let main_cmd =
     (Cmd.info "fixedlen" ~version:"1.0.0" ~doc)
     [
       figure_cmd; campaign_cmd; list_cmd; strategies_cmd; thresholds_cmd;
-      dp_cmd; simulate_cmd; analysis_cmd; series_cmd; breakdown_cmd;
-      traces_cmd; renewal_cmd; exact_cmd; serve_cmd; query_cmd;
+      dp_cmd; simulate_cmd; replan_cmd; analysis_cmd; series_cmd;
+      breakdown_cmd; traces_cmd; renewal_cmd; exact_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

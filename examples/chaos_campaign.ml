@@ -31,6 +31,7 @@ let spec =
     seed = 42L;
     failure_dist = Spec.Exp;
     ckpt_noise = Spec.Deterministic;
+    platform = None;
   }
 
 let points result =

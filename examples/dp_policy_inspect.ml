@@ -58,7 +58,10 @@ let show_timeline dp =
           Printf.printf "  %9.1f          FAILURE, %.1f uncommitted time lost\n"
             at lost
       | Sim.Engine.Gave_up { at } ->
-          Printf.printf "  %9.1f          stop: nothing more can be saved\n" at)
+          Printf.printf "  %9.1f          stop: nothing more can be saved\n" at
+      | Sim.Engine.Platform_change { at; survivors } ->
+          Printf.printf "  %9.1f          platform now %d node(s), re-planned\n"
+            at survivors)
     outcome.Sim.Engine.events;
   Printf.printf "  total: %.1f work saved, %d checkpoints, %d failures\n"
     outcome.Sim.Engine.work_saved outcome.Sim.Engine.checkpoints

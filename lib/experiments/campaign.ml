@@ -7,6 +7,7 @@ type config = {
   t_max : float option;
   figure_ids : string list option;
   strategies : Spec.strategy list option;
+  platform : Fault.Trace.node_model option;
   journal : journal_mode;
   retry : Robust.Retry.t;
   chaos : Robust.Chaos.t option;
@@ -24,6 +25,7 @@ let default_config =
     t_max = None;
     figure_ids = None;
     strategies = None;
+    platform = None;
     journal = No_journal;
     retry = Robust.Retry.no_retry;
     chaos = None;
@@ -131,11 +133,17 @@ let run ?pool ?cache ?(progress = fun _ -> ()) config =
           Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
             ?t_max:config.t_max spec
         in
-        (* A strategy override changes the spec (and therefore its
-           fingerprint) before any journal is opened against it. *)
-        match config.strategies with
+        (* Strategy and platform overrides change the spec (and
+           therefore its fingerprint) before any journal is opened
+           against it. *)
+        let scaled =
+          match config.strategies with
+          | None -> scaled
+          | Some strategies -> { scaled with Spec.strategies }
+        in
+        match config.platform with
         | None -> scaled
-        | Some strategies -> { scaled with Spec.strategies }
+        | Some _ as platform -> { scaled with Spec.platform }
       in
       (* Campaign-wide warm-up: with neither a journal (a resume may
          need no tables at all) nor a deadline (an exhausted budget must

@@ -24,6 +24,11 @@ type config = {
           spellings are parsed by {!Strategy.of_string_list}); affects
           the specs' fingerprints, so journals keyed on the unmodified
           specs are detected as mismatched *)
+  platform : Fault.Trace.node_model option;
+      (** override every selected spec's malleable-platform model (the
+          [--platform-events]/[--spares]/[--loss-rate] flags); like the
+          strategy override it changes fingerprints, so mismatched
+          journals are detected. Requires exponential specs. *)
   journal : journal_mode;
   retry : Robust.Retry.t;  (** per-grid-point retry budget *)
   chaos : Robust.Chaos.t option;  (** task-level fault injection *)

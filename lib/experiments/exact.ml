@@ -5,7 +5,9 @@ type curve = {
 }
 
 let supported_strategy = function
-  | Spec.Variable_segments | Spec.Renewal_dp _ -> false
+  (* Adaptive re-plans only matter on malleable platforms, which the
+     closed forms do not model. *)
+  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ -> false
   | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
   | Spec.Dynamic_programming _ | Spec.Single_final | Spec.Daly_second_order
   | Spec.Lambert_period | Spec.No_checkpoint | Spec.Optimal_unrestricted _ ->
@@ -23,7 +25,7 @@ let policy_for ~params ~horizon = function
     ->
       Core.Optimal.policy
         (Core.Optimal.build ~params ~quantum ~horizon ())
-  | Spec.Variable_segments | Spec.Renewal_dp _ ->
+  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ ->
       invalid_arg "Exact: unsupported strategy"
 
 let figure ?(quantum = 1.0) (spec : Spec.t) =

@@ -24,7 +24,7 @@ let all_cs = [ 10.0; 20.0; 40.0; 80.0; 160.0 ]
 
 let base ~id ~description ~lambda ~d ~cs ?(t_max = 2000.0) ?(t_step = 50.0)
     ?(strategies = paper_strategies) ?(failure_dist = Spec.Exp)
-    ?(ckpt_noise = Spec.Deterministic) () =
+    ?(ckpt_noise = Spec.Deterministic) ?platform () =
   {
     Spec.id;
     description;
@@ -38,6 +38,7 @@ let base ~id ~description ~lambda ~d ~cs ?(t_max = 2000.0) ?(t_step = 50.0)
     seed = 0x5EED_2024L;
     failure_dist;
     ckpt_noise;
+    platform;
   }
 
 let all =
@@ -111,6 +112,28 @@ let all =
         "robustness: checkpoint duration Erlang(4) with mean C, λ=0.001, \
          D=0"
       ~lambda:0.001 ~d:0.0 ~cs:[ 20.0; 80.0 ] ~ckpt_noise:(Spec.Erlang 4) ();
+    base ~id:"ext-replan"
+      ~description:
+        "malleability: 16-node platform, each failure fatal to its node \
+         with probability 0.25, 2 spares rejoining after one downtime — \
+         static-λ strategies vs online re-planning (λ=0.001, D=5, C=20)"
+      ~lambda:0.001 ~d:5.0 ~cs:[ 20.0 ] ~t_max:1200.0
+      ~strategies:
+        Spec.
+          [
+            Young_daly;
+            Adaptive Young_daly;
+            Dynamic_programming { quantum = 1.0 };
+            Adaptive (Dynamic_programming { quantum = 1.0 });
+          ]
+      ~platform:
+        {
+          Fault.Trace.nodes = 16;
+          spares = 2;
+          loss_prob = 0.25;
+          rejoin_delay = 5.0;
+        }
+      ();
   ]
 
 let find id = List.find_opt (fun s -> s.Spec.id = id) all

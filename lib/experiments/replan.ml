@@ -1,0 +1,234 @@
+(* The malleability scenario: how much work does online re-planning
+   recover when the platform shrinks mid-reservation?
+
+   One sweep evaluates a strategy list over a grid of node-loss
+   probabilities. At each loss rate every strategy faces the {e same}
+   platform histories (traces + loss/rejoin schedules), so the
+   static-vs-adaptive gap is a paired comparison, not two independent
+   Monte-Carlo estimates. Evaluation is sequential by design: the
+   adaptive policies write degraded-λ tables into the shared cache from
+   inside their re-plan hooks, and a single evaluation thread keeps the
+   builds/hits counters deterministic — the replan drill asserts on
+   them. *)
+
+type series = {
+  strategy : Spec.strategy;
+  name : string;
+  means : float array;  (* one entry per loss probability *)
+  cis : float array;
+  mean_replans : float array;
+}
+
+type result = {
+  params : Fault.Params.t;
+  horizon : float;
+  nodes : int;
+  spares : int;
+  rejoin_delay : float;
+  loss_probs : float array;
+  n_traces : int;
+  series : series list;
+  cache : Strategy.Cache.stats;
+}
+
+(* Same convention as Runner.seed_for: hash the exact decimal rendering
+   of the grid coordinate (here the loss probability) so distinct grid
+   points can never collide onto one trace stream. *)
+let seed_for base ~loss =
+  Int64.add base
+    (Numerics.Checksum.fold_int
+       (Numerics.Checksum.fnv1a64 (Printf.sprintf "%.17g" loss))
+       0)
+
+let run ?(progress = fun _ -> ()) ?cache ~params ~horizon ~nodes ~spares
+    ~rejoin_delay ~loss_probs ~n_traces ~seed strategies =
+  if Array.length loss_probs = 0 then invalid_arg "Replan.run: empty loss grid";
+  if n_traces < 1 then invalid_arg "Replan.run: n_traces < 1";
+  if horizon <= params.Fault.Params.c then
+    invalid_arg "Replan.run: horizon <= C";
+  let cache =
+    match cache with Some c -> c | None -> Strategy.Cache.create ()
+  in
+  let dist =
+    Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
+  in
+  Strategy.ensure cache ~params ~horizon ~dist strategies;
+  let n_loss = Array.length loss_probs in
+  let acc =
+    List.map
+      (fun strategy ->
+        ( strategy,
+          Array.make n_loss nan,
+          Array.make n_loss nan,
+          Array.make n_loss nan ))
+      strategies
+  in
+  Array.iteri
+    (fun li loss_prob ->
+      let model =
+        { Fault.Trace.nodes; spares; loss_prob; rejoin_delay }
+      in
+      let histories =
+        Fault.Trace.platform_batch ~model ~rate:params.Fault.Params.lambda
+          ~d:params.Fault.Params.d ~horizon ~seed:(seed_for seed ~loss:loss_prob)
+          ~n:n_traces
+      in
+      let traces = Array.map fst histories in
+      let platforms =
+        Array.map
+          (fun (_, events) -> { Sim.Engine.initial = nodes; events })
+          histories
+      in
+      let event_count =
+        Array.fold_left
+          (fun n (_, es) -> n + List.length es)
+          0 histories
+      in
+      progress
+        (Printf.sprintf "[replan] loss=%g: %d platform event(s) across %d traces"
+           loss_prob event_count n_traces);
+      List.iter
+        (fun (strategy, means, cis, replans) ->
+          let policy =
+            Strategy.compile_exn cache ~params ~horizon ~dist strategy
+          in
+          (* One engine pass per trace: Runner's aggregate does not carry
+             the re-plan counter, so the fold is done here directly. *)
+          let prop = Numerics.Stats.acc_create () in
+          let total_replans = ref 0 in
+          Array.iteri
+            (fun i tr ->
+              let o =
+                Sim.Engine.run ~platform:platforms.(i) ~params ~horizon
+                  ~policy tr
+              in
+              Numerics.Stats.acc_add prop
+                (Sim.Engine.proportion_of_work ~params ~horizon o);
+              total_replans := !total_replans + o.Sim.Engine.replans_platform)
+            traces;
+          let s = Numerics.Stats.summarize prop in
+          means.(li) <- s.Numerics.Stats.mean;
+          cis.(li) <- s.Numerics.Stats.ci95_half_width;
+          replans.(li) <- float_of_int !total_replans /. float_of_int n_traces)
+        acc)
+    loss_probs;
+  {
+    params;
+    horizon;
+    nodes;
+    spares;
+    rejoin_delay;
+    loss_probs;
+    n_traces;
+    series =
+      List.map
+        (fun (strategy, means, cis, replans) ->
+          {
+            strategy;
+            name = Spec.strategy_name strategy;
+            means;
+            cis;
+            mean_replans = replans;
+          })
+        acc;
+    cache = Strategy.Cache.stats cache;
+  }
+
+let to_csv ?chaos_fs result ~path =
+  let rows =
+    List.concat_map
+      (fun s ->
+        List.init
+          (Array.length result.loss_probs)
+          (fun i ->
+            [
+              Printf.sprintf "%g" result.loss_probs.(i);
+              s.name;
+              Printf.sprintf "%.6f" s.means.(i);
+              Printf.sprintf "%.6f" s.cis.(i);
+              Printf.sprintf "%.4f" s.mean_replans.(i);
+            ]))
+      result.series
+  in
+  Output.Csv.write ?chaos:chaos_fs ~path
+    ~header:
+      [ "loss_prob"; "strategy"; "mean_proportion"; "ci95"; "mean_replans" ]
+    rows
+
+let plot ?(width = 72) ?(height = 20) result =
+  let config =
+    {
+      Output.Ascii_plot.width;
+      height;
+      x_label = "node-loss probability per failure";
+      y_label = "proportion of work done";
+      y_min = Some 0.0;
+      y_max = Some 1.0;
+    }
+  in
+  Output.Ascii_plot.render ~config
+    ~title:
+      (Printf.sprintf
+         "malleability: %s, T=%g, %d nodes, %d spare(s), rejoin %g"
+         (Fault.Params.to_string result.params)
+         result.horizon result.nodes result.spares result.rejoin_delay)
+    (List.map
+       (fun s ->
+         {
+           Output.Ascii_plot.label = s.name;
+           points =
+             List.init
+               (Array.length result.loss_probs)
+               (fun i -> (result.loss_probs.(i), s.means.(i)));
+         })
+       result.series)
+
+let find_series result strategy =
+  List.find_opt (fun s -> s.strategy = strategy) result.series
+
+(* Same shape as Report.qualitative_checks: labelled pass/fail rows the
+   CLI renders, with a noise allowance on the Monte-Carlo comparisons.
+   The loss = 0 identity is exact — with no fatal failures the node
+   model draws the same streams and no event ever fires, so adaptive and
+   static are the same simulation, bit for bit. *)
+let checks result =
+  let noise = 0.02 in
+  let rows = ref [] in
+  let add label passed detail =
+    rows := { Report.label; passed; detail } :: !rows
+  in
+  let zero_idx =
+    let found = ref None in
+    Array.iteri
+      (fun i p -> if p = 0.0 && !found = None then found := Some i)
+      result.loss_probs;
+    !found
+  in
+  List.iter
+    (fun s ->
+      match s.strategy with
+      | Spec.Adaptive inner -> (
+          match find_series result inner with
+          | None -> ()
+          | Some st ->
+              (match zero_idx with
+              | Some i ->
+                  add
+                    (Printf.sprintf "loss=0: %s == %s" s.name st.name)
+                    (Float.equal s.means.(i) st.means.(i)
+                    && Float.equal s.cis.(i) st.cis.(i))
+                    (Printf.sprintf "%.6f vs %.6f (bit-identical required)"
+                       s.means.(i) st.means.(i))
+              | None -> ());
+              Array.iteri
+                (fun i loss ->
+                  if loss > 0.0 then
+                    add
+                      (Printf.sprintf "loss=%g: %s >= %s" loss s.name st.name)
+                      (s.means.(i) +. noise >= st.means.(i))
+                      (Printf.sprintf "%.4f vs %.4f (%.2f replans/trace)"
+                         s.means.(i) st.means.(i) s.mean_replans.(i)))
+                result.loss_probs)
+      | _ -> ())
+    result.series;
+  List.rev !rows

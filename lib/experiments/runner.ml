@@ -80,10 +80,30 @@ let entry_of_point ~c ~strategy (p : point) =
    — so an interruption loses at most the points still in flight. *)
 let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~cache
     ~spec ~dist ~params ~c ~grid ~horizon_max ~tasks ~cached ~base =
-  let traces =
-    Fault.Trace.batch ~dist
-      ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
-      ~n:spec.Spec.n_traces
+  (* A malleable spec draws traces from the node-level model instead of
+     the aggregate distribution: each trace then carries its own
+     loss/rejoin schedule, replayed for every strategy so static and
+     adaptive policies face identical platform histories. *)
+  let traces, platforms =
+    match spec.Spec.platform with
+    | None ->
+        ( Fault.Trace.batch ~dist
+            ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
+            ~n:spec.Spec.n_traces,
+          None )
+    | Some model ->
+        let histories =
+          Fault.Trace.platform_batch ~model ~rate:spec.Spec.lambda
+            ~d:spec.Spec.d ~horizon:horizon_max
+            ~seed:(seed_for spec.Spec.seed ~c ~salt:0)
+            ~n:spec.Spec.n_traces
+        in
+        ( Array.map fst histories,
+          Some
+            (Array.map
+               (fun (_, events) ->
+                 { Sim.Engine.initial = model.Fault.Trace.nodes; events })
+               histories) )
   in
   (* Materialise every IAT any grid point can consume, so the
      parallel phase only reads the traces. *)
@@ -119,7 +139,8 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~cache
                 ~scale:(c /. float_of_int shape))
     in
     let r =
-      Sim.Runner.evaluate ?ckpt_sampler ~params ~horizon ~policy traces
+      Sim.Runner.evaluate ?ckpt_sampler ?platforms ~params ~horizon ~policy
+        traces
     in
     {
       t = horizon;
@@ -221,6 +242,13 @@ let run ?pool ?(backend = Domains) ?(deadline = Robust.Deadline.unlimited)
   Fun.protect
     ~finally:(fun () -> if own_pool then Parallel.Pool.shutdown pool)
     (fun () ->
+      (* The node-level model is exponential by construction, so a
+         malleable spec must not also claim a non-exponential IAT
+         distribution (the two would silently disagree). *)
+      (match (spec.Spec.platform, spec.Spec.failure_dist) with
+      | Some _, (Spec.Weibull_shape _ | Spec.Lognormal_sigma _) ->
+          invalid_arg "Runner.run: platform model requires failure_dist = Exp"
+      | _ -> ());
       let dist = Spec.trace_dist spec in
       (* Task keys must be unique across the whole spec (not just within
          one C block) so chaos injection and retry jitter never correlate

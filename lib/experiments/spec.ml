@@ -10,8 +10,9 @@ type strategy =
   | Variable_segments
   | Optimal_unrestricted of { quantum : float }
   | Renewal_dp of { quantum : float }
+  | Adaptive of strategy
 
-let strategy_name = function
+let rec strategy_name = function
   | Young_daly -> "YoungDaly"
   | First_order -> "FirstOrder"
   | Numerical_optimum -> "NumericalOptimum"
@@ -29,6 +30,7 @@ let strategy_name = function
   | Renewal_dp { quantum } ->
       if Float.equal quantum 1.0 then "RenewalDP"
       else Printf.sprintf "RenewalDP(u=%g)" quantum
+  | Adaptive s -> "Adaptive" ^ strategy_name s
 
 type failure_dist = Exp | Weibull_shape of float | Lognormal_sigma of float
 type ckpt_noise = Deterministic | Erlang of int
@@ -46,6 +48,7 @@ type t = {
   seed : int64;
   failure_dist : failure_dist;
   ckpt_noise : ckpt_noise;
+  platform : Fault.Trace.node_model option;
 }
 
 let trace_dist spec =
@@ -64,7 +67,7 @@ let t_grid spec ~c =
 (* Canonical, version-tagged rendering of everything that determines a
    spec's results. Floats use %.17g so distinct quanta/grids can never
    collide through formatting. *)
-let strategy_canonical = function
+let rec strategy_canonical = function
   | Young_daly -> "young_daly"
   | First_order -> "first_order"
   | Numerical_optimum -> "numerical_optimum"
@@ -76,6 +79,7 @@ let strategy_canonical = function
   | Variable_segments -> "variable_segments"
   | Optimal_unrestricted { quantum } -> Printf.sprintf "optimal:%.17g" quantum
   | Renewal_dp { quantum } -> Printf.sprintf "renewal:%.17g" quantum
+  | Adaptive s -> "adaptive+" ^ strategy_canonical s
 
 let fingerprint spec =
   let dist =
@@ -89,6 +93,18 @@ let fingerprint spec =
     | Deterministic -> "det"
     | Erlang shape -> Printf.sprintf "erlang:%d" shape
   in
+  (* A malleable platform changes every Monte-Carlo stream, so it must
+     key the journal — but specs without one keep their exact v2
+     fingerprint (the suffix is only rendered when present), so
+     journals from before the field existed still resume. *)
+  let platform =
+    match spec.platform with
+    | None -> ""
+    | Some m ->
+        Printf.sprintf "|platform=nodes:%d,spares:%d,loss:%.17g,rejoin:%.17g"
+          m.Fault.Trace.nodes m.Fault.Trace.spares m.Fault.Trace.loss_prob
+          m.Fault.Trace.rejoin_delay
+  in
   let canonical =
     Printf.sprintf
       (* v2: the per-(c, salt) trace-seed derivation changed (checksum
@@ -96,12 +112,12 @@ let fingerprint spec =
          integer salt), shifting every Monte-Carlo stream. Bumping the
          version makes v1 journals key-mismatch instead of resuming
          stale numbers. *)
-      "fixedlen-spec v2|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s"
+      "fixedlen-spec v2|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s%s"
       spec.id spec.lambda spec.d
       (String.concat "," (List.map (Printf.sprintf "%.17g") spec.cs))
       spec.t_max spec.t_step
       (String.concat "," (List.map strategy_canonical spec.strategies))
-      spec.n_traces spec.seed dist noise
+      spec.n_traces spec.seed dist noise platform
   in
   Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 canonical)
 

@@ -18,6 +18,13 @@ type strategy =
       (** {!Core.Dp_renewal} built for the spec's IAT distribution —
           the non-memoryless-aware optimum (extension); cubic build
           cost, use moderate horizons *)
+  | Adaptive of strategy
+      (** the wrapped strategy, re-planned online: whenever the platform
+          shrinks or grows mid-reservation the policy is recompiled
+          against the degraded failure rate (see
+          {!Fault.Params.degrade}). Only meaningful on specs with
+          [platform <> None]; without platform events it behaves
+          bit-identically to the wrapped strategy. *)
 
 val strategy_name : strategy -> string
 (** Display name; DP variants carry their quantum ("DP(u=0.5)") except
@@ -46,6 +53,12 @@ type t = {
   seed : int64;
   failure_dist : failure_dist;
   ckpt_noise : ckpt_noise;
+  platform : Fault.Trace.node_model option;
+      (** when [Some], traces are drawn from the node-level malleable
+          model ({!Fault.Trace.platform_batch}) instead of the aggregate
+          IAT distribution, and every trace carries its own loss/rejoin
+          event schedule. Requires [failure_dist = Exp] — the node model
+          is exponential by construction. *)
 }
 
 val trace_dist : t -> Fault.Trace.dist
@@ -60,6 +73,8 @@ val fingerprint : t -> string
     of the spec (parameters, grid, strategies, trace count, seed,
     distributions). Two specs share a fingerprint iff a campaign over
     them produces the same grid points, which is exactly the key a
-    resume journal must be matched against — see [Robust.Journal]. *)
+    resume journal must be matched against — see [Robust.Journal].
+    Specs with [platform = None] hash the exact pre-malleability v2
+    string, so existing journals still resume. *)
 
 val pp : Format.formatter -> t -> unit

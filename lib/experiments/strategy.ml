@@ -296,14 +296,15 @@ let simple ~cli ~doc ~strategy ~policy =
       (fun _cache ~params ~horizon:_ ~dist:_ _ -> Ok (policy ~params));
   }
 
-let quantum_of = function
+let rec quantum_of = function
   | Spec.Dynamic_programming { quantum }
   | Spec.Optimal_unrestricted { quantum }
   | Spec.Renewal_dp { quantum } ->
       quantum
+  | Spec.Adaptive s -> quantum_of s
   | _ -> 1.0
 
-let entries =
+let base_entries =
   [
     simple ~cli:"young-daly" ~strategy:Spec.Young_daly
       ~doc:
@@ -453,6 +454,89 @@ let entries =
           Ok (Core.Dp_renewal.policy renewal));
     };
   ]
+
+let base_entry_of strategy =
+  match List.find_opt (fun e -> e.owns strategy) base_entries with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Strategy: no base registry entry owns %s"
+           (Spec.strategy_name strategy))
+
+(* Synchronous ensure for one strategy, used from inside a policy's
+   adapt hook: an online re-plan cannot wait for a batch ensure, and it
+   must count a hit when the degraded-λ tables are already resident (a
+   shrinking platform revisiting a λ level — the malleability drills
+   assert on exactly this counter). *)
+let ensure_one cache ~params ~horizon ~dist strategy =
+  List.iter
+    (fun kind ->
+      if Cache.mem cache ~params ~horizon kind then Cache.record_hits cache 1
+      else
+        Cache.insert cache ~params ~horizon kind
+          (Cache.build ~params ~horizon kind))
+    ((base_entry_of strategy).requires ~dist strategy)
+
+(* Wrap a compiled base policy so every platform change recompiles it
+   against the degraded parameters — through the shared cache, so a
+   revisited failure rate is a table hit, not a rebuild. The rebuilt
+   policy is adaptified again: repeated shrinks keep re-planning. *)
+let rec adaptify cache ~horizon ~dist ~inner policy =
+  let policy =
+    { policy with Sim.Policy.name = "Adaptive" ^ policy.Sim.Policy.name }
+  in
+  Sim.Policy.set_adapt policy (fun params' ->
+      ensure_one cache ~params:params' ~horizon ~dist inner;
+      match
+        (base_entry_of inner).compile cache ~params:params' ~horizon ~dist inner
+      with
+      | Ok p -> adaptify cache ~horizon ~dist ~inner p
+      | Error e -> failwith (error_message e))
+
+(* Adaptive entries delegate spelling, quantum handling, table needs and
+   compilation to the wrapped base entry, then adaptify the result. *)
+let adaptive_entry ~cli ~doc inner_cli =
+  let inner_entry = List.find (fun e -> e.cli = inner_cli) base_entries in
+  {
+    cli;
+    doc;
+    takes_quantum = inner_entry.takes_quantum;
+    example = Spec.Adaptive inner_entry.example;
+    make =
+      (fun ~quantum ->
+        Result.map (fun s -> Spec.Adaptive s) (inner_entry.make ~quantum));
+    owns = (function Spec.Adaptive s -> inner_entry.owns s | _ -> false);
+    requires =
+      (fun ~dist s ->
+        match s with
+        | Spec.Adaptive inner -> inner_entry.requires ~dist inner
+        | _ -> []);
+    compile =
+      (fun cache ~params ~horizon ~dist s ->
+        match s with
+        | Spec.Adaptive inner ->
+            let* p = inner_entry.compile cache ~params ~horizon ~dist inner in
+            Ok (adaptify cache ~horizon ~dist ~inner p)
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Strategy: %s compiled on a non-adaptive %s" cli
+                 (Spec.strategy_name s)));
+  }
+
+let entries =
+  base_entries
+  @ [
+      adaptive_entry ~cli:"adaptive-young-daly"
+        ~doc:
+          "Young/Daly, re-planned online against the surviving-node failure \
+           rate on every platform change"
+        "young-daly";
+      adaptive_entry ~cli:"adaptive-dp"
+        ~doc:
+          "the Section 6 DP, re-planned online on every platform change \
+           (degraded-λ tables share the campaign cache)"
+        "dp";
+    ]
 
 let name = Spec.strategy_name
 

@@ -201,7 +201,17 @@ val compile :
 (** Compile a strategy against the cache. Cheap (table lookups plus
     policy closure allocation) and read-only, but note that some
     policies — the Section 6 DP — are stateful across one simulated
-    reservation: compile a fresh policy per concurrent evaluation. *)
+    reservation: compile a fresh policy per concurrent evaluation.
+
+    {!Spec.Adaptive} strategies compile to the wrapped policy with an
+    online re-plan hook: on every platform change the engine hands the
+    degraded parameters back and the wrapped strategy is recompiled
+    against them {e through this cache} — a degraded-λ point already
+    resident (e.g. a shrinking platform revisiting a level) scores a
+    hit, a new one builds and inserts synchronously. Compiling adaptive
+    strategies is therefore the one write path reachable from worker
+    domains; the cache lock makes it safe, but builds/hits counters are
+    only deterministic under a single evaluation domain. *)
 
 val compile_exn :
   Cache.t ->

@@ -18,6 +18,14 @@ let scale_platform t ~processors =
   if processors < 1 then invalid_arg "Params.scale_platform: processors < 1";
   { t with lambda = t.lambda *. float_of_int processors }
 
+let with_lambda t ~lambda = make ~lambda ~c:t.c ~r:t.r ~d:t.d
+
+let degrade t ~initial ~survivors =
+  if initial < 1 then invalid_arg "Params.degrade: initial < 1";
+  if survivors < 1 then invalid_arg "Params.degrade: survivors < 1";
+  with_lambda t
+    ~lambda:(t.lambda *. float_of_int survivors /. float_of_int initial)
+
 let psucc t x = if x <= 0.0 then 1.0 else exp (-.t.lambda *. x)
 let pfail t x = if x <= 0.0 then 0.0 else -.expm1 (-.t.lambda *. x)
 

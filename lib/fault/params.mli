@@ -26,6 +26,22 @@ val scale_platform : t -> processors:int -> t
     the application-level rate when [t.lambda] is the individual
     per-processor rate. Requires [processors >= 1]. *)
 
+val with_lambda : t -> lambda:float -> t
+(** [with_lambda t ~lambda] is [t] with its failure rate replaced,
+    revalidated ([lambda > 0] and finite) — the one sanctioned way to
+    rebuild params at a different rate; do not rebuild the record by
+    hand. *)
+
+val degrade : t -> initial:int -> survivors:int -> t
+(** [degrade t ~initial ~survivors] rescales the aggregate rate of a
+    platform of [initial] processors to [survivors] of them:
+    [λ' = λ · survivors / initial] — the {!scale_platform} convention
+    applied to the per-node rate, so
+    [degrade (scale_platform p ~processors:n) ~initial:n ~survivors:m
+     ≡ scale_platform p ~processors:m]. [survivors] may exceed
+    [initial] (spares joining beyond the original size). Requires both
+    [>= 1]. *)
+
 val psucc : t -> float -> float
 (** [psucc t x] is [exp (-λ x)]: probability that an execution span of
     length [x] sees no failure. [x < 0] is treated as [0]. *)

@@ -63,6 +63,71 @@ val batch : dist:dist -> seed:int64 -> n:int -> t array
     derived from [seed]; trace [i] is identical across calls with the
     same arguments. *)
 
+(** {2 Platform events}
+
+    A malleable platform changes size mid-reservation: failed nodes can
+    be permanently lost, spares can rejoin. Each event carries the wall
+    clock date at which it takes effect and the processor count
+    surviving it — the count the aggregate failure rate must be rescaled
+    to (see [Fault.Params.degrade]). Event dates are on the {e wall}
+    clock (downtime included), because the simulation engine consumes
+    them against its wall clock; an event landing inside a downtime
+    window simply takes effect when the downtime ends. *)
+
+type platform_event =
+  | Node_lost of { at : float; survivors : int }
+      (** a node died for good at wall time [at] *)
+  | Node_joined of { at : float; survivors : int }
+      (** a spare came up at wall time [at] *)
+
+val event_at : platform_event -> float
+val event_survivors : platform_event -> int
+
+val validate_platform_events : platform_event list -> unit
+(** Raises [Invalid_argument] unless dates are nonnegative, finite and
+    non-decreasing, and every survivor count is [>= 1]. *)
+
+type node_model = {
+  nodes : int;  (** initial node count, [>= 1] *)
+  spares : int;  (** replacement pool size, [>= 0] *)
+  loss_prob : float;
+      (** probability in [\[0, 1\]] that a failure permanently kills its
+          node (otherwise the node is repaired within the downtime) *)
+  rejoin_delay : float;
+      (** wall-clock delay before a spare replaces a lost node *)
+}
+(** Seeded node-level platform model: failures strike the aggregate of
+    the alive nodes (per-node rate [rate / nodes]); each failure is
+    fatal to its node with probability [loss_prob]; a fatal loss
+    consumes a spare (when one is left) that rejoins [rejoin_delay]
+    after the downtime. The platform never degrades below one node. *)
+
+val platform :
+  model:node_model ->
+  rate:float ->
+  d:float ->
+  horizon:float ->
+  seed:int64 ->
+  t * platform_event list
+(** [platform ~model ~rate ~d ~horizon ~seed] draws one platform
+    history: the failure trace (exposed-clock IATs, covering at least
+    [horizon]) together with the chronological loss/rejoin events
+    (wall-clock dates, one downtime [d] accrued per preceding failure).
+    [rate] is the aggregate failure rate at full platform size.
+    Deterministic in [seed]. *)
+
+val platform_batch :
+  model:node_model ->
+  rate:float ->
+  d:float ->
+  horizon:float ->
+  seed:int64 ->
+  n:int ->
+  (t * platform_event list) array
+(** [n] independent platform histories derived from [seed], same
+    convention as {!batch}: history [i] is identical across calls with
+    the same arguments. *)
+
 (** {2 Cursors}
 
     A cursor walks one trace during one simulated reservation, converting

@@ -1,0 +1,61 @@
+(** Segmented request journal: a live {!Robust.Durable.Framed} file plus
+    sealed, numbered segments.
+
+    A single append-only journal grows without bound under a long-lived
+    daemon. This store bounds the {e live} file instead: once an append
+    pushes it past [rotate_bytes], the live bytes are sealed as
+    [<path>.<n>] via {!Robust.Durable.write_atomic} (temp file, fsync,
+    rename, directory fsync) and the live file restarts from its header.
+    Sealed segments are immutable and individually crash-consistent;
+    only the live file ever has a torn tail to repair.
+
+    Recovery scans sealed segments oldest-first ([<path>.1], [<path>.2],
+    ...), then the live file. The one crash window rotation adds — dying
+    after the seal is published but before the live file is reset —
+    leaves the live file byte-identical to the newest segment; the scan
+    detects that duplicate and drops it, so no request is recovered
+    twice. A live file whose header is unreadable is quarantined
+    ({!Robust.Durable.quarantine}), never silently destroyed.
+
+    Appends and rotation are not thread-safe; callers serialise (the
+    server holds its journal mutex across {!append}). *)
+
+type t
+
+type recovery = {
+  payloads : string list;  (** every recovered record, oldest first *)
+  sealed : int;  (** sealed segments found on disk *)
+  warnings : string list;
+      (** human-readable damage reports: torn tails truncated,
+          quarantined files, dropped rotation duplicates *)
+}
+
+val open_ :
+  ?chaos:Robust.Chaos_fs.t ->
+  ?rotate_bytes:int ->
+  point:string ->
+  path:string ->
+  header:string ->
+  unit ->
+  t * recovery
+(** Open (creating if absent) the journal at [path], recovering every
+    intact record first. [rotate_bytes] enables rotation: an append
+    leaving the live file strictly larger seals it. [None] (the
+    default) never rotates — the single-file behaviour. [point] names
+    the chaos-injection site for live appends; seals use
+    [point ^ "-seal"]. Raises [Invalid_argument] if [rotate_bytes] is
+    not positive. *)
+
+val append : t -> string -> unit
+(** Append one record to the live file (fsync'd), then rotate if the
+    threshold is crossed. If sealing fails (injected or real I/O
+    error), the live writer is left intact and the exception
+    propagates: the record is already durable, and the next append
+    retries the rotation. *)
+
+val sealed : t -> int
+(** Sealed segments on disk, including those found by recovery. *)
+
+val close : t -> unit
+(** Sync and close the live writer. The journal must not be used
+    afterwards. *)

@@ -5,6 +5,7 @@ type config = {
   budget : float option;
   slow : float;
   journal : string option;
+  journal_rotate : int option;
   chaos : Robust.Chaos.t option;
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;
@@ -20,7 +21,7 @@ type state = {
   handler : Handler.t;
   metrics : Metrics.t;
   queue : Unix.file_descr Bqueue.t;
-  journal : Robust.Durable.Framed.writer option;
+  journal : Seglog.t option;
   journal_lock : Mutex.t;
   stop : bool Atomic.t;
 }
@@ -29,17 +30,18 @@ let is_query payload =
   String.length payload >= 5 && String.equal (String.sub payload 0 5) "query"
 
 (* Journal the request before answering it. Best-effort on injected
-   I/O errors (Framed.append already repaired the tail; the answer is
-   worth more than the journal line) — but a chaos {e crash} point is a
-   SIGKILL inside the append, which is the whole point of the drill. *)
+   I/O errors (Framed.append already repaired the tail, a failed seal
+   leaves the live writer intact; the answer is worth more than the
+   journal line) — but a chaos {e crash} point is a SIGKILL inside the
+   append, which is the whole point of the drill. *)
 let journal_request t payload =
   match t.journal with
-  | Some writer when is_query payload -> (
+  | Some log when is_query payload -> (
       Mutex.lock t.journal_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.journal_lock)
         (fun () ->
-          try Robust.Durable.Framed.append writer payload
+          try Seglog.append log payload
           with Unix.Unix_error _ | Sys_error _ -> ()))
   | _ -> ()
 
@@ -106,39 +108,17 @@ let rec accept_loop t lsock =
     accept_loop t lsock
   end
 
+(* Recovery (torn tails, quarantine, rotation duplicates) lives in
+   {!Seglog}; the server just opens the store and reports the count. *)
 let open_journal (cfg : config) =
   match cfg.journal with
-  | None -> (None, 0)
+  | None -> (None, { Seglog.payloads = []; sealed = 0; warnings = [] })
   | Some path ->
-      if Sys.file_exists path then begin
-        let scan = Robust.Durable.Framed.scan ~path in
-        match scan.Robust.Durable.Framed.header with
-        | Some h when String.equal h journal_header ->
-            let keep =
-              match scan.Robust.Durable.Framed.tail_error with
-              | None -> scan.Robust.Durable.Framed.length
-              | Some (offset, _) -> offset
-            in
-            ( Some
-                (Robust.Durable.Framed.open_append ?chaos:cfg.chaos_fs
-                   ~point:journal_point ~path ~keep ()),
-              List.length scan.Robust.Durable.Framed.records )
-        | _ ->
-            (* Unrecognised or torn header: park the sick file, start
-               fresh — same policy as every other Framed store here. *)
-            ignore
-              (Robust.Durable.quarantine ~path
-                 ~reason:"unrecognised serve journal header");
-            ( Some
-                (Robust.Durable.Framed.create ?chaos:cfg.chaos_fs
-                   ~point:journal_point ~path ~header:journal_header ()),
-              0 )
-      end
-      else
-        ( Some
-            (Robust.Durable.Framed.create ?chaos:cfg.chaos_fs
-               ~point:journal_point ~path ~header:journal_header ()),
-          0 )
+      let log, recovery =
+        Seglog.open_ ?chaos:cfg.chaos_fs ?rotate_bytes:cfg.journal_rotate
+          ~point:journal_point ~path ~header:journal_header ()
+      in
+      (Some log, recovery)
 
 let say cfg fmt =
   Printf.ksprintf
@@ -168,7 +148,7 @@ let run cfg =
         ?budget:cfg.budget
         ~slow:cfg.slow ?chaos:cfg.chaos ~cache ()
     in
-    let journal, recovered = open_journal cfg in
+    let journal, recovery = open_journal cfg in
     let t =
       {
         cfg;
@@ -186,15 +166,20 @@ let run cfg =
     let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind lsock (Unix.ADDR_UNIX cfg.socket_path);
     Unix.listen lsock 64;
-    (t, lsock, recovered)
+    (t, lsock, recovery)
   with
   | exception Unix.Unix_error (err, fn, _) ->
       Printf.eprintf "serve: cannot listen: %s (%s)\n%!"
         (Unix.error_message err) fn;
       1
-  | t, lsock, recovered ->
+  | t, lsock, recovery ->
       (match cfg.journal with
-      | Some path -> say cfg "serve: journal %s recovered=%d" path recovered
+      | Some path ->
+          List.iter (say cfg "serve: journal %s: %s" path)
+            recovery.Seglog.warnings;
+          say cfg "serve: journal %s recovered=%d segments=%d" path
+            (List.length recovery.Seglog.payloads)
+            recovery.Seglog.sealed
       | None -> ());
       say cfg "serve: listening on %s workers=%d queue=%d" cfg.socket_path
         cfg.workers cfg.queue_capacity;
@@ -220,7 +205,7 @@ let run cfg =
       ignore (Thread.join workers);
       Parallel.Pool.shutdown pool;
       (match t.journal with
-      | Some writer -> Robust.Durable.Framed.close writer
+      | Some log -> Seglog.close log
       | None -> ());
       say cfg "serve: drained %s" (Metrics.summary t.metrics);
       0

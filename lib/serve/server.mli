@@ -16,10 +16,12 @@
       request journal is synced and closed, a final summary line is
       printed, exit 0. No in-flight request is abandoned.
     - {e crash} (SIGKILL, power loss): the optional request journal is a
-      {!Robust.Durable.Framed} store, so a restart scans it, truncates
-      the torn tail, reports how many requests it recovered, and serves
-      again — and because answers are pure functions of the tables,
-      re-asked queries produce bit-identical replies after the crash.
+      {!Seglog} (a live {!Robust.Durable.Framed} file plus sealed
+      rotation segments), so a restart scans segments oldest-first and
+      the live tail last, truncates torn bytes, reports how many
+      requests it recovered, and serves again — and because answers are
+      pure functions of the tables, re-asked queries produce
+      bit-identical replies after the crash.
     - {e chaos}: [chaos] injects faults into the handler (answered as
       typed errors); [chaos_fs] injects filesystem faults — including
       named crash points — into the journal writes, which is how the
@@ -37,6 +39,11 @@ type config = {
   budget : float option;  (** per-query seconds; [None] = unlimited *)
   slow : float;  (** injected per-query delay (timeout drill); default 0 *)
   journal : string option;  (** framed request journal path *)
+  journal_rotate : int option;
+      (** rotation threshold in bytes: once an append pushes the live
+          journal past it, the bytes are sealed as an immutable
+          [<path>.N] segment ({!Seglog}) and the live file restarts;
+          [None] never rotates *)
   chaos : Robust.Chaos.t option;
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;  (** cache LRU bound, tables *)

@@ -2,6 +2,9 @@ type event =
   | Segment_saved of { start : float; finish : float; work : float }
   | Failure of { at : float; lost : float }
   | Gave_up of { at : float }
+  | Platform_change of { at : float; survivors : int }
+
+type platform = { initial : int; events : Fault.Trace.platform_event list }
 
 type breakdown = {
   working : float;
@@ -17,6 +20,7 @@ type outcome = {
   checkpoints : int;
   failures : int;
   replans : int;
+  replans_platform : int;
   breakdown : breakdown;
   events : event list;
 }
@@ -25,15 +29,36 @@ type outcome = {
    - [wall]: elapsed reservation time;
    - [exposed]: elapsed failure-exposed time (wall minus downtimes).
    Failure dates from the trace cursor live on the exposed clock, so a
-   failure never strikes during a downtime, as the model requires. *)
-let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
+   failure never strikes during a downtime, as the model requires.
+   Platform events live on the wall clock: one that lands inside a
+   downtime window takes effect at the re-plan that follows it. *)
+let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
+    =
   if horizon < 0.0 then invalid_arg "Engine.run: negative horizon";
   let c = params.Fault.Params.c
   and r = params.Fault.Params.r
   and d = params.Fault.Params.d in
+  let initial =
+    match platform with
+    | None -> 1
+    | Some p ->
+        if p.initial < 1 then invalid_arg "Engine.run: platform initial < 1";
+        Fault.Trace.validate_platform_events p.events;
+        p.initial
+  in
+  (* Events at or past the horizon can never re-plan anything. *)
+  let pending =
+    ref
+      (match platform with
+      | None -> []
+      | Some p ->
+          List.filter (fun e -> Fault.Trace.event_at e < horizon) p.events)
+  in
   let cur = Fault.Trace.cursor trace in
   let wall = ref 0.0 and exposed = ref 0.0 in
   let saved = ref 0.0 and ckpts = ref 0 and fails = ref 0 and replans = ref 0 in
+  let replans_platform = ref 0 in
+  let cur_policy = ref policy in
   let recovering = ref false in
   let b_ckpt = ref 0.0 and b_recov = ref 0.0 and b_down = ref 0.0 in
   let b_lost = ref 0.0 in
@@ -42,8 +67,28 @@ let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
   let draw_ckpt () = match ckpt_sampler with None -> c | Some f -> f () in
   let finished = ref false in
   while not !finished do
+    (* Platform events due by now (including any that landed during the
+       last downtime) take effect before the next plan is drawn: the
+       params are degraded to the surviving node count and an adaptive
+       policy re-compiles itself against them. *)
+    (let rec take () =
+       match !pending with
+       | e :: rest when Fault.Trace.event_at e <= !wall ->
+           pending := rest;
+           let survivors = Fault.Trace.event_survivors e in
+           incr replans_platform;
+           push
+             (Platform_change { at = Fault.Trace.event_at e; survivors });
+           (match !cur_policy.Policy.adapt with
+           | Some f ->
+               cur_policy := f (Fault.Params.degrade params ~initial ~survivors)
+           | None -> ());
+           take ()
+       | _ -> ()
+     in
+     take ());
     let tleft = horizon -. !wall in
-    let plan = policy.Policy.plan ~tleft ~recovering:!recovering in
+    let plan = !cur_policy.Policy.plan ~tleft ~recovering:!recovering in
     incr replans;
     Policy.validate_plan ~params ~tleft ~recovering:!recovering plan;
     (match plan with
@@ -68,7 +113,27 @@ let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
               let completion_wall = plan_start_wall +. off +. shift' in
               let fail_e = Fault.Trace.next_failure_exposed cur in
               let seg_end_e = !exposed +. seg_len in
-              if fail_e < seg_end_e then begin
+              let fail_wall = !wall +. (fail_e -. !exposed) in
+              let next_event_wall =
+                match !pending with
+                | [] -> infinity
+                | e :: _ -> Fault.Trace.event_at e
+              in
+              if
+                next_event_wall < fail_wall
+                && next_event_wall < completion_wall
+              then begin
+                (* A platform event interrupts the plan before this
+                   checkpoint completes (and before the next failure):
+                   advance both clocks to the event and fall back to the
+                   re-planning loop, which consumes it. The in-flight
+                   span since the last commit is abandoned — it lands in
+                   the [unused] share. *)
+                let delta = Float.max 0.0 (next_event_wall -. !wall) in
+                wall := !wall +. delta;
+                exposed := !exposed +. delta
+              end
+              else if fail_e < seg_end_e then begin
                 (* Failure strikes before this checkpoint completes. *)
                 let delta = fail_e -. !exposed in
                 wall := !wall +. delta;
@@ -98,7 +163,13 @@ let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
                 let work = Float.max 0.0 (seg_len -. overhead) in
                 saved := !saved +. work;
                 b_ckpt := !b_ckpt +. actual_c;
-                if first then b_recov := !b_recov +. first_overhead;
+                if first then begin
+                  b_recov := !b_recov +. first_overhead;
+                  (* The recovery (if any) is committed with the first
+                     checkpoint: a plan started by a later platform
+                     event continues from here without re-recovering. *)
+                  recovering := false
+                end;
                 incr ckpts;
                 wall := !wall +. seg_len;
                 committed_wall := !wall;
@@ -140,6 +211,7 @@ let run ?(record = false) ?ckpt_sampler ~params ~horizon ~policy trace =
     checkpoints = !ckpts;
     failures = !fails;
     replans = !replans;
+    replans_platform = !replans_platform;
     breakdown;
     events = List.rev !events;
   }

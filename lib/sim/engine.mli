@@ -16,6 +16,18 @@ type event =
       (** failure at wall-clock [at]; [lost] uncommitted units *)
   | Gave_up of { at : float }
       (** policy returned an empty plan: nothing more can be saved *)
+  | Platform_change of { at : float; survivors : int }
+      (** a platform event took effect: the engine re-planned against
+          the rate degraded to [survivors] processors *)
+
+type platform = { initial : int; events : Fault.Trace.platform_event list }
+(** A malleable-platform schedule for one reservation: the initial
+    processor count the run's [params.lambda] corresponds to, plus the
+    wall-clock loss/rejoin events (see {!Fault.Trace.platform_event}).
+    On each event the engine rescales the rate with
+    [Fault.Params.degrade ~initial ~survivors] and re-queries the
+    policy — through its [adapt] hook when it has one, otherwise the
+    same static plan closure. *)
 
 type breakdown = {
   working : float;  (** committed useful work *)
@@ -36,6 +48,8 @@ type outcome = {
   checkpoints : int;  (** checkpoints completed *)
   failures : int;  (** failures that struck the execution *)
   replans : int;  (** times the policy was queried *)
+  replans_platform : int;
+      (** platform events processed (re-plans not caused by a failure) *)
   breakdown : breakdown;
   events : event list;  (** chronological; empty unless [record] *)
 }
@@ -43,6 +57,7 @@ type outcome = {
 val run :
   ?record:bool ->
   ?ckpt_sampler:(unit -> float) ->
+  ?platform:platform ->
   params:Fault.Params.t ->
   horizon:float ->
   policy:Policy.t ->
@@ -56,7 +71,17 @@ val run :
     still plans with the nominal [params.c], completions shift
     accordingly, and a checkpoint whose shifted completion exceeds the
     horizon never completes. Plans are validated against the policy
-    contract; a malformed plan raises [Invalid_argument]. *)
+    contract; a malformed plan raises [Invalid_argument].
+
+    [platform], when given, replays its loss/rejoin events against the
+    run: an event interrupts the current plan at its wall-clock date
+    (abandoning the uncommitted span since the last checkpoint into the
+    [unused] share — no recovery is charged, the execution simply
+    re-plans), degrades the params to the surviving processor count and
+    re-queries the policy, via its [adapt] hook when present. Events
+    landing during a downtime take effect when the downtime ends; events
+    at or past the horizon are ignored. With an empty event list the run
+    is bit-identical to one without [platform]. *)
 
 val proportion_of_work :
   params:Fault.Params.t -> horizon:float -> outcome -> float

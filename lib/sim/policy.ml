@@ -1,9 +1,12 @@
 type t = {
   name : string;
   plan : tleft:float -> recovering:bool -> float list;
+  adapt : (Fault.Params.t -> t) option;
 }
 
-let make ~name plan = { name; plan }
+let make ?adapt ~name plan = { name; plan; adapt }
+
+let set_adapt p adapt = { p with adapt = Some adapt }
 
 (* Numerical slack for plan validation: offsets are produced by floating
    arithmetic, so exact comparisons would reject valid plans. *)
@@ -27,7 +30,7 @@ let validate_plan ~params ~tleft ~recovering plan =
   in
   check 0.0 plan
 
-let no_checkpoint = { name = "NoCheckpoint"; plan = (fun ~tleft:_ ~recovering:_ -> []) }
+let no_checkpoint = make ~name:"NoCheckpoint" (fun ~tleft:_ ~recovering:_ -> [])
 
 let usable ~params ~tleft ~recovering =
   if recovering then tleft -. params.Fault.Params.r else tleft
@@ -37,7 +40,7 @@ let single_final ~params =
   let plan ~tleft ~recovering =
     if usable ~params ~tleft ~recovering < c then [] else [ tleft ]
   in
-  { name = "SingleFinal"; plan }
+  make ~name:"SingleFinal" plan
 
 let single_at ~params ~offset_from_end =
   if offset_from_end < 0.0 then
@@ -52,7 +55,7 @@ let single_at ~params ~offset_from_end =
       [ Float.min off tleft ]
     end
   in
-  { name = Printf.sprintf "SingleAt(-%g)" offset_from_end; plan }
+  make ~name:(Printf.sprintf "SingleAt(-%g)" offset_from_end) plan
 
 (* [count] equal segments filling [tleft], last checkpoint at the end.
    Shared by [equal_segments] and the threshold policies of lib/core. *)
@@ -72,7 +75,7 @@ let equal_plan ~params ~tleft ~recovering ~count =
 let equal_segments ~params ~count =
   if count < 1 then invalid_arg "Policy.equal_segments: count < 1";
   let plan ~tleft ~recovering = equal_plan ~params ~tleft ~recovering ~count in
-  { name = Printf.sprintf "Equal(%d)" count; plan }
+  make ~name:(Printf.sprintf "Equal(%d)" count) plan
 
 let two_checkpoints ~params ~alpha =
   if alpha <= 0.0 || alpha >= 1.0 then
@@ -90,7 +93,7 @@ let two_checkpoints ~params ~alpha =
       [ first; tleft ]
     end
   in
-  { name = Printf.sprintf "Two(%.3f)" alpha; plan }
+  make ~name:(Printf.sprintf "Two(%.3f)" alpha) plan
 
 let periodic ~params ~period =
   if period <= 0.0 then invalid_arg "Policy.periodic: period must be positive";
@@ -114,7 +117,7 @@ let periodic ~params ~period =
       build [] base
     end
   in
-  { name = Printf.sprintf "Periodic(%g)" period; plan }
+  make ~name:(Printf.sprintf "Periodic(%g)" period) plan
 
 let max_work ~params ~tleft ~recovering =
   let c = params.Fault.Params.c in

@@ -19,9 +19,25 @@
 type t = {
   name : string;
   plan : tleft:float -> recovering:bool -> float list;
+  adapt : (Fault.Params.t -> t) option;
+      (** How this policy reacts to a platform change: given the updated
+          params (the degraded or restored failure rate), return the
+          policy to continue the reservation with. [None] — the common
+          case — means the policy is static: the engine keeps querying
+          the same plan closure after a platform event. The returned
+          policy should itself carry an [adapt] so later events re-plan
+          too. *)
 }
 
-val make : name:string -> (tleft:float -> recovering:bool -> float list) -> t
+val make :
+  ?adapt:(Fault.Params.t -> t) ->
+  name:string ->
+  (tleft:float -> recovering:bool -> float list) ->
+  t
+
+val set_adapt : t -> (Fault.Params.t -> t) -> t
+(** [set_adapt p f] is [p] re-planning through [f] on platform change —
+    functional update, [p] itself is untouched. *)
 
 val validate_plan :
   params:Fault.Params.t -> tleft:float -> recovering:bool -> float list -> unit

@@ -84,9 +84,9 @@ let quant_result = function
         Numerics.Stats.P2.value p50,
         Numerics.Stats.P2.value p95 )
 
-let stream_feed s trace =
+let stream_feed ?platform s trace =
   let outcome =
-    Engine.run ?ckpt_sampler:s.s_ckpt_sampler ~params:s.s_params
+    Engine.run ?ckpt_sampler:s.s_ckpt_sampler ?platform ~params:s.s_params
       ~horizon:s.s_horizon ~policy:s.s_policy trace
   in
   let p = Engine.proportion_of_work ~params:s.s_params ~horizon:s.s_horizon outcome in
@@ -113,10 +113,18 @@ let stream_result s =
     mean_checkpoints = float_of_int s.s_ckpts /. fn;
   }
 
-let evaluate ?ckpt_sampler ?quantile_mode ~params ~horizon ~policy traces =
+let evaluate ?ckpt_sampler ?quantile_mode ?platforms ~params ~horizon ~policy
+    traces =
   if Array.length traces = 0 then invalid_arg "Runner.evaluate: no traces";
+  (match platforms with
+  | Some ps when Array.length ps <> Array.length traces ->
+      invalid_arg "Runner.evaluate: platforms and traces length mismatch"
+  | _ -> ());
   let s = stream_create ?ckpt_sampler ?quantile_mode ~params ~horizon ~policy () in
-  Array.iter (stream_feed s) traces;
+  (match platforms with
+  | None -> Array.iter (stream_feed s) traces
+  | Some ps ->
+      Array.iteri (fun i tr -> stream_feed ~platform:ps.(i) s tr) traces);
   stream_result s
 
 let pp_result ppf r =

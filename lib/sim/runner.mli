@@ -34,8 +34,11 @@ val stream_create :
     results bit-for-bit; [Streaming] trades exactness of the three
     quantiles for flat memory. *)
 
-val stream_feed : stream -> Fault.Trace.t -> unit
-(** Run the policy on one trace and fold its outcome in. *)
+val stream_feed : ?platform:Engine.platform -> stream -> Fault.Trace.t -> unit
+(** Run the policy on one trace and fold its outcome in. [platform]
+    replays that trace's malleable-platform events (see
+    {!Engine.platform}) — per-trace, because each trace of a batch draws
+    its own loss/rejoin history. *)
 
 val stream_count : stream -> int
 
@@ -47,6 +50,7 @@ val stream_result : stream -> result
 val evaluate :
   ?ckpt_sampler:(unit -> float) ->
   ?quantile_mode:quantile_mode ->
+  ?platforms:Engine.platform array ->
   params:Fault.Params.t ->
   horizon:float ->
   policy:Policy.t ->
@@ -55,6 +59,8 @@ val evaluate :
 (** Runs the policy on every trace and aggregates — a fold of
     {!stream_feed} over the array. Each trace is replayed from its
     beginning, so passing the same array to several policies compares
-    them on identical failure scenarios. *)
+    them on identical failure scenarios. [platforms], when given, must
+    align with [traces]: entry [i] is trace [i]'s event schedule, so
+    policies are also compared on identical platform histories. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -20,6 +20,7 @@ The figure registry:
   ext-renewal          extension: renewal-aware DP vs exponential-derived strategies on Weibull(k=0.7) failures, MTBF 1000, C=20, D=0
   ext-ablation         ablation: fixed-work-optimal periods, single-final checkpoint, continuous-offset and k-free optima against the paper strategies (λ=0.001, D=0, C=20)
   ext-stochastic-ckpt  robustness: checkpoint duration Erlang(4) with mean C, λ=0.001, D=0
+  ext-replan           malleability: 16-node platform, each failure fatal to its node with probability 0.25, 2 spares rejoining after one downtime — static-λ strategies vs online re-planning (λ=0.001, D=5, C=20)
 
 Section 4 case studies:
 

@@ -105,3 +105,42 @@ stall. Pings skip the query path, so readiness still answers fast.
   [5]
   $ kill -TERM $TPID
   $ wait $TPID
+
+Rotation drill. A small --journal-rotate bound seals the live journal
+into immutable numbered segments (published atomically: temp file,
+fsync, rename) instead of letting it grow without bound.
+
+  $ ../../bin/main.exe serve --socket r.sock --journal r.log \
+  >   --journal-rotate 150 --quiet &
+  $ RPID=$!
+  $ ../../bin/main.exe query --socket r.sock --ping --retry 8 --retry-base 0.1
+  pong
+  $ ../../bin/main.exe query --socket r.sock --lambda 0.001 -c 20 -t 500 \
+  >   > /dev/null
+  $ ../../bin/main.exe query --socket r.sock --lambda 0.002 -c 40 -t 400 \
+  >   > /dev/null
+  $ ../../bin/main.exe query --socket r.sock --lambda 0.005 -c 10 -t 300 \
+  >   > /dev/null
+  $ kill -TERM $RPID
+  $ wait $RPID
+
+The second append crossed the bound, so the first two requests were
+sealed into segment 1 and the third landed in the fresh live file.
+
+  $ grep -c "^[0-9]* query" r.log.1
+  2
+  $ grep -c "^[0-9]* query" r.log
+  1
+
+Restart recovery scans segments oldest-first, then the live tail: all
+three requests come back, across the rotation boundary.
+
+  $ ../../bin/main.exe serve --socket r.sock --journal r.log \
+  >   --journal-rotate 150 > rot.log &
+  $ RPID=$!
+  $ ../../bin/main.exe query --socket r.sock --ping --retry 8 --retry-base 0.1
+  pong
+  $ grep -o "recovered=3 segments=1" rot.log
+  recovered=3 segments=1
+  $ kill -TERM $RPID
+  $ wait $RPID

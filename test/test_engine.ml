@@ -95,7 +95,8 @@ let test_events_chronological () =
       (function
         | E.Segment_saved { finish; _ } -> finish
         | E.Failure { at; _ } -> at
-        | E.Gave_up { at } -> at)
+        | E.Gave_up { at } -> at
+        | E.Platform_change { at; _ } -> at)
       outcome.E.events
   in
   let sorted = List.sort compare times in
@@ -168,6 +169,117 @@ let test_malformed_policy_rejected () =
   | _ -> Alcotest.fail "malformed plan accepted"
   | exception Invalid_argument _ -> ()
 
+(* Platform events (malleable platforms) *)
+
+let breakdown_sum (b : E.breakdown) =
+  b.E.working +. b.E.checkpointing +. b.E.recovering +. b.E.down +. b.E.lost
+  +. b.E.unused
+
+let test_platform_event_interrupts_plan () =
+  (* single_final on 100 plans one checkpoint completing at 100; losing
+     8 of 16 nodes at wall 40 interrupts it. The static policy has no
+     adapt hook, so the engine re-queries the same plan closure: the
+     abandoned span [0, 40] lands in unused, the new plan saves
+     60 - C = 50. *)
+  let platform =
+    {
+      E.initial = 16;
+      events = [ T.Node_lost { at = 40.0; survivors = 8 } ];
+    }
+  in
+  let outcome =
+    E.run ~record:true ~platform ~params ~horizon:100.0
+      ~policy:(P.single_final ~params) (quiet_trace ())
+  in
+  close "work saved after the interrupt" 50.0 outcome.E.work_saved;
+  Alcotest.(check int) "one platform re-plan" 1 outcome.E.replans_platform;
+  Alcotest.(check int) "two plans total" 2 outcome.E.replans;
+  close "abandoned span is unused" 40.0 outcome.E.breakdown.E.unused;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown);
+  match
+    List.find_opt
+      (function E.Platform_change _ -> true | _ -> false)
+      outcome.E.events
+  with
+  | Some (E.Platform_change { at; survivors }) ->
+      close "event date" 40.0 at;
+      Alcotest.(check int) "survivors" 8 survivors
+  | _ -> Alcotest.fail "no Platform_change event recorded"
+
+let test_platform_event_degrades_adaptive_policy () =
+  (* An adaptive policy's hook must receive the params degraded with
+     the scale_platform convention: λ · survivors / initial. *)
+  let seen = ref [] in
+  let rec adaptive params =
+    P.set_adapt (P.single_final ~params) (fun params' ->
+        seen := params'.Fault.Params.lambda :: !seen;
+        adaptive params')
+  in
+  let platform =
+    {
+      E.initial = 16;
+      events =
+        [
+          T.Node_lost { at = 30.0; survivors = 8 };
+          T.Node_joined { at = 60.0; survivors = 12 };
+        ];
+    }
+  in
+  let outcome =
+    E.run ~platform ~params ~horizon:100.0 ~policy:(adaptive params)
+      (quiet_trace ())
+  in
+  Alcotest.(check int) "two platform re-plans" 2 outcome.E.replans_platform;
+  Alcotest.(check (list (float 0.0))) "degraded rates, in order"
+    [ 0.001 *. 8.0 /. 16.0; 0.001 *. 12.0 /. 16.0 ]
+    (List.rev !seen)
+
+let test_platform_empty_events_bit_identical () =
+  let trace () = T.of_iats [| 50.0; 1.0e9 |] in
+  let baseline =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  let with_platform =
+    E.run
+      ~platform:{ E.initial = 16; events = [] }
+      ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  Alcotest.(check bool) "outcomes bit-identical" true
+    (baseline = with_platform);
+  Alcotest.(check int) "no platform re-plan" 0 with_platform.E.replans_platform
+
+let test_platform_event_past_horizon_ignored () =
+  let trace () = T.of_iats [| 50.0; 1.0e9 |] in
+  let baseline =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  let with_platform =
+    E.run
+      ~platform:
+        { E.initial = 16; events = [ T.Node_lost { at = 150.0; survivors = 8 } ] }
+      ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  Alcotest.(check bool) "outcome unchanged" true (baseline = with_platform);
+  Alcotest.(check int) "event never processed" 0
+    with_platform.E.replans_platform
+
+let test_platform_event_during_downtime_deferred () =
+  (* Failure at wall 50, downtime until 55; the event at 52 must take
+     effect at the post-downtime re-plan, not interrupt the downtime.
+     The plan and its accounting match the plain recover-after-failure
+     case (the policy is static), with one platform re-plan counted. *)
+  let trace = T.of_iats [| 50.0; 1.0e9 |] in
+  let outcome =
+    E.run
+      ~platform:
+        { E.initial = 16; events = [ T.Node_lost { at = 52.0; survivors = 8 } ] }
+      ~params ~horizon:100.0 ~policy:(P.single_final ~params) trace
+  in
+  close "saved as in the failure-only case" 27.0 outcome.E.work_saved;
+  Alcotest.(check int) "event processed after the downtime" 1
+    outcome.E.replans_platform;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown)
+
 (* Invariants under random traces and policies. *)
 
 let qcheck_tests =
@@ -225,6 +337,66 @@ let qcheck_tests =
            let o2 = E.run ~params ~horizon ~policy (trace ()) in
            o1.E.work_saved = o2.E.work_saved
            && o1.E.failures = o2.E.failures));
+    (let gen =
+       QCheck.Gen.(
+         let* seed = int_bound 1_000_000 in
+         let* horizon = float_range 20.0 2000.0 in
+         let* count = int_range 1 8 in
+         let* n_events = int_bound 5 in
+         let* dates =
+           list_repeat n_events (float_range 0.0 (1.2 *. horizon))
+         in
+         let* survivors = list_repeat n_events (int_range 1 20) in
+         let* adaptive = bool in
+         let events =
+           List.map2
+             (fun at survivors -> T.Node_lost { at; survivors })
+             (List.sort compare dates)
+             survivors
+         in
+         return (seed, horizon, count, events, adaptive))
+     in
+     let arb =
+       QCheck.make gen ~print:(fun (s, h, k, evs, a) ->
+           Printf.sprintf "seed=%d horizon=%g count=%d events=[%s] adaptive=%b"
+             s h k
+             (String.concat "; "
+                (List.map
+                   (fun e ->
+                     Printf.sprintf "%g->%d" (T.event_at e)
+                       (T.event_survivors e))
+                   evs))
+             a)
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make
+          ~name:"breakdown sums to horizon under platform events" ~count:500
+          arb
+          (fun (seed, horizon, count, events, adaptive) ->
+            let trace =
+              T.create
+                ~dist:(T.Exponential { rate = 0.002 })
+                ~seed:(Int64.of_int seed)
+            in
+            let rec adaptive_policy params =
+              P.set_adapt
+                (P.equal_segments ~params ~count)
+                (fun params' -> adaptive_policy params')
+            in
+            let policy =
+              if adaptive then adaptive_policy params
+              else P.equal_segments ~params ~count
+            in
+            let outcome =
+              E.run
+                ~platform:{ E.initial = 16; events }
+                ~params ~horizon ~policy trace
+            in
+            let b = outcome.E.breakdown in
+            Float.abs (breakdown_sum b -. horizon) <= 1e-6 *. horizon
+            && b.E.working >= 0.0 && b.E.checkpointing >= 0.0
+            && b.E.recovering >= 0.0 && b.E.down >= 0.0 && b.E.lost >= 0.0
+            && b.E.unused >= 0.0)));
   ]
 
 let () =
@@ -261,6 +433,19 @@ let () =
             test_late_failure_downtime_clamped;
           Alcotest.test_case "shorter checkpoints keep the plan" `Quick
             test_stochastic_checkpoint_shorter;
+        ] );
+      ( "platform events",
+        [
+          Alcotest.test_case "event interrupts the plan" `Quick
+            test_platform_event_interrupts_plan;
+          Alcotest.test_case "adaptive policy gets degraded params" `Quick
+            test_platform_event_degrades_adaptive_policy;
+          Alcotest.test_case "empty events are bit-identical" `Quick
+            test_platform_empty_events_bit_identical;
+          Alcotest.test_case "event past horizon ignored" `Quick
+            test_platform_event_past_horizon_ignored;
+          Alcotest.test_case "event during downtime deferred" `Quick
+            test_platform_event_during_downtime_deferred;
         ] );
       ( "metrics",
         [

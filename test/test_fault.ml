@@ -42,6 +42,46 @@ let test_scale_platform () =
     (Invalid_argument "Params.scale_platform: processors < 1") (fun () ->
       ignore (P.scale_platform ind ~processors:0))
 
+let test_with_lambda () =
+  let p = P.make ~lambda:0.01 ~c:5.0 ~r:4.0 ~d:1.0 in
+  let q = P.with_lambda p ~lambda:0.02 in
+  close ~eps:0.0 "rate replaced" 0.02 q.P.lambda;
+  close ~eps:0.0 "c kept" p.P.c q.P.c;
+  close ~eps:0.0 "r kept" p.P.r q.P.r;
+  close ~eps:0.0 "d kept" p.P.d q.P.d;
+  let expect_invalid name lambda =
+    match P.with_lambda p ~lambda with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "zero rate" 0.0;
+  expect_invalid "negative rate" (-0.01);
+  expect_invalid "nan rate" nan;
+  expect_invalid "infinite rate" infinity
+
+let test_degrade () =
+  let p = P.make ~lambda:0.016 ~c:5.0 ~r:4.0 ~d:1.0 in
+  let half = P.degrade p ~initial:16 ~survivors:8 in
+  close "half the nodes, half the rate" 0.008 half.P.lambda;
+  (* Spares may grow the platform past its initial size. *)
+  let grown = P.degrade p ~initial:16 ~survivors:20 in
+  close "spares raise the rate" 0.02 grown.P.lambda;
+  (* The scale_platform law: degrading an n-node aggregate to m nodes
+     is scaling the per-node rate by m. *)
+  let per_node = P.make ~lambda:1e-3 ~c:5.0 ~r:4.0 ~d:1.0 in
+  Alcotest.(check bool) "degrade/scale_platform law" true
+    (P.equal
+       (P.degrade (P.scale_platform per_node ~processors:16) ~initial:16
+          ~survivors:11)
+       (P.scale_platform per_node ~processors:11));
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "initial 0" (fun () -> P.degrade p ~initial:0 ~survivors:1);
+  expect_invalid "survivors 0" (fun () -> P.degrade p ~initial:4 ~survivors:0)
+
 (* Traces *)
 
 let test_trace_deterministic () =
@@ -115,6 +155,52 @@ let test_exponential_trace_mtbf () =
   done;
   close ~eps:1.0 "empirical MTBF" (1.0 /. rate) (!sum /. float_of_int n)
 
+(* Platform events *)
+
+let node_model =
+  { T.nodes = 8; spares = 2; loss_prob = 0.5; rejoin_delay = 5.0 }
+
+let test_platform_batch_deterministic () =
+  let gen () =
+    T.platform_batch ~model:node_model ~rate:0.01 ~d:2.0 ~horizon:500.0
+      ~seed:21L ~n:4
+  in
+  let h1 = gen () and h2 = gen () in
+  Array.iteri
+    (fun i (tr1, ev1) ->
+      let tr2, ev2 = h2.(i) in
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "history %d iats identical" i)
+        (T.iats_until tr1 ~until:500.0)
+        (T.iats_until tr2 ~until:500.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "history %d events identical" i)
+        true (ev1 = ev2))
+    h1;
+  (* The batch draws independent histories. *)
+  let ev0 = snd h1.(0) and ev1 = snd h1.(1) in
+  Alcotest.(check bool) "histories differ" false
+    (ev0 = ev1 && T.iat (fst h1.(0)) 0 = T.iat (fst h1.(1)) 0)
+
+let test_platform_events_well_formed () =
+  let histories =
+    T.platform_batch ~model:node_model ~rate:0.02 ~d:2.0 ~horizon:800.0
+      ~seed:5L ~n:8
+  in
+  let total = ref 0 in
+  Array.iter
+    (fun (_, events) ->
+      T.validate_platform_events events (* must not raise *);
+      total := !total + List.length events;
+      List.iter
+        (fun e ->
+          let s = T.event_survivors e in
+          Alcotest.(check bool) "survivors within [1, nodes + spares]" true
+            (s >= 1 && s <= node_model.T.nodes + node_model.T.spares))
+        events)
+    histories;
+  Alcotest.(check bool) "a lossy platform produces events" true (!total > 0)
+
 let test_dist_means () =
   close "exponential mean" 50.0 (T.dist_mean (T.Exponential { rate = 0.02 }));
   (* Weibull k=1 mean = scale *)
@@ -186,6 +272,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "psucc/pfail" `Quick test_psucc_pfail;
           Alcotest.test_case "platform scaling" `Quick test_scale_platform;
+          Alcotest.test_case "with_lambda" `Quick test_with_lambda;
+          Alcotest.test_case "degrade" `Quick test_degrade;
         ] );
       ( "traces",
         [
@@ -196,6 +284,13 @@ let () =
           Alcotest.test_case "cursor" `Quick test_cursor;
           Alcotest.test_case "prefetch" `Quick test_prefetch_covers;
           Alcotest.test_case "empirical MTBF" `Slow test_exponential_trace_mtbf;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "batch deterministic" `Quick
+            test_platform_batch_deterministic;
+          Alcotest.test_case "events well-formed" `Quick
+            test_platform_events_well_formed;
         ] );
       ( "distributions",
         [

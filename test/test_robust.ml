@@ -691,6 +691,7 @@ let tiny_spec =
     seed = 7L;
     failure_dist = Experiments.Spec.Exp;
     ckpt_noise = Experiments.Spec.Deterministic;
+    platform = None;
   }
 
 let check_same_result (a : Experiments.Runner.result)

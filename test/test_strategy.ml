@@ -169,6 +169,46 @@ let test_cache_builds_once () =
   Alcotest.(check int) "shared cache: no rebuild across sweeps" 3
     (Strategy.Cache.builds cache)
 
+(* The adaptive wrapper's re-plan hook goes through the same cache:
+   the first visit to a degraded λ builds its table, every revisit
+   hits. This is the counter pair the replan drill pins end to end. *)
+let test_adaptive_replans_hit_cache () =
+  let params = Fault.Params.paper ~lambda:0.001 ~c:20.0 ~d:5.0 in
+  let dist = Fault.Trace.Exponential { rate = 0.001 } in
+  let horizon = 400.0 in
+  let cache = Strategy.Cache.create () in
+  let inner = Spec.Dynamic_programming { quantum = 1.0 } in
+  Strategy.ensure cache ~params ~horizon ~dist [ inner ];
+  let policy =
+    Strategy.compile_exn cache ~params ~horizon ~dist (Spec.Adaptive inner)
+  in
+  Alcotest.(check int) "base table built" 1 (Strategy.Cache.builds cache);
+  Alcotest.(check string) "adaptive display name" "AdaptiveDynamicProgramming"
+    policy.Sim.Policy.name;
+  let adapt p =
+    match p.Sim.Policy.adapt with
+    | Some f -> f
+    | None -> Alcotest.fail "adaptive policy lost its re-plan hook"
+  in
+  let degraded = Fault.Params.degrade params ~initial:16 ~survivors:8 in
+  (* First visit to the degraded λ: a fresh table. *)
+  let p1 = adapt policy degraded in
+  Alcotest.(check int) "degraded λ builds" 2 (Strategy.Cache.builds cache);
+  (* Re-planning back at the original λ: pure hit (the hook also
+     re-checks its own level, hence >= 1 new hit, no new build). *)
+  let hits_before = Strategy.Cache.hits cache in
+  let p2 = adapt p1 params in
+  Alcotest.(check int) "revisited λ builds nothing" 2
+    (Strategy.Cache.builds cache);
+  Alcotest.(check bool) "revisited λ hits" true
+    (Strategy.Cache.hits cache > hits_before);
+  (* And back to the degraded λ again: still no third build. *)
+  let (_ : Sim.Policy.t) = adapt p2 degraded in
+  Alcotest.(check int) "both levels stay resident" 2
+    (Strategy.Cache.builds cache);
+  Alcotest.(check int) "two resident tables" 2
+    (Strategy.Cache.resident_tables cache)
+
 (* warm-up: one pass builds each distinct key exactly once, is
    idempotent, matches the serial counters when run on a pool, and a
    pre-warmed sweep reproduces the cold sweep byte for byte *)
@@ -412,6 +452,8 @@ let () =
           Alcotest.test_case "missing table diagnosed" `Quick
             test_missing_table_diagnosed;
           Alcotest.test_case "tables built once" `Slow test_cache_builds_once;
+          Alcotest.test_case "adaptive re-plans hit the cache" `Quick
+            test_adaptive_replans_hit_cache;
           Alcotest.test_case "warm-up builds each key once" `Quick
             test_warm_up_builds_each_key_once;
           Alcotest.test_case "warmed sweep bit-identical" `Slow
