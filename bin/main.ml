@@ -162,6 +162,48 @@ let platform_model_of nodes spares loss_rate =
       })
     nodes
 
+(* Fault-prediction options: derive a predicted-event stream per trace
+   (precision/recall/window, common random numbers) and let strategies
+   with an on_prediction hook checkpoint proactively. *)
+
+let predictor_t =
+  let doc =
+    "Prediction drill: derive a predicted-event stream for every trace \
+     from a fault predictor with precision, recall and window width \
+     $(docv) (e.g. $(b,0.8,0.7,30)). Strategies with a prediction hook \
+     ($(b,predicted-young-daly), $(b,proactive-window)) may then \
+     checkpoint proactively on a fired prediction; every other \
+     strategy ignores predictions at zero cost."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "predictor" ] ~docv:"P,R,W" ~doc)
+
+let predictor_of = function
+  | None -> None
+  | Some text -> (
+      match List.map String.trim (String.split_on_char ',' text) with
+      | [ ps; rs; ws ] -> (
+          match
+            ( float_of_string_opt ps,
+              float_of_string_opt rs,
+              float_of_string_opt ws )
+          with
+          | Some pp, Some r, Some w ->
+              let pr = { Fault.Predictor.p = pp; r; w } in
+              or_fail (fun () -> Fault.Predictor.validate pr);
+              Some pr
+          | _ ->
+              Printf.eprintf
+                "fixedlen: --predictor expects three numbers P,R,W, got %S\n"
+                text;
+              exit 2)
+      | _ ->
+          Printf.eprintf
+            "fixedlen: --predictor expects P,R,W (precision, recall, \
+             window), got %S\n"
+            text;
+          exit 2)
+
 let retry_t =
   let doc =
     "Attempts per grid point (including the first). Transient task \
@@ -348,8 +390,9 @@ let figure_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run id n_traces t_step t_max strategies platform_events spares loss_rate
-      csv no_plot domains quiet journal resume retry chaos_rate chaos_hang
-      chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout isolate =
+      predictor csv no_plot domains quiet journal resume retry chaos_rate
+      chaos_hang chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout
+      isolate =
     match Experiments.Figures.find id with
     | None ->
         Printf.eprintf "unknown figure %s; known: %s\n" id
@@ -371,6 +414,11 @@ let figure_cmd =
           match platform_model_of platform_events spares loss_rate with
           | None -> spec
           | Some _ as platform -> { spec with Experiments.Spec.platform }
+        in
+        let spec =
+          match predictor_of predictor with
+          | None -> spec
+          | Some _ as predictor -> { spec with Experiments.Spec.predictor }
         in
         let progress = if quiet then fun _ -> () else prerr_endline in
         let retry = retry_of retry in
@@ -434,7 +482,7 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Regenerate one figure of the paper.")
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ strategies_opt_t
-      $ platform_events_t $ spares_t $ loss_rate_t
+      $ platform_events_t $ spares_t $ loss_rate_t $ predictor_t
       $ csv_t $ no_plot_t $ domains_t $ quiet_t $ journal_t $ resume_t
       $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
       $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
@@ -475,7 +523,7 @@ let campaign_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
   let run out n_traces t_step t_max report figures strategies platform_events
-      spares loss_rate domains quiet journal resume retry chaos_rate
+      spares loss_rate predictor domains quiet journal resume retry chaos_rate
       chaos_hang chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout
       isolate =
     let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
@@ -495,6 +543,7 @@ let campaign_cmd =
         figure_ids = Option.map (String.split_on_char ',') figures;
         strategies = strategies_of strategies;
         platform = platform_model_of platform_events spares loss_rate;
+        predictor = predictor_of predictor;
         journal;
         retry = retry_of retry;
         chaos = chaos_of chaos_rate chaos_hang chaos_seed;
@@ -549,7 +598,7 @@ let campaign_cmd =
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
       $ figures_only_t $ strategies_opt_t $ platform_events_t $ spares_t
-      $ loss_rate_t $ domains_t $ quiet_t $ journal_t
+      $ loss_rate_t $ predictor_t $ domains_t $ quiet_t $ journal_t
       $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t
       $ chaos_fs_t $ chaos_crash_at_t $ deadline_t $ task_timeout_t
       $ isolate_t)
@@ -1029,11 +1078,12 @@ let simulate_cmd =
          & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
   in
   let run params quantum t seed traces strategies platform_events spares
-      loss_rate =
+      loss_rate predictor =
     let dist =
       Fault.Trace.Exponential { rate = params.Fault.Params.lambda }
     in
     let model = platform_model_of platform_events spares loss_rate in
+    let predictor = predictor_of predictor in
     (* With a platform model, traces come from the node-level generator
        and each carries its own loss/rejoin schedule, replayed for every
        strategy so they face identical platform histories. *)
@@ -1076,39 +1126,80 @@ let simulate_cmd =
                   Adaptive (Dynamic_programming { quantum });
                 ])
     in
+    (* Prediction streams ride the runner's common-random-numbers
+       convention (salt -1 of the trace seed), so `simulate` and
+       `figure` agree on what a given (seed, c) predictor announces. *)
+    let predictions =
+      Option.map
+        (fun pr ->
+          or_fail (fun () ->
+              Fault.Predictor.batch ~params:pr
+                ~rate:params.Fault.Params.lambda ~horizon:t
+                ~seed:
+                  (Experiments.Runner.seed_for seed ~c:params.Fault.Params.c
+                     ~salt:(-1))
+                trace_set))
+        predictor
+    in
     let policies = compile_strategies ~params ~horizon:t ~dist strategies in
-    Printf.printf "simulating %s, T=%g, %d traces%s\n"
+    Printf.printf "simulating %s, T=%g, %d traces%s%s\n"
       (Fault.Params.to_string params) t traces
       (match model with
       | None -> ""
       | Some m ->
           Printf.sprintf ", platform %d node(s) (%d spare(s), loss %g)"
-            m.Fault.Trace.nodes m.Fault.Trace.spares m.Fault.Trace.loss_prob);
+            m.Fault.Trace.nodes m.Fault.Trace.spares m.Fault.Trace.loss_prob)
+      (match predictor with
+      | None -> ""
+      | Some pr ->
+          Printf.sprintf ", predictor p=%g r=%g w=%g" pr.Fault.Predictor.p
+            pr.Fault.Predictor.r pr.Fault.Predictor.w);
     let table =
       Output.Table.create
         ~columns:
-          [
-            ("strategy", Output.Table.Left);
-            ("proportion", Output.Table.Right);
-            ("±95%", Output.Table.Right);
-            ("failures", Output.Table.Right);
-            ("checkpoints", Output.Table.Right);
-          ]
+          ([
+             ("strategy", Output.Table.Left);
+             ("proportion", Output.Table.Right);
+             ("±95%", Output.Table.Right);
+             ("failures", Output.Table.Right);
+             ("checkpoints", Output.Table.Right);
+           ]
+          @
+          (* The prediction counters only appear when a predictor is
+             active, keeping the default table (and its goldens) as-is. *)
+          match predictor with
+          | None -> []
+          | Some _ ->
+              [
+                ("proactive", Output.Table.Right);
+                ("pred TP", Output.Table.Right);
+                ("pred FA", Output.Table.Right);
+              ])
     in
     List.iter
       (fun policy ->
         let r =
-          Sim.Runner.evaluate ?platforms ~params ~horizon:t ~policy trace_set
+          Sim.Runner.evaluate ?platforms ?predictions ~params ~horizon:t
+            ~policy trace_set
         in
         Output.Table.add_row table
-          [
-            r.Sim.Runner.policy;
-            Printf.sprintf "%.4f" r.Sim.Runner.proportion.Numerics.Stats.mean;
-            Printf.sprintf "%.4f"
-              r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
-            Printf.sprintf "%.2f" r.Sim.Runner.mean_failures;
-            Printf.sprintf "%.2f" r.Sim.Runner.mean_checkpoints;
-          ])
+          ([
+             r.Sim.Runner.policy;
+             Printf.sprintf "%.4f" r.Sim.Runner.proportion.Numerics.Stats.mean;
+             Printf.sprintf "%.4f"
+               r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+             Printf.sprintf "%.2f" r.Sim.Runner.mean_failures;
+             Printf.sprintf "%.2f" r.Sim.Runner.mean_checkpoints;
+           ]
+          @
+          match predictor with
+          | None -> []
+          | Some _ ->
+              [
+                Printf.sprintf "%.2f" r.Sim.Runner.mean_proactive;
+                Printf.sprintf "%.2f" r.Sim.Runner.mean_predictions_true;
+                Printf.sprintf "%.2f" r.Sim.Runner.mean_predictions_false;
+              ]))
       policies;
     Output.Table.print table
   in
@@ -1117,7 +1208,8 @@ let simulate_cmd =
        ~doc:"Evaluate every strategy on one reservation length.")
     Term.(
       const run $ params_t $ quantum_t $ t_t $ seed_t $ traces_t 1000
-      $ strategies_opt_t $ platform_events_t $ spares_t $ loss_rate_t)
+      $ strategies_opt_t $ platform_events_t $ spares_t $ loss_rate_t
+      $ predictor_t)
 
 (* replan — the malleability scenario (lib/experiments/replan) *)
 
@@ -1201,6 +1293,80 @@ let replan_cmd =
       const run $ params_t $ quantum_t $ t_t $ nodes_t $ spares_t $ rejoin_t
       $ loss_grid_t $ seed_t $ traces_t 500 $ strategies_opt_t $ csv_t
       $ no_plot_t $ quiet_t)
+
+(* predict — the fault-prediction scenario (lib/experiments/predict) *)
+
+let predict_cmd =
+  let t_t =
+    Arg.(value & opt float 800.0
+         & info [ "t"; "length" ] ~docv:"T" ~doc:"Reservation length.")
+  in
+  let grid_t ~name ~default ~doc =
+    Arg.(value & opt string default & info [ name ] ~docv:"X,X,..." ~doc)
+  in
+  let p_grid_t =
+    grid_t ~name:"p-grid" ~default:"0,0.8,1"
+      ~doc:
+        "Comma-separated predictor precisions to sweep (0 proves the \
+         exact-float law: no stream, bit-identical to the baseline)."
+  in
+  let r_grid_t =
+    grid_t ~name:"r-grid" ~default:"0,0.8,1"
+      ~doc:
+        "Comma-separated predictor recalls to sweep (0 collapses \
+         predicted-young-daly onto Young/Daly bit for bit)."
+  in
+  let w_grid_t =
+    grid_t ~name:"w-grid" ~default:"30"
+      ~doc:
+        "Comma-separated prediction windows to sweep (w >= C lets the \
+         proactive checkpoint complete before the announced fault)."
+  in
+  let parse_grid ~flag text =
+    let parts = String.split_on_char ',' text in
+    match List.map (fun s -> float_of_string_opt (String.trim s)) parts with
+    | fs when fs <> [] && List.for_all Option.is_some fs ->
+        Array.of_list (List.map Option.get fs)
+    | _ ->
+        Printf.eprintf "fixedlen: bad --%s %S\n" flag text;
+        exit 2
+  in
+  let run params t p_grid r_grid w_grid seed traces csv no_plot quiet =
+    let ps = parse_grid ~flag:"p-grid" p_grid in
+    let rs = parse_grid ~flag:"r-grid" r_grid in
+    let ws = parse_grid ~flag:"w-grid" w_grid in
+    let progress = if quiet then fun _ -> () else prerr_endline in
+    let result =
+      or_fail (fun () ->
+          Experiments.Predict.run ~progress ~params ~horizon:t ~ps ~rs ~ws
+            ~n_traces:traces ~seed ())
+    in
+    (match csv with
+    | Some path ->
+        or_fail (fun () -> Experiments.Predict.to_csv result ~path);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if not no_plot then print_string (Experiments.Predict.plot result);
+    print_endline "qualitative checks:";
+    print_endline
+      (Experiments.Report.render_checks (Experiments.Predict.checks result));
+    (* proactive-window shares one u = 1 DP table across the whole grid:
+       builds must stay at 1 no matter how many combos ran. *)
+    let s = result.Experiments.Predict.cache in
+    Printf.printf "cache: builds=%d hits=%d evictions=%d tables=%d\n"
+      s.Experiments.Strategy.Cache.s_builds s.Experiments.Strategy.Cache.s_hits
+      s.Experiments.Strategy.Cache.s_evictions
+      s.Experiments.Strategy.Cache.s_resident_tables
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Fault-prediction scenario: sweep a (precision, recall, window) \
+          grid and compare prediction-aware strategies against the \
+          unpredicted baseline on identical failure traces.")
+    Term.(
+      const run $ params_t $ t_t $ p_grid_t $ r_grid_t $ w_grid_t $ seed_t
+      $ traces_t 300 $ csv_t $ no_plot_t $ quiet_t)
 
 (* analysis (Section 4 case studies) *)
 
@@ -1321,6 +1487,15 @@ let serve_cmd =
     Arg.(value & opt (some int) None
          & info [ "journal-rotate" ] ~docv:"BYTES" ~doc)
   in
+  let journal_compact_t =
+    let doc =
+      "Before opening the request journal, merge its sealed segments \
+       into one and drop byte-identical duplicate records (e.g. left by \
+       a crash between a compaction's publish and its unlinks). \
+       Idempotent; a no-op below two segments."
+    in
+    Arg.(value & flag & info [ "journal-compact" ] ~doc)
+  in
   let cache_tables_t =
     let doc = "LRU bound on resident policy tables." in
     Arg.(value & opt (some int) None & info [ "cache-tables" ] ~docv:"N" ~doc)
@@ -1329,8 +1504,9 @@ let serve_cmd =
     let doc = "LRU bound on summed resident table bytes." in
     Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"B" ~doc)
   in
-  let run socket workers queue budget slow journal journal_rotate cache_tables
-      cache_bytes chaos_rate chaos_seed chaos_fs_rate chaos_crash_at quiet =
+  let run socket workers queue budget slow journal journal_rotate
+      journal_compact cache_tables cache_bytes chaos_rate chaos_seed
+      chaos_fs_rate chaos_crash_at quiet =
     if workers < 1 then begin
       Printf.eprintf "fixedlen: --workers must be >= 1\n";
       exit 2
@@ -1355,6 +1531,7 @@ let serve_cmd =
         slow;
         journal;
         journal_rotate;
+        journal_compact;
         chaos;
         chaos_fs;
         max_tables = cache_tables;
@@ -1372,8 +1549,9 @@ let serve_cmd =
           journal).")
     Term.(
       const run $ socket_t $ workers_t $ queue_t $ budget_t $ slow_t
-      $ journal_t $ journal_rotate_t $ cache_tables_t $ cache_bytes_t
-      $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t $ quiet_t)
+      $ journal_t $ journal_rotate_t $ journal_compact_t $ cache_tables_t
+      $ cache_bytes_t $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t
+      $ chaos_crash_at_t $ quiet_t)
 
 let query_cmd =
   let horizon_t =
@@ -1501,7 +1679,7 @@ let main_cmd =
     (Cmd.info "fixedlen" ~version:"1.0.0" ~doc)
     [
       figure_cmd; campaign_cmd; list_cmd; strategies_cmd; thresholds_cmd;
-      dp_cmd; simulate_cmd; replan_cmd; analysis_cmd; series_cmd;
+      dp_cmd; simulate_cmd; replan_cmd; predict_cmd; analysis_cmd; series_cmd;
       breakdown_cmd; traces_cmd; renewal_cmd; exact_cmd; serve_cmd; query_cmd;
     ]
 

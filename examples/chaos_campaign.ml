@@ -32,6 +32,7 @@ let spec =
     failure_dist = Spec.Exp;
     ckpt_noise = Spec.Deterministic;
     platform = None;
+    predictor = None;
   }
 
 let points result =

@@ -61,7 +61,10 @@ let show_timeline dp =
           Printf.printf "  %9.1f          stop: nothing more can be saved\n" at
       | Sim.Engine.Platform_change { at; survivors } ->
           Printf.printf "  %9.1f          platform now %d node(s), re-planned\n"
-            at survivors)
+            at survivors
+      | Sim.Engine.Prediction { at; true_positive } ->
+          Printf.printf "  %9.1f          prediction fired (%s)\n" at
+            (if true_positive then "true positive" else "false alarm"))
     outcome.Sim.Engine.events;
   Printf.printf "  total: %.1f work saved, %d checkpoints, %d failures\n"
     outcome.Sim.Engine.work_saved outcome.Sim.Engine.checkpoints

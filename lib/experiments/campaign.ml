@@ -8,6 +8,7 @@ type config = {
   figure_ids : string list option;
   strategies : Spec.strategy list option;
   platform : Fault.Trace.node_model option;
+  predictor : Fault.Predictor.params option;
   journal : journal_mode;
   retry : Robust.Retry.t;
   chaos : Robust.Chaos.t option;
@@ -26,6 +27,7 @@ let default_config =
     figure_ids = None;
     strategies = None;
     platform = None;
+    predictor = None;
     journal = No_journal;
     retry = Robust.Retry.no_retry;
     chaos = None;
@@ -133,17 +135,22 @@ let run ?pool ?cache ?(progress = fun _ -> ()) config =
           Figures.scale ?n_traces:config.n_traces ?t_step:config.t_step
             ?t_max:config.t_max spec
         in
-        (* Strategy and platform overrides change the spec (and
-           therefore its fingerprint) before any journal is opened
+        (* Strategy, platform and predictor overrides change the spec
+           (and therefore its fingerprint) before any journal is opened
            against it. *)
         let scaled =
           match config.strategies with
           | None -> scaled
           | Some strategies -> { scaled with Spec.strategies }
         in
-        match config.platform with
+        let scaled =
+          match config.platform with
+          | None -> scaled
+          | Some _ as platform -> { scaled with Spec.platform }
+        in
+        match config.predictor with
         | None -> scaled
-        | Some _ as platform -> { scaled with Spec.platform }
+        | Some _ as predictor -> { scaled with Spec.predictor }
       in
       (* Campaign-wide warm-up: with neither a journal (a resume may
          need no tables at all) nor a deadline (an exhausted budget must

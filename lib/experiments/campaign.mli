@@ -29,6 +29,13 @@ type config = {
           [--platform-events]/[--spares]/[--loss-rate] flags); like the
           strategy override it changes fingerprints, so mismatched
           journals are detected. Requires exponential specs. *)
+  predictor : Fault.Predictor.params option;
+      (** override every selected spec's fault predictor (the
+          [--predictor P,R,W] flag): each trace gains a predicted-event
+          stream derived under common random numbers, and strategies
+          with an [on_prediction] hook may checkpoint proactively.
+          Changes fingerprints like the other overrides, so mismatched
+          journals are detected. *)
   journal : journal_mode;
   retry : Robust.Retry.t;  (** per-grid-point retry budget *)
   chaos : Robust.Chaos.t option;  (** task-level fault injection *)

@@ -6,8 +6,11 @@ type curve = {
 
 let supported_strategy = function
   (* Adaptive re-plans only matter on malleable platforms, which the
-     closed forms do not model. *)
-  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ -> false
+     closed forms do not model — likewise predicted-event strategies
+     (Monte-Carlo only) and the restart baseline. *)
+  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ | Spec.Restart
+  | Spec.Predicted_young_daly _ | Spec.Proactive_window _ ->
+      false
   | Spec.Young_daly | Spec.First_order | Spec.Numerical_optimum
   | Spec.Dynamic_programming _ | Spec.Single_final | Spec.Daly_second_order
   | Spec.Lambert_period | Spec.No_checkpoint | Spec.Optimal_unrestricted _ ->
@@ -25,7 +28,8 @@ let policy_for ~params ~horizon = function
     ->
       Core.Optimal.policy
         (Core.Optimal.build ~params ~quantum ~horizon ())
-  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ ->
+  | Spec.Variable_segments | Spec.Renewal_dp _ | Spec.Adaptive _ | Spec.Restart
+  | Spec.Predicted_young_daly _ | Spec.Proactive_window _ ->
       invalid_arg "Exact: unsupported strategy"
 
 let figure ?(quantum = 1.0) (spec : Spec.t) =

@@ -24,7 +24,7 @@ let all_cs = [ 10.0; 20.0; 40.0; 80.0; 160.0 ]
 
 let base ~id ~description ~lambda ~d ~cs ?(t_max = 2000.0) ?(t_step = 50.0)
     ?(strategies = paper_strategies) ?(failure_dist = Spec.Exp)
-    ?(ckpt_noise = Spec.Deterministic) ?platform () =
+    ?(ckpt_noise = Spec.Deterministic) ?platform ?predictor () =
   {
     Spec.id;
     description;
@@ -39,6 +39,7 @@ let base ~id ~description ~lambda ~d ~cs ?(t_max = 2000.0) ?(t_step = 50.0)
     failure_dist;
     ckpt_noise;
     platform;
+    predictor;
   }
 
 let all =
@@ -133,6 +134,22 @@ let all =
           loss_prob = 0.25;
           rejoin_delay = 5.0;
         }
+      ();
+    base ~id:"ext-predict"
+      ~description:
+        "prediction: perfect predictor (p=1, r=1) with window w=30 >= C — \
+         corrected-period YoungDaly and window-trusting DP with proactive \
+         checkpoints vs the unpredicted strategies (λ=0.001, D=5, C=20)"
+      ~lambda:0.001 ~d:5.0 ~cs:[ 20.0 ] ~t_max:1200.0
+      ~strategies:
+        Spec.
+          [
+            Young_daly;
+            Predicted_young_daly { p = 1.0; r = 1.0 };
+            Dynamic_programming { quantum = 1.0 };
+            Proactive_window { w = 30.0 };
+          ]
+      ~predictor:{ Fault.Predictor.p = 1.0; r = 1.0; w = 30.0 }
       ();
   ]
 

@@ -1,0 +1,336 @@
+(* The prediction scenario: how much work does a fault predictor with
+   imperfect precision/recall recover, and does trusting it ever hurt?
+
+   One sweep evaluates, over a cartesian (p, r, w) grid, the strategies
+   that act on predictions (predicted-young-daly, proactive-window)
+   against an unpredicted Young/Daly baseline. Every grid point faces
+   the {e same} failure traces, and the baseline is also re-evaluated
+   {e with} each point's prediction stream: a policy without an
+   [on_prediction] hook must ignore predictions at zero cost, so those
+   runs are required to be bit-identical to the baseline — the scenario
+   checks both that invariant and the exact-float law (p = 0 or r = 0
+   yields an empty stream, hence a bit-identical run even for the
+   predicted strategies' plans when they coincide). *)
+
+type series = {
+  strategy : Spec.strategy;
+  name : string;
+  mean : float;
+  ci95 : float;
+  mean_proactive : float;
+  mean_pred_true : float;
+  mean_pred_false : float;
+}
+
+type combo = {
+  pr : Fault.Predictor.params;
+  series : series list;  (* predicted-young-daly, proactive-window,
+                            baseline-with-predictions — in that order *)
+}
+
+type result = {
+  params : Fault.Params.t;
+  horizon : float;
+  n_traces : int;
+  baseline : series;  (* Young/Daly without any predictions *)
+  combos : combo list;
+  cache : Strategy.Cache.stats;
+}
+
+(* Same convention as Runner.seed_for: hash the exact decimal rendering
+   of the grid coordinates so distinct (p, r, w) points can never
+   collide onto one prediction stream. Salt -1 keeps the stream disjoint
+   from the trace stream (salt 0) by the runner's convention. *)
+let seed_for base (pr : Fault.Predictor.params) =
+  Int64.add base
+    (Numerics.Checksum.fold_int
+       (Numerics.Checksum.fnv1a64
+          (Printf.sprintf "%.17g,%.17g,%.17g" pr.Fault.Predictor.p
+             pr.Fault.Predictor.r pr.Fault.Predictor.w))
+       (-1))
+
+let series_of ~strategy (r : Sim.Runner.result) =
+  {
+    strategy;
+    name = Spec.strategy_name strategy;
+    mean = r.Sim.Runner.proportion.Numerics.Stats.mean;
+    ci95 = r.Sim.Runner.proportion.Numerics.Stats.ci95_half_width;
+    mean_proactive = r.Sim.Runner.mean_proactive;
+    mean_pred_true = r.Sim.Runner.mean_predictions_true;
+    mean_pred_false = r.Sim.Runner.mean_predictions_false;
+  }
+
+let run ?(progress = fun _ -> ()) ?cache ~params ~horizon ~ps ~rs ~ws
+    ~n_traces ~seed () =
+  if Array.length ps = 0 || Array.length rs = 0 || Array.length ws = 0 then
+    invalid_arg "Predict.run: empty (p, r, w) grid";
+  if n_traces < 1 then invalid_arg "Predict.run: n_traces < 1";
+  if horizon <= params.Fault.Params.c then
+    invalid_arg "Predict.run: horizon <= C";
+  let cache =
+    match cache with Some c -> c | None -> Strategy.Cache.create ()
+  in
+  let rate = params.Fault.Params.lambda in
+  let dist = Fault.Trace.Exponential { rate } in
+  let traces = Fault.Trace.batch ~dist ~seed ~n:n_traces in
+  Array.iter (fun tr -> Fault.Trace.prefetch tr ~until:horizon |> ignore) traces;
+  let combos_params =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun w -> { Fault.Predictor.p; r; w })
+              (Array.to_list ws))
+          (Array.to_list rs))
+      (Array.to_list ps)
+  in
+  let strategies_for pr =
+    Spec.
+      [
+        Predicted_young_daly
+          { p = pr.Fault.Predictor.p; r = pr.Fault.Predictor.r };
+        Proactive_window { w = pr.Fault.Predictor.w };
+        Young_daly;
+      ]
+  in
+  (* One ensure covers the whole grid: only proactive-window needs a
+     table (the u = 1 DP), shared across every combo through the cache. *)
+  Strategy.ensure cache ~params ~horizon ~dist
+    (Spec.Young_daly :: List.concat_map strategies_for combos_params);
+  let evaluate ?predictions strategy =
+    let policy = Strategy.compile_exn cache ~params ~horizon ~dist strategy in
+    series_of ~strategy
+      (Sim.Runner.evaluate ?predictions ~params ~horizon ~policy traces)
+  in
+  let baseline = evaluate Spec.Young_daly in
+  let combos =
+    List.map
+      (fun pr ->
+        let predictions =
+          Fault.Predictor.batch ~params:pr ~rate ~horizon
+            ~seed:(seed_for seed pr) traces
+        in
+        let fired =
+          Array.fold_left (fun n evs -> n + List.length evs) 0 predictions
+        in
+        progress
+          (Printf.sprintf
+             "[predict] p=%g r=%g w=%g: %d predicted event(s) across %d traces"
+             pr.Fault.Predictor.p pr.Fault.Predictor.r pr.Fault.Predictor.w
+             fired n_traces);
+        {
+          pr;
+          series =
+            List.map (evaluate ~predictions) (strategies_for pr);
+        })
+      combos_params
+  in
+  {
+    params;
+    horizon;
+    n_traces;
+    baseline;
+    combos;
+    cache = Strategy.Cache.stats cache;
+  }
+
+let to_csv ?chaos_fs result ~path =
+  let row ~p ~r ~w (s : series) =
+    [
+      p;
+      r;
+      w;
+      s.name;
+      Printf.sprintf "%.6f" s.mean;
+      Printf.sprintf "%.6f" s.ci95;
+      Printf.sprintf "%.4f" s.mean_proactive;
+      Printf.sprintf "%.4f" s.mean_pred_true;
+      Printf.sprintf "%.4f" s.mean_pred_false;
+    ]
+  in
+  let rows =
+    row ~p:"" ~r:"" ~w:"" result.baseline
+    :: List.concat_map
+         (fun combo ->
+           List.map
+             (row
+                ~p:(Printf.sprintf "%g" combo.pr.Fault.Predictor.p)
+                ~r:(Printf.sprintf "%g" combo.pr.Fault.Predictor.r)
+                ~w:(Printf.sprintf "%g" combo.pr.Fault.Predictor.w))
+             combo.series)
+         result.combos
+  in
+  Output.Csv.write ?chaos:chaos_fs ~path
+    ~header:
+      [
+        "p"; "r"; "w"; "strategy"; "mean_proportion"; "ci95";
+        "mean_proactive"; "mean_pred_tp"; "mean_pred_fa";
+      ]
+    rows
+
+(* One plotted line per (p, w) pair: mean proportion of the predicted
+   Young/Daly against recall, with the unpredicted baseline as a flat
+   reference. Recall is the axis because it is the knob the corrected
+   period sqrt(2µC/(1-r)) responds to. *)
+let plot ?(width = 72) ?(height = 20) result =
+  let rs =
+    List.sort_uniq compare
+      (List.map (fun c -> c.pr.Fault.Predictor.r) result.combos)
+  in
+  let pws =
+    List.sort_uniq compare
+      (List.map
+         (fun c -> (c.pr.Fault.Predictor.p, c.pr.Fault.Predictor.w))
+         result.combos)
+  in
+  let line_for (p, w) =
+    let points =
+      List.filter_map
+        (fun c ->
+          if
+            Float.equal c.pr.Fault.Predictor.p p
+            && Float.equal c.pr.Fault.Predictor.w w
+          then
+            List.find_opt
+              (fun s ->
+                match s.strategy with
+                | Spec.Predicted_young_daly _ -> true
+                | _ -> false)
+              c.series
+            |> Option.map (fun s -> (c.pr.Fault.Predictor.r, s.mean))
+          else None)
+        result.combos
+    in
+    {
+      Output.Ascii_plot.label = Printf.sprintf "PredictedYD p=%g w=%g" p w;
+      points = List.sort compare points;
+    }
+  in
+  let baseline_line =
+    {
+      Output.Ascii_plot.label = result.baseline.name ^ " (no predictor)";
+      points = List.map (fun r -> (r, result.baseline.mean)) rs;
+    }
+  in
+  let config =
+    {
+      Output.Ascii_plot.width;
+      height;
+      x_label = "recall r";
+      y_label = "proportion of work done";
+      y_min = Some 0.0;
+      y_max = Some 1.0;
+    }
+  in
+  Output.Ascii_plot.render ~config
+    ~title:
+      (Printf.sprintf "prediction: %s, T=%g, %d traces"
+         (Fault.Params.to_string result.params)
+         result.horizon result.n_traces)
+    (baseline_line :: List.map line_for pws)
+
+let find_series combo f = List.find_opt f combo.series
+
+let predicted_yd combo =
+  find_series combo (fun s ->
+      match s.strategy with Spec.Predicted_young_daly _ -> true | _ -> false)
+
+let unhooked_yd combo =
+  find_series combo (fun s -> s.strategy = Spec.Young_daly)
+
+(* Labelled pass/fail rows in the Report.qualitative_checks shape.
+
+   The bit-identity rows are exact: a policy without an on_prediction
+   hook never spends time on a prediction, and an empty stream (p = 0
+   or r = 0, the exact-float law) makes the prediction machinery
+   unreachable, so those simulations must reproduce the baseline to the
+   last bit.
+
+   The first-order waste row applies to the perfect predictor
+   (p = r = 1, w >= C): every failure is announced w ahead, the
+   proactive checkpoint (cost C) completes before the fault, and the
+   per-failure cost is the checkpoint C plus the remaining exposed lead
+   (w - C), plus downtime D and recovery R — i.e. exactly w + D + R
+   against a failure-free run whose only overhead is the final commit.
+   At small λT the expected waste is then λT(w + D + R)/(T - C) to
+   first order. *)
+let checks result =
+  let params = result.params in
+  let c = params.Fault.Params.c in
+  let rows = ref [] in
+  let add label passed detail =
+    rows := { Report.label; passed; detail } :: !rows
+  in
+  List.iter
+    (fun combo ->
+      let pr = combo.pr in
+      let tag =
+        Printf.sprintf "p=%g r=%g w=%g" pr.Fault.Predictor.p
+          pr.Fault.Predictor.r pr.Fault.Predictor.w
+      in
+      (match unhooked_yd combo with
+      | Some s ->
+          add
+            (Printf.sprintf "%s: unhooked %s ignores predictions" tag
+               result.baseline.name)
+            (Float.equal s.mean result.baseline.mean
+            && Float.equal s.ci95 result.baseline.ci95
+            && Float.equal s.mean_proactive 0.0)
+            (Printf.sprintf "%.6f vs %.6f (bit-identical required)" s.mean
+               result.baseline.mean)
+      | None -> ());
+      (match predicted_yd combo with
+      | Some s ->
+          if
+            Float.equal pr.Fault.Predictor.p 0.0
+            || Float.equal pr.Fault.Predictor.r 0.0
+          then
+            (* Empty stream, and for r = 0 the corrected period equals
+               Young/Daly's: the whole simulation collapses onto the
+               baseline. Only assert when the plans coincide. *)
+            (if Float.equal pr.Fault.Predictor.r 0.0 then
+               add
+                 (Printf.sprintf "%s: %s == %s (empty stream)" tag s.name
+                    result.baseline.name)
+                 (Float.equal s.mean result.baseline.mean
+                 && Float.equal s.ci95 result.baseline.ci95)
+                 (Printf.sprintf "%.6f vs %.6f (bit-identical required)"
+                    s.mean result.baseline.mean))
+          else if
+            Float.equal pr.Fault.Predictor.p 1.0
+            && Float.equal pr.Fault.Predictor.r 1.0
+            && pr.Fault.Predictor.w >= c
+          then begin
+            add
+              (Printf.sprintf "%s: %s > %s" tag s.name result.baseline.name)
+              (s.mean > result.baseline.mean)
+              (Printf.sprintf "%.4f vs %.4f" s.mean result.baseline.mean);
+            let t = result.horizon in
+            let lam = params.Fault.Params.lambda in
+            let waste_fo =
+              lam *. t
+              *. (pr.Fault.Predictor.w +. params.Fault.Params.d
+                 +. params.Fault.Params.r)
+              /. (t -. c)
+            in
+            let waste_mc = 1.0 -. s.mean in
+            (* 5% relative, with a Monte-Carlo noise floor: the CI of
+               the mean bounds the sampling error of the waste too. *)
+            let tol = Float.max (0.05 *. waste_fo) (4.0 *. s.ci95) in
+            add
+              (Printf.sprintf "%s: first-order waste within 5%%" tag)
+              (Float.abs (waste_mc -. waste_fo) <= tol)
+              (Printf.sprintf "MC %.4f vs λT(w+D+R)/(T-C) %.4f (tol %.4f)"
+                 waste_mc waste_fo tol)
+          end
+          else
+            add
+              (Printf.sprintf "%s: %s >= %s - noise" tag s.name
+                 result.baseline.name)
+              (s.mean +. 0.02 +. s.ci95 +. result.baseline.ci95
+              >= result.baseline.mean)
+              (Printf.sprintf "%.4f vs %.4f" s.mean result.baseline.mean)
+      | None -> ()))
+    result.combos;
+  List.rev !rows

@@ -194,6 +194,52 @@ let qualitative_checks (result : Runner.result) =
               (Printf.sprintf "final gap %.4f over %.1f Young/Daly periods"
                  diff periods)
       | _ -> ());
+      (* Prediction specs: with a perfect predictor (p = r = 1 exactly)
+         whose window covers a proactive checkpoint, the corrected-period
+         Young/Daly must beat the unpredicted one at {e every} grid
+         point — clean traces are bit-identical and every failing trace
+         strictly gains. Imperfect predictors only owe the usual
+         no-worse-than-noise bound. *)
+      (match spec.Spec.predictor with
+      | Some pr -> (
+          let perfect =
+            Float.equal pr.Fault.Predictor.p 1.0
+            && Float.equal pr.Fault.Predictor.r 1.0
+            && pr.Fault.Predictor.w >= c
+          in
+          let pyd =
+            List.find_opt
+              (fun (cv : Runner.curve) ->
+                cv.Runner.c = c
+                &&
+                match cv.Runner.strategy with
+                | Spec.Predicted_young_daly _ -> true
+                | _ -> false)
+              result.Runner.curves
+          in
+          match (pyd, get Spec.Young_daly) with
+          | Some p, Some yd
+            when perfect && Array.length p.points = Array.length yd.points ->
+              let every = ref true and worst = ref infinity and at = ref nan in
+              Array.iteri
+                (fun i (pt : Runner.point) ->
+                  let gain = pt.Runner.mean -. yd.points.(i).Runner.mean in
+                  if gain < !worst then begin
+                    worst := gain;
+                    at := pt.Runner.t
+                  end;
+                  if gain <= 0.0 then every := false)
+                p.points;
+              add
+                (Printf.sprintf
+                   "C=%g: %s > YoungDaly at every T (perfect predictor)" c
+                   p.Runner.name)
+                !every
+                (Printf.sprintf "min gain %.4f at T=%g" !worst !at)
+          | Some p, Some yd -> pair (p.Runner.name ^ " >= YoungDaly")
+                                 (Some p) (Some yd) ~expect_geq:true
+          | _ -> ())
+      | None -> ());
       (* Short-reservation advantage where it is observable: the worst
          YoungDaly point against the matching DP point. *)
       (match

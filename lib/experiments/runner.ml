@@ -110,6 +110,21 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~cache
   Parallel.Pool.map pool traces ~f:(fun tr ->
       Fault.Trace.prefetch tr ~until:horizon_max)
   |> ignore;
+  (* Predicted-event streams are derived from the (now memoised) traces
+     under common random numbers — salt -1, disjoint from the trace
+     stream (salt 0) and every checkpoint-noise stream (salt i+1) — and
+     replayed for every strategy, so predicted and unpredicted policies
+     face identical fault scenarios and identical announcements. *)
+  let predictions =
+    match spec.Spec.predictor with
+    | None -> None
+    | Some pr ->
+        Some
+          (Fault.Predictor.batch ~params:pr ~rate:spec.Spec.lambda
+             ~horizon:horizon_max
+             ~seed:(seed_for spec.Spec.seed ~c ~salt:(-1))
+             traces)
+  in
   (* Build whatever tables this (params, horizon) point still needs —
      in the parent, before any task runs, so compiles below are pure
      reads (safe from worker domains and forked workers alike). Tables
@@ -139,8 +154,8 @@ let sweep ~pool ~backend ~deadline ~progress ~journal ~retry ~chaos ~cache
                 ~scale:(c /. float_of_int shape))
     in
     let r =
-      Sim.Runner.evaluate ?ckpt_sampler ?platforms ~params ~horizon ~policy
-        traces
+      Sim.Runner.evaluate ?ckpt_sampler ?platforms ?predictions ~params
+        ~horizon ~policy traces
     in
     {
       t = horizon;

@@ -10,6 +10,9 @@ type strategy =
   | Variable_segments
   | Optimal_unrestricted of { quantum : float }
   | Renewal_dp of { quantum : float }
+  | Restart
+  | Predicted_young_daly of { p : float; r : float }
+  | Proactive_window of { w : float }
   | Adaptive of strategy
 
 let rec strategy_name = function
@@ -30,6 +33,11 @@ let rec strategy_name = function
   | Renewal_dp { quantum } ->
       if Float.equal quantum 1.0 then "RenewalDP"
       else Printf.sprintf "RenewalDP(u=%g)" quantum
+  | Restart -> "Restart"
+  | Predicted_young_daly { p; r } ->
+      if Float.equal p 1.0 && Float.equal r 1.0 then "PredictedYoungDaly"
+      else Printf.sprintf "PredictedYoungDaly(p=%g,r=%g)" p r
+  | Proactive_window { w } -> Printf.sprintf "ProactiveWindow(w=%g)" w
   | Adaptive s -> "Adaptive" ^ strategy_name s
 
 type failure_dist = Exp | Weibull_shape of float | Lognormal_sigma of float
@@ -49,6 +57,7 @@ type t = {
   failure_dist : failure_dist;
   ckpt_noise : ckpt_noise;
   platform : Fault.Trace.node_model option;
+  predictor : Fault.Predictor.params option;
 }
 
 let trace_dist spec =
@@ -79,6 +88,10 @@ let rec strategy_canonical = function
   | Variable_segments -> "variable_segments"
   | Optimal_unrestricted { quantum } -> Printf.sprintf "optimal:%.17g" quantum
   | Renewal_dp { quantum } -> Printf.sprintf "renewal:%.17g" quantum
+  | Restart -> "restart"
+  | Predicted_young_daly { p; r } ->
+      Printf.sprintf "predicted_young_daly:%.17g,%.17g" p r
+  | Proactive_window { w } -> Printf.sprintf "proactive_window:%.17g" w
   | Adaptive s -> "adaptive+" ^ strategy_canonical s
 
 let fingerprint spec =
@@ -105,6 +118,16 @@ let fingerprint spec =
           m.Fault.Trace.nodes m.Fault.Trace.spares m.Fault.Trace.loss_prob
           m.Fault.Trace.rejoin_delay
   in
+  (* Same conditional-suffix discipline as [platform]: a predictor
+     changes the swept results, so it keys the journal, but
+     predictor-less specs keep their exact pre-prediction fingerprint. *)
+  let predictor =
+    match spec.predictor with
+    | None -> ""
+    | Some pr ->
+        Printf.sprintf "|predictor=p:%.17g,r:%.17g,w:%.17g"
+          pr.Fault.Predictor.p pr.Fault.Predictor.r pr.Fault.Predictor.w
+  in
   let canonical =
     Printf.sprintf
       (* v2: the per-(c, salt) trace-seed derivation changed (checksum
@@ -112,12 +135,12 @@ let fingerprint spec =
          integer salt), shifting every Monte-Carlo stream. Bumping the
          version makes v1 journals key-mismatch instead of resuming
          stale numbers. *)
-      "fixedlen-spec v2|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s%s"
+      "fixedlen-spec v2|%s|lambda=%.17g|d=%.17g|cs=%s|t_max=%.17g|t_step=%.17g|strategies=%s|n_traces=%d|seed=%Ld|dist=%s|noise=%s%s%s"
       spec.id spec.lambda spec.d
       (String.concat "," (List.map (Printf.sprintf "%.17g") spec.cs))
       spec.t_max spec.t_step
       (String.concat "," (List.map strategy_canonical spec.strategies))
-      spec.n_traces spec.seed dist noise platform
+      spec.n_traces spec.seed dist noise platform predictor
   in
   Numerics.Checksum.to_hex (Numerics.Checksum.fnv1a64 canonical)
 

@@ -18,6 +18,21 @@ type strategy =
       (** {!Core.Dp_renewal} built for the spec's IAT distribution —
           the non-memoryless-aware optimum (extension); cubic build
           cost, use moderate horizons *)
+  | Restart
+      (** pure-restart baseline: never checkpoints mid-reservation, a
+          single commit at the very end of the remaining horizon banks
+          the work — so every failure restarts the attempt from scratch
+          (heavy-tail ROADMAP item, arXiv 1802.07455) *)
+  | Predicted_young_daly of { p : float; r : float }
+      (** YoungDaly corrected for a predictor with recall [r]: period
+          [sqrt (2 * mu * C / (1 - r))] between checkpoints
+          (Aupy–Robert–Vivien–Zaidouni), plus a proactive checkpoint on
+          every trusted prediction. [r = 1] degenerates to a single
+          final checkpoint — everything is saved proactively. *)
+  | Proactive_window of { w : float }
+      (** the DP policy ([quantum = 1]) extended with a window-trust
+          hook: proactively checkpoint on predictions whose window
+          width is at most [w], ignore wider (vaguer) ones *)
   | Adaptive of strategy
       (** the wrapped strategy, re-planned online: whenever the platform
           shrinks or grows mid-reservation the policy is recompiled
@@ -59,6 +74,12 @@ type t = {
           IAT distribution, and every trace carries its own loss/rejoin
           event schedule. Requires [failure_dist = Exp] — the node model
           is exponential by construction. *)
+  predictor : Fault.Predictor.params option;
+      (** when [Some], every trace additionally carries a deterministic
+          predicted-event stream ({!Fault.Predictor.batch}, seeded from
+          the spec seed) replayed by the engine; strategies with an
+          [on_prediction] hook take proactive checkpoints. [None] is
+          bit-identical to the pre-prediction engine. *)
 }
 
 val trace_dist : t -> Fault.Trace.dist
@@ -75,6 +96,7 @@ val fingerprint : t -> string
     them produces the same grid points, which is exactly the key a
     resume journal must be matched against — see [Robust.Journal].
     Specs with [platform = None] hash the exact pre-malleability v2
-    string, so existing journals still resume. *)
+    string, and specs with [predictor = None] the exact pre-prediction
+    one, so existing journals still resume. *)
 
 val pp : Format.formatter -> t -> unit

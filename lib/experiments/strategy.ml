@@ -262,9 +262,10 @@ let dp_table cache ~params ~horizon ~quantum =
 type entry = {
   cli : string;
   doc : string;
-  takes_quantum : bool;
+  arg_docv : string option;
   example : Spec.strategy;
-  make : quantum:float option -> (Spec.strategy, string) result;
+  parse : arg:string option -> (Spec.strategy, string) result;
+  print_arg : Spec.strategy -> string option;
   owns : Spec.strategy -> bool;
   requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list;
   compile :
@@ -278,18 +279,51 @@ type entry = {
 
 let ( let* ) = Result.bind
 
+(* CLI argument rendering: "%g" when it round-trips (every shipped value
+   does), an exact 17-digit rendering otherwise — so to_string/of_string
+   is a bijection on representable strategies. *)
+let render_float v =
+  let s = Printf.sprintf "%g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+(* Per-entry argument parsers. Each entry owns the grammar of its [:ARG]
+   suffix; these helpers cover the three shapes in the registry (a
+   positive quantum, a probability, a non-negative width). *)
+let no_arg ~cli strategy ~arg =
+  match arg with
+  | None -> Ok strategy
+  | Some _ -> Error (Printf.sprintf "%s takes no argument" cli)
+
+let parse_quantum ~cli ~arg =
+  match arg with
+  | None -> Ok None
+  | Some qt -> (
+      match float_of_string_opt qt with
+      | Some q when q > 0.0 -> Ok (Some q)
+      | Some _ ->
+          Error (Printf.sprintf "quantum must be > 0 in %S" (cli ^ ":" ^ qt))
+      | None ->
+          Error (Printf.sprintf "bad quantum %S in %S" qt (cli ^ ":" ^ qt)))
+
+let parse_probability name text =
+  match float_of_string_opt (String.trim text) with
+  | Some v when Float.is_finite v && v >= 0.0 && v <= 1.0 -> Ok v
+  | _ -> Error (Printf.sprintf "%s must lie in [0, 1], got %S" name text)
+
+let parse_width name text =
+  match float_of_string_opt (String.trim text) with
+  | Some v when Float.is_finite v && v >= 0.0 -> Ok v
+  | _ -> Error (Printf.sprintf "%s must be finite >= 0, got %S" name text)
+
 (* Helper for the entries that need no tables and ignore the cache. *)
 let simple ~cli ~doc ~strategy ~policy =
   {
     cli;
     doc;
-    takes_quantum = false;
+    arg_docv = None;
     example = strategy;
-    make =
-      (fun ~quantum ->
-        match quantum with
-        | None -> Ok strategy
-        | Some _ -> Error (Printf.sprintf "%s takes no quantum" cli));
+    parse = no_arg ~cli strategy;
+    print_arg = (fun _ -> None);
     owns = (fun s -> s = strategy);
     requires = (fun ~dist:_ _ -> []);
     compile =
@@ -315,13 +349,10 @@ let base_entries =
       cli = "first-order";
       doc =
         "threshold heuristic with the first-order thresholds of Equation (5)";
-      takes_quantum = false;
+      arg_docv = None;
       example = Spec.First_order;
-      make =
-        (fun ~quantum ->
-          match quantum with
-          | None -> Ok Spec.First_order
-          | Some _ -> Error "first-order takes no quantum");
+      parse = no_arg ~cli:"first-order" Spec.First_order;
+      print_arg = (fun _ -> None);
       owns = (fun s -> s = Spec.First_order);
       requires = (fun ~dist:_ _ -> [ Cache.Threshold_first_order ]);
       compile =
@@ -334,13 +365,10 @@ let base_entries =
     {
       cli = "numerical-optimum";
       doc = "threshold heuristic with numerically computed thresholds";
-      takes_quantum = false;
+      arg_docv = None;
       example = Spec.Numerical_optimum;
-      make =
-        (fun ~quantum ->
-          match quantum with
-          | None -> Ok Spec.Numerical_optimum
-          | Some _ -> Error "numerical-optimum takes no quantum");
+      parse = no_arg ~cli:"numerical-optimum" Spec.Numerical_optimum;
+      print_arg = (fun _ -> None);
       owns = (fun s -> s = Spec.Numerical_optimum);
       requires = (fun ~dist:_ _ -> [ Cache.Threshold_numerical ]);
       compile =
@@ -355,13 +383,18 @@ let base_entries =
     {
       cli = "dp";
       doc = "the Section 6 dynamic program over time quanta (optimal)";
-      takes_quantum = true;
+      arg_docv = Some "U";
       example = Spec.Dynamic_programming { quantum = 1.0 };
-      make =
-        (fun ~quantum ->
+      parse =
+        (fun ~arg ->
+          let* quantum = parse_quantum ~cli:"dp" ~arg in
           Ok
             (Spec.Dynamic_programming
                { quantum = Option.value quantum ~default:1.0 }));
+      print_arg =
+        (fun s ->
+          let q = quantum_of s in
+          if Float.equal q 1.0 then None else Some (render_float q));
       owns = (function Spec.Dynamic_programming _ -> true | _ -> false);
       requires =
         (fun ~dist:_ s -> [ Cache.Dp { quantum = quantum_of s } ]);
@@ -393,13 +426,10 @@ let base_entries =
       doc =
         "threshold checkpoint count with continuously optimised offsets \
          over the DP value tables (ablation)";
-      takes_quantum = false;
+      arg_docv = None;
       example = Spec.Variable_segments;
-      make =
-        (fun ~quantum ->
-          match quantum with
-          | None -> Ok Spec.Variable_segments
-          | Some _ -> Error "variable-segments takes no quantum");
+      parse = no_arg ~cli:"variable-segments" Spec.Variable_segments;
+      print_arg = (fun _ -> None);
       owns = (fun s -> s = Spec.Variable_segments);
       requires =
         (* The u = 1 DP value tables serve as the continuation function. *)
@@ -414,13 +444,18 @@ let base_entries =
     {
       cli = "optimal";
       doc = "the k-free quantised optimum of Core.Optimal (ablation)";
-      takes_quantum = true;
+      arg_docv = Some "U";
       example = Spec.Optimal_unrestricted { quantum = 1.0 };
-      make =
-        (fun ~quantum ->
+      parse =
+        (fun ~arg ->
+          let* quantum = parse_quantum ~cli:"optimal" ~arg in
           Ok
             (Spec.Optimal_unrestricted
                { quantum = Option.value quantum ~default:1.0 }));
+      print_arg =
+        (fun s ->
+          let q = quantum_of s in
+          if Float.equal q 1.0 then None else Some (render_float q));
       owns = (function Spec.Optimal_unrestricted _ -> true | _ -> false);
       requires =
         (fun ~dist:_ s -> [ Cache.Optimal { quantum = quantum_of s } ]);
@@ -437,11 +472,16 @@ let base_entries =
       doc =
         "renewal-aware DP built for the spec's IAT distribution \
          (non-memoryless-aware optimum, extension)";
-      takes_quantum = true;
+      arg_docv = Some "U";
       example = Spec.Renewal_dp { quantum = 1.0 };
-      make =
-        (fun ~quantum ->
+      parse =
+        (fun ~arg ->
+          let* quantum = parse_quantum ~cli:"renewal-dp" ~arg in
           Ok (Spec.Renewal_dp { quantum = Option.value quantum ~default:1.0 }));
+      print_arg =
+        (fun s ->
+          let q = quantum_of s in
+          if Float.equal q 1.0 then None else Some (render_float q));
       owns = (function Spec.Renewal_dp _ -> true | _ -> false);
       requires =
         (fun ~dist s -> [ Cache.Renewal { quantum = quantum_of s; dist } ]);
@@ -452,6 +492,111 @@ let base_entries =
               (Cache.Renewal { quantum = quantum_of s; dist })
           in
           Ok (Core.Dp_renewal.policy renewal));
+    };
+    simple ~cli:"restart" ~strategy:Spec.Restart
+      ~doc:
+        "pure restart baseline: no intermediate checkpoints, a failure \
+         loses everything and only a final commit banks work"
+      ~policy:(fun ~params ->
+        {
+          (Core.Policies.single_final ~params) with
+          Sim.Policy.name = Spec.strategy_name Spec.Restart;
+        });
+    {
+      cli = "predicted-young-daly";
+      doc =
+        "Young/Daly with the recall-corrected period sqrt(2µC/(1-r)) and \
+         a proactive checkpoint on every fired prediction (prediction \
+         extension; defaults p=1, r=1)";
+      arg_docv = Some "P,R";
+      example = Spec.Predicted_young_daly { p = 1.0; r = 1.0 };
+      parse =
+        (fun ~arg ->
+          match arg with
+          | None -> Ok (Spec.Predicted_young_daly { p = 1.0; r = 1.0 })
+          | Some a -> (
+              match String.split_on_char ',' a with
+              | [ ps; rs ] ->
+                  let* p = parse_probability "precision" ps in
+                  let* r = parse_probability "recall" rs in
+                  Ok (Spec.Predicted_young_daly { p; r })
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "expected P,R after predicted-young-daly: in %S" a)));
+      print_arg =
+        (function
+        | Spec.Predicted_young_daly { p; r } ->
+            if Float.equal p 1.0 && Float.equal r 1.0 then None
+            else Some (render_float p ^ "," ^ render_float r)
+        | _ -> None);
+      owns = (function Spec.Predicted_young_daly _ -> true | _ -> false);
+      requires = (fun ~dist:_ _ -> []);
+      compile =
+        (fun _cache ~params ~horizon:_ ~dist:_ s ->
+          match s with
+          | Spec.Predicted_young_daly { p = _; r } ->
+              let mu = Fault.Params.mtbf params in
+              let c = params.Fault.Params.c in
+              (* With full recall every failure is announced, so periodic
+                 checkpoints only guard against missed faults: the
+                 corrected period diverges and the plan degenerates to a
+                 single final commit. *)
+              let period =
+                if Float.equal r 1.0 then infinity
+                else sqrt (2.0 *. mu *. c /. (1.0 -. r))
+              in
+              let policy = Sim.Policy.periodic ~params ~period in
+              let policy =
+                { policy with Sim.Policy.name = Spec.strategy_name s }
+              in
+              Ok
+                (Sim.Policy.set_on_prediction policy
+                   (fun ~tleft:_ ~since_commit:_ ~window:_ -> true))
+          | _ -> invalid_arg "Strategy: predicted-young-daly compile");
+    };
+    {
+      cli = "proactive-window";
+      doc =
+        "the Section 6 DP plan, trusting predictions whose window is at \
+         most W with a proactive checkpoint (prediction extension; \
+         default W=60)";
+      arg_docv = Some "W";
+      example = Spec.Proactive_window { w = 60.0 };
+      parse =
+        (fun ~arg ->
+          match arg with
+          | None -> Ok (Spec.Proactive_window { w = 60.0 })
+          | Some a ->
+              let* w = parse_width "window" a in
+              Ok (Spec.Proactive_window { w }));
+      print_arg =
+        (function
+        | Spec.Proactive_window { w } ->
+            if Float.equal w 60.0 then None else Some (render_float w)
+        | _ -> None);
+      owns = (function Spec.Proactive_window _ -> true | _ -> false);
+      requires =
+        (* Rides on the u = 1 DP value tables, shared with dp/adaptive-dp
+           through the campaign cache. *)
+        (fun ~dist:_ _ -> [ Cache.Dp { quantum = 1.0 } ]);
+      compile =
+        (fun cache ~params ~horizon ~dist:_ s ->
+          match s with
+          | Spec.Proactive_window { w } ->
+              let* dp =
+                find_dp cache ~params ~horizon (Cache.Dp { quantum = 1.0 })
+              in
+              let policy = Core.Dp.policy dp in
+              let policy =
+                { policy with Sim.Policy.name = Spec.strategy_name s }
+              in
+              (* Trust only tight windows: a wide window would park the
+                 proactive checkpoint too early to help. *)
+              Ok
+                (Sim.Policy.set_on_prediction policy
+                   (fun ~tleft:_ ~since_commit:_ ~window -> window <= w))
+          | _ -> invalid_arg "Strategy: proactive-window compile");
     };
   ]
 
@@ -500,11 +645,13 @@ let adaptive_entry ~cli ~doc inner_cli =
   {
     cli;
     doc;
-    takes_quantum = inner_entry.takes_quantum;
+    arg_docv = inner_entry.arg_docv;
     example = Spec.Adaptive inner_entry.example;
-    make =
-      (fun ~quantum ->
-        Result.map (fun s -> Spec.Adaptive s) (inner_entry.make ~quantum));
+    parse =
+      (fun ~arg ->
+        Result.map (fun s -> Spec.Adaptive s) (inner_entry.parse ~arg));
+    print_arg =
+      (function Spec.Adaptive s -> inner_entry.print_arg s | _ -> None);
     owns = (function Spec.Adaptive s -> inner_entry.owns s | _ -> false);
     requires =
       (fun ~dist s ->
@@ -550,29 +697,19 @@ let entry_of strategy =
         (Printf.sprintf "Strategy: no registry entry owns %s"
            (Spec.strategy_name strategy))
 
-(* CLI spelling: "%g" when it round-trips (every shipped quantum does),
-   an exact 17-digit rendering otherwise — so to_string/of_string is a
-   bijection on representable strategies. *)
-let render_quantum q =
-  let s = Printf.sprintf "%g" q in
-  if float_of_string s = q then s else Printf.sprintf "%.17g" q
+let spelling e =
+  match e.arg_docv with None -> e.cli | Some d -> e.cli ^ "[:" ^ d ^ "]"
 
 let to_string strategy =
   let e = entry_of strategy in
-  if e.takes_quantum then
-    let q = quantum_of strategy in
-    if Float.equal q 1.0 then e.cli
-    else Printf.sprintf "%s:%s" e.cli (render_quantum q)
-  else e.cli
+  match e.print_arg strategy with
+  | None -> e.cli
+  | Some a -> Printf.sprintf "%s:%s" e.cli a
 
-let known_spellings () =
-  String.concat ", "
-    (List.map
-       (fun e -> if e.takes_quantum then e.cli ^ "[:U]" else e.cli)
-       entries)
+let known_spellings () = String.concat ", " (List.map spelling entries)
 
 let of_string text =
-  let keyword, quantum_text =
+  let keyword, arg =
     match String.index_opt text ':' with
     | None -> (text, None)
     | Some i ->
@@ -584,24 +721,40 @@ let of_string text =
       Error
         (Printf.sprintf "unknown strategy %S (known: %s)" text
            (known_spellings ()))
-  | Some e -> (
-      match quantum_text with
-      | None -> e.make ~quantum:None
-      | Some qt -> (
-          match float_of_string_opt qt with
-          | Some q when q > 0.0 -> e.make ~quantum:(Some q)
-          | Some _ -> Error (Printf.sprintf "quantum must be > 0 in %S" text)
-          | None -> Error (Printf.sprintf "bad quantum %S in %S" qt text)))
+  | Some e -> e.parse ~arg
+
+(* A comma both separates strategies and separates the arguments of one
+   (predicted-young-daly:0.8,0.9), so the list split is keyword-aware: a
+   token opens a new strategy only when it starts with a registered cli
+   spelling; otherwise it continues the previous token's argument. *)
+let starts_strategy token =
+  List.exists
+    (fun e ->
+      token = e.cli
+      || String.length token > String.length e.cli
+         && String.sub token 0 (String.length e.cli + 1) = e.cli ^ ":")
+    entries
 
 let of_string_list text =
+  let tokens = List.map String.trim (String.split_on_char ',' text) in
+  let groups =
+    List.fold_left
+      (fun acc tok ->
+        match acc with
+        | group :: rest when not (starts_strategy tok) ->
+            (group ^ "," ^ tok) :: rest
+        | _ -> tok :: acc)
+      [] tokens
+    |> List.rev
+  in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | spec :: rest -> (
-        match of_string (String.trim spec) with
+        match of_string spec with
         | Ok s -> go (s :: acc) rest
         | Error _ as e -> e)
   in
-  match String.split_on_char ',' text with
+  match groups with
   | [ "" ] -> Error "empty strategy list"
   | specs -> ( match go [] specs with Ok [] -> Error "empty strategy list" | r -> r)
 
@@ -707,9 +860,7 @@ let compile_exn cache ~params ~horizon ~dist strategy =
 let listing () =
   List.map
     (fun e ->
-      ( (if e.takes_quantum then e.cli ^ "[:U]" else e.cli),
-        Spec.strategy_name e.example,
-        e.doc ))
+      (spelling e, Spec.strategy_name e.example, e.doc))
     entries
 
 let markdown_table () =

@@ -95,11 +95,16 @@ val error_message : error -> string
 type entry = {
   cli : string;  (** stable CLI keyword, e.g. ["dp"] *)
   doc : string;  (** one-line description for [--help] and the README *)
-  takes_quantum : bool;
-      (** accepts an optional [:U] suffix selecting the time quantum *)
-  example : Spec.strategy;  (** canonical instance, quantum = 1 *)
-  make : quantum:float option -> (Spec.strategy, string) result;
-      (** spec constructor from the parsed CLI form *)
+  arg_docv : string option;
+      (** metavariable of the optional [:ARG] suffix ([Some "U"],
+          [Some "P,R"], [Some "W"]); [None] when the entry is bare *)
+  example : Spec.strategy;  (** canonical instance, default argument *)
+  parse : arg:string option -> (Spec.strategy, string) result;
+      (** spec constructor from the raw text after the colon ([None]
+          when the keyword was bare — entries supply their default) *)
+  print_arg : Spec.strategy -> string option;
+      (** inverse of [parse]: the [:ARG] rendering of an owned
+          strategy, or [None] when the default spelling suffices *)
   owns : Spec.strategy -> bool;
   requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list;
       (** the tables this entry's [compile] will look up *)
@@ -125,11 +130,15 @@ val to_string : Spec.strategy -> string
     non-representable-in-%g quanta (falls back to an exact rendering). *)
 
 val of_string : string -> (Spec.strategy, string) result
-(** Parse a CLI spelling ([KEYWORD] or [KEYWORD:U]). The error lists
-    the known spellings. *)
+(** Parse a CLI spelling ([KEYWORD] or [KEYWORD:ARG], e.g. ["dp:0.5"],
+    ["predicted-young-daly:0.8,0.9"]). The error lists the known
+    spellings. *)
 
 val of_string_list : string -> (Spec.strategy list, string) result
-(** Parse a comma-separated list of CLI spellings. *)
+(** Parse a comma-separated list of CLI spellings. The split is
+    keyword-aware: a comma opens a new strategy only when the next
+    token starts with a registered keyword, so multi-argument
+    spellings like ["predicted-young-daly:0.8,0.9"] survive. *)
 
 val requires : dist:Fault.Trace.dist -> Spec.strategy -> Cache.kind list
 (** The tables the strategy's [compile] will look up. *)

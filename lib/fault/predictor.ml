@@ -1,0 +1,106 @@
+(* Fault predictor with precision/recall and prediction windows.
+
+   Follows Aupy–Robert–Vivien–Zaidouni (arXiv 1207.6936, 1302.4558): a
+   predictor is characterized by its recall [r] (fraction of actual
+   faults that are predicted) and its precision [p] (fraction of
+   predictions that correspond to an actual fault), and each predicted
+   event carries a window [\[at, at + w)] inside which the fault is
+   announced to strike.
+
+   The stream is derived from a memoised {!Trace} under the
+   common-random-numbers discipline: for a fixed (trace, seed, params,
+   horizon, rate) the event list is reproducible bit for bit, so paired
+   comparisons across strategies reuse identical predictions. *)
+
+type params = { p : float; r : float; w : float }
+
+let validate { p; r; w } =
+  let check name v lo hi =
+    if not (Float.is_finite v) || v < lo || v > hi then
+      invalid_arg
+        (Printf.sprintf "Predictor: %s = %g out of range [%g, %g]" name v lo hi)
+  in
+  check "precision" p 0.0 1.0;
+  check "recall" r 0.0 1.0;
+  if not (Float.is_finite w) || w < 0.0 then
+    invalid_arg (Printf.sprintf "Predictor: window = %g must be finite >= 0" w)
+
+type event = { at : float; window : float; true_positive : bool }
+
+let validate_events events =
+  let last = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      if not (Float.is_finite ev.at) || ev.at < 0.0 then
+        invalid_arg "Predictor: event time must be finite >= 0";
+      if not (Float.is_finite ev.window) || ev.window < 0.0 then
+        invalid_arg "Predictor: event window must be finite >= 0";
+      if ev.at < !last then invalid_arg "Predictor: events must be sorted";
+      last := ev.at)
+    events
+
+(* Sort by firing date; a true positive fires before a coincident false
+   alarm so that ordering never depends on generation order. *)
+let compare_events a b =
+  match Float.compare a.at b.at with
+  | 0 -> Bool.compare b.true_positive a.true_positive
+  | c -> c
+
+let events_rng ~params:pr ~rate ~horizon rng trace =
+  validate pr;
+  if not (Float.is_finite rate) || rate <= 0.0 then
+    invalid_arg "Predictor.events: rate must be finite > 0";
+  if not (Float.is_finite horizon) || horizon < 0.0 then
+    invalid_arg "Predictor.events: horizon must be finite >= 0";
+  (* Exact-float law: a predictor with no recall predicts nothing, and
+     one with no precision is pure noise we refuse to model — both
+     yield the empty stream so [p = 0 ∨ r = 0] is bit-identical to
+     running without a predictor at all. *)
+  if pr.p = 0.0 || pr.r = 0.0 then []
+  else begin
+    (* True positives: each actual fault before the horizon is caught
+       with probability [r] and announced [w] ahead (clamped at 0), so
+       a perfect predictor with [w >= C] always leaves room to complete
+       a proactive checkpoint before the fault strikes. Faults at or
+       past the horizon cannot strike inside the reservation and are
+       not announced. *)
+    let tps = ref [] in
+    let clock = ref 0.0 in
+    Array.iter
+      (fun gap ->
+        clock := !clock +. gap;
+        if !clock < horizon && Numerics.Rng.float rng < pr.r then
+          tps :=
+            { at = Float.max 0.0 (!clock -. pr.w);
+              window = pr.w;
+              true_positive = true }
+            :: !tps)
+      (Trace.iats_until trace ~until:horizon);
+    (* False alarms: a Poisson process on the exposed clock whose rate
+       [rate * r * (1 - p) / p] makes the expected fraction of true
+       predictions exactly [p] (true positives arrive at rate
+       [rate * r]). *)
+    let fas = ref [] in
+    let fa_rate = rate *. pr.r *. (1.0 -. pr.p) /. pr.p in
+    if fa_rate > 0.0 then begin
+      let t = ref (Numerics.Rng.exponential rng ~rate:fa_rate) in
+      while !t < horizon do
+        fas := { at = !t; window = pr.w; true_positive = false } :: !fas;
+        t := !t +. Numerics.Rng.exponential rng ~rate:fa_rate
+      done
+    end;
+    List.stable_sort compare_events (List.rev_append !tps (List.rev !fas))
+  end
+
+let events ~params ~rate ~horizon ~seed trace =
+  events_rng ~params ~rate ~horizon (Numerics.Rng.create ~seed) trace
+
+(* One master seed, one split per trace — the same convention as
+   {!Trace.batch}, so trace [i] keeps its prediction stream no matter
+   how many traces follow it. *)
+let batch ~params ~rate ~horizon ~seed traces =
+  let master = Numerics.Rng.create ~seed in
+  Array.map
+    (fun trace ->
+      events_rng ~params ~rate ~horizon (Numerics.Rng.split master) trace)
+    traces

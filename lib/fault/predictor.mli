@@ -1,0 +1,59 @@
+(** Fault predictor with precision/recall and prediction windows
+    (Aupy–Robert–Vivien–Zaidouni, arXiv 1207.6936 / 1302.4558).
+
+    A predictor is characterized by precision [p] (fraction of
+    predictions that are true), recall [r] (fraction of faults that are
+    predicted) and a window width [w]. Prediction streams are derived
+    deterministically from a memoised {!Trace} under common random
+    numbers: identical (trace, seed, params, horizon, rate) inputs
+    yield a bit-identical event list, so paired strategy comparisons
+    see the same predictions. *)
+
+type params = { p : float  (** precision, in [\[0, 1\]] *)
+              ; r : float  (** recall, in [\[0, 1\]] *)
+              ; w : float  (** window width, finite [>= 0] *) }
+
+val validate : params -> unit
+(** @raise Invalid_argument when a field is out of range. *)
+
+type event = {
+  at : float;  (** firing date on the exposed clock *)
+  window : float;  (** the fault is announced inside [\[at, at + window)] *)
+  true_positive : bool;  (** whether an actual fault backs the event *)
+}
+
+val validate_events : event list -> unit
+(** Checks finiteness, non-negativity and sortedness of a stream.
+    @raise Invalid_argument otherwise. *)
+
+val events :
+  params:params ->
+  rate:float ->
+  horizon:float ->
+  seed:int64 ->
+  Trace.t ->
+  event list
+(** [events ~params ~rate ~horizon ~seed trace] derives the predicted
+    events for [trace] on the exposed clock, sorted by firing date.
+
+    True positives: every fault strictly before [horizon] is predicted
+    with probability [r] and announced [w] ahead of its date (clamped
+    at 0), window [\[at, at + w)]. False alarms: a Poisson process of
+    rate [rate * r * (1 - p) / p], where [rate] is the platform fault
+    rate, so the expected precision is exactly [p].
+
+    Exact-float law: [p = 0.0 || r = 0.0] returns [[]].
+
+    @raise Invalid_argument on invalid params, non-positive [rate] or
+    negative [horizon]. *)
+
+val batch :
+  params:params ->
+  rate:float ->
+  horizon:float ->
+  seed:int64 ->
+  Trace.t array ->
+  event list array
+(** Per-trace streams from one master seed, split per trace in order —
+    the {!Trace.batch} convention: stream [i] is independent of how
+    many traces follow it. *)

@@ -145,3 +145,58 @@ let append t payload =
 let sealed (t : t) = t.sealed
 
 let close t = Framed.close t.writer
+
+type compaction = {
+  segments_merged : int;
+  records_kept : int;
+  duplicates_dropped : int;
+  compact_warnings : string list;
+}
+
+(* Merge every sealed segment into a single [path.1]. Runs on a closed
+   journal only (before {!open_}): the live file is never touched, so a
+   torn live tail is still repaired by the subsequent open. Publish
+   first, unlink second, highest number first — a crash mid-compaction
+   leaves either the old dense segment sequence (publish never landed:
+   write_atomic is all-or-nothing) or a dense prefix whose first segment
+   already holds every record; the duplicated bytes in not-yet-unlinked
+   segments are byte-identical records, which the next compaction run
+   drops again. *)
+let compact ?chaos ~point ~path ~header () =
+  let n = count_segments path in
+  if n < 2 then None
+  else begin
+    let warnings = ref [] in
+    let payloads =
+      List.concat_map
+        (fun i -> scan_segment ~header ~warnings (segment_path path i))
+        (List.init n (fun i -> i + 1))
+    in
+    let seen = Hashtbl.create (List.length payloads) in
+    let kept =
+      List.filter
+        (fun payload ->
+          if Hashtbl.mem seen payload then false
+          else begin
+            Hashtbl.add seen payload ();
+            true
+          end)
+        payloads
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf header;
+    Buffer.add_char buf '\n';
+    List.iter (fun payload -> Buffer.add_string buf (Framed.frame payload)) kept;
+    Robust.Durable.write_atomic ?chaos ~point:(point ^ "-compact")
+      ~path:(segment_path path 1) (Buffer.contents buf);
+    for i = n downto 2 do
+      try Sys.remove (segment_path path i) with Sys_error _ -> ()
+    done;
+    Some
+      {
+        segments_merged = n;
+        records_kept = List.length kept;
+        duplicates_dropped = List.length payloads - List.length kept;
+        compact_warnings = List.rev !warnings;
+      }
+  end

@@ -59,3 +59,31 @@ val sealed : t -> int
 val close : t -> unit
 (** Sync and close the live writer. The journal must not be used
     afterwards. *)
+
+type compaction = {
+  segments_merged : int;  (** sealed segments merged (>= 2) *)
+  records_kept : int;  (** records in the merged segment *)
+  duplicates_dropped : int;  (** byte-identical records removed *)
+  compact_warnings : string list;
+      (** damage reports from scanning the sealed segments *)
+}
+
+val compact :
+  ?chaos:Robust.Chaos_fs.t ->
+  point:string ->
+  path:string ->
+  header:string ->
+  unit ->
+  compaction option
+(** Merge every sealed segment of the journal at [path] into a single
+    [path.1], dropping byte-identical duplicate records (first
+    occurrence wins, order otherwise preserved). [None] when fewer than
+    two sealed segments exist — compaction is idempotent. The merged
+    segment is published with {!Robust.Durable.write_atomic}
+    ([point ^ "-compact"] names the chaos-injection site) before the
+    old segments are unlinked highest-first, so a crash at any point
+    leaves a dense, recoverable segment sequence; records briefly
+    duplicated across the merged and a not-yet-unlinked segment are
+    byte-identical and removed by the next run. Must only be called
+    while the journal is closed — typically right before {!open_}. The
+    live file is never touched. *)

@@ -6,6 +6,7 @@ type config = {
   slow : float;
   journal : string option;
   journal_rotate : int option;
+  journal_compact : bool;
   chaos : Robust.Chaos.t option;
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;
@@ -112,13 +113,22 @@ let rec accept_loop t lsock =
    {!Seglog}; the server just opens the store and reports the count. *)
 let open_journal (cfg : config) =
   match cfg.journal with
-  | None -> (None, { Seglog.payloads = []; sealed = 0; warnings = [] })
+  | None -> (None, None, { Seglog.payloads = []; sealed = 0; warnings = [] })
   | Some path ->
+      (* Compaction runs strictly before the journal opens: it only
+         rewrites sealed segments, and the open below re-scans whatever
+         it produced. *)
+      let compaction =
+        if cfg.journal_compact then
+          Seglog.compact ?chaos:cfg.chaos_fs ~point:journal_point ~path
+            ~header:journal_header ()
+        else None
+      in
       let log, recovery =
         Seglog.open_ ?chaos:cfg.chaos_fs ?rotate_bytes:cfg.journal_rotate
           ~point:journal_point ~path ~header:journal_header ()
       in
-      (Some log, recovery)
+      (Some log, compaction, recovery)
 
 let say cfg fmt =
   Printf.ksprintf
@@ -148,7 +158,7 @@ let run cfg =
         ?budget:cfg.budget
         ~slow:cfg.slow ?chaos:cfg.chaos ~cache ()
     in
-    let journal, recovery = open_journal cfg in
+    let journal, compaction, recovery = open_journal cfg in
     let t =
       {
         cfg;
@@ -166,15 +176,24 @@ let run cfg =
     let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind lsock (Unix.ADDR_UNIX cfg.socket_path);
     Unix.listen lsock 64;
-    (t, lsock, recovery)
+    (t, lsock, compaction, recovery)
   with
   | exception Unix.Unix_error (err, fn, _) ->
       Printf.eprintf "serve: cannot listen: %s (%s)\n%!"
         (Unix.error_message err) fn;
       1
-  | t, lsock, recovery ->
+  | t, lsock, compaction, recovery ->
       (match cfg.journal with
       | Some path ->
+          (match compaction with
+          | Some c ->
+              List.iter (say cfg "serve: journal %s: %s" path)
+                c.Seglog.compact_warnings;
+              say cfg
+                "serve: journal %s compacted segments=%d kept=%d dropped=%d"
+                path c.Seglog.segments_merged c.Seglog.records_kept
+                c.Seglog.duplicates_dropped
+          | None -> ());
           List.iter (say cfg "serve: journal %s: %s" path)
             recovery.Seglog.warnings;
           say cfg "serve: journal %s recovered=%d segments=%d" path

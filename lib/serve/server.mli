@@ -44,6 +44,10 @@ type config = {
           journal past it, the bytes are sealed as an immutable
           [<path>.N] segment ({!Seglog}) and the live file restarts;
           [None] never rotates *)
+  journal_compact : bool;
+      (** merge the sealed segments into one (dropping byte-identical
+          duplicate records) before the journal opens — see
+          {!Seglog.compact}; a no-op below two segments *)
   chaos : Robust.Chaos.t option;
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;  (** cache LRU bound, tables *)

@@ -3,6 +3,7 @@ type event =
   | Failure of { at : float; lost : float }
   | Gave_up of { at : float }
   | Platform_change of { at : float; survivors : int }
+  | Prediction of { at : float; true_positive : bool }
 
 type platform = { initial : int; events : Fault.Trace.platform_event list }
 
@@ -21,6 +22,9 @@ type outcome = {
   failures : int;
   replans : int;
   replans_platform : int;
+  predictions_true : int;
+  predictions_false : int;
+  proactive_checkpoints : int;
   breakdown : breakdown;
   events : event list;
 }
@@ -31,13 +35,23 @@ type outcome = {
    Failure dates from the trace cursor live on the exposed clock, so a
    failure never strikes during a downtime, as the model requires.
    Platform events live on the wall clock: one that lands inside a
-   downtime window takes effect at the re-plan that follows it. *)
-let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
-    =
+   downtime window takes effect at the re-plan that follows it.
+   Predicted events live on the exposed clock like the failures they
+   announce: a prediction cannot fire during a downtime. *)
+let run ?(record = false) ?ckpt_sampler ?platform ?predictions ?proactive_c
+    ~params ~horizon ~policy trace =
   if horizon < 0.0 then invalid_arg "Engine.run: negative horizon";
   let c = params.Fault.Params.c
   and r = params.Fault.Params.r
   and d = params.Fault.Params.d in
+  let cp =
+    match proactive_c with
+    | None -> c
+    | Some v ->
+        if not (Float.is_finite v) || v < 0.0 || v > c then
+          invalid_arg "Engine.run: proactive_c must be finite in [0, C]";
+        v
+  in
   let initial =
     match platform with
     | None -> 1
@@ -54,10 +68,23 @@ let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
       | Some p ->
           List.filter (fun e -> Fault.Trace.event_at e < horizon) p.events)
   in
+  (* Like platform events: predictions at or past the horizon can never
+     matter (the fault they announce cannot strike inside the run). *)
+  let pq =
+    ref
+      (match predictions with
+      | None -> []
+      | Some evs ->
+          Fault.Predictor.validate_events evs;
+          List.filter
+            (fun (ev : Fault.Predictor.event) -> ev.Fault.Predictor.at < horizon)
+            evs)
+  in
   let cur = Fault.Trace.cursor trace in
   let wall = ref 0.0 and exposed = ref 0.0 in
   let saved = ref 0.0 and ckpts = ref 0 and fails = ref 0 and replans = ref 0 in
   let replans_platform = ref 0 in
+  let preds_true = ref 0 and preds_false = ref 0 and proactive = ref 0 in
   let cur_policy = ref policy in
   let recovering = ref false in
   let b_ckpt = ref 0.0 and b_recov = ref 0.0 and b_down = ref 0.0 in
@@ -111,17 +138,31 @@ let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
               let shift' = shift +. (actual_c -. c) in
               let seg_len = nominal_len +. (shift' -. shift) in
               let completion_wall = plan_start_wall +. off +. shift' in
-              let fail_e = Fault.Trace.next_failure_exposed cur in
               let seg_end_e = !exposed +. seg_len in
+              (* Ignored predictions cost no time, so the segment is
+                 re-attempted with the same clocks and the same drawn
+                 checkpoint duration until something observable happens. *)
+              let rec attempt () =
+              let fail_e = Fault.Trace.next_failure_exposed cur in
               let fail_wall = !wall +. (fail_e -. !exposed) in
               let next_event_wall =
                 match !pending with
                 | [] -> infinity
                 | e :: _ -> Fault.Trace.event_at e
               in
+              (* An overdue prediction (announced before the clocks got
+                 here, e.g. clamped to 0 or landed inside a downtime)
+                 fires immediately. *)
+              let pred_e =
+                match !pq with
+                | [] -> infinity
+                | ev :: _ -> Float.max ev.Fault.Predictor.at !exposed
+              in
+              let pred_wall = !wall +. (pred_e -. !exposed) in
               if
                 next_event_wall < fail_wall
                 && next_event_wall < completion_wall
+                && next_event_wall <= pred_wall
               then begin
                 (* A platform event interrupts the plan before this
                    checkpoint completes (and before the next failure):
@@ -132,6 +173,94 @@ let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
                 let delta = Float.max 0.0 (next_event_wall -. !wall) in
                 wall := !wall +. delta;
                 exposed := !exposed +. delta
+              end
+              else if pred_e < fail_e && pred_wall < completion_wall then begin
+                (* A prediction fires before this checkpoint completes
+                   and before the next failure. The policy's hook never
+                   sees [true_positive] — there is no oracle. *)
+                let ev = List.hd !pq in
+                pq := List.tl !pq;
+                if ev.Fault.Predictor.true_positive then incr preds_true
+                else incr preds_false;
+                push
+                  (Prediction
+                     { at = pred_wall;
+                       true_positive = ev.Fault.Predictor.true_positive });
+                let since_commit = pred_wall -. !committed_wall in
+                let overhead = if first then first_overhead else 0.0 in
+                (* The bankable work: what has elapsed since the last
+                   commit, net of the initial recovery, capped by the
+                   segment's work share (a prediction landing inside the
+                   in-flight nominal checkpoint cannot bank checkpoint
+                   time as work — the excess is abandoned into
+                   [unused]). *)
+                let seg_work = Float.max 0.0 (seg_len -. actual_c -. overhead) in
+                let work =
+                  Float.min (Float.max 0.0 (since_commit -. overhead)) seg_work
+                in
+                let take =
+                  work > 0.0
+                  && pred_wall +. cp <= horizon
+                  &&
+                  match !cur_policy.Policy.on_prediction with
+                  | None -> false
+                  | Some f ->
+                      f ~tleft:(horizon -. pred_wall) ~since_commit
+                        ~window:ev.Fault.Predictor.window
+                in
+                if not take then
+                  (* Ignored (by the policy, or nothing to bank, or no
+                     room left): zero time cost, same segment again. *)
+                  attempt ()
+                else begin
+                  (* Proactive checkpoint: advance to the firing instant
+                     and checkpoint for [cp], exposed to failures. *)
+                  let delta = pred_e -. !exposed in
+                  wall := !wall +. delta;
+                  exposed := pred_e;
+                  let ckpt_end_e = !exposed +. cp in
+                  if fail_e < ckpt_end_e then begin
+                    (* The announced (or another) fault strikes before
+                       the proactive checkpoint completes: everything
+                       since the last commit is lost, as usual. *)
+                    let delta = fail_e -. !exposed in
+                    wall := !wall +. delta;
+                    exposed := fail_e;
+                    Fault.Trace.consume cur;
+                    incr fails;
+                    let lost = !wall -. !committed_wall in
+                    b_lost := !b_lost +. lost;
+                    push (Failure { at = !wall; lost });
+                    b_down :=
+                      !b_down +. Float.max 0.0 (Float.min d (horizon -. !wall));
+                    wall := !wall +. d;
+                    recovering := true;
+                    if horizon -. !wall < r +. c then finished := true
+                  end
+                  else begin
+                    wall := !wall +. cp;
+                    exposed := ckpt_end_e;
+                    saved := !saved +. work;
+                    b_ckpt := !b_ckpt +. cp;
+                    if first then begin
+                      (* [work > 0] implies the initial recovery fully
+                         elapsed before the prediction fired; commit it
+                         with this checkpoint. *)
+                      b_recov := !b_recov +. first_overhead;
+                      recovering := false
+                    end;
+                    incr ckpts;
+                    incr proactive;
+                    push
+                      (Segment_saved
+                         { start = !committed_wall; finish = !wall; work });
+                    committed_wall := !wall;
+                    (* Abandon the rest of the plan and fall back to the
+                       re-planning loop: the policy re-plans the
+                       remaining horizon from the fresh commit. *)
+                    ()
+                  end
+                end
               end
               else if fail_e < seg_end_e then begin
                 (* Failure strikes before this checkpoint completes. *)
@@ -178,7 +307,9 @@ let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
                   (Segment_saved
                      { start = !wall -. seg_len; finish = !wall; work });
                 walk off shift' rest ~first:false
-              end)
+              end
+              in
+              attempt ())
         in
         walk 0.0 0.0 offsets ~first:true)
   done;
@@ -212,6 +343,9 @@ let run ?(record = false) ?ckpt_sampler ?platform ~params ~horizon ~policy trace
     failures = !fails;
     replans = !replans;
     replans_platform = !replans_platform;
+    predictions_true = !preds_true;
+    predictions_false = !preds_false;
+    proactive_checkpoints = !proactive;
     breakdown;
     events = List.rev !events;
   }

@@ -19,6 +19,10 @@ type event =
   | Platform_change of { at : float; survivors : int }
       (** a platform event took effect: the engine re-planned against
           the rate degraded to [survivors] processors *)
+  | Prediction of { at : float; true_positive : bool }
+      (** a predicted event fired at wall-clock [at]; whether the live
+          policy took a proactive checkpoint shows as a following
+          [Segment_saved] *)
 
 type platform = { initial : int; events : Fault.Trace.platform_event list }
 (** A malleable-platform schedule for one reservation: the initial
@@ -50,6 +54,11 @@ type outcome = {
   replans : int;  (** times the policy was queried *)
   replans_platform : int;
       (** platform events processed (re-plans not caused by a failure) *)
+  predictions_true : int;  (** fired predictions backed by a real fault *)
+  predictions_false : int;  (** fired false alarms *)
+  proactive_checkpoints : int;
+      (** completed proactive checkpoints (also counted in
+          [checkpoints]) *)
   breakdown : breakdown;
   events : event list;  (** chronological; empty unless [record] *)
 }
@@ -58,6 +67,8 @@ val run :
   ?record:bool ->
   ?ckpt_sampler:(unit -> float) ->
   ?platform:platform ->
+  ?predictions:Fault.Predictor.event list ->
+  ?proactive_c:float ->
   params:Fault.Params.t ->
   horizon:float ->
   policy:Policy.t ->
@@ -81,7 +92,25 @@ val run :
     re-queries the policy, via its [adapt] hook when present. Events
     landing during a downtime take effect when the downtime ends; events
     at or past the horizon are ignored. With an empty event list the run
-    is bit-identical to one without [platform]. *)
+    is bit-identical to one without [platform].
+
+    [predictions], when given, replays a sorted predicted-event stream
+    (see {!Fault.Predictor}) on the exposed clock. When a prediction
+    fires before the next failure and before the in-flight checkpoint
+    completes, the live policy's [on_prediction] hook decides: [true]
+    takes a {e proactive checkpoint} of duration [proactive_c]
+    (default [params.c], must lie in [\[0, C\]]), banking the work
+    accumulated since the last commit and then re-planning the rest of
+    the horizon; [false] — or a policy without the hook, or nothing
+    bankable, or no room before the horizon — ignores the event at
+    zero cost. Proactive checkpoints are exposed to failures like any
+    other checkpoint, count in both [checkpoints] and
+    [proactive_checkpoints], and preserve the breakdown sum-to-horizon
+    invariant. With [predictions] absent or [\[\]] the run is
+    bit-identical to one without predictions; an always-ignoring policy
+    reproduces the same work, timing and breakdown to the last bit, with
+    only the prediction counters (and recorded [Prediction] events)
+    registering the fired stream. *)
 
 val proportion_of_work :
   params:Fault.Params.t -> horizon:float -> outcome -> float

@@ -2,11 +2,15 @@ type t = {
   name : string;
   plan : tleft:float -> recovering:bool -> float list;
   adapt : (Fault.Params.t -> t) option;
+  on_prediction :
+    (tleft:float -> since_commit:float -> window:float -> bool) option;
 }
 
-let make ?adapt ~name plan = { name; plan; adapt }
+let make ?adapt ?on_prediction ~name plan = { name; plan; adapt; on_prediction }
 
 let set_adapt p adapt = { p with adapt = Some adapt }
+
+let set_on_prediction p f = { p with on_prediction = Some f }
 
 (* Numerical slack for plan validation: offsets are produced by floating
    arithmetic, so exact comparisons would reject valid plans. *)

@@ -27,10 +27,21 @@ type t = {
           the same plan closure after a platform event. The returned
           policy should itself carry an [adapt] so later events re-plan
           too. *)
+  on_prediction :
+    (tleft:float -> since_commit:float -> window:float -> bool) option;
+      (** How this policy reacts to a fired fault prediction: given the
+          time left in the reservation, the time elapsed since the last
+          committed checkpoint, and the prediction's window width,
+          return [true] to take a proactive checkpoint now (banking the
+          work accumulated since the last commit, then re-planning) or
+          [false] to ignore the event. [None] — the common case —
+          ignores every prediction. The hook never sees whether the
+          prediction is a true positive: policies have no oracle. *)
 }
 
 val make :
   ?adapt:(Fault.Params.t -> t) ->
+  ?on_prediction:(tleft:float -> since_commit:float -> window:float -> bool) ->
   name:string ->
   (tleft:float -> recovering:bool -> float list) ->
   t
@@ -38,6 +49,11 @@ val make :
 val set_adapt : t -> (Fault.Params.t -> t) -> t
 (** [set_adapt p f] is [p] re-planning through [f] on platform change —
     functional update, [p] itself is untouched. *)
+
+val set_on_prediction :
+  t -> (tleft:float -> since_commit:float -> window:float -> bool) -> t
+(** [set_on_prediction p f] is [p] answering fired predictions with [f]
+    — functional update, [p] itself is untouched. *)
 
 val validate_plan :
   params:Fault.Params.t -> tleft:float -> recovering:bool -> float list -> unit

@@ -7,6 +7,9 @@ type result = {
   mean_work : float;
   mean_failures : float;
   mean_checkpoints : float;
+  mean_proactive : float;
+  mean_predictions_true : float;
+  mean_predictions_false : float;
 }
 
 type quantile_mode = Exact | Streaming
@@ -24,16 +27,20 @@ type stream = {
   s_horizon : float;
   s_policy : Policy.t;
   s_ckpt_sampler : (unit -> float) option;
+  s_proactive_c : float option;
   s_prop : Numerics.Stats.accumulator;
   s_quant : quantile_acc;
   mutable s_traces : int;
   mutable s_work : float;
   mutable s_fails : int;
   mutable s_ckpts : int;
+  mutable s_proactive : int;
+  mutable s_pred_true : int;
+  mutable s_pred_false : int;
 }
 
-let stream_create ?ckpt_sampler ?(quantile_mode = Exact) ~params ~horizon
-    ~policy () =
+let stream_create ?ckpt_sampler ?proactive_c ?(quantile_mode = Exact) ~params
+    ~horizon ~policy () =
   let s_quant =
     match quantile_mode with
     | Exact -> Buffered { buf = Array.make 64 0.0; len = 0 }
@@ -50,12 +57,16 @@ let stream_create ?ckpt_sampler ?(quantile_mode = Exact) ~params ~horizon
     s_horizon = horizon;
     s_policy = policy;
     s_ckpt_sampler = ckpt_sampler;
+    s_proactive_c = proactive_c;
     s_prop = Numerics.Stats.acc_create ();
     s_quant;
     s_traces = 0;
     s_work = 0.0;
     s_fails = 0;
     s_ckpts = 0;
+    s_proactive = 0;
+    s_pred_true = 0;
+    s_pred_false = 0;
   }
 
 let quant_add q x =
@@ -84,10 +95,11 @@ let quant_result = function
         Numerics.Stats.P2.value p50,
         Numerics.Stats.P2.value p95 )
 
-let stream_feed ?platform s trace =
+let stream_feed ?platform ?predictions s trace =
   let outcome =
-    Engine.run ?ckpt_sampler:s.s_ckpt_sampler ?platform ~params:s.s_params
-      ~horizon:s.s_horizon ~policy:s.s_policy trace
+    Engine.run ?ckpt_sampler:s.s_ckpt_sampler ?platform ?predictions
+      ?proactive_c:s.s_proactive_c ~params:s.s_params ~horizon:s.s_horizon
+      ~policy:s.s_policy trace
   in
   let p = Engine.proportion_of_work ~params:s.s_params ~horizon:s.s_horizon outcome in
   Numerics.Stats.acc_add s.s_prop p;
@@ -95,7 +107,10 @@ let stream_feed ?platform s trace =
   s.s_traces <- s.s_traces + 1;
   s.s_work <- s.s_work +. outcome.Engine.work_saved;
   s.s_fails <- s.s_fails + outcome.Engine.failures;
-  s.s_ckpts <- s.s_ckpts + outcome.Engine.checkpoints
+  s.s_ckpts <- s.s_ckpts + outcome.Engine.checkpoints;
+  s.s_proactive <- s.s_proactive + outcome.Engine.proactive_checkpoints;
+  s.s_pred_true <- s.s_pred_true + outcome.Engine.predictions_true;
+  s.s_pred_false <- s.s_pred_false + outcome.Engine.predictions_false
 
 let stream_count s = s.s_traces
 
@@ -111,20 +126,32 @@ let stream_result s =
     mean_work = s.s_work /. fn;
     mean_failures = float_of_int s.s_fails /. fn;
     mean_checkpoints = float_of_int s.s_ckpts /. fn;
+    mean_proactive = float_of_int s.s_proactive /. fn;
+    mean_predictions_true = float_of_int s.s_pred_true /. fn;
+    mean_predictions_false = float_of_int s.s_pred_false /. fn;
   }
 
-let evaluate ?ckpt_sampler ?quantile_mode ?platforms ~params ~horizon ~policy
-    traces =
+let evaluate ?ckpt_sampler ?quantile_mode ?platforms ?predictions ?proactive_c
+    ~params ~horizon ~policy traces =
   if Array.length traces = 0 then invalid_arg "Runner.evaluate: no traces";
   (match platforms with
   | Some ps when Array.length ps <> Array.length traces ->
       invalid_arg "Runner.evaluate: platforms and traces length mismatch"
   | _ -> ());
-  let s = stream_create ?ckpt_sampler ?quantile_mode ~params ~horizon ~policy () in
-  (match platforms with
-  | None -> Array.iter (stream_feed s) traces
-  | Some ps ->
-      Array.iteri (fun i tr -> stream_feed ~platform:ps.(i) s tr) traces);
+  (match predictions with
+  | Some ps when Array.length ps <> Array.length traces ->
+      invalid_arg "Runner.evaluate: predictions and traces length mismatch"
+  | _ -> ());
+  let s =
+    stream_create ?ckpt_sampler ?proactive_c ?quantile_mode ~params ~horizon
+      ~policy ()
+  in
+  Array.iteri
+    (fun i tr ->
+      let platform = Option.map (fun ps -> ps.(i)) platforms in
+      let predictions = Option.map (fun ps -> ps.(i)) predictions in
+      stream_feed ?platform ?predictions s tr)
+    traces;
   stream_result s
 
 let pp_result ppf r =

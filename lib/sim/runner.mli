@@ -11,6 +11,9 @@ type result = {
   mean_work : float;
   mean_failures : float;
   mean_checkpoints : float;
+  mean_proactive : float;  (** proactive checkpoints per trace *)
+  mean_predictions_true : float;  (** fired true positives per trace *)
+  mean_predictions_false : float;  (** fired false alarms per trace *)
 }
 
 type quantile_mode =
@@ -24,6 +27,7 @@ type stream
 
 val stream_create :
   ?ckpt_sampler:(unit -> float) ->
+  ?proactive_c:float ->
   ?quantile_mode:quantile_mode ->
   params:Fault.Params.t ->
   horizon:float ->
@@ -32,13 +36,20 @@ val stream_create :
   stream
 (** [quantile_mode] defaults to [Exact], which reproduces the batch
     results bit-for-bit; [Streaming] trades exactness of the three
-    quantiles for flat memory. *)
+    quantiles for flat memory. [proactive_c] is the proactive-checkpoint
+    cost forwarded to {!Engine.run} (default [params.c]). *)
 
-val stream_feed : ?platform:Engine.platform -> stream -> Fault.Trace.t -> unit
+val stream_feed :
+  ?platform:Engine.platform ->
+  ?predictions:Fault.Predictor.event list ->
+  stream ->
+  Fault.Trace.t ->
+  unit
 (** Run the policy on one trace and fold its outcome in. [platform]
     replays that trace's malleable-platform events (see
     {!Engine.platform}) — per-trace, because each trace of a batch draws
-    its own loss/rejoin history. *)
+    its own loss/rejoin history. [predictions] likewise replays that
+    trace's predicted-event stream (see {!Fault.Predictor}). *)
 
 val stream_count : stream -> int
 
@@ -51,6 +62,8 @@ val evaluate :
   ?ckpt_sampler:(unit -> float) ->
   ?quantile_mode:quantile_mode ->
   ?platforms:Engine.platform array ->
+  ?predictions:Fault.Predictor.event list array ->
+  ?proactive_c:float ->
   params:Fault.Params.t ->
   horizon:float ->
   policy:Policy.t ->
@@ -59,8 +72,10 @@ val evaluate :
 (** Runs the policy on every trace and aggregates — a fold of
     {!stream_feed} over the array. Each trace is replayed from its
     beginning, so passing the same array to several policies compares
-    them on identical failure scenarios. [platforms], when given, must
-    align with [traces]: entry [i] is trace [i]'s event schedule, so
-    policies are also compared on identical platform histories. *)
+    them on identical failure scenarios. [platforms] and [predictions],
+    when given, must align with [traces]: entry [i] is trace [i]'s
+    event schedule / predicted stream, so policies are also compared on
+    identical platform histories and predictions (common random
+    numbers). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -21,6 +21,7 @@ The figure registry:
   ext-ablation         ablation: fixed-work-optimal periods, single-final checkpoint, continuous-offset and k-free optima against the paper strategies (λ=0.001, D=0, C=20)
   ext-stochastic-ckpt  robustness: checkpoint duration Erlang(4) with mean C, λ=0.001, D=0
   ext-replan           malleability: 16-node platform, each failure fatal to its node with probability 0.25, 2 spares rejoining after one downtime — static-λ strategies vs online re-planning (λ=0.001, D=5, C=20)
+  ext-predict          prediction: perfect predictor (p=1, r=1) with window w=30 >= C — corrected-period YoungDaly and window-trusting DP with proactive checkpoints vs the unpredicted strategies (λ=0.001, D=5, C=20)
 
 Section 4 case studies:
 

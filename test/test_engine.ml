@@ -96,7 +96,8 @@ let test_events_chronological () =
         | E.Segment_saved { finish; _ } -> finish
         | E.Failure { at; _ } -> at
         | E.Gave_up { at } -> at
-        | E.Platform_change { at; _ } -> at)
+        | E.Platform_change { at; _ } -> at
+        | E.Prediction { at; _ } -> at)
       outcome.E.events
   in
   let sorted = List.sort compare times in
@@ -280,6 +281,157 @@ let test_platform_event_during_downtime_deferred () =
     outcome.E.replans_platform;
   close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown)
 
+(* Predictions (fault-prediction extension) *)
+
+let accept_all = P.set_on_prediction (P.single_final ~params) (fun ~tleft:_ ~since_commit:_ ~window:_ -> true)
+
+let pred ?(window = 20.0) ?(true_positive = false) at =
+  { Fault.Predictor.at; window; true_positive }
+
+let test_prediction_proactive_banks_work () =
+  (* Quiet trace, horizon 100, single final checkpoint at 100 (work 90).
+     A false alarm at exposed 40 triggers a proactive checkpoint: 40
+     units banked, 10 spent checkpointing, re-plan saves 50 - 10 = 40
+     more. The proactive commit costs exactly one extra C. *)
+  let outcome =
+    E.run ~record:true ~predictions:[ pred 40.0 ] ~params ~horizon:100.0
+      ~policy:accept_all (quiet_trace ())
+  in
+  close "banked plus re-planned" 80.0 outcome.E.work_saved;
+  Alcotest.(check int) "two checkpoints" 2 outcome.E.checkpoints;
+  Alcotest.(check int) "one proactive" 1 outcome.E.proactive_checkpoints;
+  Alcotest.(check int) "one false alarm" 1 outcome.E.predictions_false;
+  Alcotest.(check int) "no true positive" 0 outcome.E.predictions_true;
+  Alcotest.(check int) "re-planned after the commit" 2 outcome.E.replans;
+  close "working share" 80.0 outcome.E.breakdown.E.working;
+  close "checkpointing share" 20.0 outcome.E.breakdown.E.checkpointing;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown);
+  (match outcome.E.events with
+  | E.Prediction { at; true_positive } :: E.Segment_saved { work; finish; _ } :: _ ->
+      close "fired at 40" 40.0 at;
+      Alcotest.(check bool) "false alarm" false true_positive;
+      close "banked 40" 40.0 work;
+      close "committed at 50" 50.0 finish
+  | _ -> Alcotest.fail "expected Prediction then Segment_saved")
+
+let test_prediction_averts_failure () =
+  (* Failure at exposed 60, announced at 45 (window 15, true positive).
+     Unpredicted single-final loses everything at 60 and salvages
+     35 - R - C = 17. Predicted: bank 45 at the firing date, lose only
+     the 5 units since that commit, then the same 17-unit tail. *)
+  let trace () = T.of_iats [| 60.0; 1.0e9 |] in
+  let baseline =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  close "unpredicted salvage" 17.0 baseline.E.work_saved;
+  let outcome =
+    E.run
+      ~predictions:[ pred ~window:15.0 ~true_positive:true 45.0 ]
+      ~params ~horizon:100.0 ~policy:accept_all (trace ())
+  in
+  close "banked before the fault" 62.0 outcome.E.work_saved;
+  Alcotest.(check int) "one true positive" 1 outcome.E.predictions_true;
+  Alcotest.(check int) "one proactive" 1 outcome.E.proactive_checkpoints;
+  Alcotest.(check int) "still one failure" 1 outcome.E.failures;
+  close "only the post-commit span is lost" 5.0 outcome.E.breakdown.E.lost;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown)
+
+let test_prediction_failure_during_proactive_ckpt () =
+  (* Announced too late: the proactive checkpoint starting at 55 needs
+     C = 10 but the fault lands at 60. Everything since the last commit
+     is lost, exactly as in the unpredicted run, and the incomplete
+     proactive checkpoint counts nowhere. *)
+  let trace = T.of_iats [| 60.0; 1.0e9 |] in
+  let outcome =
+    E.run
+      ~predictions:[ pred ~window:5.0 ~true_positive:true 55.0 ]
+      ~params ~horizon:100.0 ~policy:accept_all trace
+  in
+  close "same salvage as unpredicted" 17.0 outcome.E.work_saved;
+  Alcotest.(check int) "true positive still counted" 1 outcome.E.predictions_true;
+  Alcotest.(check int) "no proactive checkpoint completed" 0
+    outcome.E.proactive_checkpoints;
+  Alcotest.(check int) "one checkpoint (the tail)" 1 outcome.E.checkpoints;
+  close "whole span since start lost" 60.0 outcome.E.breakdown.E.lost;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown)
+
+let test_prediction_ignored_is_free () =
+  (* A policy without the hook must replay the unpredicted run to the
+     last bit on timing, work and breakdown; only the prediction
+     counters (and recorded events) register the fired stream. *)
+  let trace () = T.of_iats [| 60.0; 1.0e9 |] in
+  let baseline =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  let ignored =
+    E.run
+      ~predictions:[ pred ~true_positive:true 20.0; pred 40.0 ]
+      ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  Alcotest.(check bool) "work bit-identical" true
+    (Float.equal baseline.E.work_saved ignored.E.work_saved);
+  Alcotest.(check bool) "breakdown bit-identical" true
+    (baseline.E.breakdown = ignored.E.breakdown);
+  Alcotest.(check int) "checkpoints unchanged" baseline.E.checkpoints
+    ignored.E.checkpoints;
+  Alcotest.(check int) "replans unchanged" baseline.E.replans ignored.E.replans;
+  Alcotest.(check int) "no proactive checkpoint" 0 ignored.E.proactive_checkpoints;
+  Alcotest.(check int) "fired true positive counted" 1 ignored.E.predictions_true;
+  Alcotest.(check int) "fired false alarm counted" 1 ignored.E.predictions_false
+
+let test_prediction_none_and_empty_bit_identical () =
+  let trace () = T.of_iats [| 60.0; 1.0e9 |] in
+  let baseline =
+    E.run ~params ~horizon:100.0 ~policy:(P.single_final ~params) (trace ())
+  in
+  let empty =
+    E.run ~predictions:[] ~params ~horizon:100.0
+      ~policy:(P.single_final ~params) (trace ())
+  in
+  Alcotest.(check bool) "outcomes structurally equal" true (baseline = empty);
+  (* An empty stream is also free for a hooked policy. *)
+  let hooked =
+    E.run ~predictions:[] ~params ~horizon:100.0 ~policy:accept_all (trace ())
+  in
+  Alcotest.(check bool) "hooked policy, empty stream" true (baseline = hooked)
+
+let test_prediction_proactive_c () =
+  (* A cheap proactive checkpoint (Cp = 2 < C) banks the same work for
+     less: 40 banked, 2 spent, re-plan saves 58 - 10 = 48. *)
+  let outcome =
+    E.run ~predictions:[ pred 40.0 ] ~proactive_c:2.0 ~params ~horizon:100.0
+      ~policy:accept_all (quiet_trace ())
+  in
+  close "cheaper commit" 88.0 outcome.E.work_saved;
+  close "checkpointing share" 12.0 outcome.E.breakdown.E.checkpointing;
+  close "breakdown sums to horizon" 100.0 (breakdown_sum outcome.E.breakdown);
+  Alcotest.check_raises "Cp > C rejected"
+    (Invalid_argument "Engine.run: proactive_c must be finite in [0, C]")
+    (fun () ->
+      ignore
+        (E.run ~predictions:[] ~proactive_c:20.0 ~params ~horizon:100.0
+           ~policy:accept_all (quiet_trace ())))
+
+let test_prediction_window_hook_decides () =
+  (* proactive-window-style hook: accept only tight windows. A wide
+     window is ignored at zero cost; a narrow one is taken. *)
+  let selective w0 =
+    P.set_on_prediction (P.single_final ~params)
+      (fun ~tleft:_ ~since_commit:_ ~window -> window <= w0)
+  in
+  let wide =
+    E.run ~predictions:[ pred ~window:50.0 40.0 ] ~params ~horizon:100.0
+      ~policy:(selective 30.0) (quiet_trace ())
+  in
+  close "wide window ignored" 90.0 wide.E.work_saved;
+  Alcotest.(check int) "no proactive" 0 wide.E.proactive_checkpoints;
+  let narrow =
+    E.run ~predictions:[ pred ~window:20.0 40.0 ] ~params ~horizon:100.0
+      ~policy:(selective 30.0) (quiet_trace ())
+  in
+  close "narrow window taken" 80.0 narrow.E.work_saved;
+  Alcotest.(check int) "one proactive" 1 narrow.E.proactive_checkpoints
+
 (* Invariants under random traces and policies. *)
 
 let qcheck_tests =
@@ -397,6 +549,69 @@ let qcheck_tests =
             && b.E.working >= 0.0 && b.E.checkpointing >= 0.0
             && b.E.recovering >= 0.0 && b.E.down >= 0.0 && b.E.lost >= 0.0
             && b.E.unused >= 0.0)));
+    (let gen =
+       QCheck.Gen.(
+         let* seed = int_bound 1_000_000 in
+         let* horizon = float_range 20.0 2000.0 in
+         let* count = int_range 1 8 in
+         let* n_preds = int_bound 6 in
+         let* dates =
+           list_repeat n_preds (float_range 0.0 (1.2 *. horizon))
+         in
+         let* windows = list_repeat n_preds (float_range 0.0 50.0) in
+         let* tps = list_repeat n_preds bool in
+         let* hooked = bool in
+         let* cp = float_range 0.0 params.Fault.Params.c in
+         let preds =
+           List.map2
+             (fun (at, window) true_positive ->
+               { Fault.Predictor.at; window; true_positive })
+             (List.combine (List.sort compare dates) windows)
+             tps
+         in
+         return (seed, horizon, count, preds, hooked, cp))
+     in
+     let arb =
+       QCheck.make gen ~print:(fun (s, h, k, preds, hooked, cp) ->
+           Printf.sprintf
+             "seed=%d horizon=%g count=%d preds=[%s] hooked=%b cp=%g" s h k
+             (String.concat "; "
+                (List.map
+                   (fun e ->
+                     Printf.sprintf "%g(w=%g,%b)" e.Fault.Predictor.at
+                       e.Fault.Predictor.window e.Fault.Predictor.true_positive)
+                   preds))
+             hooked cp)
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make
+          ~name:"breakdown sums to horizon under random prediction schedules"
+          ~count:500 arb
+          (fun (seed, horizon, count, preds, hooked, cp) ->
+            let trace =
+              T.create
+                ~dist:(T.Exponential { rate = 0.002 })
+                ~seed:(Int64.of_int seed)
+            in
+            let base = P.equal_segments ~params ~count in
+            let policy =
+              if hooked then
+                P.set_on_prediction base
+                  (fun ~tleft:_ ~since_commit:_ ~window -> window <= 25.0)
+              else base
+            in
+            let outcome =
+              E.run ~predictions:preds ~proactive_c:cp ~params ~horizon
+                ~policy trace
+            in
+            let b = outcome.E.breakdown in
+            Float.abs (breakdown_sum b -. horizon) <= 1e-6 *. horizon
+            && b.E.working >= 0.0 && b.E.checkpointing >= 0.0
+            && b.E.recovering >= 0.0 && b.E.down >= 0.0 && b.E.lost >= 0.0
+            && b.E.unused >= 0.0
+            && outcome.E.proactive_checkpoints <= outcome.E.checkpoints
+            && outcome.E.predictions_true + outcome.E.predictions_false
+               <= List.length preds)));
   ]
 
 let () =
@@ -446,6 +661,23 @@ let () =
             test_platform_event_past_horizon_ignored;
           Alcotest.test_case "event during downtime deferred" `Quick
             test_platform_event_during_downtime_deferred;
+        ] );
+      ( "predictions",
+        [
+          Alcotest.test_case "proactive checkpoint banks work" `Quick
+            test_prediction_proactive_banks_work;
+          Alcotest.test_case "true positive averts a failure" `Quick
+            test_prediction_averts_failure;
+          Alcotest.test_case "failure during the proactive checkpoint" `Quick
+            test_prediction_failure_during_proactive_ckpt;
+          Alcotest.test_case "ignored predictions are free" `Quick
+            test_prediction_ignored_is_free;
+          Alcotest.test_case "absent and empty streams bit-identical" `Quick
+            test_prediction_none_and_empty_bit_identical;
+          Alcotest.test_case "cheap proactive checkpoints" `Quick
+            test_prediction_proactive_c;
+          Alcotest.test_case "window hook decides" `Quick
+            test_prediction_window_hook_decides;
         ] );
       ( "metrics",
         [

@@ -228,6 +228,132 @@ let test_calibrated_empirical () =
   done;
   close ~eps:4.0 "weibull empirical MTBF" mtbf (!sum /. float_of_int n)
 
+(* Predictor *)
+
+module Pred = Fault.Predictor
+
+let pred_params ?(p = 0.8) ?(r = 0.7) ?(w = 10.0) () = { Pred.p; r; w }
+
+let test_predictor_deterministic () =
+  let trace = T.create ~dist:(T.Exponential { rate = 0.002 }) ~seed:11L in
+  let events () =
+    Pred.events ~params:(pred_params ()) ~rate:0.002 ~horizon:5000.0
+      ~seed:99L trace
+  in
+  let a = events () and b = events () in
+  Alcotest.(check bool) "bit-identical" true (a = b);
+  Alcotest.(check bool) "non-empty" true (a <> [])
+
+let test_predictor_empty_law () =
+  let trace = T.create ~dist:(T.Exponential { rate = 0.01 }) ~seed:3L in
+  List.iter
+    (fun params ->
+      Alcotest.(check int) "empty stream" 0
+        (List.length
+           (Pred.events ~params ~rate:0.01 ~horizon:10000.0 ~seed:5L trace)))
+    [
+      pred_params ~p:0.0 ();
+      pred_params ~r:0.0 ();
+      pred_params ~p:0.0 ~r:0.0 ();
+    ]
+
+let test_predictor_well_formed () =
+  let trace = T.create ~dist:(T.Exponential { rate = 0.005 }) ~seed:21L in
+  let w = 12.5 and horizon = 4000.0 in
+  let events =
+    Pred.events ~params:(pred_params ~w ()) ~rate:0.005 ~horizon ~seed:7L
+      trace
+  in
+  Pred.validate_events events;
+  List.iter
+    (fun (e : Pred.event) ->
+      Alcotest.(check bool) "firing date in range" true
+        (e.Pred.at >= 0.0 && e.Pred.at < horizon);
+      Alcotest.(check (float 0.0)) "window is w" w e.Pred.window)
+    events;
+  (* True positives fire exactly w before their fault (clamped at 0), so
+     every one must sit at (fault - w) for some fault of the trace. *)
+  let faults =
+    let iats = T.iats_until trace ~until:horizon in
+    let clock = ref 0.0 in
+    Array.to_list (Array.map (fun d -> clock := !clock +. d; !clock) iats)
+  in
+  List.iter
+    (fun (e : Pred.event) ->
+      if e.Pred.true_positive then
+        Alcotest.(check bool) "anchored to a fault" true
+          (List.exists
+             (fun f -> Float.abs (Float.max 0.0 (f -. w) -. e.Pred.at) < 1e-9)
+             faults))
+    events
+
+let test_predictor_accounting () =
+  (* Precision and recall are statistical promises; check them over a
+     large batch. *)
+  let n = 400 and horizon = 5000.0 and rate = 0.002 in
+  let params = pred_params ~p:0.8 ~r:0.7 ~w:20.0 () in
+  let traces = T.batch ~dist:(T.Exponential { rate }) ~seed:77L ~n in
+  let streams = Pred.batch ~params ~rate ~horizon ~seed:78L traces in
+  let tp = ref 0 and fa = ref 0 and faults = ref 0 in
+  Array.iteri
+    (fun i tr ->
+      let clock = ref 0.0 in
+      Array.iter
+        (fun d ->
+          clock := !clock +. d;
+          if !clock < horizon then incr faults)
+        (T.iats_until tr ~until:horizon);
+      List.iter
+        (fun (e : Pred.event) ->
+          if e.Pred.true_positive then incr tp else incr fa)
+        streams.(i))
+    traces;
+  let precision = float_of_int !tp /. float_of_int (!tp + !fa) in
+  let recall = float_of_int !tp /. float_of_int !faults in
+  close ~eps:0.03 "precision ~= p" 0.8 precision;
+  close ~eps:0.03 "recall ~= r" 0.7 recall
+
+let test_predictor_batch_prefix_stable () =
+  (* The Trace.batch split convention: stream i does not depend on how
+     many traces follow it in the array. *)
+  let rate = 0.004 in
+  let traces = T.batch ~dist:(T.Exponential { rate }) ~seed:31L ~n:5 in
+  let params = pred_params () in
+  let full = Pred.batch ~params ~rate ~horizon:2000.0 ~seed:32L traces in
+  let prefix =
+    Pred.batch ~params ~rate ~horizon:2000.0 ~seed:32L (Array.sub traces 0 3)
+  in
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "stream %d stable" i)
+      true
+      (full.(i) = prefix.(i))
+  done
+
+let test_predictor_validation () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "p > 1" (fun () -> Pred.validate (pred_params ~p:1.5 ()));
+  expect_invalid "negative r" (fun () ->
+      Pred.validate (pred_params ~r:(-0.1) ()));
+  expect_invalid "nan w" (fun () -> Pred.validate (pred_params ~w:nan ()));
+  expect_invalid "infinite w" (fun () ->
+      Pred.validate (pred_params ~w:infinity ()));
+  Pred.validate (pred_params ());
+  let trace = T.of_iats [| 5.0; 1000.0 |] in
+  expect_invalid "unsorted events" (fun () ->
+      Pred.validate_events
+        [
+          { Pred.at = 4.0; window = 1.0; true_positive = true };
+          { Pred.at = 2.0; window = 1.0; true_positive = false };
+        ]);
+  expect_invalid "zero rate" (fun () ->
+      Pred.events ~params:(pred_params ()) ~rate:0.0 ~horizon:10.0 ~seed:1L
+        trace)
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -297,6 +423,20 @@ let () =
           Alcotest.test_case "analytic means" `Quick test_dist_means;
           Alcotest.test_case "MTBF calibration" `Quick test_calibrated_dists;
           Alcotest.test_case "calibrated empirical" `Slow test_calibrated_empirical;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_predictor_deterministic;
+          Alcotest.test_case "p=0 or r=0 is empty" `Quick
+            test_predictor_empty_law;
+          Alcotest.test_case "well-formed events" `Quick
+            test_predictor_well_formed;
+          Alcotest.test_case "precision/recall accounting" `Slow
+            test_predictor_accounting;
+          Alcotest.test_case "batch prefix stable" `Quick
+            test_predictor_batch_prefix_stable;
+          Alcotest.test_case "validation" `Quick test_predictor_validation;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -692,6 +692,7 @@ let tiny_spec =
     failure_dist = Experiments.Spec.Exp;
     ckpt_noise = Experiments.Spec.Deterministic;
     platform = None;
+    predictor = None;
   }
 
 let check_same_result (a : Experiments.Runner.result)

@@ -283,6 +283,85 @@ let test_seglog_validation () =
           Alcotest.fail "rotate_bytes = 0 accepted"
       | exception Invalid_argument _ -> ())
 
+(* compaction: merge sealed segments, drop byte-identical duplicates,
+   keep the sequence dense and the records recoverable *)
+
+let compact_log path =
+  Seglog.compact ~point:"seglog-test" ~path ~header:"# seglog v1" ()
+
+let test_seglog_compact_merges_and_dedups () =
+  with_seglog_temp (fun path ->
+      let log, _ = open_log ~rotate_bytes:1 path in
+      List.iter (Seglog.append log)
+        [ "alpha"; "beta"; "alpha"; "gamma"; "beta"; "delta" ];
+      Alcotest.(check int) "six sealed segments" 6 (Seglog.sealed log);
+      Seglog.close log;
+      (match compact_log path with
+      | None -> Alcotest.fail "compaction skipped six segments"
+      | Some c ->
+          Alcotest.(check int) "segments merged" 6 c.Seglog.segments_merged;
+          Alcotest.(check int) "records kept" 4 c.Seglog.records_kept;
+          Alcotest.(check int) "duplicates dropped" 2 c.Seglog.duplicates_dropped;
+          Alcotest.(check (list string)) "clean merge warns nothing" []
+            c.Seglog.compact_warnings);
+      Alcotest.(check bool) "merged segment published" true
+        (Sys.file_exists (path ^ ".1"));
+      Alcotest.(check bool) "old segments unlinked" false
+        (Sys.file_exists (path ^ ".2"));
+      let log, r = open_log ~rotate_bytes:1 path in
+      Alcotest.(check (list string)) "first occurrence wins, order kept"
+        [ "alpha"; "beta"; "gamma"; "delta" ] r.Seglog.payloads;
+      Alcotest.(check int) "one segment after the merge" 1 r.Seglog.sealed;
+      Alcotest.(check (list string)) "recovery warns nothing" [] r.Seglog.warnings;
+      (* The journal keeps working: numbering stays dense after .1. *)
+      Seglog.append log "epsilon";
+      Seglog.close log;
+      let log, r = open_log path in
+      Seglog.close log;
+      Alcotest.(check (list string)) "appends continue after compaction"
+        [ "alpha"; "beta"; "gamma"; "delta"; "epsilon" ] r.Seglog.payloads)
+
+let test_seglog_compact_idempotent () =
+  with_seglog_temp (fun path ->
+      (* No journal at all, then a single-segment journal: both are
+         already compact. *)
+      Alcotest.(check bool) "nothing to compact" true (compact_log path = None);
+      let log, _ = open_log ~rotate_bytes:1 path in
+      List.iter (Seglog.append log) [ "a"; "b" ];
+      Seglog.close log;
+      (match compact_log path with
+      | Some c ->
+          Alcotest.(check int) "unique records all kept" 2 c.Seglog.records_kept;
+          Alcotest.(check int) "nothing dropped" 0 c.Seglog.duplicates_dropped
+      | None -> Alcotest.fail "two segments not compacted");
+      Alcotest.(check bool) "second run is a no-op" true
+        (compact_log path = None))
+
+let test_seglog_compact_heals_crash_window () =
+  with_seglog_temp (fun path ->
+      let log, _ = open_log ~rotate_bytes:1 path in
+      List.iter (Seglog.append log) [ "a"; "b"; "c" ];
+      Seglog.close log;
+      (match compact_log path with
+      | Some c -> Alcotest.(check int) "merged" 3 c.Seglog.segments_merged
+      | None -> Alcotest.fail "three segments not compacted");
+      (* Simulate dying between publish and the last unlink: a stale
+         segment whose records all live in the merged one. *)
+      Robust.Durable.write_atomic ~path:(path ^ ".2") (read_file (path ^ ".1"));
+      (match compact_log path with
+      | Some c ->
+          Alcotest.(check int) "re-merged" 2 c.Seglog.segments_merged;
+          Alcotest.(check int) "kept" 3 c.Seglog.records_kept;
+          Alcotest.(check int) "stale copies dropped" 3
+            c.Seglog.duplicates_dropped
+      | None -> Alcotest.fail "crash leftover not healed");
+      Alcotest.(check bool) "leftover unlinked" false
+        (Sys.file_exists (path ^ ".2"));
+      let log, r = open_log path in
+      Seglog.close log;
+      Alcotest.(check (list string)) "records intact" [ "a"; "b"; "c" ]
+        r.Seglog.payloads)
+
 (* handler *)
 
 let test_handler_ping_and_stats () =
@@ -455,6 +534,12 @@ let () =
           Alcotest.test_case "torn live tail truncated" `Quick
             test_seglog_truncates_torn_live_tail;
           Alcotest.test_case "validation" `Quick test_seglog_validation;
+          Alcotest.test_case "compact merges and dedups" `Quick
+            test_seglog_compact_merges_and_dedups;
+          Alcotest.test_case "compact is idempotent" `Quick
+            test_seglog_compact_idempotent;
+          Alcotest.test_case "compact heals the crash window" `Quick
+            test_seglog_compact_heals_crash_window;
         ] );
       ( "handler",
         [

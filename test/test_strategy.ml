@@ -80,6 +80,105 @@ let test_spellings () =
   | Ok _ -> Alcotest.fail "empty list accepted"
   | Error _ -> ()
 
+(* prediction-era spellings: optional arguments, embedded commas in
+   of_string_list, and out-of-range rejections *)
+
+let test_prediction_spellings () =
+  let ok spelled expect =
+    match Strategy.of_string spelled with
+    | Ok s when s = expect -> ()
+    | Ok s ->
+        Alcotest.failf "%S -> %s, expected %s" spelled (Spec.strategy_name s)
+          (Spec.strategy_name expect)
+    | Error e -> Alcotest.failf "%S rejected: %s" spelled e
+  in
+  ok "restart" Spec.Restart;
+  ok "predicted-young-daly" (Spec.Predicted_young_daly { p = 1.0; r = 1.0 });
+  ok "predicted-young-daly:0.8,0.9"
+    (Spec.Predicted_young_daly { p = 0.8; r = 0.9 });
+  ok "proactive-window" (Spec.Proactive_window { w = 60.0 });
+  ok "proactive-window:45" (Spec.Proactive_window { w = 45.0 });
+  let err spelled =
+    match Strategy.of_string spelled with
+    | Ok s -> Alcotest.failf "%S accepted as %s" spelled (Spec.strategy_name s)
+    | Error e -> e
+  in
+  ignore (err "restart:2");
+  ignore (err "predicted-young-daly:0.8");
+  ignore (err "predicted-young-daly:1.5,0.5");
+  ignore (err "predicted-young-daly:0.8,-0.1");
+  ignore (err "proactive-window:-3");
+  ignore (err "proactive-window:nope");
+  (* A strategy argument may itself contain a comma: the list splitter
+     only opens a new strategy at a registered keyword. *)
+  match
+    Strategy.of_string_list
+      "young-daly, predicted-young-daly:0.8,0.9, proactive-window:45, restart"
+  with
+  | Ok
+      [
+        Spec.Young_daly;
+        Spec.Predicted_young_daly { p = 0.8; r = 0.9 };
+        Spec.Proactive_window { w = 45.0 };
+        Spec.Restart;
+      ] ->
+      ()
+  | Ok l ->
+      Alcotest.failf "embedded comma mis-split: [%s]"
+        (String.concat "; " (List.map Spec.strategy_name l))
+  | Error e -> Alcotest.failf "embedded comma rejected: %s" e
+
+(* restart is the no-proactive baseline: exactly single-final under its
+   own report label *)
+
+let test_restart_matches_single_final () =
+  let params = Fault.Params.paper ~lambda:0.001 ~c:10.0 ~d:5.0 in
+  let dist = Fault.Trace.Exponential { rate = 0.001 } in
+  let cache = Strategy.Cache.create () in
+  Strategy.ensure cache ~params ~horizon:100.0 ~dist [ Spec.Restart ];
+  let policy =
+    Strategy.compile_exn cache ~params ~horizon:100.0 ~dist Spec.Restart
+  in
+  Alcotest.(check string) "report label" "Restart" policy.Sim.Policy.name;
+  Alcotest.(check int) "no table built" 0 (Strategy.Cache.builds cache);
+  let run policy trace =
+    Sim.Engine.run ~params ~horizon:100.0 ~policy trace
+  in
+  let reference = Core.Policies.single_final ~params in
+  List.iter
+    (fun iats ->
+      let a = run policy (Fault.Trace.of_iats iats) in
+      let b = run reference (Fault.Trace.of_iats iats) in
+      Alcotest.(check bool) "same work as single-final" true
+        (Float.equal a.Sim.Engine.work_saved b.Sim.Engine.work_saved);
+      Alcotest.(check bool) "same breakdown" true
+        (a.Sim.Engine.breakdown = b.Sim.Engine.breakdown))
+    [ [| 1.0e9 |]; [| 50.0; 1.0e9 |]; [| 30.0; 20.0; 1.0e9 |] ]
+
+(* fingerprints: predictor-less specs keep their exact pre-prediction
+   hex (journals resume); a predictor keys the journal *)
+
+let test_fingerprint_stability () =
+  let spec =
+    match Figures.find "fig2" with
+    | None -> Alcotest.fail "fig2 missing"
+    | Some spec -> spec
+  in
+  Alcotest.(check bool) "golden spec has no predictor" true
+    (spec.Spec.predictor = None);
+  Alcotest.(check string) "predictor-less fingerprint pinned"
+    "fa064b60fd48c8ec" (Spec.fingerprint spec);
+  let with_pred =
+    { spec with Spec.predictor = Some { Fault.Predictor.p = 0.8; r = 0.9; w = 30.0 } }
+  in
+  Alcotest.(check bool) "a predictor changes the fingerprint" true
+    (Spec.fingerprint with_pred <> Spec.fingerprint spec);
+  let other =
+    { spec with Spec.predictor = Some { Fault.Predictor.p = 0.8; r = 0.9; w = 31.0 } }
+  in
+  Alcotest.(check bool) "every field keys it" true
+    (Spec.fingerprint other <> Spec.fingerprint with_pred)
+
 (* display names: the registry, the report labels and the compiled
    policies must all agree, strategy by strategy *)
 
@@ -442,6 +541,12 @@ let () =
         [
           Alcotest.test_case "spelling round-trip" `Quick test_round_trip;
           Alcotest.test_case "spellings and errors" `Quick test_spellings;
+          Alcotest.test_case "prediction spellings" `Quick
+            test_prediction_spellings;
+          Alcotest.test_case "restart is single-final" `Quick
+            test_restart_matches_single_final;
+          Alcotest.test_case "fingerprint stability" `Quick
+            test_fingerprint_stability;
           Alcotest.test_case "names agree with labels" `Quick
             test_names_match_labels;
           Alcotest.test_case "listing covers registry" `Quick
