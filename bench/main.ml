@@ -29,8 +29,10 @@ type options = {
   eval_json : string option;
   dp_json : string option;
   baseline : string option;
+  dp_baseline : string option;
   serve_json : string option;
   serve_baseline : string option;
+  jobs : int;
 }
 
 let parse_args () =
@@ -42,8 +44,15 @@ let parse_args () =
   let eval_json = ref None in
   let dp_json = ref None in
   let baseline = ref None in
+  let dp_baseline = ref None in
   let serve_json = ref None in
   let serve_baseline = ref None in
+  let jobs =
+    ref
+      (match Sys.getenv_opt "FIXEDLEN_JOBS" with
+      | Some s -> ( match int_of_string_opt s with Some j when j >= 1 -> j | _ -> 1)
+      | None -> 1)
+  in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -74,6 +83,12 @@ let parse_args () =
     | "--baseline" :: path :: rest ->
         baseline := Some path;
         go rest
+    | "--dp-baseline" :: path :: rest ->
+        dp_baseline := Some path;
+        go rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
+        go rest
     | "--serve-json" :: path :: rest ->
         serve_json := Some path;
         go rest
@@ -84,9 +99,9 @@ let parse_args () =
         Printf.eprintf
           "unknown argument %s\n\
            usage: bench [--full] [--traces N] [--t-step X] [--figures ids] \
-           [--skip-figures] [--skip-micro] [--eval-json PATH] [--dp-json \
-           PATH] [--baseline PATH] [--serve-json PATH] [--serve-baseline \
-           PATH]\n"
+           [--skip-figures] [--skip-micro] [--jobs N] [--eval-json PATH] \
+           [--dp-json PATH] [--baseline PATH] [--dp-baseline PATH] \
+           [--serve-json PATH] [--serve-baseline PATH]\n"
           arg;
         exit 2
   in
@@ -100,8 +115,10 @@ let parse_args () =
     eval_json = !eval_json;
     dp_json = !dp_json;
     baseline = !baseline;
+    dp_baseline = !dp_baseline;
     serve_json = !serve_json;
     serve_baseline = !serve_baseline;
+    jobs = !jobs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -350,9 +367,9 @@ let run_eval_json path =
    committed bench/BENCH_dp.json trajectory tracks the DP core across
    PRs the same way BENCH_eval.json tracks the evaluation stack.       *)
 
-let run_dp_json path =
+let run_dp_json ~jobs path =
   let cs = [ 10.0; 20.0; 40.0; 80.0; 160.0 ] in
-  let horizon = 2000.0 in
+  let horizon = 2000.0 and quantum = 1.0 in
   Gc.compact ();
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
@@ -363,7 +380,7 @@ let run_dp_json path =
         let dp =
           Core.Dp.build
             ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
-            ~params ~quantum:1.0 ~horizon ()
+            ~jobs ~params ~quantum ~horizon ()
         in
         acc + (2 * Core.Dp.kmax dp * Core.Dp.horizon_quanta dp))
       0 cs
@@ -371,9 +388,18 @@ let run_dp_json path =
   let elapsed = Unix.gettimeofday () -. t0 in
   let g1 = Gc.quick_stat () in
   let oc = open_out path in
+  (* [jobs] and the grid shape are part of the entry so the trajectory
+     stays comparable: a jobs=4 measurement must only ever be gated
+     against earlier jobs=4 entries (see [check_dp_baseline]), and a
+     workload change shows up as a shape change instead of silently
+     re-scaling cells/s. *)
   Printf.fprintf oc
     "{\n\
     \  \"workload\": \"fig2 C sweep, T=2000, u=1, suggested_kmax\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"grid_platforms\": %d,\n\
+    \  \"grid_horizon\": %g,\n\
+    \  \"grid_quantum\": %g,\n\
     \  \"builds\": %d,\n\
     \  \"cells\": %d,\n\
     \  \"elapsed_sec\": %.3f,\n\
@@ -383,7 +409,7 @@ let run_dp_json path =
     \  \"major_words\": %.0f,\n\
     \  \"peak_rss_kb\": %d\n\
      }\n"
-    (List.length cs) cells elapsed
+    jobs (List.length cs) horizon quantum (List.length cs) cells elapsed
     (float_of_int cells /. elapsed)
     (g1.Gc.minor_words -. g0.Gc.minor_words)
     (g1.Gc.promoted_words -. g0.Gc.promoted_words)
@@ -391,10 +417,11 @@ let run_dp_json path =
     (peak_rss_kb ());
   close_out oc;
   Printf.printf
-    "dp benchmark: %d cells in %.2f s (%.0f cells/s); wrote %s\n" cells
-    elapsed
+    "dp benchmark: %d cells in %.2f s (%.0f cells/s, jobs=%d); wrote %s\n"
+    cells elapsed
     (float_of_int cells /. elapsed)
-    path
+    jobs path;
+  float_of_int cells /. elapsed
 
 (* ------------------------------------------------------------------ *)
 (* Serve handler latency benchmark (--serve-json)
@@ -549,6 +576,74 @@ let check_baseline ~path ~points_per_sec =
 let check_serve_baseline ~path ~warm_qps =
   check_floor ~path ~key:"warm_qps" ~unit:"warm queries/s" warm_qps
 
+(* The dp trajectory is only comparable at equal [jobs]: a jobs=1
+   cells/s figure says nothing about a jobs=4 build (and vice versa on
+   a box with a different core count). Entries written before the
+   field existed are single-threaded, so a missing "jobs" reads as 1.
+   Gate against the last same-jobs entry; finding none is a note, not
+   a failure — the first entry at a new width has no peer yet. *)
+let check_dp_baseline ~path ~jobs ~cells_per_sec =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let field chunk name =
+    let key = Printf.sprintf "%S:" name in
+    let klen = String.length key in
+    let clen = String.length chunk in
+    let rec find pos =
+      match String.index_from_opt chunk pos '"' with
+      | None -> None
+      | Some q ->
+          if q + klen <= clen && String.sub chunk q klen = key then
+            match
+              Scanf.sscanf_opt
+                (String.sub chunk (q + klen) (min 64 (clen - q - klen)))
+                " %f"
+                (fun v -> v)
+            with
+            | Some v -> Some v
+            | None -> find (q + 1)
+          else find (q + 1)
+    in
+    find 0
+  in
+  let baseline =
+    List.fold_left
+      (fun acc chunk ->
+        match field chunk "cells_per_sec" with
+        | None -> acc
+        | Some v ->
+            let entry_jobs =
+              match field chunk "jobs" with
+              | Some j -> int_of_float j
+              | None -> 1
+            in
+            if entry_jobs = jobs then Some v else acc)
+      None
+      (String.split_on_char '}' body)
+  in
+  match baseline with
+  | None ->
+      Printf.printf
+        "baseline check: %s holds no jobs=%d dp entry — nothing to gate \
+         against\n"
+        path jobs
+  | Some baseline ->
+      let floor = 0.7 *. baseline in
+      if cells_per_sec < floor then begin
+        Printf.eprintf
+          "PERF REGRESSION: %.1f cells/s (jobs=%d) is below 70%% of the \
+           committed baseline %.1f (floor %.1f)\n"
+          cells_per_sec jobs baseline floor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "baseline check: %.1f cells/s (jobs=%d) >= 70%% of committed %.1f — \
+           ok\n"
+          cells_per_sec jobs baseline
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels                             *)
 
@@ -697,7 +792,14 @@ let () =
     run_exact options
   end;
   if not options.skip_micro then run_micro ();
-  Option.iter run_dp_json options.dp_json;
+  (match options.dp_json with
+  | None -> ()
+  | Some path ->
+      let cells_per_sec = run_dp_json ~jobs:options.jobs path in
+      Option.iter
+        (fun baseline ->
+          check_dp_baseline ~path:baseline ~jobs:options.jobs ~cells_per_sec)
+        options.dp_baseline);
   (match options.serve_json with
   | None -> ()
   | Some path ->

@@ -44,6 +44,15 @@ let domains_t =
   let doc = "Worker domains for parallel sweeps (default: cores, max 8)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let jobs_t =
+  let doc =
+    "Worker domains used to build a single DP table (the k-dimension of \
+     the table is swept row-parallel). Tables are bit-identical for any \
+     value, so this is purely a machine knob. Default: \
+     $(b,FIXEDLEN_JOBS) from the environment, else 1."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
 (* figure / campaign *)
 
 let t_step_t =
@@ -390,7 +399,7 @@ let figure_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run id n_traces t_step t_max strategies platform_events spares loss_rate
-      predictor csv no_plot domains quiet journal resume retry chaos_rate
+      predictor csv no_plot domains jobs quiet journal resume retry chaos_rate
       chaos_hang chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout
       isolate =
     match Experiments.Figures.find id with
@@ -437,6 +446,7 @@ let figure_cmd =
         in
         let result =
           or_fail (fun () ->
+              let cache = Experiments.Strategy.Cache.create ?jobs () in
               Parallel.Pool.with_pool ?domains (fun pool ->
                   let backend =
                     if isolate then
@@ -450,7 +460,7 @@ let figure_cmd =
                   match journal with
                   | None ->
                       Experiments.Runner.run ~pool ~backend ~deadline ~progress
-                        ~retry ?chaos spec
+                        ~retry ?chaos ~cache spec
                   | Some (path, strict) ->
                       let j =
                         retry_write retry ~key:(Hashtbl.hash ("journal", path))
@@ -463,7 +473,7 @@ let figure_cmd =
                         ~finally:(fun () -> Robust.Journal.close j)
                         (fun () ->
                           Experiments.Runner.run ~pool ~backend ~deadline
-                            ~progress ~journal:j ~retry ?chaos spec)))
+                            ~progress ~journal:j ~retry ?chaos ~cache spec)))
         in
         report_result ?chaos_fs ~retry ~csv ~no_plot result;
         if result.Experiments.Runner.partial then begin
@@ -483,9 +493,10 @@ let figure_cmd =
     Term.(
       const run $ id_t $ n_traces_t $ t_step_t $ t_max_t $ strategies_opt_t
       $ platform_events_t $ spares_t $ loss_rate_t $ predictor_t
-      $ csv_t $ no_plot_t $ domains_t $ quiet_t $ journal_t $ resume_t
-      $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t $ chaos_fs_t
-      $ chaos_crash_at_t $ deadline_t $ task_timeout_t $ isolate_t)
+      $ csv_t $ no_plot_t $ domains_t $ jobs_t $ quiet_t $ journal_t
+      $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t
+      $ chaos_fs_t $ chaos_crash_at_t $ deadline_t $ task_timeout_t
+      $ isolate_t)
 
 let campaign_cmd =
   let out_t =
@@ -522,10 +533,22 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
+  let shards_t =
+    let doc =
+      "Split each figure's grid across $(docv) forked shard workers, \
+       each appending completed points to a private ledger \
+       ($(b,DIR/<figure>.shard<s>.journal)) that the leader merges into \
+       the shared journal. Requires $(b,--journal) or $(b,--resume). \
+       The final CSVs are byte-identical to an unsharded run's; if a \
+       worker dies, surviving ledgers are merged before the campaign \
+       fails, so $(b,--resume --shards N) finishes only the rest."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
   let run out n_traces t_step t_max report figures strategies platform_events
-      spares loss_rate predictor domains quiet journal resume retry chaos_rate
-      chaos_hang chaos_seed chaos_fs_rate chaos_crash_at deadline task_timeout
-      isolate =
+      spares loss_rate predictor domains jobs shards quiet journal resume
+      retry chaos_rate chaos_hang chaos_seed chaos_fs_rate chaos_crash_at
+      deadline task_timeout isolate =
     let isolate = supervision_of ~isolate ~task_timeout ~chaos_hang ~deadline in
     let chaos_fs = chaos_fs_of chaos_fs_rate chaos_crash_at chaos_seed in
     let journal =
@@ -551,13 +574,15 @@ let campaign_cmd =
         deadline;
         task_timeout;
         isolate;
+        shards;
       }
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
     let outcome =
       or_fail (fun () ->
+          let cache = Experiments.Strategy.Cache.create ?jobs () in
           Parallel.Pool.with_pool ?domains (fun pool ->
-              Experiments.Campaign.run ~pool ~progress config))
+              Experiments.Campaign.run ~pool ~cache ~progress config))
     in
     List.iter
       (fun (spec, result) ->
@@ -598,10 +623,10 @@ let campaign_cmd =
     Term.(
       const run $ out_t $ n_traces_t $ t_step_t $ t_max_t $ report_t
       $ figures_only_t $ strategies_opt_t $ platform_events_t $ spares_t
-      $ loss_rate_t $ predictor_t $ domains_t $ quiet_t $ journal_t
-      $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t $ chaos_seed_t
-      $ chaos_fs_t $ chaos_crash_at_t $ deadline_t $ task_timeout_t
-      $ isolate_t)
+      $ loss_rate_t $ predictor_t $ domains_t $ jobs_t $ shards_t $ quiet_t
+      $ journal_t $ resume_t $ retry_t $ chaos_rate_t $ chaos_hang_t
+      $ chaos_seed_t $ chaos_fs_t $ chaos_crash_at_t $ deadline_t
+      $ task_timeout_t $ isolate_t)
 
 (* exact *)
 
@@ -1019,8 +1044,11 @@ let dp_cmd =
     Arg.(value & opt (some int) None
          & info [ "kmax" ] ~docv:"K" ~doc:"Cap on the number of checkpoints.")
   in
-  let run params quantum t kmax =
-    let dp = Core.Dp.build ?kmax ~params ~quantum ~horizon:t () in
+  let run params quantum t kmax jobs =
+    let dp =
+      or_fail (fun () ->
+          Core.Dp.build ?kmax ?jobs ~params ~quantum ~horizon:t ())
+    in
     let n = Core.Dp.horizon_quanta dp in
     let k = Core.Dp.best_k dp ~n ~delta:false in
     Printf.printf "DP for %s, T=%g, u=%g (kmax=%d)\n"
@@ -1068,7 +1096,7 @@ let dp_cmd =
   Cmd.v
     (Cmd.info "dp"
        ~doc:"Build the dynamic program and inspect the optimal strategy.")
-    Term.(const run $ params_t $ quantum_t $ t_t $ kmax_t)
+    Term.(const run $ params_t $ quantum_t $ t_t $ kmax_t $ jobs_t)
 
 (* simulate *)
 
@@ -1505,7 +1533,7 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"B" ~doc)
   in
   let run socket workers queue budget slow journal journal_rotate
-      journal_compact cache_tables cache_bytes chaos_rate chaos_seed
+      journal_compact cache_tables cache_bytes jobs chaos_rate chaos_seed
       chaos_fs_rate chaos_crash_at quiet =
     if workers < 1 then begin
       Printf.eprintf "fixedlen: --workers must be >= 1\n";
@@ -1536,6 +1564,7 @@ let serve_cmd =
         chaos_fs;
         max_tables = cache_tables;
         max_bytes = cache_bytes;
+        jobs;
         quiet;
       }
     in
@@ -1550,7 +1579,7 @@ let serve_cmd =
     Term.(
       const run $ socket_t $ workers_t $ queue_t $ budget_t $ slow_t
       $ journal_t $ journal_rotate_t $ journal_compact_t $ cache_tables_t
-      $ cache_bytes_t $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t
+      $ cache_bytes_t $ jobs_t $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t
       $ chaos_crash_at_t $ quiet_t)
 
 let query_cmd =

@@ -18,6 +18,7 @@ type t
 
 val build :
   ?kmax:int ->
+  ?jobs:int ->
   params:Fault.Params.t ->
   quantum:float ->
   horizon:float ->
@@ -27,8 +28,34 @@ val build :
     (they are exact multiples in all the paper's scenarios). [kmax]
     defaults to the exact bound floor(Tq/Cq); a smaller cap speeds up
     the build and is safe as long as it exceeds the optimal checkpoint
-    count (see {!suggested_kmax}). Raises [Invalid_argument] on a
-    non-positive quantum or horizon. *)
+    count (see {!suggested_kmax}).
+
+    [jobs] (default 1) splits the k-dimension of the sweep across that
+    many domains; the n recurrence stays serial. The result is
+    bit-identical to the serial build — every state's additions run in
+    the same order on the same operands, and the [max_{m<=k}] fold
+    keeps the serial strict-greater tie-breaking — so callers may pick
+    [jobs] from the machine, not from the experiment. Speed-up requires
+    that many free cores; oversubscribed runs degrade gracefully (the
+    column barriers block instead of spinning). Raises
+    [Invalid_argument] on a non-positive quantum or horizon, or
+    [jobs < 1]. *)
+
+val prefix_view : ?kmax:int -> t -> horizon:float -> t
+(** [prefix_view t ~horizon] is the table for a shorter horizon,
+    sharing [t]'s buffers: a DP cell (n, k) never depends on the
+    horizon or on rows above k, so the top-left prefix of a horizon-T
+    table {e is} the horizon-T' table for any T' <= T (same params and
+    quantum, [kmax] capped at the parent's). Cell-identical to a fresh
+    build at [horizon] with the same effective [kmax] — the property
+    suite checks this. O(kmax × T'/u) time for the recomputed
+    [best_k] row and one small array; {!bytes} of the view charges
+    only that row, never the shared buffers. Raises [Invalid_argument]
+    when [horizon] exceeds the parent's or is below one quantum. *)
+
+val is_view : t -> bool
+(** Whether this table borrows another build's buffers
+    (see {!prefix_view}). *)
 
 val suggested_kmax : params:Fault.Params.t -> horizon:float -> int
 (** A generous cap on the useful number of checkpoints: roughly four
@@ -44,7 +71,9 @@ val kmax : t -> int
 val bytes : t -> int
 (** Exact resident footprint of the tables in bytes (the {!Tables}
     buffers plus the flat argmax row) — what a memory-bounded cache
-    charges for holding this build. *)
+    charges for holding this build. A {!prefix_view} charges only its
+    private argmax row: the shared buffers are the parent's, and
+    counting them twice would double-charge the cache's byte bound. *)
 
 val expected_work_q : t -> n:int -> k:int -> delta:bool -> float
 (** [E(n, k, δ)] in time units (quanta × u). *)

@@ -40,25 +40,43 @@ module F : sig
   val rows : t -> int
   val cols : t -> int
 
+  val view : t -> rows:int -> cols:int -> t
+  (** [view t ~rows ~cols] is a zero-copy prefix of [t]: the top-left
+      [rows × cols] sub-matrix, sharing [t]'s buffer. Cell [(r, c)] of
+      the view is cell [(r, c)] of the parent — this is what lets a
+      horizon-T DP table answer any horizon T' ≤ T lookup. Views of
+      views compose. Raises [Invalid_argument] when the requested shape
+      exceeds the parent's. *)
+
+  val is_view : t -> bool
+
   val get : t -> int -> int -> float
   (** [get t r c]; bounds-checked. *)
 
   val set : t -> int -> int -> float -> unit
 
   val data : t -> farr
-  (** The flat buffer; element [(r, c)] lives at [row t r + c]. *)
+  (** The flat buffer; element [(r, c)] lives at [row t r + c]. For a
+      view this is the {e parent's} buffer. *)
 
   val row : t -> int -> int
-  (** Offset of row [r] in {!data}. Raises [Invalid_argument] when [r]
-      is outside [0, rows). *)
+  (** Offset of row [r] in {!data} ([r * stride], where the stride is
+      the owning table's column count). Raises [Invalid_argument] when
+      [r] is outside [0, rows). *)
+
+  val stride : t -> int
+  (** Row pitch of {!data}; equals [cols] for an owning table and the
+      parent's stride for a view. *)
 
   val words : t -> int
-  (** Heap footprint in 8-byte words (for bench accounting). *)
+  (** Heap footprint in 8-byte words (for bench accounting). 0 for a
+      view — the parent owns the buffer. *)
 
   val bytes : t -> int
   (** Exact buffer footprint in bytes: [8 * rows * cols]. The unit the
       cache memory bound is expressed in — no guessing from [words]
-      rounding. *)
+      rounding. A view reports 0: its buffer belongs to the parent
+      table, and charging it again would double-count the bytes. *)
 end
 
 module I : sig
@@ -72,6 +90,12 @@ module I : sig
 
   val rows : t -> int
   val cols : t -> int
+
+  val view : t -> rows:int -> cols:int -> t
+  (** Zero-copy top-left prefix sharing the parent's buffer, as
+      {!F.view}. *)
+
+  val is_view : t -> bool
   val get : t -> int -> int -> int
   val set : t -> int -> int -> int -> unit
 
@@ -83,7 +107,8 @@ module I : sig
 
   val bytes : t -> int
   (** Exact buffer footprint in bytes:
-      [rows * cols * bytes_per_cell]. *)
+      [rows * cols * bytes_per_cell]. 0 for a view (the parent owns the
+      buffer; see {!F.bytes}). *)
 
   val words : t -> int
 end

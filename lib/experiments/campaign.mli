@@ -53,6 +53,20 @@ type config = {
   isolate : bool;
       (** run grid points in supervised forked workers
           ({!Parallel.Proc_pool}) instead of domains *)
+  shards : int option;
+      (** split each figure's grid across this many forked shard workers
+          ([--shards N]); requires a journal. Task keys are partitioned
+          by residue class, each worker appends its completed points to
+          a private ledger [<dir>/<figure>.shard<s>.journal] (chaos-fs
+          point [shard<s>]), and the leader merges the ledgers into the
+          shared journal — before dispatch (recovering a crashed run's
+          progress) and after — then assembles the curves from it. The
+          resulting CSV is byte-identical to an unsharded run's. When a
+          worker dies (e.g. SIGKILL) the campaign fails {e after}
+          merging every surviving ledger, so [--resume --shards N]
+          finishes only the remaining points. [isolate]/[task_timeout]
+          apply to the leader's assembly pass only; shard workers sweep
+          on their own domain pools. *)
 }
 
 val default_config : config

@@ -59,6 +59,8 @@ val run :
   ?deadline:Robust.Deadline.t ->
   ?progress:(string -> unit) ->
   ?journal:Robust.Journal.t ->
+  ?ledger:Robust.Journal.t ->
+  ?shard:int * int ->
   ?retry:Robust.Retry.t ->
   ?chaos:Robust.Chaos.t ->
   ?cache:Strategy.Cache.t ->
@@ -82,6 +84,21 @@ val run :
       On the [Processes] backend the append happens in the supervising
       parent as results settle (a forked child's writes would be lost
       with its copy-on-write heap).
+    - [shard]: [(index, count)] restricts the sweep to the task keys in
+      residue class [index mod count]. Task keys are stable across runs,
+      so [count] workers given shards [0 .. count - 1] partition the
+      grid exactly. Points outside the shard are neither computed nor
+      failed — they surface as [missed] (the worker's [result] is
+      bookkeeping only; curve assembly happens in the leader from the
+      merged journal). Raises [Invalid_argument] unless
+      [0 <= index < count].
+    - [ledger]: where newly computed points are appended when it differs
+      from the read-side [journal]. A sharded worker reads completed
+      points from the shared (merged) journal but writes to a private
+      per-shard ledger — concurrent appends from several processes to
+      one journal file would interleave frames. The ledger is also
+      consulted for cached points, so a re-dispatched worker skips what
+      its previous incarnation committed.
     - [retry]: per-task bounded retries with deterministic jittered
       backoff for transient failures ([Robust.Retry.no_retry] by
       default). Because each task is a pure function of the spec, a

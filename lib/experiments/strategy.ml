@@ -41,13 +41,24 @@ module Cache = struct
     | T_optimal opt -> Core.Optimal.bytes opt
     | T_renewal dp -> Core.Dp_renewal.bytes dp
 
-  type slot = { table : table; size : int; mutable stamp : int }
+  (* Each slot keeps its structured identity next to the table: the
+     horizon range query below cannot recover (params, horizon, kind)
+     from the rendered string key. *)
+  type slot = {
+    table : table;
+    size : int;
+    s_params : Fault.Params.t;
+    s_horizon : float;
+    s_kind : kind;
+    mutable stamp : int;
+  }
 
   type t = {
     store : (string, slot) Hashtbl.t;
     lock : Mutex.t;
     max_tables : int option;
     max_bytes : int option;
+    jobs : int;
     mutable tick : int;
     mutable builds : int;
     mutable hits : int;
@@ -55,7 +66,19 @@ module Cache = struct
     mutable resident : int;
   }
 
-  let create ?max_tables ?max_bytes () =
+  (* Build parallelism comes from the machine, not the experiment spec
+     (the tables are bit-identical at any job count), so the default is
+     an environment knob: FIXEDLEN_JOBS. Unparsable or non-positive
+     values fall back to serial rather than failing a run. *)
+  let default_jobs () =
+    match Sys.getenv_opt "FIXEDLEN_JOBS" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some j when j >= 1 -> j
+        | _ -> 1)
+
+  let create ?max_tables ?max_bytes ?jobs () =
     let check name = function
       | Some v when v < 1 ->
           invalid_arg (Printf.sprintf "Strategy.Cache.create: %s < 1" name)
@@ -63,11 +86,13 @@ module Cache = struct
     in
     check "max_tables" max_tables;
     check "max_bytes" max_bytes;
+    check "jobs" jobs;
     {
       store = Hashtbl.create 16;
       lock = Mutex.create ();
       max_tables;
       max_bytes;
+      jobs = (match jobs with Some j -> j | None -> default_jobs ());
       tick = 0;
       builds = 0;
       hits = 0;
@@ -79,6 +104,7 @@ module Cache = struct
     Mutex.lock t.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+  let jobs t = t.jobs
   let builds t = locked t (fun () -> t.builds)
   let hits t = locked t (fun () -> t.hits)
   let evictions t = locked t (fun () -> t.evictions)
@@ -132,42 +158,19 @@ module Cache = struct
       params.Fault.Params.lambda params.Fault.Params.c params.Fault.Params.r
       params.Fault.Params.d horizon (kind_key kind)
 
-  (* Lookups touch the LRU stamp: a table an [ensure] or a [compile]
-     just used is the one a bounded cache should keep. *)
-  let mem t ~params ~horizon kind =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.store (key ~params ~horizon kind) with
-        | Some slot ->
-            touch t slot;
-            true
-        | None -> false)
-
-  let find t ~params ~horizon kind =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.store (key ~params ~horizon kind) with
-        | Some slot ->
-            touch t slot;
-            Some slot.table
-        | None -> None)
-
-  (* The build calls replicate what the pre-registry runner did per
-     C block, so the tables — and therefore the figures — are
-     bit-identical. In particular the DP keeps its suggested_kmax cap. *)
-  let build ~params ~horizon kind =
-    match kind with
-    | Threshold_numerical ->
-        T_threshold (Core.Threshold.table_numerical ~params ~up_to:horizon)
-    | Threshold_first_order ->
-        T_threshold (Core.Threshold.table_first_order ~params ~up_to:horizon)
-    | Dp { quantum } ->
-        T_dp
-          (Core.Dp.build
-             ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
-             ~params ~quantum ~horizon ())
-    | Optimal { quantum } ->
-        T_optimal (Core.Optimal.build ~params ~quantum ~horizon ())
-    | Renewal { quantum; dist } ->
-        T_renewal (Core.Dp_renewal.build ~params ~dist ~quantum ~horizon ())
+  let new_slot t ~params ~horizon kind table =
+    let slot =
+      {
+        table;
+        size = table_bytes table;
+        s_params = params;
+        s_horizon = horizon;
+        s_kind = kind;
+        stamp = 0;
+      }
+    in
+    touch t slot;
+    slot
 
   let over_bound t =
     (match t.max_tables with
@@ -192,6 +195,91 @@ module Cache = struct
         t.resident <- t.resident - slot.size;
         t.evictions <- t.evictions + 1
 
+  (* Horizon range query, DP tables only (lock held): a DP cell never
+     depends on the horizon, so a resident build for the same platform
+     and quantum at a longer horizon answers this lookup through a
+     zero-copy prefix (Dp.prefix_view). The view is materialised once,
+     cached under the exact key it answers — later lookups are plain
+     exact hits — and it never counts as a build: its slot charges only
+     the private argmax row (the shared buffers stay the parent's; see
+     the view accounting test). The smallest covering horizon wins, so
+     the recomputed best-k row is as short as possible. A view can
+     itself cover an even shorter horizon later: prefix views compose.
+     Eviction may drop the parent before the view — the view keeps the
+     shared buffers alive through the GC, it only loses them their
+     byte charge. *)
+  let materialize_view t ~params ~horizon kind =
+    match kind with
+    | Dp _ ->
+        let parent =
+          Hashtbl.fold
+            (fun _ slot acc ->
+              if
+                slot.s_kind = kind && slot.s_params = params
+                && slot.s_horizon > horizon
+              then
+                match acc with
+                | Some best when best.s_horizon <= slot.s_horizon -> acc
+                | _ -> Some slot
+              else acc)
+            t.store None
+        in
+        (match parent with
+        | Some ({ table = T_dp dp; _ } as pslot) ->
+            touch t pslot;
+            let view =
+              Core.Dp.prefix_view
+                ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
+                dp ~horizon
+            in
+            let slot = new_slot t ~params ~horizon kind (T_dp view) in
+            Hashtbl.replace t.store (key ~params ~horizon kind) slot;
+            t.resident <- t.resident + slot.size;
+            while over_bound t && Hashtbl.length t.store > 1 do
+              evict_oldest t
+            done;
+            Some slot
+        | _ -> None)
+    | _ -> None
+
+  (* Lookups touch the LRU stamp: a table an [ensure] or a [compile]
+     just used is the one a bounded cache should keep. An exact miss
+     falls through to the horizon range query, so [mem] and [find]
+     agree on what is answerable without a build. *)
+  let lookup t ~params ~horizon kind =
+    match Hashtbl.find_opt t.store (key ~params ~horizon kind) with
+    | Some slot ->
+        touch t slot;
+        Some slot
+    | None -> materialize_view t ~params ~horizon kind
+
+  let mem t ~params ~horizon kind =
+    locked t (fun () -> lookup t ~params ~horizon kind <> None)
+
+  let find t ~params ~horizon kind =
+    locked t (fun () ->
+        Option.map (fun slot -> slot.table) (lookup t ~params ~horizon kind))
+
+  (* The build calls replicate what the pre-registry runner did per
+     C block, so the tables — and therefore the figures — are
+     bit-identical. In particular the DP keeps its suggested_kmax cap,
+     and [t.jobs] only reshapes the build schedule, never the cells. *)
+  let build t ~params ~horizon kind =
+    match kind with
+    | Threshold_numerical ->
+        T_threshold (Core.Threshold.table_numerical ~params ~up_to:horizon)
+    | Threshold_first_order ->
+        T_threshold (Core.Threshold.table_first_order ~params ~up_to:horizon)
+    | Dp { quantum } ->
+        T_dp
+          (Core.Dp.build
+             ~kmax:(Core.Dp.suggested_kmax ~params ~horizon)
+             ~jobs:t.jobs ~params ~quantum ~horizon ())
+    | Optimal { quantum } ->
+        T_optimal (Core.Optimal.build ~params ~quantum ~horizon ())
+    | Renewal { quantum; dist } ->
+        T_renewal (Core.Dp_renewal.build ~params ~dist ~quantum ~horizon ())
+
   let insert t ~params ~horizon kind table =
     locked t (fun () ->
         let k = key ~params ~horizon kind in
@@ -200,8 +288,7 @@ module Cache = struct
         (match Hashtbl.find_opt t.store k with
         | Some old -> t.resident <- t.resident - old.size
         | None -> ());
-        let slot = { table; size = table_bytes table; stamp = 0 } in
-        touch t slot;
+        let slot = new_slot t ~params ~horizon kind table in
         Hashtbl.replace t.store k slot;
         t.builds <- t.builds + 1;
         t.resident <- t.resident + slot.size;
@@ -619,7 +706,7 @@ let ensure_one cache ~params ~horizon ~dist strategy =
       if Cache.mem cache ~params ~horizon kind then Cache.record_hits cache 1
       else
         Cache.insert cache ~params ~horizon kind
-          (Cache.build ~params ~horizon kind))
+          (Cache.build cache ~params ~horizon kind))
     ((base_entry_of strategy).requires ~dist strategy)
 
 (* Wrap a compiled base policy so every platform change recompiles it
@@ -777,8 +864,9 @@ let ensure ?pool cache ~params ~horizon ~dist strategies =
         match pool with
         | Some pool ->
             Parallel.Pool.map pool kinds ~f:(fun kind ->
-                Cache.build ~params ~horizon kind)
-        | None -> Array.map (fun kind -> Cache.build ~params ~horizon kind) kinds
+                Cache.build cache ~params ~horizon kind)
+        | None ->
+            Array.map (fun kind -> Cache.build cache ~params ~horizon kind) kinds
       in
       (* Inserts stay in the caller: workers only ever read the cache. *)
       Array.iteri
@@ -813,7 +901,7 @@ let warm_up ?pool cache points =
         (List.concat_map (fun s -> requires ~dist:wp.wp_dist s) wp.wp_strategies))
     points;
   let jobs = Array.of_list (List.rev !jobs) in
-  let build (params, horizon, kind) = Cache.build ~params ~horizon kind in
+  let build (params, horizon, kind) = Cache.build cache ~params ~horizon kind in
   let tables =
     match pool with
     | Some pool -> Parallel.Pool.map pool jobs ~f:build

@@ -30,7 +30,16 @@ module Cache : sig
       lookups and inserts refresh recency — and counted in
       {!evictions}. The entry being inserted is never the victim, so a
       lone table larger than the byte bound stays resident and
-      answerable. *)
+      answerable.
+
+      DP lookups are range queries over the key's horizon component: a
+      resident build for the same platform and quantum at horizon T
+      answers any lookup at T' <= T through a zero-copy prefix view
+      ({!Core.Dp.prefix_view}), materialised once and cached under the
+      exact key it answers. A view counts as a {e hit}, never a build,
+      and its slot charges only the recomputed best-k row — the shared
+      table buffers stay charged to the parent build, so a horizon
+      sweep costs one table's bytes, not the grid's. *)
 
   type kind =
     | Threshold_numerical
@@ -44,14 +53,22 @@ module Cache : sig
 
   val pp_kind : Format.formatter -> kind -> unit
 
-  val create : ?max_tables:int -> ?max_bytes:int -> unit -> t
+  val create : ?max_tables:int -> ?max_bytes:int -> ?jobs:int -> unit -> t
   (** Unbounded unless a bound is given. [max_tables] caps the resident
       table count, [max_bytes] the summed {!Core.Dp.bytes}-style buffer
-      footprint; either alone or both together. Raises
-      [Invalid_argument] on a bound [< 1]. *)
+      footprint; either alone or both together. [jobs] is the domain
+      count DP table builds run with ({!Core.Dp.build}'s [?jobs] —
+      bit-identical tables at any value, so it is a machine knob, not
+      part of the cache key); default [FIXEDLEN_JOBS] from the
+      environment, else 1. Raises [Invalid_argument] on a bound or job
+      count [< 1]. *)
+
+  val jobs : t -> int
+  (** The domain count DP builds run with. *)
 
   val builds : t -> int
-  (** Number of tables built so far (cache misses). *)
+  (** Number of tables built so far (cache misses). A prefix view
+      materialised by the horizon range query is not a build. *)
 
   val hits : t -> int
   (** Number of {!ensure} requests answered from the cache. *)

@@ -1,0 +1,61 @@
+(* Sense-reversing barrier. The last arriver flips [sense]; everyone
+   else waits for the flip. Waiting spins briefly (the parties are
+   expected to arrive within a few microseconds of each other when one
+   core per domain is available) and then falls back to a
+   mutex/condition sleep, so oversubscribed runs — more domains than
+   cores — degrade to scheduler blocking instead of burning the one
+   core the peers need to make progress. *)
+
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  {
+    parties;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let parties t = t.parties
+
+(* Bounded spin before blocking: long enough to cover the common
+   all-cores-available rendezvous, short enough that an oversubscribed
+   run yields within ~a scheduling quantum. *)
+let spin_budget = 2000
+
+let await t =
+  if t.parties > 1 then begin
+    let my_sense = not (Atomic.get t.sense) in
+    let arrived = 1 + Atomic.fetch_and_add t.count 1 in
+    if arrived = t.parties then begin
+      Atomic.set t.count 0;
+      (* Flip under the lock so a waiter that checked the sense and is
+         about to sleep cannot miss the broadcast. *)
+      Mutex.lock t.lock;
+      Atomic.set t.sense my_sense;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get t.sense <> my_sense && !spins < spin_budget do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get t.sense <> my_sense then begin
+        Mutex.lock t.lock;
+        while Atomic.get t.sense <> my_sense do
+          Condition.wait t.cond t.lock
+        done;
+        Mutex.unlock t.lock
+      end
+    end
+  end

@@ -1,0 +1,29 @@
+(** Reusable sense-reversing barrier for fixed teams of domains.
+
+    The parallel DP build synchronises its worker team twice per table
+    column (compute cells, then reduce the column maxima), so the
+    barrier is the innermost synchronisation primitive of the whole
+    build. Arrival spins briefly on an atomic sense flag — the fast
+    path when each domain has a core — and then parks on a
+    mutex/condition variable, so runs with more domains than cores
+    degrade to scheduler blocking instead of spinning the shared core
+    away from the peers they are waiting for.
+
+    All plain (non-atomic) writes made by a party before {!await}
+    happen-before the return of every other party's same-phase
+    {!await}: the arrival counter and sense flag are [Atomic.t], and
+    every party reads the flag the last arriver wrote. *)
+
+type t
+
+val create : int -> t
+(** [create parties] builds a barrier for a team of [parties] domains.
+    Raises [Invalid_argument] when [parties < 1]. *)
+
+val parties : t -> int
+
+val await : t -> unit
+(** Blocks until all [parties] domains have called {!await} for the
+    current phase, then releases them together. Reusable: the next
+    [parties] calls form the next phase. With [parties = 1] this is a
+    no-op. *)

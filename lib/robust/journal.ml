@@ -21,7 +21,6 @@ type t = {
   mutable closed : bool;
 }
 
-let point = "journal"
 let header_of key = Printf.sprintf "# fixedlen-journal v2 %s" key
 
 let no_whitespace what s =
@@ -73,8 +72,10 @@ let foreign_header h =
   | [ "#"; "fixedlen-journal"; "v2"; key ] -> key <> ""
   | _ -> false
 
-let open_ ?chaos ?fs ?(durable = true) ?(strict = false) ~path ~key () =
+let open_ ?chaos ?fs ?(durable = true) ?(strict = false) ?(point = "journal")
+    ~path ~key () =
   no_whitespace "key" key;
+  no_whitespace "point" point;
   let notes = ref [] in
   let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
   let wrap_open f =

@@ -56,6 +56,7 @@ val open_ :
   ?fs:Chaos_fs.t ->
   ?durable:bool ->
   ?strict:bool ->
+  ?point:string ->
   path:string ->
   key:string ->
   unit ->
@@ -64,9 +65,13 @@ val open_ :
     producer [key]. [chaos], if given, injects synthetic failures into
     subsequent {!append} calls; [fs] injects filesystem faults (short
     writes, [EIO]/[ENOSPC], crash points) into the write path itself.
-    Raises [Failure] in [strict] mode on a key mismatch, [Failure] with
-    a [cannot open journal] message on an unwritable path, and
-    [Invalid_argument] on a key containing whitespace. *)
+    [point] (default ["journal"]) names this journal's write site for
+    [fs] fault selection — a sharded campaign opens each shard's ledger
+    under its own point (["shard0"], ["shard1"], …) so a crash spec like
+    [--chaos-crash-at shard0:2] kills exactly one worker. Raises
+    [Failure] in [strict] mode on a key mismatch, [Failure] with a
+    [cannot open journal] message on an unwritable path, and
+    [Invalid_argument] on a key or point containing whitespace. *)
 
 val warnings : t -> string list
 (** Human-readable notes from recovery at open time (quarantined

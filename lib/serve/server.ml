@@ -11,6 +11,7 @@ type config = {
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;
   max_bytes : int option;
+  jobs : int option;
   quiet : bool;
 }
 
@@ -151,7 +152,7 @@ let run cfg =
   match
     let cache =
       Experiments.Strategy.Cache.create ?max_tables:cfg.max_tables
-        ?max_bytes:cfg.max_bytes ()
+        ?max_bytes:cfg.max_bytes ?jobs:cfg.jobs ()
     in
     let handler =
       Handler.create

@@ -52,6 +52,9 @@ type config = {
   chaos_fs : Robust.Chaos_fs.t option;
   max_tables : int option;  (** cache LRU bound, tables *)
   max_bytes : int option;  (** cache LRU bound, summed table bytes *)
+  jobs : int option;
+      (** domains per DP table build ({!Experiments.Strategy.Cache}'s
+          [jobs]); [None] defers to [FIXEDLEN_JOBS], else 1 *)
   quiet : bool;  (** suppress the listening/drained lines *)
 }
 

@@ -45,6 +45,49 @@ every point from disk.
   [1]
   $ cmp base/fig3.csv out2/fig3.csv
 
+Sharded kill drill: the same campaign split across two forked shard
+workers, each appending to a private ledger under its own write point
+(shard0, shard1). --chaos-crash-at shard0:2 SIGKILLs worker 0 alone,
+during its 3rd ledger append; worker 1 finishes its half untouched.
+The leader survives, merges every ledger — the dead worker's completed
+points included — and only then fails, asking for a resume.
+
+  $ ../../bin/main.exe campaign --figures fig3 --traces 30 --t-step 300 \
+  >   --t-max 900 --journal js --shards 2 --out outs --quiet \
+  >   --chaos-crash-at shard0:2 > /dev/null 2> shard.log
+  [1]
+  $ grep -o "1 of 2 shard worker(s) failed" shard.log
+  1 of 2 shard worker(s) failed
+
+After the merge no ledger files remain — the crash-surviving points all
+live in the shared journal (shard 1's 8 plus the 2 shard 0 fsync'd
+before dying, under the 16-point drill grid's half/half split).
+
+  $ ls js
+  fig3.journal
+
+Resume with the same sharding recomputes only the missing points, and
+the assembled CSV is byte-identical to the uninterrupted unsharded
+baseline: every point is computed by exactly one worker from the same
+per-(c, strategy) seeds, and journaled floats round-trip via %.17g.
+
+  $ ../../bin/main.exe campaign --figures fig3 --traces 30 --t-step 300 \
+  >   --t-max 900 --resume js --shards 2 --out outs --quiet > /dev/null
+  $ cmp base/fig3.csv outs/fig3.csv
+
+A healthy sharded run needs no resume and is byte-identical too:
+
+  $ ../../bin/main.exe campaign --figures fig3 --traces 30 --t-step 300 \
+  >   --t-max 900 --journal jh --shards 2 --out outh --quiet > /dev/null
+  $ cmp base/fig3.csv outh/fig3.csv
+
+Sharding without a journal is refused — the ledgers and their merge are
+the mechanism, not an optimisation:
+
+  $ ../../bin/main.exe campaign --figures fig3 --shards 2 --quiet
+  fixedlen: Campaign: sharding requires --journal or --resume
+  [1]
+
 Malformed crash-point specs are usage errors:
 
   $ ../../bin/main.exe campaign --figures fig3 --chaos-crash-at bogus --quiet

@@ -380,10 +380,9 @@ let lru_ensure cache lambda =
   Strategy.ensure cache ~params:(lru_params lambda) ~horizon:50.0
     ~dist:lru_dist lru_specs
 
-let dp_of cache lambda =
+let dp_of ?(horizon = 50.0) cache lambda =
   match
-    Strategy.dp_table cache ~params:(lru_params lambda) ~horizon:50.0
-      ~quantum:1.0
+    Strategy.dp_table cache ~params:(lru_params lambda) ~horizon ~quantum:1.0
   with
   | Ok dp -> dp
   | Error e -> Alcotest.fail (Strategy.error_message e)
@@ -469,6 +468,103 @@ let test_lru_rebuild_bit_identical () =
       then Alcotest.failf "rebuilt table differs at n=%d k=%d" n k
     done
   done
+
+(* Exact cell comparison of two DP tables through the public
+   accessors; shared by the rebuild, prefix-view and jobs tests. *)
+let check_same_dp ~what want got =
+  Alcotest.(check int) (what ^ ": same kmax") (Core.Dp.kmax want)
+    (Core.Dp.kmax got);
+  Alcotest.(check int)
+    (what ^ ": same horizon")
+    (Core.Dp.horizon_quanta want)
+    (Core.Dp.horizon_quanta got);
+  for n = 0 to Core.Dp.horizon_quanta want do
+    if Core.Dp.best_k want ~n ~delta:false <> Core.Dp.best_k got ~n ~delta:false
+    then Alcotest.failf "%s: best_k differs at n=%d" what n;
+    for k = 1 to Core.Dp.kmax want do
+      if
+        Core.Dp.first_checkpoint_q want ~n ~k ~delta:false
+        <> Core.Dp.first_checkpoint_q got ~n ~k ~delta:false
+        || Core.Dp.expected_work_q want ~n ~k ~delta:false
+           <> Core.Dp.expected_work_q got ~n ~k ~delta:false
+        || Core.Dp.expected_work_q want ~n ~k ~delta:true
+           <> Core.Dp.expected_work_q got ~n ~k ~delta:true
+      then Alcotest.failf "%s: table differs at n=%d k=%d" what n k
+    done
+  done
+
+(* The incremental-reuse contract at the cache level: a sweep over
+   horizons builds one table per distinct params. The largest horizon
+   builds; every shorter one is answered by a zero-copy prefix view
+   that counts as a hit, never a build, and charges only its
+   recomputed best-k row (exact byte arithmetic below). *)
+let test_horizon_sweep_builds_once () =
+  let params = lru_params 0.01 in
+  let cache = Strategy.Cache.create () in
+  let ensure horizon =
+    Strategy.ensure cache ~params ~horizon ~dist:lru_dist lru_specs
+  in
+  (* Campaign order: the block's maximal horizon first (warm-up and the
+     per-block ensure both use it), then the sweep's shorter points. *)
+  ensure 200.0;
+  let parent_bytes = Strategy.Cache.resident_bytes cache in
+  List.iter ensure [ 150.0; 100.0; 50.0 ];
+  Alcotest.(check int) "builds = #distinct params" 1
+    (Strategy.Cache.builds cache);
+  Alcotest.(check int) "every shorter horizon hits" 3
+    (Strategy.Cache.hits cache);
+  Alcotest.(check int) "views cached under their exact keys" 4
+    (Strategy.Cache.resident_tables cache);
+  (* A view's slot charges exactly its best-k row: 8 bytes per column,
+     T/u + 1 columns — the shared buffers stay charged to the parent. *)
+  Alcotest.(check int) "views charge only their best-k rows"
+    (parent_bytes + (8 * (151 + 101 + 51)))
+    (Strategy.Cache.resident_bytes cache);
+  let view = dp_of cache 0.01 ~horizon:100.0 in
+  Alcotest.(check bool) "the short-horizon table is a view" true
+    (Core.Dp.is_view view);
+  (* Cell-identical to a cold build at the short horizon. *)
+  let fresh_cache = Strategy.Cache.create () in
+  Strategy.ensure fresh_cache ~params ~horizon:100.0 ~dist:lru_dist lru_specs;
+  let fresh = dp_of fresh_cache 0.01 ~horizon:100.0 in
+  Alcotest.(check bool) "the cold build owns its buffers" false
+    (Core.Dp.is_view fresh);
+  check_same_dp ~what:"view vs cold build" fresh view;
+  (* Materialisation is one-shot: looking the view up again is an exact
+     hit, no new slot, no new bytes. *)
+  let before = Strategy.Cache.resident_bytes cache in
+  let (_ : Core.Dp.t) = dp_of cache 0.01 ~horizon:100.0 in
+  Alcotest.(check int) "second lookup is an exact hit" before
+    (Strategy.Cache.resident_bytes cache);
+  Alcotest.(check int) "still one build" 1 (Strategy.Cache.builds cache)
+
+(* ?jobs plumbing: the cache's domain count comes from create or the
+   FIXEDLEN_JOBS environment knob, and only reshapes the build
+   schedule — a jobs=3 cache's tables are bit-identical to serial. *)
+let test_cache_jobs_plumbing () =
+  (* The suite itself may run under FIXEDLEN_JOBS (CI does, to push the
+     parallel build through every test), so pin the env before each
+     probe; an empty value is unparsable and takes the serial fallback. *)
+  Unix.putenv "FIXEDLEN_JOBS" "";
+  Alcotest.(check int) "default (no usable env) is serial" 1
+    (Strategy.Cache.jobs (Strategy.Cache.create ()));
+  Unix.putenv "FIXEDLEN_JOBS" "2";
+  Alcotest.(check int) "FIXEDLEN_JOBS respected" 2
+    (Strategy.Cache.jobs (Strategy.Cache.create ()));
+  Unix.putenv "FIXEDLEN_JOBS" "not-a-number";
+  Alcotest.(check int) "unparsable env falls back to serial" 1
+    (Strategy.Cache.jobs (Strategy.Cache.create ()));
+  Unix.putenv "FIXEDLEN_JOBS" "";
+  (match Strategy.Cache.create ~jobs:0 () with
+  | (_ : Strategy.Cache.t) -> Alcotest.fail "jobs = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  let serial = Strategy.Cache.create ~jobs:1 () in
+  let parallel = Strategy.Cache.create ~jobs:3 () in
+  Alcotest.(check int) "explicit jobs" 3 (Strategy.Cache.jobs parallel);
+  lru_ensure serial 0.01;
+  lru_ensure parallel 0.01;
+  check_same_dp ~what:"jobs=3 vs serial" (dp_of serial 0.01)
+    (dp_of parallel 0.01)
 
 let test_lru_validation () =
   List.iter
@@ -563,6 +659,9 @@ let () =
             test_warm_up_builds_each_key_once;
           Alcotest.test_case "warmed sweep bit-identical" `Slow
             test_warmed_sweep_identical;
+          Alcotest.test_case "horizon sweep builds once" `Quick
+            test_horizon_sweep_builds_once;
+          Alcotest.test_case "jobs plumbing" `Quick test_cache_jobs_plumbing;
         ] );
       ( "lru",
         [
