@@ -424,60 +424,77 @@ let run_dp_json ~jobs path =
   float_of_int cells /. elapsed
 
 (* ------------------------------------------------------------------ *)
-(* Serve handler latency benchmark (--serve-json)
+(* Serve latency benchmark (--serve-json)
 
-   Drives the daemon's request brain (Serve.Handler — the exact code
-   path a worker runs per query, minus the socket) through two phases:
+   One entry per serving mode, all in one run so the comparisons are
+   apples-to-apples on the same box:
 
-   - cold: one query per distinct platform, each a cache miss that
-     builds its DP table inline;
-   - warm: the same queries again, several rounds, every one answered
-     from the bounded Strategy.Cache.
+   - "handler": the daemon's request brain (Serve.Handler — the exact
+     code path a worker runs per query, minus the socket), cold pass
+     then warm rounds against the bounded Strategy.Cache. The run
+     enforces the cache's reason to exist: warm p99 at least 10x
+     better than cold p99.
+   - "unix-text", "tcp-text", "tcp-binary": one persistent client
+     connection to a live in-process daemon (Serve.Server.start),
+     sequential request/reply round trips, warm tables.
+   - "tcp-binary-batched": several binary TCP clients, each with
+     server-side sessions pinned and queries pipelined in flights, so
+     the daemon's worker rounds actually batch
+     (Handler.handle_batch). The run enforces the tentpole: batched
+     warm throughput at least 2x the sequential unix-text figure.
 
-   Reports p50/p99 per phase and warm queries/sec. The committed
-   bench/BENCH_serve.json trajectory tracks serving latency across PRs;
-   the run itself enforces the cache's reason to exist: warm p99 must
-   be at least 10x better than cold p99. *)
+   The committed bench/BENCH_serve.json trajectory tracks one entry
+   per mode across PRs; entries predating the "mode" field are
+   handler-mode measurements. *)
 
 let percentile sorted p =
   let n = Array.length sorted in
   sorted.(min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1)))))
 
-let run_serve_json path =
+let serve_platforms = 32
+
+let serve_request i =
+  (* 32 distinct platforms: the C sweep spread the paper's figures
+     use, each hashing to its own cache key. *)
+  Serve.Protocol.Query
+    {
+      Serve.Protocol.params =
+        Fault.Params.paper ~lambda:0.001 ~c:(10.0 +. (5.0 *. float_of_int i))
+          ~d:0.0;
+      horizon = 500.0;
+      quantum = 1.0;
+      tleft = 500.0;
+      kleft = None;
+      recovering = false;
+    }
+
+let serve_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "serve benchmark: %s\n" msg;
+      exit 1)
+    fmt
+
+let expect_answer = function
+  | Serve.Protocol.Answer _ -> ()
+  | r -> serve_fail "query failed: %s" (Serve.Protocol.render_response r)
+
+(* Handler mode: its own cache, so the cold pass is genuinely cold. *)
+let serve_handler_entry () =
   let cache = Experiments.Strategy.Cache.create () in
   let handler = Serve.Handler.create ~cache () in
-  let n_platforms = 32 and warm_rounds = 8 in
-  let request i =
-    (* 32 distinct platforms: the C sweep spread the paper's figures
-       use, each hashing to its own cache key. *)
-    Serve.Protocol.Query
-      {
-        Serve.Protocol.params =
-          Fault.Params.paper ~lambda:0.001 ~c:(10.0 +. (5.0 *. float_of_int i))
-            ~d:0.0;
-        horizon = 500.0;
-        quantum = 1.0;
-        tleft = 500.0;
-        kleft = None;
-        recovering = false;
-      }
-  in
+  let warm_rounds = 8 in
   let timed req =
     let t0 = Unix.gettimeofday () in
     let resp = Serve.Handler.handle handler req in
     let dt = Unix.gettimeofday () -. t0 in
-    (match resp with
-    | Serve.Protocol.Answer _ -> ()
-    | r ->
-        Printf.eprintf "serve benchmark: query failed: %s\n"
-          (Serve.Protocol.render_response r);
-        exit 1);
+    expect_answer resp;
     dt
   in
-  let cold = Array.init n_platforms (fun i -> timed (request i)) in
+  let cold = Array.init serve_platforms (fun i -> timed (serve_request i)) in
   let warm =
-    Array.init (warm_rounds * n_platforms) (fun j ->
-        timed (request (j mod n_platforms)))
+    Array.init (warm_rounds * serve_platforms) (fun j ->
+        timed (serve_request (j mod serve_platforms)))
   in
   let warm_elapsed = Array.fold_left ( +. ) 0.0 warm in
   Array.sort compare cold;
@@ -487,41 +504,238 @@ let run_serve_json path =
   let warm_p50 = percentile warm 0.5 and warm_p99 = percentile warm 0.99 in
   let warm_qps = float_of_int (Array.length warm) /. warm_elapsed in
   let speedup = cold_p99 /. warm_p99 in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"workload\": \"handler queries, %d platforms, T=500, u=1, %d warm \
-     rounds\",\n\
-    \  \"cold_queries\": %d,\n\
-    \  \"warm_queries\": %d,\n\
-    \  \"cold_p50_ms\": %.4f,\n\
-    \  \"cold_p99_ms\": %.4f,\n\
-    \  \"warm_p50_ms\": %.4f,\n\
-    \  \"warm_p99_ms\": %.4f,\n\
-    \  \"warm_qps\": %.0f,\n\
-    \  \"p99_speedup\": %.1f,\n\
-    \  \"table_builds\": %d,\n\
-    \  \"table_hits\": %d,\n\
-    \  \"peak_rss_kb\": %d\n\
-     }\n"
-    n_platforms warm_rounds n_platforms (Array.length warm) (ms cold_p50)
-    (ms cold_p99) (ms warm_p50) (ms warm_p99) warm_qps speedup
-    (Experiments.Strategy.Cache.builds cache)
-    (Experiments.Strategy.Cache.hits cache)
-    (peak_rss_kb ());
-  close_out oc;
+  let entry =
+    Printf.sprintf
+      "{\n\
+      \    \"mode\": \"handler\",\n\
+      \    \"workload\": \"handler queries, %d platforms, T=500, u=1, %d \
+       warm rounds\",\n\
+      \    \"cold_queries\": %d,\n\
+      \    \"warm_queries\": %d,\n\
+      \    \"cold_p50_ms\": %.4f,\n\
+      \    \"cold_p99_ms\": %.4f,\n\
+      \    \"warm_p50_ms\": %.4f,\n\
+      \    \"warm_p99_ms\": %.4f,\n\
+      \    \"warm_qps\": %.0f,\n\
+      \    \"p99_speedup\": %.1f,\n\
+      \    \"table_builds\": %d,\n\
+      \    \"table_hits\": %d,\n\
+      \    \"peak_rss_kb\": %d\n\
+      \  }"
+      serve_platforms warm_rounds serve_platforms (Array.length warm)
+      (ms cold_p50) (ms cold_p99) (ms warm_p50) (ms warm_p99) warm_qps
+      speedup
+      (Experiments.Strategy.Cache.builds cache)
+      (Experiments.Strategy.Cache.hits cache)
+      (peak_rss_kb ())
+  in
   Printf.printf
-    "serve benchmark: cold p99 %.2f ms, warm p99 %.4f ms (%.0fx), %.0f warm \
-     queries/s; wrote %s\n"
-    (ms cold_p99) (ms warm_p99) speedup warm_qps path;
-  if speedup < 10.0 then begin
-    Printf.eprintf
+    "serve benchmark: handler cold p99 %.2f ms, warm p99 %.4f ms (%.0fx), \
+     %.0f warm queries/s\n"
+    (ms cold_p99) (ms warm_p99) speedup warm_qps;
+  if speedup < 10.0 then
+    serve_fail
       "SERVE CACHE REGRESSION: warm p99 %.4f ms is not 10x better than cold \
-       p99 %.4f ms (only %.1fx)\n"
+       p99 %.4f ms (only %.1fx)"
       (ms warm_p99) (ms cold_p99) speedup;
-    exit 1
-  end;
-  warm_qps
+  (entry, warm_qps)
+
+(* Sequential socket mode: one persistent connection, one round trip
+   per query, warm server tables. *)
+let serve_sequential_qps ~socket ~binary ~rounds =
+  let conn = Serve.Client.connect ~socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close conn)
+    (fun () ->
+      (match Serve.Client.handshake conn ~binary with
+      | Ok true -> ()
+      | Ok false when not binary -> ()
+      | Ok false -> serve_fail "server refused the binary hello"
+      | Error msg -> serve_fail "handshake failed: %s" msg);
+      let n = rounds * serve_platforms in
+      let t0 = Unix.gettimeofday () in
+      for j = 0 to n - 1 do
+        match
+          Serve.Client.request conn (serve_request (j mod serve_platforms))
+        with
+        | Ok resp -> expect_answer resp
+        | Error msg -> serve_fail "request failed: %s" msg
+      done;
+      float_of_int n /. (Unix.gettimeofday () -. t0))
+
+(* Batched mode: [clients] binary TCP connections, each with one
+   session per platform, queries pipelined [flight] at a time so the
+   server's worker rounds hold full batches. *)
+let serve_batched_qps ~socket ~clients ~flight ~rounds =
+  let per_client = rounds * serve_platforms in
+  let run_client () =
+    let conn = Serve.Client.connect ~socket in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close conn)
+      (fun () ->
+        (match Serve.Client.handshake conn ~binary:true with
+        | Ok true -> ()
+        | Ok false -> serve_fail "server refused the binary hello"
+        | Error msg -> serve_fail "handshake failed: %s" msg);
+        let sids =
+          Array.init serve_platforms (fun i ->
+              let platform =
+                match serve_request i with
+                | Serve.Protocol.Query q ->
+                    {
+                      Serve.Protocol.plat_params = q.Serve.Protocol.params;
+                      plat_horizon = q.Serve.Protocol.horizon;
+                      plat_quantum = q.Serve.Protocol.quantum;
+                    }
+                | _ -> assert false
+              in
+              match
+                Serve.Client.request conn
+                  (Serve.Protocol.Session_open platform)
+              with
+              | Ok (Serve.Protocol.Session sid) -> sid
+              | Ok r ->
+                  serve_fail "session-open answered %s"
+                    (Serve.Protocol.render_response r)
+              | Error msg -> serve_fail "session-open failed: %s" msg)
+        in
+        let sent = ref 0 in
+        while !sent < per_client do
+          let k = min flight (per_client - !sent) in
+          let base = !sent in
+          Serve.Wire.send_many conn
+            (List.init k (fun j ->
+                 let sid = sids.((base + j) mod serve_platforms) in
+                 Serve.Protocol.request_to_binary
+                   (Serve.Protocol.Session_query
+                      {
+                        Serve.Protocol.sid;
+                        sq_tleft = 500.0;
+                        sq_kleft = None;
+                        sq_recovering = false;
+                      })));
+          for _ = 1 to k do
+            match Serve.Wire.recv conn with
+            | Ok payload -> (
+                match Serve.Protocol.response_of_binary payload with
+                | Ok resp -> expect_answer resp
+                | Error msg -> serve_fail "bad batched response: %s" msg)
+            | Error e ->
+                serve_fail "batched recv failed: %s" (Serve.Wire.error_message e)
+          done;
+          sent := !sent + k
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun _ -> Thread.create run_client ()) in
+  List.iter Thread.join threads;
+  float_of_int (clients * per_client) /. (Unix.gettimeofday () -. t0)
+
+let run_serve_json path =
+  let handler_entry, handler_qps = serve_handler_entry () in
+  (* One live daemon serves every socket mode: unix + TCP listeners,
+     batching enabled, an ephemeral TCP port resolved after start. *)
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fixedlen-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let clients = 4 and flight = 16 and rounds = 8 in
+  let config =
+    {
+      Serve.Server.socket_path;
+      listen = Some "127.0.0.1:0";
+      workers = 2;
+      queue_capacity = 64;
+      batch = clients;
+      max_conns = None;
+      idle_timeout = None;
+      max_sessions = 1024;
+      budget = None;
+      slow = 0.0;
+      journal = None;
+      journal_rotate = None;
+      journal_compact = false;
+      chaos = None;
+      chaos_fs = None;
+      max_tables = None;
+      max_bytes = None;
+      jobs = None;
+      quiet = true;
+    }
+  in
+  let handle = Serve.Server.start config in
+  let modes =
+    Fun.protect
+      ~finally:(fun () -> Serve.Server.stop handle)
+      (fun () ->
+        let port =
+          match Serve.Server.tcp_port handle with
+          | Some p -> p
+          | None -> serve_fail "daemon bound no TCP port"
+        in
+        let tcp = Printf.sprintf "127.0.0.1:%d" port in
+        (* Untimed cold pass: build all tables once so every socket
+           mode below measures warm serving, like the handler rounds. *)
+        ignore (serve_sequential_qps ~socket:socket_path ~binary:false ~rounds:1);
+        [
+          ( "unix-text",
+            serve_sequential_qps ~socket:socket_path ~binary:false ~rounds );
+          ("tcp-text", serve_sequential_qps ~socket:tcp ~binary:false ~rounds);
+          ("tcp-binary", serve_sequential_qps ~socket:tcp ~binary:true ~rounds);
+          ( "tcp-binary-batched",
+            let m = Serve.Server.metrics handle in
+            let r0 = Serve.Metrics.requests m
+            and b0 = Serve.Metrics.batches m in
+            let qps = serve_batched_qps ~socket:tcp ~clients ~flight ~rounds in
+            let dr = Serve.Metrics.requests m - r0
+            and db = Serve.Metrics.batches m - b0 in
+            Printf.printf
+              "serve benchmark: batched phase: %d requests over %d worker \
+               rounds (%.1f per batch)\n"
+              dr db
+              (float_of_int dr /. float_of_int (max 1 db));
+            qps );
+        ])
+  in
+  let mode_qps name = List.assoc name modes in
+  List.iter
+    (fun (name, qps) ->
+      Printf.printf "serve benchmark: %s %.0f warm queries/s\n" name qps)
+    modes;
+  let oc = open_out path in
+  Printf.fprintf oc "[\n  %s" handler_entry;
+  List.iter
+    (fun (name, qps) ->
+      Printf.fprintf oc
+        ",\n\
+        \  {\n\
+        \    \"mode\": %S,\n\
+        \    \"workload\": \"%s queries, %d platforms, T=500, u=1, %d warm \
+         rounds%s\",\n\
+        \    \"warm_queries\": %d,\n\
+        \    \"warm_qps\": %.0f\n\
+        \  }"
+        name name serve_platforms rounds
+        (if String.equal name "tcp-binary-batched" then
+           Printf.sprintf ", %d clients, flight %d" clients flight
+         else "")
+        (rounds * serve_platforms
+        * if String.equal name "tcp-binary-batched" then clients else 1)
+        qps)
+    modes;
+  Printf.fprintf oc "\n]\n";
+  close_out oc;
+  Printf.printf "serve benchmark: wrote %s\n" path;
+  let unix_text = mode_qps "unix-text"
+  and batched = mode_qps "tcp-binary-batched" in
+  if batched < 2.0 *. unix_text then
+    serve_fail
+      "SERVE NETWORK REGRESSION: tcp-binary-batched %.0f qps is not 2x the \
+       sequential unix-text %.0f qps (only %.1fx)"
+      batched unix_text (batched /. unix_text);
+  ("handler", handler_qps) :: modes
 
 (* ------------------------------------------------------------------ *)
 (* Baseline regression gate (--baseline, --serve-baseline)
@@ -573,8 +787,98 @@ let check_floor ~path ~key ~unit fresh =
 let check_baseline ~path ~points_per_sec =
   check_floor ~path ~key:"points_per_sec" ~unit:"points/s" points_per_sec
 
-let check_serve_baseline ~path ~warm_qps =
-  check_floor ~path ~key:"warm_qps" ~unit:"warm queries/s" warm_qps
+(* The serve trajectory is only comparable per mode: a sequential
+   unix-text figure says nothing about batched TCP throughput (and vice
+   versa). Entries written before the "mode" field existed are
+   handler-mode measurements, so a missing mode reads as "handler".
+   Gate each fresh mode against the last same-mode entry; finding none
+   is a note, not a failure — the first entry of a new mode has no
+   peer yet. *)
+let check_serve_baseline ~path ~modes =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let float_field chunk name =
+    let key = Printf.sprintf "%S:" name in
+    let klen = String.length key in
+    let clen = String.length chunk in
+    let rec find pos =
+      match String.index_from_opt chunk pos '"' with
+      | None -> None
+      | Some q ->
+          if q + klen <= clen && String.sub chunk q klen = key then
+            match
+              Scanf.sscanf_opt
+                (String.sub chunk (q + klen) (min 64 (clen - q - klen)))
+                " %f"
+                (fun v -> v)
+            with
+            | Some v -> Some v
+            | None -> find (q + 1)
+          else find (q + 1)
+    in
+    find 0
+  in
+  let string_field chunk name =
+    let key = Printf.sprintf "%S:" name in
+    let klen = String.length key in
+    let clen = String.length chunk in
+    let rec find pos =
+      match String.index_from_opt chunk pos '"' with
+      | None -> None
+      | Some q ->
+          if q + klen <= clen && String.sub chunk q klen = key then
+            match
+              Scanf.sscanf_opt
+                (String.sub chunk (q + klen) (min 128 (clen - q - klen)))
+                " %S"
+                (fun v -> v)
+            with
+            | Some v -> Some v
+            | None -> find (q + 1)
+          else find (q + 1)
+    in
+    find 0
+  in
+  let baseline_for mode =
+    List.fold_left
+      (fun acc chunk ->
+        match float_field chunk "warm_qps" with
+        | None -> acc
+        | Some v ->
+            let entry_mode =
+              match string_field chunk "mode" with
+              | Some m -> m
+              | None -> "handler"
+            in
+            if String.equal entry_mode mode then Some v else acc)
+      None
+      (String.split_on_char '}' body)
+  in
+  List.iter
+    (fun (mode, qps) ->
+      match baseline_for mode with
+      | None ->
+          Printf.printf
+            "baseline check: %s holds no %s serve entry — nothing to gate \
+             against\n"
+            path mode
+      | Some baseline ->
+          let floor = 0.7 *. baseline in
+          if qps < floor then begin
+            Printf.eprintf
+              "PERF REGRESSION: %.1f warm queries/s (%s) is below 70%% of \
+               the committed baseline %.1f (floor %.1f)\n"
+              qps mode baseline floor;
+            exit 1
+          end
+          else
+            Printf.printf
+              "baseline check: %.1f warm queries/s (%s) >= 70%% of committed \
+               %.1f — ok\n"
+              qps mode baseline)
+    modes
 
 (* The dp trajectory is only comparable at equal [jobs]: a jobs=1
    cells/s figure says nothing about a jobs=4 build (and vice versa on
@@ -803,9 +1107,9 @@ let () =
   (match options.serve_json with
   | None -> ()
   | Some path ->
-      let warm_qps = run_serve_json path in
+      let modes = run_serve_json path in
       Option.iter
-        (fun baseline -> check_serve_baseline ~path:baseline ~warm_qps)
+        (fun baseline -> check_serve_baseline ~path:baseline ~modes)
         options.serve_baseline);
   match options.eval_json with
   | None -> ()

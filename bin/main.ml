@@ -1463,13 +1463,56 @@ let exit_overloaded = 4
 let exit_timeout = 5
 
 let socket_t =
-  let doc = "Unix-domain socket path of the daemon." in
+  let doc =
+    "Daemon endpoint: a Unix-domain socket path, or a TCP $(b,HOST:PORT) \
+     when it contains a colon."
+  in
   Arg.(value & opt string "fixedlen.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
   let workers_t =
     let doc = "Concurrent worker loops (Parallel.Pool domains)." in
     Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let listen_t =
+    let doc =
+      "Also listen on TCP $(docv) (e.g. $(b,127.0.0.1:7070)), beside the \
+       Unix socket and behind the same admission control. Port 0 binds an \
+       ephemeral port, reported on the $(b,listening on tcp) line."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let batch_t =
+    let doc =
+      "Connections a worker multiplexes per pool hop — and therefore the \
+       most requests answered in one handler pass, sharing a single \
+       table-cache round trip per distinct platform. 1 reproduces the \
+       unbatched daemon exactly."
+    in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let max_conns_t =
+    let doc =
+      "Cap on concurrently admitted connections (on top of the queue \
+       bound); past it, new connections are shed with $(b,overloaded)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_t =
+    let doc =
+      "Close connections that stay silent for $(docv) seconds, so \
+       abandoned TCP peers cannot pin worker slots forever."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let sessions_t =
+    let doc =
+      "LRU bound on the per-client session table ($(b,session-open) pins \
+       a platform server-side so session queries carry only deltas)."
+    in
+    Arg.(value & opt int 1024 & info [ "sessions" ] ~docv:"N" ~doc)
   in
   let queue_t =
     let doc =
@@ -1532,9 +1575,10 @@ let serve_cmd =
     let doc = "LRU bound on summed resident table bytes." in
     Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"B" ~doc)
   in
-  let run socket workers queue budget slow journal journal_rotate
-      journal_compact cache_tables cache_bytes jobs chaos_rate chaos_seed
-      chaos_fs_rate chaos_crash_at quiet =
+  let run socket listen workers queue batch max_conns idle_timeout sessions
+      budget slow journal journal_rotate journal_compact cache_tables
+      cache_bytes jobs chaos_rate chaos_seed chaos_fs_rate chaos_crash_at
+      quiet =
     if workers < 1 then begin
       Printf.eprintf "fixedlen: --workers must be >= 1\n";
       exit 2
@@ -1543,6 +1587,24 @@ let serve_cmd =
       Printf.eprintf "fixedlen: --queue must be >= 0\n";
       exit 2
     end;
+    if batch < 1 then begin
+      Printf.eprintf "fixedlen: --batch must be >= 1\n";
+      exit 2
+    end;
+    if sessions < 1 then begin
+      Printf.eprintf "fixedlen: --sessions must be >= 1\n";
+      exit 2
+    end;
+    (match max_conns with
+    | Some m when m < 1 ->
+        Printf.eprintf "fixedlen: --max-conns must be >= 1\n";
+        exit 2
+    | _ -> ());
+    (match idle_timeout with
+    | Some s when s <= 0.0 ->
+        Printf.eprintf "fixedlen: --idle-timeout must be positive\n";
+        exit 2
+    | _ -> ());
     (match journal_rotate with
     | Some b when b <= 0 ->
         Printf.eprintf "fixedlen: --journal-rotate must be positive\n";
@@ -1553,8 +1615,13 @@ let serve_cmd =
     let cfg =
       {
         Serve.Server.socket_path = socket;
+        listen;
         workers;
         queue_capacity = queue;
+        batch;
+        max_conns;
+        idle_timeout;
+        max_sessions = sessions;
         budget;
         slow;
         journal;
@@ -1573,11 +1640,12 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve checkpoint-policy queries over a Unix-domain socket until \
-          SIGTERM (drains gracefully; survives SIGKILL via the request \
-          journal).")
+         "Serve checkpoint-policy queries over a Unix-domain socket (and \
+          optionally TCP with $(b,--listen)) until SIGTERM (drains \
+          gracefully; survives SIGKILL via the request journal).")
     Term.(
-      const run $ socket_t $ workers_t $ queue_t $ budget_t $ slow_t
+      const run $ socket_t $ listen_t $ workers_t $ queue_t $ batch_t
+      $ max_conns_t $ idle_timeout_t $ sessions_t $ budget_t $ slow_t
       $ journal_t $ journal_rotate_t $ journal_compact_t $ cache_tables_t
       $ cache_bytes_t $ jobs_t $ chaos_rate_t $ chaos_seed_t $ chaos_fs_t
       $ chaos_crash_at_t $ quiet_t)
@@ -1611,6 +1679,48 @@ let query_cmd =
     let doc = "Ask for the daemon's cache statistics." in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
+  let session_open_t =
+    let doc =
+      "Open a server-side session pinning the platform \
+       ($(b,--lambda)/$(b,-c)/$(b,-r)/$(b,-d), $(b,--t), $(b,--quantum)); \
+       prints the granted $(b,sid=N)."
+    in
+    Arg.(value & flag & info [ "session-open" ] ~doc)
+  in
+  let session_t =
+    let doc =
+      "Query through session $(docv) instead of sending the platform: \
+       only $(b,--left)/$(b,--kleft)/$(b,--recovering) travel."
+    in
+    Arg.(value & opt (some int) None & info [ "session" ] ~docv:"SID" ~doc)
+  in
+  let session_close_t =
+    let doc = "Close session $(docv)." in
+    Arg.(value & opt (some int) None
+         & info [ "session-close" ] ~docv:"SID" ~doc)
+  in
+  let binary_t =
+    let doc =
+      "Negotiate the binary wire encoding for this connection (the \
+       daemon still journals canonical text)."
+    in
+    Arg.(value & flag & info [ "binary" ] ~doc)
+  in
+  let max_frame_t =
+    let doc =
+      "Request a per-connection frame bound of $(docv) bytes in the \
+       hello (the server clamps absurd asks)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let retry_seed_t =
+    let doc =
+      "Seed for the retry jitter stream, making shed-retry runs \
+       deterministic (also: $(b,FIXEDLEN_SERVE_SEED))."
+    in
+    Arg.(value & opt (some int64) None
+         & info [ "retry-seed" ] ~docv:"SEED" ~doc)
+  in
   let count_t =
     let doc = "Send the request $(docv) times over one connection." in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
@@ -1628,14 +1738,15 @@ let query_cmd =
   in
   let code_of = function
     | Serve.Protocol.Answer _ | Serve.Protocol.Pong
-    | Serve.Protocol.Stats_reply _ ->
+    | Serve.Protocol.Stats_reply _ | Serve.Protocol.Session _ ->
         0
     | Serve.Protocol.Overloaded -> exit_overloaded
     | Serve.Protocol.Timeout -> exit_timeout
     | Serve.Protocol.Failed _ -> 1
   in
   let run socket params quantum horizon tleft kleft recovering ping stats
-      count attempts retry_base decorrelated =
+      session_open session session_close binary max_frame count attempts
+      retry_base decorrelated retry_seed =
     if count < 1 then begin
       Printf.eprintf "fixedlen: --repeat must be >= 1\n";
       exit 2
@@ -1646,16 +1757,34 @@ let query_cmd =
     let request =
       if ping then Serve.Protocol.Ping
       else if stats then Serve.Protocol.Stats
-      else
-        Serve.Protocol.Query
+      else if session_open then
+        Serve.Protocol.Session_open
           {
-            Serve.Protocol.params;
-            horizon;
-            quantum;
-            tleft = Option.value tleft ~default:horizon;
-            kleft;
-            recovering;
+            Serve.Protocol.plat_params = params;
+            plat_horizon = horizon;
+            plat_quantum = quantum;
           }
+      else
+        match (session_close, session) with
+        | Some sid, _ -> Serve.Protocol.Session_close sid
+        | None, Some sid ->
+            Serve.Protocol.Session_query
+              {
+                Serve.Protocol.sid;
+                sq_tleft = Option.value tleft ~default:horizon;
+                sq_kleft = kleft;
+                sq_recovering = recovering;
+              }
+        | None, None ->
+            Serve.Protocol.Query
+              {
+                Serve.Protocol.params;
+                horizon;
+                quantum;
+                tleft = Option.value tleft ~default:horizon;
+                kleft;
+                recovering;
+              }
     in
     let retry =
       if attempts <= 1 then Robust.Retry.no_retry
@@ -1669,18 +1798,23 @@ let query_cmd =
     let code =
       or_fail (fun () ->
           if count = 1 then
-            match Serve.Client.query ~retry ~socket request with
+            match
+              Serve.Client.query ~retry ?seed:retry_seed ~binary ?max_frame
+                ~socket request
+            with
             | Ok resp -> finish resp
             | Error msg -> failwith msg
           else begin
-            let fd = Serve.Client.connect ~socket in
+            let conn = Serve.Client.connect ~socket in
             Fun.protect
-              ~finally:(fun () ->
-                try Unix.close fd with Unix.Unix_error _ -> ())
+              ~finally:(fun () -> Serve.Client.close conn)
               (fun () ->
+                (match Serve.Client.handshake ?max_frame conn ~binary with
+                | Ok _ -> ()
+                | Error msg -> failwith msg);
                 let code = ref 0 in
                 for _ = 1 to count do
-                  match Serve.Client.request fd request with
+                  match Serve.Client.request conn request with
                   | Ok resp -> code := finish resp
                   | Error msg -> failwith msg
                 done;
@@ -1696,8 +1830,9 @@ let query_cmd =
           codes: 0 answered, 4 overloaded, 5 timeout).")
     Term.(
       const run $ socket_t $ params_t $ quantum_t $ horizon_t $ tleft_t
-      $ kleft_t $ recovering_t $ ping_t $ stats_t $ count_t $ retry_t
-      $ retry_base_t $ decorrelated_t)
+      $ kleft_t $ recovering_t $ ping_t $ stats_t $ session_open_t
+      $ session_t $ session_close_t $ binary_t $ max_frame_t $ count_t
+      $ retry_t $ retry_base_t $ decorrelated_t $ retry_seed_t)
 
 let main_cmd =
   let doc =

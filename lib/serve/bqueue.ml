@@ -36,6 +36,28 @@ let pop t =
       done;
       Queue.take_opt t.items)
 
+let drain_locked t max =
+  let rec go acc n =
+    if n >= max then List.rev acc
+    else
+      match Queue.take_opt t.items with
+      | None -> List.rev acc
+      | Some x -> go (x :: acc) (n + 1)
+  in
+  go [] 0
+
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Bqueue.pop_batch: max < 1";
+  locked t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      drain_locked t max)
+
+let try_drain t ~max =
+  if max < 1 then invalid_arg "Bqueue.try_drain: max < 1";
+  locked t (fun () -> drain_locked t max)
+
 let close t =
   locked t (fun () ->
       t.closed <- true;

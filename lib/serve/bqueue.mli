@@ -24,6 +24,17 @@ val pop : 'a t -> 'a option
 (** Block until an item is available or the queue is closed {e and}
     drained; [None] only in the latter case. *)
 
+val pop_batch : 'a t -> max:int -> 'a list
+(** Block like {!pop}, then take up to [max] items in one critical
+    section — the server's batched pool hop. [[]] only when the queue
+    is closed and drained. FIFO order is preserved across and within
+    batches. Raises [Invalid_argument] when [max < 1]. *)
+
+val try_drain : 'a t -> max:int -> 'a list
+(** Take up to [max] items without ever blocking ([[]] when nothing is
+    queued) — how a worker already holding a batch tops it up
+    opportunistically. Raises [Invalid_argument] when [max < 1]. *)
+
 val close : 'a t -> unit
 (** Refuse further pushes and wake every blocked popper. Idempotent. *)
 

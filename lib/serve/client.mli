@@ -8,33 +8,57 @@
     clients does not re-arrive in lockstep. The retry key is derived
     from the request payload's checksum, so distinct queries spread
     over distinct jitter streams while a replayed client stays
-    replayable. *)
+    replayable; the jitter seed can be pinned per invocation ([?seed],
+    or the [FIXEDLEN_SERVE_SEED] environment variable) so a
+    shedding-retry test is deterministic end to end.
 
-val connect : socket:string -> Unix.file_descr
-(** Connect to the daemon's Unix-domain socket. Raises
-    [Unix.Unix_error] (e.g. [ENOENT]/[ECONNREFUSED] when the daemon is
-    not up). *)
+    Endpoints: a [socket] string containing [':'] is a TCP [HOST:PORT]
+    endpoint (an empty host means loopback); anything else is a
+    Unix-domain socket path. *)
+
+val connect : socket:string -> Wire.conn
+(** Connect to the daemon (Unix-domain path or TCP [HOST:PORT]; TCP
+    connections set [TCP_NODELAY]). Raises [Unix.Unix_error] (e.g.
+    [ENOENT]/[ECONNREFUSED] when the daemon is not up). *)
+
+val close : Wire.conn -> unit
+(** Close the underlying socket, swallowing [Unix_error]. *)
 
 val wait_ready :
   ?attempts:int -> ?pause:float -> socket:string -> unit -> bool
 (** Poll until a connection succeeds — for scripts that just launched
     the daemon. Default: 100 attempts, 0.05 s apart. *)
 
+val handshake :
+  ?max_frame:int -> Wire.conn -> binary:bool -> (bool, string) result
+(** Negotiate the connection's mode and frame bound with
+    {!Wire.client_hello}. A no-op [Ok true] when neither [binary] nor
+    [max_frame] asks for anything; [Ok false] when the server answered
+    with a legacy text frame instead (the frame — typically
+    [overloaded] — stays buffered for the next read and the connection
+    remains text). *)
+
 val request :
-  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
-(** Send one request on an open connection and read its reply.
-    [Error] carries a transport-level diagnosis (torn frame, closed
-    connection); protocol-level failures arrive as [Ok (Failed _)]. *)
+  Wire.conn -> Protocol.request -> (Protocol.response, string) result
+(** Send one request on an open connection (in the connection's
+    negotiated encoding) and read its reply. [Error] carries a
+    transport-level diagnosis (torn frame, closed connection);
+    protocol-level failures arrive as [Ok (Failed _)]. *)
 
 val query :
   ?retry:Robust.Retry.t ->
   ?sleep:(float -> unit) ->
+  ?seed:int64 ->
+  ?binary:bool ->
+  ?max_frame:int ->
   socket:string ->
   Protocol.request ->
   (Protocol.response, string) result
-(** One-shot: connect, send, read, close — retrying (fresh connection
-    each attempt) while the answer is [overloaded] or the connection is
-    refused. Default [retry] is {!Robust.Retry.no_retry} (single
-    attempt); when every attempt is shed the final answer is
-    [Ok Overloaded], mirroring what the server said. [sleep] overrides
-    the backoff sleeper for tests. *)
+(** One-shot: connect, handshake if asked ([binary]/[max_frame]), send,
+    read, close — retrying (fresh connection each attempt) while the
+    answer is [overloaded] or the connection is refused. Default [retry]
+    is {!Robust.Retry.no_retry} (single attempt); when every attempt is
+    shed the final answer is [Ok Overloaded], mirroring what the server
+    said. [sleep] overrides the backoff sleeper for tests. [seed]
+    re-seeds the retry jitter stream (overriding [FIXEDLEN_SERVE_SEED],
+    which overrides the policy's own seed) without touching its shape. *)

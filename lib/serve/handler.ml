@@ -56,7 +56,25 @@ let answer dp q =
           work = Core.Dp.expected_work_q dp ~n ~k ~delta;
         }
 
-let query t q =
+(* One cache round trip: build on miss, then look the table up. *)
+let fetch_table t q =
+  let dist =
+    Fault.Trace.Exponential { rate = q.Protocol.params.Fault.Params.lambda }
+  in
+  Experiments.Strategy.ensure t.cache ~params:q.Protocol.params
+    ~horizon:q.Protocol.horizon ~dist
+    [ Experiments.Spec.Dynamic_programming { quantum = q.Protocol.quantum } ];
+  match
+    Experiments.Strategy.dp_table t.cache ~params:q.Protocol.params
+      ~horizon:q.Protocol.horizon ~quantum:q.Protocol.quantum
+  with
+  | Error e -> Error (Experiments.Strategy.error_message e)
+  | Ok dp -> Ok dp
+
+(* Per-query policy (budget, chaos, injected slowness) around a
+   pluggable table fetch — [query] fetches straight from the cache,
+   [handle_batch] memoizes the fetch across the batch. *)
+let query_with t ~fetch q =
   let deadline =
     if t.budget = infinity then Robust.Deadline.unlimited
     else Robust.Deadline.start ?now:t.now ~budget:t.budget ()
@@ -67,36 +85,57 @@ let query t q =
   | None -> ());
   if t.slow > 0.0 then t.sleep t.slow;
   if Robust.Deadline.expired deadline then Protocol.Timeout
-  else begin
-    let dist =
-      Fault.Trace.Exponential { rate = q.Protocol.params.Fault.Params.lambda }
-    in
-    Experiments.Strategy.ensure t.cache ~params:q.Protocol.params
-      ~horizon:q.Protocol.horizon ~dist
-      [ Experiments.Spec.Dynamic_programming { quantum = q.Protocol.quantum } ];
-    (* The build ran to completion even if it overran the budget: the
-       table is cached, the client's retry will hit it. *)
-    if Robust.Deadline.expired deadline then Protocol.Timeout
-    else
-      match
-        Experiments.Strategy.dp_table t.cache ~params:q.Protocol.params
-          ~horizon:q.Protocol.horizon ~quantum:q.Protocol.quantum
-      with
-      | Error e -> Protocol.Failed (Experiments.Strategy.error_message e)
-      | Ok dp -> answer dp q
-  end
+  else
+    (* The build runs to completion even when it overruns the budget:
+       the table stays cached, the client's retry will hit it. *)
+    match fetch q with
+    | Error msg -> Protocol.Failed msg
+    | Ok dp ->
+        if Robust.Deadline.expired deadline then Protocol.Timeout
+        else answer dp q
 
-let handle t request =
+let handle_with t ~fetch request =
   match request with
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Stats ->
       Protocol.Stats_reply (Experiments.Strategy.Cache.stats t.cache)
+  | Protocol.Session_open _ | Protocol.Session_query _
+  | Protocol.Session_close _ ->
+      (* Sessions are server state; a handler reached directly has
+         none. The server resolves session requests into full queries
+         before they get here. *)
+      Protocol.Failed "session requests need the daemon"
   | Protocol.Query q -> (
-      try query t q with
+      try query_with t ~fetch q with
       | Robust.Chaos.Injected msg -> Protocol.Failed ("injected: " ^ msg)
       | Invalid_argument msg | Failure msg -> Protocol.Failed msg)
+
+let handle t request = handle_with t ~fetch:(fetch_table t) request
 
 let handle_payload t payload =
   match Protocol.request_of_string payload with
   | Ok request -> handle t request
   | Error msg -> Protocol.Failed msg
+
+(* Answer a batch sharing one cache round trip per distinct table: the
+   first query against a (params, horizon, quantum) triple pays the
+   ensure-and-lookup, its batchmates reuse the result without touching
+   the cache lock. Per-query policy (budget, chaos, slow) still runs
+   per member, in order, so a batched timeout drill behaves exactly
+   like a sequential one. *)
+let handle_batch t requests =
+  let memo = ref [] in
+  let fetch q =
+    let key = (q.Protocol.params, q.Protocol.horizon, q.Protocol.quantum) in
+    match List.assoc_opt key !memo with
+    | Some r -> r
+    | None ->
+        let r = fetch_table t q in
+        memo := (key, r) :: !memo;
+        r
+  in
+  List.map
+    (function
+      | Error msg -> Protocol.Failed msg
+      | Ok request -> handle_with t ~fetch request)
+    requests

@@ -47,8 +47,19 @@ val create :
 val cache : t -> Experiments.Strategy.Cache.t
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Thread-safe: workers share one handler. *)
+(** Thread-safe: workers share one handler. Session requests are
+    answered [error ...]: sessions are daemon state, resolved into full
+    queries by the server before the handler sees them. *)
 
 val handle_payload : t -> string -> Protocol.response
 (** Parse-then-handle; a payload that does not parse is answered
     [error ...] without touching the tables. *)
+
+val handle_batch :
+  t -> (Protocol.request, string) result list -> Protocol.response list
+(** Answer a batch in order, one reply per element ([Error msg]
+    elements — decode failures — answer [error msg]). Queries sharing a
+    (params, horizon, quantum) table pay one cache round trip for the
+    whole batch instead of one each; per-query policy (budget, chaos,
+    injected slowness) still runs per member, so replies are identical
+    to [handle] called element-wise on a warm cache. *)

@@ -5,6 +5,8 @@ type t = {
   answered : int Atomic.t;
   timeouts : int Atomic.t;
   failed : int Atomic.t;
+  batches : int Atomic.t;
+  idle_closed : int Atomic.t;
 }
 
 let create () =
@@ -15,6 +17,8 @@ let create () =
     answered = Atomic.make 0;
     timeouts = Atomic.make 0;
     failed = Atomic.make 0;
+    batches = Atomic.make 0;
+    idle_closed = Atomic.make 0;
   }
 
 let bump c = Atomic.incr c
@@ -24,14 +28,22 @@ let incr_requests t = bump t.requests
 let incr_answered t = bump t.answered
 let incr_timeouts t = bump t.timeouts
 let incr_failed t = bump t.failed
+let incr_batches t = bump t.batches
+let incr_idle_closed t = bump t.idle_closed
 let accepted t = Atomic.get t.accepted
 let shed t = Atomic.get t.shed
 let requests t = Atomic.get t.requests
 let answered t = Atomic.get t.answered
 let timeouts t = Atomic.get t.timeouts
 let failed t = Atomic.get t.failed
+let batches t = Atomic.get t.batches
+let idle_closed t = Atomic.get t.idle_closed
 
+(* New fields go at the end: drill scripts match the head of this line
+   with substring greps. *)
 let summary t =
   Printf.sprintf
-    "accepted=%d shed=%d requests=%d answered=%d timeouts=%d failed=%d"
+    "accepted=%d shed=%d requests=%d answered=%d timeouts=%d failed=%d \
+     batches=%d idle-closed=%d"
     (accepted t) (shed t) (requests t) (answered t) (timeouts t) (failed t)
+    (batches t) (idle_closed t)

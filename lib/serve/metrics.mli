@@ -25,13 +25,23 @@ val incr_answered : t -> unit
 val incr_timeouts : t -> unit
 val incr_failed : t -> unit
 
+val incr_batches : t -> unit
+(** A worker round dispatched at least one request to the handler. *)
+
+val incr_idle_closed : t -> unit
+(** A connection was closed for exceeding the idle timeout. *)
+
 val accepted : t -> int
 val shed : t -> int
 val requests : t -> int
 val answered : t -> int
 val timeouts : t -> int
 val failed : t -> int
+val batches : t -> int
+val idle_closed : t -> int
 
 val summary : t -> string
 (** One deterministic line for the drain message:
-    [accepted=N shed=N requests=N answered=N timeouts=N failed=N]. *)
+    [accepted=N shed=N requests=N answered=N timeouts=N failed=N
+    batches=N idle-closed=N]. New fields are only ever appended — drill
+    scripts substring-match the head of this line. *)

@@ -1,0 +1,50 @@
+(** Bounded LRU table of per-client sessions.
+
+    A session pins a client's {!Protocol.platform} (params, horizon,
+    quantum) server-side so each subsequent query shrinks to the
+    [tleft]/[kleft]/[recovering] deltas — the re-plan shape the
+    malleable-platform work wants, where a degraded client re-asks
+    every few minutes against an unchanged platform. The table also
+    accumulates the client's elapsed/failure history ({!history}):
+    every resolved query bumps the query count, every [recovering]
+    query bumps the failure count.
+
+    The bound is the same discipline as the DP table cache: at
+    capacity, opening a new session evicts the least recently used one
+    (least recently {e resolved} or opened — stamps refresh on both).
+    An evicted or never-opened sid resolves to [None] and is answered
+    as a typed error, so a shed session costs the client one
+    [session-open] round trip, never a wrong answer.
+
+    Session ids are dense positive integers in open order. They are
+    deliberately {e not} durable: the request journal stores resolved
+    canonical-text queries (never sids), so crash-recovery replay does
+    not depend on this table — a restarted daemon starts empty and
+    clients simply re-open.
+
+    Thread-safe: workers share one table behind a mutex. *)
+
+type t
+
+type stats = { st_opened : int; st_evicted : int; st_resident : int }
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val open_ : t -> Protocol.platform -> int
+(** Pin a platform and return its fresh sid (evicting the LRU session
+    at capacity). *)
+
+val resolve :
+  t -> sid:int -> tleft:float -> recovering:bool -> Protocol.platform option
+(** Look up a session's platform and fold this query into its history
+    (refreshing its LRU stamp). [None] when the sid is unknown —
+    never opened, closed, or evicted. *)
+
+val close : t -> int -> bool
+(** Release a session; [false] when the sid is unknown. *)
+
+val history : t -> int -> (int * int) option
+(** [(queries, failures)] resolved so far through a live session. *)
+
+val stats : t -> stats

@@ -144,3 +144,99 @@ three requests come back, across the rotation boundary.
   recovered=3 segments=1
   $ kill -TERM $RPID
   $ wait $RPID
+
+Network drill. The same daemon also listens on TCP (port 0 binds an
+ephemeral port, reported on startup), negotiates binary framing per
+connection, batches worker rounds, and pins per-client platforms in
+server-side sessions — with the same crash discipline, because the
+journal stays canonical text whatever the client spoke.
+
+  $ ../../bin/main.exe serve --socket n.sock --listen 127.0.0.1:0 \
+  >   --journal n.log --batch 4 --chaos-crash-at serve-journal:3 \
+  >   > net.log &
+  $ NPID=$!
+  $ PORT=$(sed -n 's/.*listening on tcp 127.0.0.1:\([0-9]*\).*/\1/p' net.log)
+  $ while [ -z "$PORT" ]; do sleep 0.05; \
+  >   PORT=$(sed -n 's/.*listening on tcp 127.0.0.1:\([0-9]*\).*/\1/p' net.log); done
+
+A binary TCP client opens a session pinning its platform server-side:
+
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session-open --lambda 0.001 -c 20 -t 500
+  sid=1
+
+Session queries carry only the per-instant deltas, and answer exactly
+what the equivalent full queries answer (compare the crash drill):
+
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session 1 --left 500 | tee nq1
+  next=245 k=2 work=395.864
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session 1 --left 120 --recovering --kleft 2 | tee nq2
+  next=120 k=1 work=73.8321
+
+A full binary query on another platform shares the same wire:
+
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --lambda 0.002 -c 40 -t 400 > nq3
+
+The 4th journal append carries a live session query and trips the
+crash point: SIGKILL mid-append, under an active session.
+
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session 1 --left 300 > /dev/null 2>&1
+  [1]
+  $ wait $NPID
+  [137]
+
+The journal never saw a binary byte or a sid: every record — the three
+fsync'd appends and the torn tail of the fourth — is a canonical-text
+query line, session queries re-encoded at resolution time.
+
+  $ grep -c "^[0-9]* query" n.log
+  4
+  $ grep -c "sid" n.log
+  0
+  [1]
+
+Restart on the same journal (chaos disarmed). Sessions are
+deliberately not durable — the table starts empty and clients re-open —
+but the three fsync'd requests recover like any others.
+
+  $ ../../bin/main.exe serve --socket n.sock --listen 127.0.0.1:0 \
+  >   --journal n.log --batch 4 > net2.log &
+  $ NPID=$!
+  $ ../../bin/main.exe query --socket n.sock --ping --retry 8 --retry-base 0.1
+  pong
+  $ grep -o "recovered=3" net2.log
+  recovered=3
+  $ PORT=$(sed -n 's/.*listening on tcp 127.0.0.1:\([0-9]*\).*/\1/p' net2.log)
+
+Every pre-crash answer replays bit-identically through a re-opened
+session — and a legacy text client shares the TCP port unchanged.
+
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session-open --lambda 0.001 -c 20 -t 500
+  sid=1
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session 1 --left 500 > nr1
+  $ cmp nq1 nr1
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session 1 --left 120 --recovering --kleft 2 > nr2
+  $ cmp nq2 nr2
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT \
+  >   --lambda 0.002 -c 40 -t 400 > nr3
+  $ cmp nq3 nr3
+  $ ../../bin/main.exe query --socket 127.0.0.1:$PORT --binary \
+  >   --session-close 1
+  sid=1
+
+SIGTERM still drains cleanly, and the summary accounts the batched
+rounds (session open/close answer directly, outside a batch).
+
+  $ kill -TERM $NPID
+  $ wait $NPID
+  $ grep -o "drained accepted=6 shed=0 requests=6 answered=6" net2.log
+  drained accepted=6 shed=0 requests=6 answered=6
+  $ grep -o "batches=4 idle-closed=0" net2.log
+  batches=4 idle-closed=0

@@ -23,19 +23,50 @@ let query ?(tleft = 500.0) ?kleft ?(recovering = false) () =
     recovering;
   }
 
+let platform ?(lambda = 0.001) () =
+  {
+    Protocol.plat_params = Fault.Params.paper ~lambda ~c:20.0 ~d:0.0;
+    plat_horizon = 500.0;
+    plat_quantum = 1.0;
+  }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Every request spelling exercised by the round-trip tests, session
+   variants included. *)
+let all_requests =
+  [
+    Protocol.Ping;
+    Protocol.Stats;
+    Protocol.Query (query ());
+    Protocol.Query (query ~tleft:120.5 ~kleft:3 ~recovering:true ());
+    (* a quantum %g cannot render exactly: %.17g must round-trip it *)
+    Protocol.Query { (query ()) with Protocol.quantum = 1.0 /. 3.0 };
+    Protocol.Session_open (platform ());
+    Protocol.Session_query
+      {
+        Protocol.sid = 7;
+        sq_tleft = 120.5;
+        sq_kleft = Some 2;
+        sq_recovering = true;
+      };
+    Protocol.Session_query
+      {
+        Protocol.sid = 1;
+        sq_tleft = 500.0;
+        sq_kleft = None;
+        sq_recovering = false;
+      };
+    Protocol.Session_close 7;
+  ]
+
 (* protocol text *)
 
 let test_request_round_trip () =
-  let requests =
-    [
-      Protocol.Ping;
-      Protocol.Stats;
-      Protocol.Query (query ());
-      Protocol.Query (query ~tleft:120.5 ~kleft:3 ~recovering:true ());
-      (* a quantum %g cannot render exactly: %.17g must round-trip it *)
-      Protocol.Query { (query ()) with Protocol.quantum = 1.0 /. 3.0 };
-    ]
-  in
+  let requests = all_requests in
   List.iter
     (fun req ->
       let spelled = Protocol.request_to_string req in
@@ -45,25 +76,27 @@ let test_request_round_trip () =
       | Error e -> Alcotest.failf "%S rejected: %s" spelled e)
     requests
 
+let all_responses =
+  [
+    Protocol.Pong;
+    Protocol.Overloaded;
+    Protocol.Timeout;
+    Protocol.Answer { Protocol.next = 245.0; k = 2; work = 395.25 };
+    Protocol.Answer { Protocol.next = 0.0; k = 0; work = 0.0 };
+    Protocol.Stats_reply
+      {
+        Strategy.Cache.s_builds = 3;
+        s_hits = 6;
+        s_evictions = 1;
+        s_resident_tables = 2;
+        s_resident_bytes = 393786;
+      };
+    Protocol.Failed "bad float \"nope\" for \"lambda\"";
+    Protocol.Session 42;
+  ]
+
 let test_response_round_trip () =
-  let responses =
-    [
-      Protocol.Pong;
-      Protocol.Overloaded;
-      Protocol.Timeout;
-      Protocol.Answer { Protocol.next = 245.0; k = 2; work = 395.25 };
-      Protocol.Answer { Protocol.next = 0.0; k = 0; work = 0.0 };
-      Protocol.Stats_reply
-        {
-          Strategy.Cache.s_builds = 3;
-          s_hits = 6;
-          s_evictions = 1;
-          s_resident_tables = 2;
-          s_resident_bytes = 393786;
-        };
-      Protocol.Failed "bad float \"nope\" for \"lambda\"";
-    ]
-  in
+  let responses = all_responses in
   List.iter
     (fun resp ->
       let spelled = Protocol.response_to_string resp in
@@ -92,6 +125,92 @@ let test_malformed_requests () =
     "query lambda=-1 c=20 r=20 d=0 horizon=500 quantum=1 tleft=500 kleft=- \
      recovering=0" (* Params.make must reject, as an Error not a raise *)
 
+(* protocol binary *)
+
+let test_binary_request_round_trip () =
+  List.iter
+    (fun req ->
+      let packed = Protocol.request_to_binary req in
+      match Protocol.request_of_binary packed with
+      | Ok req' when req' = req -> ()
+      | Ok _ ->
+          Alcotest.failf "%S decoded back differently" (String.escaped packed)
+      | Error e ->
+          Alcotest.failf "%S rejected: %s" (String.escaped packed) e)
+    all_requests
+
+let test_binary_response_round_trip () =
+  List.iter
+    (fun resp ->
+      let packed = Protocol.response_to_binary resp in
+      match Protocol.response_of_binary packed with
+      | Ok resp' when resp' = resp -> ()
+      | Ok _ ->
+          Alcotest.failf "%S decoded back differently" (String.escaped packed)
+      | Error e ->
+          Alcotest.failf "%S rejected: %s" (String.escaped packed) e)
+    all_responses
+
+let test_malformed_binary_requests () =
+  let rejected payload =
+    match Protocol.request_of_binary payload with
+    | Ok _ -> Alcotest.failf "binary %S accepted" (String.escaped payload)
+    | Error _ -> ()
+  in
+  rejected "";
+  rejected "\xff" (* unknown tag *);
+  let good = Protocol.request_to_binary (Protocol.Query (query ())) in
+  rejected (String.sub good 0 (String.length good - 1)) (* truncated *);
+  rejected (good ^ "\x00") (* trailing bytes *);
+  (* Both spellings run the same validation: a negative lambda is
+     rejected by decode, not raised out of Params.make. *)
+  let bad = Bytes.of_string good in
+  Bytes.set_int64_le bad 1 (Int64.bits_of_float (-1.0));
+  rejected (Bytes.to_string bad);
+  let sid0 =
+    Bytes.of_string (Protocol.request_to_binary (Protocol.Session_close 1))
+  in
+  Bytes.set_int32_le sid0 1 0l;
+  rejected (Bytes.to_string sid0) (* sid must be >= 1 *)
+
+(* The two spellings decode to the same value, so the server can journal
+   a binary query as canonical text and replay it bit-identically: for
+   any query, decode(binary) spelled as text equals the direct text
+   spelling. Floats are drawn to include awkward mantissas. *)
+let binary_text_spellings_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"binary and text spellings agree" ~count:500
+       (QCheck.make
+          QCheck.Gen.(
+            let pos lo hi = float_range lo hi in
+            tup7 (pos 1e-6 0.1) (pos 0.1 100.0) (pos 0.1 100.0)
+              (pos 0.0 10.0) (pos 1.0 1000.0)
+              (pair (pos 0.0 1000.0) (opt (int_range 0 20)))
+              bool))
+       (fun (lambda, c, r, d, horizon, (tleft, kleft), recovering) ->
+         let q =
+           {
+             Protocol.params = Fault.Params.make ~lambda ~c ~r ~d;
+             horizon;
+             quantum = horizon /. 97.0;
+             tleft;
+             kleft;
+             recovering;
+           }
+         in
+         let req = Protocol.Query q in
+         let via_binary =
+           Protocol.request_of_binary (Protocol.request_to_binary req)
+         in
+         let via_text =
+           Protocol.request_of_string (Protocol.request_to_string req)
+         in
+         match (via_binary, via_text) with
+         | Ok b, Ok t ->
+             b = req && t = req
+             && Protocol.request_to_string b = Protocol.request_to_string t
+         | _ -> false))
+
 (* wire framing over a socketpair *)
 
 let with_socketpair f =
@@ -103,24 +222,36 @@ let with_socketpair f =
         [ a; b ])
     (fun () -> f a b)
 
-let test_wire_round_trip () =
+let with_wire_pair ?mode ?max_frame f =
   with_socketpair (fun a b ->
-      let payloads = [ "ping"; "stats"; String.make 512 'x'; "" ] in
-      List.iter (fun p -> Wire.send a p) payloads;
-      List.iter
-        (fun p ->
-          match Wire.recv b with
-          | Ok got -> Alcotest.(check string) "payload" p got
-          | Error e -> Alcotest.failf "recv failed: %s" (Wire.error_message e))
-        payloads)
+      f (Wire.of_fd ?mode ?max_frame a) (Wire.of_fd ?mode ?max_frame b))
+
+let test_wire_round_trip () =
+  List.iter
+    (fun mode ->
+      with_wire_pair ~mode (fun a b ->
+          let payloads = [ "ping"; "stats"; String.make 512 'x'; "" ] in
+          List.iter (fun p -> Wire.send a p) payloads;
+          List.iter
+            (fun p ->
+              match Wire.recv b with
+              | Ok got -> Alcotest.(check string) "payload" p got
+              | Error e ->
+                  Alcotest.failf "recv failed: %s" (Wire.error_message e))
+            payloads))
+    [ Wire.Text; Wire.Binary ]
 
 let test_wire_closed_and_torn () =
-  with_socketpair (fun a b ->
-      Unix.close a;
-      (match Wire.recv b with
-      | Error Wire.Closed -> ()
-      | Error (Wire.Torn why) -> Alcotest.failf "EOF diagnosed as torn: %s" why
-      | Ok p -> Alcotest.failf "read %S from a closed peer" p));
+  List.iter
+    (fun mode ->
+      with_wire_pair ~mode (fun a b ->
+          Unix.close (Wire.fd a);
+          match Wire.recv b with
+          | Error Wire.Closed -> ()
+          | Error (Wire.Torn why) ->
+              Alcotest.failf "EOF diagnosed as torn: %s" why
+          | Ok p -> Alcotest.failf "read %S from a closed peer" p))
+    [ Wire.Text; Wire.Binary ];
   with_socketpair (fun a b ->
       (* A corrupted checksum must be a torn frame, not a payload. *)
       let frame = Robust.Durable.Framed.frame "ping" in
@@ -130,10 +261,156 @@ let test_wire_closed_and_torn () =
         (if Bytes.get bad last_hex = '0' then '1' else '0');
       let n = Unix.write a bad 0 (Bytes.length bad) in
       Alcotest.(check int) "wrote the whole frame" (Bytes.length bad) n;
-      match Wire.recv b with
+      match Wire.recv (Wire.of_fd b) with
+      | Error (Wire.Torn _) -> ()
+      | Error Wire.Closed -> Alcotest.fail "corruption diagnosed as EOF"
+      | Ok p -> Alcotest.failf "accepted corrupted frame as %S" p);
+  with_socketpair (fun a b ->
+      (* Same for a binary frame with a flipped checksum byte. *)
+      let payload = "ping" in
+      let len = String.length payload in
+      let frame = Bytes.create (4 + len + 8) in
+      Bytes.set_int32_le frame 0 (Int32.of_int len);
+      Bytes.blit_string payload 0 frame 4 len;
+      Bytes.set_int64_le frame (4 + len)
+        (Int64.lognot (Numerics.Checksum.fnv1a64 payload));
+      let n = Unix.write a frame 0 (Bytes.length frame) in
+      Alcotest.(check int) "wrote the whole frame" (Bytes.length frame) n;
+      match Wire.recv (Wire.of_fd ~mode:Wire.Binary b) with
       | Error (Wire.Torn _) -> ()
       | Error Wire.Closed -> Alcotest.fail "corruption diagnosed as EOF"
       | Ok p -> Alcotest.failf "accepted corrupted frame as %S" p)
+
+let test_wire_max_frame_is_per_connection () =
+  (* Send side refuses to emit a frame beyond the connection's bound. *)
+  with_wire_pair ~max_frame:16 (fun a _b ->
+      match Wire.send a (String.make 17 'x') with
+      | () -> Alcotest.fail "oversized send accepted"
+      | exception Invalid_argument _ -> ());
+  (* Receive side tears the frame, naming both the offending length and
+     the negotiated limit. *)
+  List.iter
+    (fun mode ->
+      with_socketpair (fun a b ->
+          let sender = Wire.of_fd ~mode a in
+          let receiver = Wire.of_fd ~mode ~max_frame:16 b in
+          Wire.send sender (String.make 64 'x');
+          match Wire.recv receiver with
+          | Error (Wire.Torn why) ->
+              Alcotest.(check bool) "names the offending length" true
+                (contains why "64");
+              Alcotest.(check bool) "names the limit" true (contains why "16")
+          | Error Wire.Closed -> Alcotest.fail "overrun diagnosed as EOF"
+          | Ok p -> Alcotest.failf "accepted %d-byte frame" (String.length p)))
+    [ Wire.Text; Wire.Binary ];
+  with_socketpair (fun a _b ->
+      match Wire.of_fd ~max_frame:0 a with
+      | (_ : Wire.conn) -> Alcotest.fail "max_frame 0 accepted"
+      | exception Invalid_argument _ -> ())
+
+(* hello negotiation *)
+
+let test_wire_hello_negotiation () =
+  with_wire_pair (fun client server ->
+      (* client_hello blocks on the ack, so it runs on its own thread
+         while the main one plays server. *)
+      let client_result = ref (Ok false) in
+      let th =
+        Thread.create
+          (fun () ->
+            client_result :=
+              Wire.client_hello client ~mode:Wire.Binary
+                ~max_frame:(1 lsl 21) ())
+          ()
+      in
+      (match Wire.server_negotiate server with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "negotiate failed: %s" (Wire.error_message e));
+      Thread.join th;
+      (match !client_result with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "server answered with a legacy frame"
+      | Error e -> Alcotest.failf "hello failed: %s" (Wire.error_message e));
+      Alcotest.(check bool) "client switched" true
+        (Wire.mode client = Wire.Binary);
+      Alcotest.(check bool) "server switched" true
+        (Wire.mode server = Wire.Binary);
+      Alcotest.(check int) "client granted" (1 lsl 21) (Wire.max_frame client);
+      Alcotest.(check int) "server granted" (1 lsl 21) (Wire.max_frame server);
+      (* The negotiated link carries binary frames both ways. *)
+      Wire.send client "hello";
+      (match Wire.recv server with
+      | Ok "hello" -> ()
+      | _ -> Alcotest.fail "binary frame lost client->server");
+      Wire.send server "world";
+      match Wire.recv client with
+      | Ok "world" -> ()
+      | _ -> Alcotest.fail "binary frame lost server->client")
+
+let test_wire_legacy_text_client_skips_hello () =
+  with_wire_pair (fun client server ->
+      (* No hello: the first frame's digit prefix tells the server to
+         keep text defaults and consume nothing. *)
+      Wire.send client "ping";
+      (match Wire.server_negotiate server with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "negotiate failed: %s" (Wire.error_message e));
+      Alcotest.(check bool) "stays text" true (Wire.mode server = Wire.Text);
+      Alcotest.(check int) "keeps the default bound" Wire.default_max_frame
+        (Wire.max_frame server);
+      Alcotest.(check bool) "frame still buffered" true (Wire.buffered server);
+      match Wire.recv server with
+      | Ok "ping" -> ()
+      | _ -> Alcotest.fail "first frame lost to negotiation")
+
+let test_wire_hello_against_legacy_server () =
+  with_wire_pair (fun client server ->
+      (* A peer that never negotiates (a shedding accept loop does
+         exactly this) answers the hello with an ordinary text frame:
+         the client must fall back to text and keep the frame. *)
+      let th = Thread.create (fun () -> Wire.send server "overloaded") () in
+      (match Wire.client_hello client ~mode:Wire.Binary () with
+      | Ok false -> ()
+      | Ok true -> Alcotest.fail "no ack was sent, yet negotiation succeeded"
+      | Error e -> Alcotest.failf "hello failed: %s" (Wire.error_message e));
+      Thread.join th;
+      Alcotest.(check bool) "stays text" true (Wire.mode client = Wire.Text);
+      match Wire.recv client with
+      | Ok "overloaded" -> ()
+      | _ -> Alcotest.fail "shed reply lost to the hello")
+
+let test_wire_hello_clamps_to_hard_max () =
+  with_socketpair (fun a b ->
+      (* A raw hello asking for far more than the ceiling: the grant is
+         clamped, and the ack carries the clamp. *)
+      let hello = Bytes.create 5 in
+      Bytes.set hello 0 'B';
+      Bytes.set_int32_le hello 1 Int32.max_int;
+      let (_ : int) = Unix.write a hello 0 5 in
+      let server = Wire.of_fd b in
+      (match Wire.server_negotiate server with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "negotiate failed: %s" (Wire.error_message e));
+      Alcotest.(check int) "grant clamped" Wire.hard_max_frame
+        (Wire.max_frame server);
+      let ack = Bytes.create 5 in
+      let n = Unix.read a ack 0 5 in
+      Alcotest.(check int) "ack is 5 bytes" 5 n;
+      Alcotest.(check char) "ack echoes the mode" 'B' (Bytes.get ack 0);
+      Alcotest.(check int32) "ack carries the clamp"
+        (Int32.of_int Wire.hard_max_frame)
+        (Bytes.get_int32_le ack 1);
+      (* The client-side guard refuses the absurd ask before it ever
+         reaches a server. *)
+      match
+        Wire.client_hello server ~mode:Wire.Binary
+          ~max_frame:(Wire.hard_max_frame + 1) ()
+      with
+      | _ -> Alcotest.fail "over-hard max_frame accepted"
+      | exception Invalid_argument _ -> ())
 
 (* bounded queue *)
 
@@ -172,6 +449,105 @@ let test_bqueue_close_wakes_blocked_popper () =
   Bqueue.close q;
   Thread.join popper;
   Alcotest.(check (option int)) "blocked pop returns None on close" None !got
+
+let test_bqueue_pop_batch () =
+  let q = Bqueue.create ~capacity:8 in
+  List.iter (fun i -> ignore (Bqueue.try_push q i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "takes up to max, fifo" [ 1; 2; 3 ]
+    (Bqueue.pop_batch q ~max:3);
+  Alcotest.(check (list int)) "rest in order" [ 4; 5 ]
+    (Bqueue.pop_batch q ~max:8);
+  (match Bqueue.pop_batch q ~max:0 with
+  | _ -> Alcotest.fail "max = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* Blocks like pop: a push wakes it. *)
+  let got = ref [] in
+  let popper = Thread.create (fun () -> got := Bqueue.pop_batch q ~max:4) () in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "push wakes the popper" true (Bqueue.try_push q 9);
+  Thread.join popper;
+  Alcotest.(check (list int)) "woken with the pushed item" [ 9 ] !got;
+  (* Close semantics: drain what is queued, then []. *)
+  ignore (Bqueue.try_push q 10);
+  Bqueue.close q;
+  Alcotest.(check (list int)) "drains after close" [ 10 ]
+    (Bqueue.pop_batch q ~max:4);
+  Alcotest.(check (list int)) "then signals done" []
+    (Bqueue.pop_batch q ~max:4)
+
+let test_bqueue_close_wakes_blocked_batch_popper () =
+  let q = Bqueue.create ~capacity:1 in
+  let got = ref [ 0 ] in
+  let popper = Thread.create (fun () -> got := Bqueue.pop_batch q ~max:4) () in
+  Thread.delay 0.05;
+  Bqueue.close q;
+  Thread.join popper;
+  Alcotest.(check (list int)) "blocked batch pop returns [] on close" [] !got
+
+let test_bqueue_try_drain () =
+  let q = Bqueue.create ~capacity:4 in
+  Alcotest.(check (list int)) "empty drains nothing" []
+    (Bqueue.try_drain q ~max:4);
+  List.iter (fun i -> ignore (Bqueue.try_push q i)) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "bounded, fifo" [ 1; 2 ]
+    (Bqueue.try_drain q ~max:2);
+  Alcotest.(check int) "rest still queued" 1 (Bqueue.length q);
+  (match Bqueue.try_drain q ~max:0 with
+  | _ -> Alcotest.fail "max = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  Bqueue.close q;
+  Alcotest.(check (list int)) "drains after close" [ 3 ]
+    (Bqueue.try_drain q ~max:2);
+  Alcotest.(check (list int)) "never blocks once done" []
+    (Bqueue.try_drain q ~max:2)
+
+(* sessions *)
+
+module Session = Serve.Session
+
+let test_session_open_resolve_close () =
+  let t = Session.create ~capacity:4 in
+  let plat = platform () in
+  let sid = Session.open_ t plat in
+  Alcotest.(check int) "sids start at 1" 1 sid;
+  (match Session.resolve t ~sid ~tleft:120.0 ~recovering:false with
+  | Some p when p = plat -> ()
+  | Some _ -> Alcotest.fail "resolved to a different platform"
+  | None -> Alcotest.fail "open session did not resolve");
+  ignore (Session.resolve t ~sid ~tleft:80.0 ~recovering:true);
+  Alcotest.(check (option (pair int int)))
+    "history counts queries and failures" (Some (2, 1))
+    (Session.history t sid);
+  Alcotest.(check bool) "close releases" true (Session.close t sid);
+  Alcotest.(check bool) "double close refused" false (Session.close t sid);
+  Alcotest.(check bool) "closed sid gone" true
+    (Session.resolve t ~sid ~tleft:1.0 ~recovering:false = None);
+  Alcotest.(check bool) "unknown sid refused" true
+    (Session.resolve t ~sid:999 ~tleft:1.0 ~recovering:false = None);
+  let st = Session.stats t in
+  Alcotest.(check int) "opened" 1 st.Session.st_opened;
+  Alcotest.(check int) "resident" 0 st.Session.st_resident
+
+let test_session_lru_eviction () =
+  let t = Session.create ~capacity:2 in
+  let s1 = Session.open_ t (platform ~lambda:0.001 ()) in
+  let s2 = Session.open_ t (platform ~lambda:0.002 ()) in
+  (* Touch s1 so s2 is the LRU, then overflow. *)
+  ignore (Session.resolve t ~sid:s1 ~tleft:100.0 ~recovering:false);
+  let s3 = Session.open_ t (platform ~lambda:0.003 ()) in
+  Alcotest.(check bool) "lru evicted" true
+    (Session.resolve t ~sid:s2 ~tleft:1.0 ~recovering:false = None);
+  Alcotest.(check bool) "recently used survives" true
+    (Session.resolve t ~sid:s1 ~tleft:1.0 ~recovering:false <> None);
+  Alcotest.(check bool) "new session lives" true
+    (Session.resolve t ~sid:s3 ~tleft:1.0 ~recovering:false <> None);
+  let st = Session.stats t in
+  Alcotest.(check int) "evicted" 1 st.Session.st_evicted;
+  Alcotest.(check int) "resident" 2 st.Session.st_resident;
+  Alcotest.(check int) "sids stay dense" 3 s3;
+  match Session.create ~capacity:0 with
+  | (_ : Session.t) -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
 
 (* segmented journal *)
 
@@ -497,6 +873,69 @@ let test_handler_validation () =
       (fun () -> Handler.create ~slow:(-1.0) ~cache ());
     ]
 
+let test_handler_session_requests_need_daemon () =
+  let cache = Strategy.Cache.create () in
+  let h = Handler.create ~cache () in
+  List.iter
+    (fun req ->
+      match Handler.handle h req with
+      | Protocol.Failed _ -> ()
+      | r ->
+          Alcotest.failf "session request answered %s"
+            (Protocol.render_response r))
+    [
+      Protocol.Session_open (platform ());
+      Protocol.Session_query
+        {
+          Protocol.sid = 1;
+          sq_tleft = 1.0;
+          sq_kleft = None;
+          sq_recovering = false;
+        };
+      Protocol.Session_close 1;
+    ]
+
+let test_handler_batch_shares_table () =
+  let cache = Strategy.Cache.create () in
+  let h = Handler.create ~cache () in
+  let reqs =
+    [
+      Ok (Protocol.Query (query ()));
+      Ok (Protocol.Query (query ~tleft:120.0 ()));
+      Error "torn frame: checksum mismatch";
+      Ok Protocol.Ping;
+      Ok (Protocol.Query (query ~tleft:80.0 ~recovering:true ()));
+    ]
+  in
+  let replies = Handler.handle_batch h reqs in
+  Alcotest.(check int) "one reply per member" (List.length reqs)
+    (List.length replies);
+  (match replies with
+  | [
+   Protocol.Answer _;
+   Protocol.Answer _;
+   Protocol.Failed msg;
+   Protocol.Pong;
+   Protocol.Answer _;
+  ] ->
+      Alcotest.(check string) "decode error answered in place"
+        "torn frame: checksum mismatch" msg
+  | _ -> Alcotest.fail "batch replies out of shape or order");
+  (* Five queries on one platform, one table build for the whole
+     batch — the shared cache round trip batching exists for. *)
+  Alcotest.(check int) "the whole batch paid one build" 1
+    (Strategy.Cache.builds cache);
+  (* And batching never changes an answer: each member equals its
+     sequential handling. *)
+  List.iteri
+    (fun i (req, batched) ->
+      match req with
+      | Ok r ->
+          if Handler.handle h r <> batched then
+            Alcotest.failf "batch member %d diverged from sequential" i
+      | Error _ -> ())
+    (List.combine reqs replies)
+
 let () =
   Alcotest.run "serve"
     [
@@ -508,11 +947,28 @@ let () =
             test_response_round_trip;
           Alcotest.test_case "malformed rejected" `Quick
             test_malformed_requests;
+          Alcotest.test_case "binary request round-trip" `Quick
+            test_binary_request_round_trip;
+          Alcotest.test_case "binary response round-trip" `Quick
+            test_binary_response_round_trip;
+          Alcotest.test_case "malformed binary rejected" `Quick
+            test_malformed_binary_requests;
+          binary_text_spellings_agree;
         ] );
       ( "wire",
         [
           Alcotest.test_case "round-trip" `Quick test_wire_round_trip;
           Alcotest.test_case "closed and torn" `Quick test_wire_closed_and_torn;
+          Alcotest.test_case "max frame is per-connection" `Quick
+            test_wire_max_frame_is_per_connection;
+          Alcotest.test_case "hello negotiation" `Quick
+            test_wire_hello_negotiation;
+          Alcotest.test_case "legacy text client skips hello" `Quick
+            test_wire_legacy_text_client_skips_hello;
+          Alcotest.test_case "hello against legacy server" `Quick
+            test_wire_hello_against_legacy_server;
+          Alcotest.test_case "hello clamps to hard max" `Quick
+            test_wire_hello_clamps_to_hard_max;
         ] );
       ( "bqueue",
         [
@@ -522,6 +978,16 @@ let () =
           Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
           Alcotest.test_case "close wakes popper" `Quick
             test_bqueue_close_wakes_blocked_popper;
+          Alcotest.test_case "pop batch" `Quick test_bqueue_pop_batch;
+          Alcotest.test_case "close wakes batch popper" `Quick
+            test_bqueue_close_wakes_blocked_batch_popper;
+          Alcotest.test_case "try drain" `Quick test_bqueue_try_drain;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "open, resolve, close" `Quick
+            test_session_open_resolve_close;
+          Alcotest.test_case "lru eviction" `Quick test_session_lru_eviction;
         ] );
       ( "seglog",
         [
@@ -553,5 +1019,9 @@ let () =
           Alcotest.test_case "malformed payload" `Quick
             test_handler_malformed_payload;
           Alcotest.test_case "validation" `Quick test_handler_validation;
+          Alcotest.test_case "session requests need the daemon" `Quick
+            test_handler_session_requests_need_daemon;
+          Alcotest.test_case "batch shares the table" `Quick
+            test_handler_batch_shares_table;
         ] );
     ]
