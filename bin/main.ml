@@ -1709,7 +1709,7 @@ let query_cmd =
   let max_frame_t =
     let doc =
       "Request a per-connection frame bound of $(docv) bytes in the \
-       hello (the server clamps absurd asks)."
+       hello (the server clamps asks into its [4 KiB, 64 MiB] band)."
     in
     Arg.(value & opt (some int) None & info [ "max-frame" ] ~docv:"BYTES" ~doc)
   in

@@ -58,6 +58,17 @@ let try_drain t ~max =
   if max < 1 then invalid_arg "Bqueue.try_drain: max < 1";
   locked t (fun () -> drain_locked t max)
 
+let evict t ~f =
+  locked t (fun () ->
+      let kept = Queue.create () in
+      let out = ref [] in
+      Queue.iter
+        (fun x -> if f x then out := x :: !out else Queue.push x kept)
+        t.items;
+      Queue.clear t.items;
+      Queue.transfer kept t.items;
+      List.rev !out)
+
 let close t =
   locked t (fun () ->
       t.closed <- true;

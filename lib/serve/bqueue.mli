@@ -35,6 +35,13 @@ val try_drain : 'a t -> max:int -> 'a list
     queued) — how a worker already holding a batch tops it up
     opportunistically. Raises [Invalid_argument] when [max < 1]. *)
 
+val evict : 'a t -> f:('a -> bool) -> 'a list
+(** Remove and return (in FIFO order) every queued item satisfying [f],
+    preserving the order of the rest; never blocks. How the accept loop
+    sweeps connections that expired while waiting for a worker —
+    without it, a queue kept full by busy workers would hold idle
+    sockets forever. *)
+
 val close : 'a t -> unit
 (** Refuse further pushes and wake every blocked popper. Idempotent. *)
 

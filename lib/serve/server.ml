@@ -68,11 +68,15 @@ let encode_response wire resp =
   | Wire.Text -> Protocol.response_to_string resp
   | Wire.Binary -> Protocol.response_to_binary resp
 
+(* [Invalid_argument] here is [Wire.send] refusing a reply beyond the
+   connection's negotiated frame bound: a connection problem, never a
+   worker-killing one — the caller hangs up exactly as for a dead
+   peer. *)
 let send_or_give_up c resp =
   try
     Wire.send c.wire (encode_response c.wire resp);
     true
-  with Unix.Unix_error _ -> false
+  with Unix.Unix_error _ | Invalid_argument _ -> false
 
 let close_conn t c =
   if c.alive then begin
@@ -261,7 +265,7 @@ let answer_round t ready =
              dominant cost this amortizes. *)
           try
             Wire.send_many c.wire (List.map (encode_response c.wire) resps)
-          with Unix.Unix_error _ -> close_conn t c))
+          with Unix.Unix_error _ | Invalid_argument _ -> close_conn t c))
     events
 
 let sweep_idle t live =
@@ -279,10 +283,13 @@ let sweep_idle t live =
 
 (* Serve a batch of connections until every one of them is gone. Bytes
    already sitting in a connection buffer trump [select] (the kernel
-   does not know about them); otherwise the 0.2 s select timeout doubles
-   as the idle-sweep cadence. The worker tops its batch up from the
+   does not know about them); otherwise the 0.2 s select timeout bounds
+   the idle-sweep cadence. The worker tops its batch up from the
    queue opportunistically, so a long-lived connection does not strand
-   queued ones behind it. *)
+   queued ones behind it. The idle sweep runs on {e every} iteration —
+   after the round, so freshly answered connections carry fresh
+   timestamps — because one hot connection must not keep its expired
+   batchmates open past the idle timeout. *)
 let multiplex t first =
   let live = ref first in
   while !live <> [] do
@@ -300,12 +307,11 @@ let multiplex t first =
           Unix.select (List.map (fun c -> Wire.fd c.wire) !live) [] [] 0.2
         with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-        | [], _, _ ->
-            sweep_idle t !live;
-            []
+        | [], _, _ -> []
         | fds, _, _ -> List.filter (fun c -> List.mem (Wire.fd c.wire) fds) !live
     in
     if ready <> [] then answer_round t ready;
+    sweep_idle t !live;
     live := List.filter (fun c -> c.alive) !live
   done
 
@@ -324,6 +330,12 @@ let make_conn fd =
     alive = true;
   }
 
+(* How long a worker's blocking read may wait for the rest of a
+   half-sent frame before the connection is torn. [select] only promises
+   one readable byte, so without this bound a client that stalls
+   mid-frame would pin its whole worker round inside [Wire.recv]. *)
+let recv_stall_timeout = 5.0
+
 (* Admission control lives in the accept loop: a connection the queue
    (or the connection cap) will not take is answered and closed here,
    so shedding stays O(1) and cannot be starved by busy workers. *)
@@ -336,6 +348,8 @@ let accept_one t lsock =
           try Unix.setsockopt fd Unix.TCP_NODELAY true
           with Unix.Unix_error _ -> ())
       | _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_stall_timeout
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
       let shed () =
         Metrics.incr_shed t.metrics;
         (try Wire.send (Wire.of_fd fd) (reply_string Protocol.Overloaded)
@@ -358,6 +372,20 @@ let accept_one t lsock =
         end
       end
 
+(* Connections still waiting in the admission queue age too: when every
+   worker is pinned on long-lived connections, a queued socket would
+   otherwise hold its slot (and its [active] count) forever. *)
+let sweep_queued t =
+  match t.cfg.idle_timeout with
+  | None -> ()
+  | Some limit ->
+      let cutoff = Unix.gettimeofday () -. limit in
+      List.iter
+        (fun c ->
+          Metrics.incr_idle_closed t.metrics;
+          close_conn t c)
+        (Bqueue.evict t.queue ~f:(fun c -> c.last_active < cutoff))
+
 let rec accept_loop t lsocks =
   if not (Atomic.get t.stop) then begin
     (* The timeout is the shutdown-latency bound: signal handlers only
@@ -365,6 +393,7 @@ let rec accept_loop t lsocks =
     (match Unix.select lsocks [] [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ -> List.iter (accept_one t) ready);
+    sweep_queued t;
     accept_loop t lsocks
   end
 

@@ -8,6 +8,7 @@ let error_message = function
 
 let default_max_frame = 1 lsl 20
 let hard_max_frame = 1 lsl 26
+let min_max_frame = 4096
 
 type conn = {
   fd : Unix.file_descr;
@@ -34,6 +35,16 @@ let buffered conn = conn.pos < conn.len
 let rec restart_on_eintr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
 
+(* A socket receive timeout (SO_RCVTIMEO) expiring mid-read. Raised out
+   of [refill] and converted to [Torn] at every public read entry point,
+   so a peer that stalls half way through a frame surfaces as a damaged
+   connection, never as an exception escaping the caller's loop. *)
+exception Stalled
+
+let stall_guard f =
+  try f ()
+  with Stalled -> Error (Torn "receive timed out waiting for frame bytes")
+
 let write_all fd bytes =
   let len = String.length bytes in
   let off = ref 0 in
@@ -48,8 +59,11 @@ let write_all fd bytes =
 (* [false] on EOF. *)
 let refill conn =
   let n =
-    restart_on_eintr (fun () ->
-        Unix.read conn.fd conn.buf 0 (Bytes.length conn.buf))
+    try
+      restart_on_eintr (fun () ->
+          Unix.read conn.fd conn.buf 0 (Bytes.length conn.buf))
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Stalled
   in
   conn.pos <- 0;
   conn.len <- n;
@@ -187,7 +201,8 @@ let recv_binary conn =
             else Error (Torn "checksum mismatch"))
 
 let recv conn =
-  match conn.mode with Text -> recv_text conn | Binary -> recv_binary conn
+  stall_guard (fun () ->
+      match conn.mode with Text -> recv_text conn | Binary -> recv_binary conn)
 
 (* hello negotiation: 5 bytes each way, [mode byte; 4-byte LE max
    frame]. A text frame always opens with a decimal digit, so a
@@ -205,6 +220,7 @@ let client_hello conn ~mode ?max_frame () =
   Bytes.set hello 0 (hello_char mode);
   Bytes.set_int32_le hello 1 (Int32.of_int requested);
   write_all conn.fd (Bytes.unsafe_to_string hello);
+  stall_guard @@ fun () ->
   match peek_byte conn with
   | None -> Error Closed
   | Some '0' .. '9' ->
@@ -235,6 +251,7 @@ let client_hello conn ~mode ?max_frame () =
             end)
 
 let server_negotiate conn =
+  stall_guard @@ fun () ->
   match peek_byte conn with
   | None -> Error Closed
   | Some '0' .. '9' -> Ok () (* legacy text client: nothing consumed *)
@@ -251,9 +268,14 @@ let server_negotiate conn =
                      (Printf.sprintf "hello requested negative max frame %d"
                         requested))
               else begin
+                (* The grant is clamped into [min_max_frame,
+                   hard_max_frame]: a floor as well as a ceiling, because
+                   the server must always be able to frame its own
+                   replies — a 1-byte grant would make every answer an
+                   oversized send and hand the client a remote crash. *)
                 let granted =
                   if requested = 0 then default_max_frame
-                  else min requested hard_max_frame
+                  else min (max requested min_max_frame) hard_max_frame
                 in
                 let ack = Bytes.create 5 in
                 Bytes.set ack 0 m;

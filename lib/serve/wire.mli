@@ -24,7 +24,9 @@
     non-default frame bound) opens with a 5-byte hello
     [mode byte ('T'|'B'); 4-byte LE requested max frame (0 = default)]
     and the server answers a 5-byte ack [mode byte; granted max frame],
-    the grant clamped to {!hard_max_frame}. A text frame always starts
+    the grant clamped into [\[min_max_frame, hard_max_frame\]] — a floor
+    as well as a ceiling, so a hostile request for a 1-byte bound cannot
+    make the server's own replies oversized. A text frame always starts
     with a decimal digit, so a fresh connection's first byte
     disambiguates: digit = legacy text client (no hello, defaults
     apply), anything else = hello. Legacy clients and servers therefore
@@ -53,6 +55,12 @@ val hard_max_frame : int
 (** Ceiling on any negotiated frame bound (64 MiB): the server clamps
     hello requests to this, and {!of_fd}/{!client_hello} reject larger
     asks outright. *)
+
+val min_max_frame : int
+(** Floor on any {e negotiated} frame bound (4 KiB): the server raises
+    hello requests below this so its replies always fit the grant.
+    [of_fd] still accepts smaller local bounds (down to 1) for callers
+    that want them. *)
 
 type conn
 (** A connected socket plus read buffer and negotiated parameters. Not
@@ -92,7 +100,14 @@ val recv : conn -> (string, error) result
     {!Robust.Durable.Framed.frame} and compared byte-for-byte, so
     acceptance means exactly: this is the framing the sender's [frame]
     produced for this payload. Binary frames verify the FNV-1a 64
-    checksum. *)
+    checksum.
+
+    Reads block until a whole frame arrives — unless the socket carries
+    a receive timeout ([SO_RCVTIMEO]), in which case a peer that goes
+    silent mid-frame for longer than the timeout is reported as [Torn]
+    (the server sets one on every accepted socket so a stalled
+    connection cannot pin a multiplexing worker). The same conversion
+    applies inside {!client_hello} and {!server_negotiate}. *)
 
 val client_hello :
   conn -> mode:mode -> ?max_frame:int -> unit -> (bool, error) result
@@ -108,6 +123,6 @@ val server_negotiate : conn -> (unit, error) result
 (** Accept a possible hello at the head of a fresh connection: a digit
     first byte means a legacy text client (nothing is consumed, text
     defaults stand); otherwise the hello is read, the requested bound
-    clamped to {!hard_max_frame} (0 = {!default_max_frame}), the ack
-    written, and the connection switched. Call once, before the first
-    {!recv}. *)
+    clamped into [\[min_max_frame, hard_max_frame\]]
+    (0 = {!default_max_frame}), the ack written, and the connection
+    switched. Call once, before the first {!recv}. *)

@@ -381,6 +381,68 @@ let test_wire_hello_against_legacy_server () =
       | Ok "overloaded" -> ()
       | _ -> Alcotest.fail "shed reply lost to the hello")
 
+let test_wire_hello_grant_has_floor () =
+  with_wire_pair (fun client server ->
+      (* A hostile hello asking for a 1-byte bound: honoring it would
+         make every server reply an oversized send — a remotely
+         triggered crash. The grant is raised to the floor instead, and
+         replies larger than the ask still flow. *)
+      let client_result = ref (Ok false) in
+      let th =
+        Thread.create
+          (fun () ->
+            client_result :=
+              Wire.client_hello client ~mode:Wire.Binary ~max_frame:1 ())
+          ()
+      in
+      (match Wire.server_negotiate server with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "negotiate failed: %s" (Wire.error_message e));
+      Thread.join th;
+      (match !client_result with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "server answered with a legacy frame"
+      | Error e -> Alcotest.failf "hello failed: %s" (Wire.error_message e));
+      Alcotest.(check int) "grant raised to the floor" Wire.min_max_frame
+        (Wire.max_frame server);
+      Alcotest.(check int) "client adopts the raised grant"
+        Wire.min_max_frame (Wire.max_frame client);
+      Wire.send server (String.make 64 'x');
+      match Wire.recv client with
+      | Ok p -> Alcotest.(check int) "reply flows" 64 (String.length p)
+      | Error e -> Alcotest.failf "reply lost: %s" (Wire.error_message e))
+
+let test_wire_stalled_read_is_torn () =
+  List.iter
+    (fun mode ->
+      with_socketpair (fun a b ->
+          (* A receive timeout on the reading side plus a half-sent
+             frame: the stall must surface as a torn frame, not block
+             forever or escape as a raw Unix_error. *)
+          Unix.setsockopt_float b Unix.SO_RCVTIMEO 0.05;
+          let receiver = Wire.of_fd ~mode b in
+          let partial =
+            match mode with
+            | Wire.Text ->
+                (* length prefix and part of the payload, no tail *)
+                "10 abc"
+            | Wire.Binary ->
+                let h = Bytes.create 4 in
+                Bytes.set_int32_le h 0 10l;
+                Bytes.unsafe_to_string h ^ "abc"
+          in
+          let n = Unix.write_substring a partial 0 (String.length partial) in
+          Alcotest.(check int) "partial frame written" (String.length partial)
+            n;
+          match Wire.recv receiver with
+          | Error (Wire.Torn why) ->
+              Alcotest.(check bool) "names the timeout" true
+                (contains why "timed out")
+          | Error Wire.Closed -> Alcotest.fail "stall diagnosed as EOF"
+          | Ok p -> Alcotest.failf "read %S from a stalled peer" p))
+    [ Wire.Text; Wire.Binary ]
+
 let test_wire_hello_clamps_to_hard_max () =
   with_socketpair (fun a b ->
       (* A raw hello asking for far more than the ceiling: the grant is
@@ -500,6 +562,18 @@ let test_bqueue_try_drain () =
     (Bqueue.try_drain q ~max:2);
   Alcotest.(check (list int)) "never blocks once done" []
     (Bqueue.try_drain q ~max:2)
+
+let test_bqueue_evict () =
+  let q = Bqueue.create ~capacity:8 in
+  Alcotest.(check (list int)) "empty queue evicts nothing" []
+    (Bqueue.evict q ~f:(fun _ -> true));
+  List.iter (fun i -> ignore (Bqueue.try_push q i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "evicted in fifo order" [ 2; 4 ]
+    (Bqueue.evict q ~f:(fun x -> x mod 2 = 0));
+  Alcotest.(check int) "rest still queued" 3 (Bqueue.length q);
+  Alcotest.(check bool) "slots freed" true (Bqueue.try_push q 6);
+  Alcotest.(check (list int)) "survivors keep their order" [ 1; 3; 5; 6 ]
+    (Bqueue.try_drain q ~max:8)
 
 (* sessions *)
 
@@ -967,6 +1041,10 @@ let () =
             test_wire_legacy_text_client_skips_hello;
           Alcotest.test_case "hello against legacy server" `Quick
             test_wire_hello_against_legacy_server;
+          Alcotest.test_case "hello grant has a floor" `Quick
+            test_wire_hello_grant_has_floor;
+          Alcotest.test_case "stalled read is torn" `Quick
+            test_wire_stalled_read_is_torn;
           Alcotest.test_case "hello clamps to hard max" `Quick
             test_wire_hello_clamps_to_hard_max;
         ] );
@@ -982,6 +1060,7 @@ let () =
           Alcotest.test_case "close wakes batch popper" `Quick
             test_bqueue_close_wakes_blocked_batch_popper;
           Alcotest.test_case "try drain" `Quick test_bqueue_try_drain;
+          Alcotest.test_case "evict" `Quick test_bqueue_evict;
         ] );
       ( "session",
         [
